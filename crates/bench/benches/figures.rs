@@ -1,0 +1,106 @@
+//! One Criterion benchmark per paper table/figure: each bench runs the
+//! (scaled-down) experiment end to end, so `cargo bench` both regenerates
+//! every artifact's code path and tracks the harness's performance.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ecovisor_bench::quick;
+use experiments::{fig1, fig10, fig4, fig6, fig8};
+
+fn bench_fig1_carbon_traces(c: &mut Criterion) {
+    c.bench_function("fig1_carbon_traces", |b| {
+        b.iter(|| std::hint::black_box(fig1::run(quick::fig1())))
+    });
+}
+
+fn bench_fig4a_ml_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("fig4a_ml_policies", |b| {
+        b.iter(|| std::hint::black_box(fig4::run(fig4::JobKind::MlTraining, quick::fig4())))
+    });
+    group.finish();
+}
+
+fn bench_fig4b_blast_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("fig4b_blast_policies", |b| {
+        b.iter(|| std::hint::black_box(fig4::run(fig4::JobKind::Blast, quick::fig4())))
+    });
+    group.finish();
+}
+
+fn bench_fig5_multitenancy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("fig5_multitenancy", |b| {
+        b.iter(|| std::hint::black_box(fig4::run_fig5(7)))
+    });
+    group.finish();
+}
+
+fn bench_fig6_web_slo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("fig6_fig7_web_slo", |b| {
+        b.iter(|| std::hint::black_box(fig6::run(quick::fig6())))
+    });
+    group.finish();
+}
+
+fn bench_fig8_battery_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("fig8_fig9_battery_policies", |b| {
+        b.iter(|| std::hint::black_box(fig8::run(quick::fig8())))
+    });
+    group.finish();
+}
+
+fn bench_fig10_solar_vertical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("fig10_solar_vertical", |b| {
+        b.iter(|| std::hint::black_box(fig10::run(quick::fig10())))
+    });
+    group.finish();
+}
+
+fn bench_fig11_stragglers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("fig11_stragglers", |b| {
+        b.iter(|| std::hint::black_box(fig10::run_fig11(quick::fig10(), 0.5)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig1_carbon_traces,
+    bench_fig4a_ml_policies,
+    bench_fig4b_blast_policies,
+    bench_fig5_multitenancy,
+    bench_fig6_web_slo,
+    bench_fig8_battery_policies,
+    bench_fig10_solar_vertical,
+    bench_fig11_stragglers,
+);
+criterion_main!(figures);

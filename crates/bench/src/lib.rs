@@ -1,0 +1,58 @@
+//! Bench-only crate: shared helpers for the Criterion harnesses in
+//! `benches/`. Run with `cargo bench -p ecovisor-bench`.
+
+#![forbid(unsafe_code)]
+
+use experiments::{fig1, fig10, fig4, fig6, fig8};
+use workloads::parallel::ParallelConfig;
+
+/// Scaled-down (but shape-preserving) configs so `cargo bench` completes
+/// in minutes while exercising the same code paths as the full `repro`.
+pub mod quick {
+    use super::*;
+
+    /// Quick Fig. 1 config.
+    pub fn fig1() -> fig1::Fig1Config {
+        fig1::Fig1Config { days: 2, seed: 1 }
+    }
+
+    /// Quick Fig. 4 config (fewer runs).
+    pub fn fig4() -> fig4::Fig4Config {
+        fig4::Fig4Config {
+            runs: 2,
+            seed: 1,
+            trace_days: 6,
+            arrival_window_hours: 12,
+        }
+    }
+
+    /// Quick Fig. 6 config (24 h instead of 48 h).
+    pub fn fig6() -> fig6::Fig6Config {
+        fig6::Fig6Config {
+            hours: 24,
+            ..fig6::Fig6Config::default()
+        }
+    }
+
+    /// Quick Fig. 8 config (2 days, smaller job).
+    pub fn fig8() -> fig8::Fig8Config {
+        fig8::Fig8Config {
+            days: 2,
+            spark_work: 60.0,
+            ..fig8::Fig8Config::default()
+        }
+    }
+
+    /// Quick Fig. 10/11 config (fewer phases/points).
+    pub fn fig10() -> fig10::Fig10Config {
+        let mut job = ParallelConfig::paper_default();
+        job.workers = 6;
+        job.phases = 3;
+        fig10::Fig10Config {
+            seed: 1,
+            solar_rated: 60.0,
+            job,
+            sweep: [20, 50, 80, 80, 80, 80, 80, 80, 80],
+        }
+    }
+}

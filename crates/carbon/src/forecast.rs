@@ -1,0 +1,146 @@
+//! Simple carbon-intensity forecasting.
+//!
+//! Not required by the paper's core API (Table 1 exposes only the current
+//! intensity), but the paper's library layer (§3.2) anticipates richer
+//! services built on the historical TSDB. This module provides a
+//! diurnal-average forecaster that policies can use to anticipate
+//! low-carbon windows — an extension listed in DESIGN.md §7 and exercised
+//! by the carbon-arbitrage policy.
+
+use simkit::time::{SimDuration, SimTime};
+use simkit::units::CarbonIntensity;
+
+use crate::service::CarbonService;
+
+/// Forecasts future carbon intensity from the recent diurnal pattern.
+///
+/// The estimate for time `t + h` is the average of the intensity observed
+/// at the same time-of-day over the previous `lookback_days` days, blended
+/// toward the current observation for short horizons (persistence).
+#[derive(Debug, Clone)]
+pub struct DiurnalForecaster {
+    lookback_days: u64,
+    /// Horizon (in hours) over which persistence dominates the blend.
+    persistence_hours: f64,
+}
+
+impl Default for DiurnalForecaster {
+    fn default() -> Self {
+        Self {
+            lookback_days: 3,
+            persistence_hours: 1.0,
+        }
+    }
+}
+
+impl DiurnalForecaster {
+    /// Creates a forecaster averaging over `lookback_days` prior days.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lookback_days` is zero.
+    pub fn new(lookback_days: u64) -> Self {
+        assert!(lookback_days > 0, "lookback must be at least one day");
+        Self {
+            lookback_days,
+            persistence_hours: 1.0,
+        }
+    }
+
+    /// Forecasts the intensity at `now + horizon` using `service` history.
+    ///
+    /// Falls back to the current intensity when insufficient history is
+    /// available (early in a simulation).
+    pub fn forecast(
+        &self,
+        service: &dyn CarbonService,
+        now: SimTime,
+        horizon: SimDuration,
+    ) -> CarbonIntensity {
+        let current = service.current_intensity(now);
+        let target = now + horizon;
+
+        // Same-time-of-day observations over the lookback window.
+        let mut values = Vec::new();
+        for d in 1..=self.lookback_days {
+            let back = SimDuration::from_days(d);
+            if target.as_secs() >= back.as_secs() {
+                let t = target - back;
+                values.push(service.current_intensity(t).grams_per_kwh());
+            }
+        }
+        if values.is_empty() {
+            return current;
+        }
+        let diurnal_avg = values.iter().sum::<f64>() / values.len() as f64;
+
+        // Blend: pure persistence at horizon 0, pure diurnal past the
+        // persistence window.
+        let w = (horizon.as_hours() / self.persistence_hours).clamp(0.0, 1.0);
+        CarbonIntensity::new(current.grams_per_kwh() * (1.0 - w) + diurnal_avg * w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CarbonTraceBuilder;
+    use crate::regions;
+    use crate::service::ConstantCarbonService;
+
+    #[test]
+    fn zero_horizon_returns_current() {
+        let svc = CarbonTraceBuilder::new(regions::california())
+            .days(4)
+            .seed(1)
+            .build_service();
+        let f = DiurnalForecaster::default();
+        let now = SimTime::from_hours(72);
+        use crate::service::CarbonService as _;
+        let fc = f.forecast(&svc, now, SimDuration::ZERO);
+        assert_eq!(fc, svc.current_intensity(now));
+    }
+
+    #[test]
+    fn constant_signal_forecasts_itself() {
+        let svc = ConstantCarbonService::new("C", CarbonIntensity::new(123.0));
+        let f = DiurnalForecaster::new(2);
+        let fc = f.forecast(&svc, SimTime::from_hours(50), SimDuration::from_hours(6));
+        assert!((fc.grams_per_kwh() - 123.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_horizon_tracks_diurnal_shape() {
+        // With a strongly diurnal region, the 8-hour-ahead forecast made at
+        // midday (low) for evening (high) should exceed the current value.
+        let svc = CarbonTraceBuilder::new(regions::california())
+            .days(6)
+            .seed(3)
+            .build_service();
+        use crate::service::CarbonService as _;
+        let f = DiurnalForecaster::new(3);
+        let now = SimTime::from_hours(4 * 24 + 12); // day 4, noon
+        let fc = f.forecast(&svc, now, SimDuration::from_hours(8));
+        let cur = svc.current_intensity(now);
+        assert!(
+            fc.grams_per_kwh() > cur.grams_per_kwh(),
+            "evening forecast {fc} should exceed midday current {cur}"
+        );
+    }
+
+    #[test]
+    fn insufficient_history_falls_back() {
+        let svc = CarbonTraceBuilder::new(regions::ontario())
+            .days(1)
+            .seed(2)
+            .build_service();
+        use crate::service::CarbonService as _;
+        let f = DiurnalForecaster::new(5);
+        let now = SimTime::from_hours(0);
+        // horizon within the first day, no lookback available
+        let fc = f.forecast(&svc, now, SimDuration::from_hours(2));
+        // Should not panic and should be positive.
+        assert!(fc.grams_per_kwh() > 0.0);
+        let _ = svc.current_intensity(now);
+    }
+}

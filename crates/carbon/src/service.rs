@@ -1,0 +1,157 @@
+//! The carbon information service query surface.
+//!
+//! Mirrors what electricityMap/WattTime expose and the paper's ecovisor
+//! consumes: the *current* grid carbon intensity plus historical queries
+//! (the prototype stores history in InfluxDB to "support sophisticated
+//! queries over historical data", §3.1).
+
+use simkit::time::{SimDuration, SimTime};
+use simkit::trace::Trace;
+use simkit::units::CarbonIntensity;
+
+/// A queryable source of grid carbon-intensity estimates.
+///
+/// Object-safe so the ecovisor can hold `Box<dyn CarbonService>`.
+pub trait CarbonService: Send + Sync {
+    /// Region this service reports for (e.g. `"California"`).
+    fn region(&self) -> &str;
+
+    /// Real-time carbon-intensity estimate at `at`.
+    fn current_intensity(&self, at: SimTime) -> CarbonIntensity;
+
+    /// Historical intensity over `[from, to)` sampled every `step`.
+    ///
+    /// Default implementation repeatedly calls
+    /// [`current_intensity`](Self::current_intensity).
+    fn history(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        step: SimDuration,
+    ) -> Vec<(SimTime, CarbonIntensity)> {
+        let mut out = Vec::new();
+        if step.is_zero() {
+            return out;
+        }
+        let mut t = from;
+        while t < to {
+            out.push((t, self.current_intensity(t)));
+            t += step;
+        }
+        out
+    }
+}
+
+/// A [`CarbonService`] backed by a pre-generated [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceCarbonService {
+    region: String,
+    trace: Trace,
+}
+
+impl TraceCarbonService {
+    /// Wraps a trace of g·CO2/kWh samples as a service for `region`.
+    pub fn new(region: impl Into<String>, trace: Trace) -> Self {
+        Self {
+            region: region.into(),
+            trace,
+        }
+    }
+
+    /// The underlying trace (used by experiment harnesses for plotting).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+}
+
+impl CarbonService for TraceCarbonService {
+    fn region(&self) -> &str {
+        &self.region
+    }
+
+    fn current_intensity(&self, at: SimTime) -> CarbonIntensity {
+        CarbonIntensity::new(self.trace.sample(at))
+    }
+}
+
+/// A constant-intensity service, useful in tests and as a "flat grid"
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct ConstantCarbonService {
+    region: String,
+    intensity: CarbonIntensity,
+}
+
+impl ConstantCarbonService {
+    /// Creates a service that always reports `intensity`.
+    pub fn new(region: impl Into<String>, intensity: CarbonIntensity) -> Self {
+        Self {
+            region: region.into(),
+            intensity,
+        }
+    }
+}
+
+impl CarbonService for ConstantCarbonService {
+    fn region(&self) -> &str {
+        &self.region
+    }
+
+    fn current_intensity(&self, _at: SimTime) -> CarbonIntensity {
+        self.intensity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::time::SimDuration;
+
+    #[test]
+    fn trace_service_samples_trace() {
+        let trace = Trace::from_samples(vec![100.0, 200.0], SimDuration::from_hours(1));
+        let svc = TraceCarbonService::new("Test", trace);
+        assert_eq!(svc.region(), "Test");
+        assert_eq!(
+            svc.current_intensity(SimTime::from_secs(0)).grams_per_kwh(),
+            100.0
+        );
+        assert_eq!(
+            svc.current_intensity(SimTime::from_hours(1)).grams_per_kwh(),
+            200.0
+        );
+    }
+
+    #[test]
+    fn history_samples_at_step() {
+        let trace = Trace::from_samples(vec![1.0, 2.0, 3.0], SimDuration::from_minutes(5));
+        let svc = TraceCarbonService::new("Test", trace);
+        let h = svc.history(
+            SimTime::from_secs(0),
+            SimTime::from_secs(900),
+            SimDuration::from_minutes(5),
+        );
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[2].1.grams_per_kwh(), 3.0);
+        // Zero step yields no history rather than looping forever.
+        assert!(svc
+            .history(SimTime::from_secs(0), SimTime::from_secs(900), SimDuration::ZERO)
+            .is_empty());
+    }
+
+    #[test]
+    fn constant_service() {
+        let svc = ConstantCarbonService::new("Flat", CarbonIntensity::new(50.0));
+        assert_eq!(
+            svc.current_intensity(SimTime::from_hours(99)).grams_per_kwh(),
+            50.0
+        );
+    }
+
+    #[test]
+    fn service_is_object_safe() {
+        let svc: Box<dyn CarbonService> =
+            Box::new(ConstantCarbonService::new("Flat", CarbonIntensity::new(10.0)));
+        assert_eq!(svc.region(), "Flat");
+    }
+}

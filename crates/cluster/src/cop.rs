@@ -1,0 +1,487 @@
+//! The container orchestration platform (COP) API.
+//!
+//! [`Cop`] provides the LXD-like management surface the ecovisor wraps
+//! (§3.1, §4): launching and destroying containers (horizontal scaling),
+//! suspend/resume, cgroup-style CPU quotas (vertical scaling), power-cap
+//! enforcement through quotas, and per-container/app/cluster power
+//! attribution.
+
+use std::collections::BTreeMap;
+
+use simkit::units::Watts;
+
+use crate::container::{AppId, Container, ContainerId, ContainerSpec, ContainerState};
+use crate::error::CopError;
+use crate::power::PowerModel;
+use crate::scheduler::{FewestContainers, Placement};
+use crate::server::{Server, ServerId, ServerSpec};
+
+/// Cluster composition for a [`Cop`].
+#[derive(Debug, Clone)]
+pub struct CopConfig {
+    /// Spec of each server in the cluster.
+    pub servers: Vec<ServerSpec>,
+}
+
+impl CopConfig {
+    /// A cluster of `n` ARM microservers (the paper's prototype).
+    pub fn microserver_cluster(n: u32) -> Self {
+        Self {
+            servers: (0..n).map(|_| ServerSpec::microserver()).collect(),
+        }
+    }
+
+    /// A microserver cluster where the first `gpus` nodes carry a GPU
+    /// ("some of which have an attached NVIDIA Jetson Nano GPU", §4).
+    pub fn microserver_cluster_with_gpus(n: u32, gpus: u32) -> Self {
+        Self {
+            servers: (0..n)
+                .map(|i| {
+                    if i < gpus {
+                        ServerSpec::microserver_with_gpu()
+                    } else {
+                        ServerSpec::microserver()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// A cluster of `n` Dell PowerEdge R430s (the paper's conventional
+    /// testbed for simulated power sources).
+    pub fn poweredge_cluster(n: u32) -> Self {
+        Self {
+            servers: (0..n).map(|_| ServerSpec::poweredge_r430()).collect(),
+        }
+    }
+}
+
+/// The container orchestration platform.
+pub struct Cop {
+    servers: Vec<Server>,
+    models: Vec<PowerModel>,
+    containers: BTreeMap<ContainerId, Container>,
+    scheduler: Box<dyn Placement>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for Cop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cop")
+            .field("servers", &self.servers.len())
+            .field("containers", &self.containers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cop {
+    /// Creates a COP over the given cluster with the LXD default
+    /// scheduler ([`FewestContainers`]).
+    pub fn new(config: CopConfig) -> Self {
+        Self::with_scheduler(config, Box::new(FewestContainers))
+    }
+
+    /// Creates a COP with a custom placement policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no servers or any server spec is invalid.
+    pub fn with_scheduler(config: CopConfig, scheduler: Box<dyn Placement>) -> Self {
+        assert!(!config.servers.is_empty(), "cluster must have servers");
+        let servers: Vec<Server> = config
+            .servers
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| Server::new(ServerId::new(i as u32), *spec))
+            .collect();
+        let models = config.servers.iter().map(|s| PowerModel::new(*s)).collect();
+        Self {
+            servers,
+            models,
+            containers: BTreeMap::new(),
+            scheduler,
+            next_id: 0,
+        }
+    }
+
+    /// Launches a container for `owner`, placing it via the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// [`CopError::InsufficientCapacity`] when no server fits the spec.
+    pub fn launch(&mut self, owner: AppId, spec: ContainerSpec) -> Result<ContainerId, CopError> {
+        let sid = self
+            .scheduler
+            .place(&self.servers, &spec)
+            .ok_or(CopError::InsufficientCapacity {
+                cores: spec.cores,
+                memory_mib: spec.memory_mib,
+            })?;
+        let server = self
+            .servers
+            .iter_mut()
+            .find(|s| s.id() == sid)
+            .expect("scheduler returned a valid id");
+        server.reserve(spec.cores, spec.memory_mib);
+        let id = ContainerId::new(self.next_id);
+        self.next_id += 1;
+        self.containers
+            .insert(id, Container::new(id, owner, spec, sid));
+        Ok(id)
+    }
+
+    /// Destroys a container, releasing its resources. The container is
+    /// retained in `Stopped` state for accounting history.
+    ///
+    /// # Errors
+    ///
+    /// [`CopError::UnknownContainer`] if absent; [`CopError::InvalidState`]
+    /// if already stopped.
+    pub fn stop(&mut self, id: ContainerId) -> Result<(), CopError> {
+        let container = self
+            .containers
+            .get_mut(&id)
+            .ok_or(CopError::UnknownContainer(id))?;
+        if container.state() == ContainerState::Stopped {
+            return Err(CopError::InvalidState {
+                container: id,
+                reason: "already stopped",
+            });
+        }
+        let (cores, mem, sid) = (
+            container.spec().cores,
+            container.spec().memory_mib,
+            container.server(),
+        );
+        container.set_state(ContainerState::Stopped);
+        self.server_mut(sid).release(cores, mem);
+        Ok(())
+    }
+
+    /// Freezes a running container (retains placement, zero utilization).
+    ///
+    /// # Errors
+    ///
+    /// [`CopError::UnknownContainer`] / [`CopError::InvalidState`].
+    pub fn suspend(&mut self, id: ContainerId) -> Result<(), CopError> {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(CopError::UnknownContainer(id))?;
+        match c.state() {
+            ContainerState::Running => {
+                c.set_state(ContainerState::Suspended);
+                Ok(())
+            }
+            _ => Err(CopError::InvalidState {
+                container: id,
+                reason: "only running containers can be suspended",
+            }),
+        }
+    }
+
+    /// Thaws a suspended container.
+    ///
+    /// # Errors
+    ///
+    /// [`CopError::UnknownContainer`] / [`CopError::InvalidState`].
+    pub fn resume(&mut self, id: ContainerId) -> Result<(), CopError> {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(CopError::UnknownContainer(id))?;
+        match c.state() {
+            ContainerState::Suspended => {
+                c.set_state(ContainerState::Running);
+                Ok(())
+            }
+            _ => Err(CopError::InvalidState {
+                container: id,
+                reason: "only suspended containers can be resumed",
+            }),
+        }
+    }
+
+    /// Sets (or clears) a container's power cap, converting it to a CPU
+    /// quota via the host server's power model — the cgroup mechanism of
+    /// §2/§4.
+    ///
+    /// # Errors
+    ///
+    /// [`CopError::UnknownContainer`] if absent.
+    pub fn set_power_cap(&mut self, id: ContainerId, cap: Option<Watts>) -> Result<(), CopError> {
+        let model = {
+            let c = self
+                .containers
+                .get(&id)
+                .ok_or(CopError::UnknownContainer(id))?;
+            self.models[c.server().value() as usize]
+        };
+        let c = self.containers.get_mut(&id).expect("checked above");
+        match cap {
+            Some(cap) => {
+                let quota = model.quota_for_cap(c.spec().cores, c.spec().gpu, cap);
+                c.set_power_cap(Some(cap));
+                c.set_cpu_quota(quota);
+            }
+            None => {
+                c.set_power_cap(None);
+                c.set_cpu_quota(1.0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets a container's CPU quota directly (vertical scaling).
+    ///
+    /// # Errors
+    ///
+    /// [`CopError::UnknownContainer`] if absent.
+    pub fn set_cpu_quota(&mut self, id: ContainerId, quota: f64) -> Result<(), CopError> {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(CopError::UnknownContainer(id))?;
+        c.set_cpu_quota(quota);
+        Ok(())
+    }
+
+    /// Sets a container's workload CPU demand for the current tick.
+    ///
+    /// # Errors
+    ///
+    /// [`CopError::UnknownContainer`] if absent.
+    pub fn set_demand(&mut self, id: ContainerId, demand: f64) -> Result<(), CopError> {
+        let c = self
+            .containers
+            .get_mut(&id)
+            .ok_or(CopError::UnknownContainer(id))?;
+        c.set_demand(demand);
+        Ok(())
+    }
+
+    /// Looks up a container.
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+
+    /// All live (running or suspended) containers of an app, in id order.
+    pub fn containers_of(&self, owner: AppId) -> Vec<&Container> {
+        self.containers
+            .values()
+            .filter(|c| c.owner() == owner && c.state() != ContainerState::Stopped)
+            .collect()
+    }
+
+    /// Ids of an app's live containers, in id order.
+    pub fn container_ids_of(&self, owner: AppId) -> Vec<ContainerId> {
+        self.containers_of(owner).iter().map(|c| c.id()).collect()
+    }
+
+    /// Number of running containers for an app.
+    pub fn running_count(&self, owner: AppId) -> usize {
+        self.containers
+            .values()
+            .filter(|c| c.owner() == owner && c.state() == ContainerState::Running)
+            .count()
+    }
+
+    /// Power attributed to one container.
+    ///
+    /// # Errors
+    ///
+    /// [`CopError::UnknownContainer`] if absent.
+    pub fn container_power(&self, id: ContainerId) -> Result<Watts, CopError> {
+        let c = self
+            .containers
+            .get(&id)
+            .ok_or(CopError::UnknownContainer(id))?;
+        Ok(self.models[c.server().value() as usize].power_of(c))
+    }
+
+    /// Power attributed to all of an app's containers.
+    pub fn app_power(&self, owner: AppId) -> Watts {
+        self.containers
+            .values()
+            .filter(|c| c.owner() == owner)
+            .map(|c| self.models[c.server().value() as usize].power_of(c))
+            .sum()
+    }
+
+    /// Effective compute capacity of an app in core-equivalents.
+    pub fn app_effective_cores(&self, owner: AppId) -> f64 {
+        self.containers
+            .values()
+            .filter(|c| c.owner() == owner)
+            .map(Container::effective_cores)
+            .sum()
+    }
+
+    /// Total cluster power: every server's idle power (the unattributed
+    /// "baseline power" visible in the paper's Fig. 5d) plus the dynamic
+    /// power of all running containers.
+    pub fn total_power(&self) -> Watts {
+        let idle: Watts = self.servers.iter().map(|s| s.spec().idle_power).sum();
+        let dynamic: Watts = self
+            .containers
+            .values()
+            .map(|c| self.models[c.server().value() as usize].power_of(c))
+            .sum();
+        idle + dynamic
+    }
+
+    /// Immutable view of the servers.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Power model of the server hosting `id`, if the container exists.
+    pub fn model_for(&self, id: ContainerId) -> Option<&PowerModel> {
+        self.containers
+            .get(&id)
+            .map(|c| &self.models[c.server().value() as usize])
+    }
+
+    fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        self.servers
+            .iter_mut()
+            .find(|s| s.id() == id)
+            .expect("server ids are stable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cop() -> Cop {
+        Cop::new(CopConfig::microserver_cluster(4))
+    }
+
+    #[test]
+    fn launch_and_stop_lifecycle() {
+        let mut cop = cop();
+        let app = AppId::new(1);
+        let id = cop.launch(app, ContainerSpec::quad_core()).expect("fits");
+        assert_eq!(cop.running_count(app), 1);
+        cop.stop(id).expect("stoppable");
+        assert_eq!(cop.running_count(app), 0);
+        assert_eq!(cop.container(id).expect("retained").state(), ContainerState::Stopped);
+        // Double stop is an error.
+        assert!(matches!(cop.stop(id), Err(CopError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn capacity_exhaustion() {
+        let mut cop = Cop::new(CopConfig::microserver_cluster(2));
+        let app = AppId::new(1);
+        cop.launch(app, ContainerSpec::quad_core()).expect("first fits");
+        cop.launch(app, ContainerSpec::quad_core()).expect("second fits");
+        let err = cop.launch(app, ContainerSpec::quad_core()).unwrap_err();
+        assert!(matches!(err, CopError::InsufficientCapacity { cores: 4, .. }));
+        // Stopping frees capacity.
+        let ids = cop.container_ids_of(app);
+        cop.stop(ids[0]).expect("stoppable");
+        assert!(cop.launch(app, ContainerSpec::quad_core()).is_ok());
+    }
+
+    #[test]
+    fn suspend_resume_round_trip() {
+        let mut cop = cop();
+        let app = AppId::new(1);
+        let id = cop.launch(app, ContainerSpec::quad_core()).expect("fits");
+        cop.set_demand(id, 1.0).expect("exists");
+        cop.suspend(id).expect("running");
+        assert_eq!(cop.container_power(id).expect("exists"), Watts::ZERO);
+        assert!(matches!(cop.suspend(id), Err(CopError::InvalidState { .. })));
+        cop.resume(id).expect("suspended");
+        assert!(cop.container_power(id).expect("exists") > Watts::ZERO);
+    }
+
+    #[test]
+    fn power_cap_converts_to_quota() {
+        let mut cop = cop();
+        let app = AppId::new(1);
+        let id = cop.launch(app, ContainerSpec::quad_core()).expect("fits");
+        cop.set_demand(id, 1.0).expect("exists");
+        cop.set_power_cap(id, Some(Watts::new(3.0))).expect("exists");
+        let c = cop.container(id).expect("exists");
+        assert_eq!(c.power_cap(), Some(Watts::new(3.0)));
+        let p = cop.container_power(id).expect("exists");
+        assert!(
+            (p.watts() - 3.0).abs() < 1e-9,
+            "power {p} should sit at the cap"
+        );
+        // Clearing the cap restores full quota.
+        cop.set_power_cap(id, None).expect("exists");
+        assert_eq!(cop.container(id).expect("exists").cpu_quota(), 1.0);
+    }
+
+    #[test]
+    fn app_power_and_effective_cores() {
+        let mut cop = cop();
+        let app = AppId::new(1);
+        let other = AppId::new(2);
+        let a = cop.launch(app, ContainerSpec::quad_core()).expect("fits");
+        let b = cop.launch(app, ContainerSpec::quad_core()).expect("fits");
+        let c = cop.launch(other, ContainerSpec::quad_core()).expect("fits");
+        for id in [a, b, c] {
+            cop.set_demand(id, 1.0).expect("exists");
+        }
+        assert!((cop.app_power(app).watts() - 7.3).abs() < 1e-9);
+        assert!((cop.app_effective_cores(app) - 8.0).abs() < 1e-12);
+        assert!((cop.app_power(other).watts() - 3.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_power_includes_unallocated_idle() {
+        let mut cop = Cop::new(CopConfig::microserver_cluster(4));
+        // Empty cluster: 4 × 1.35 W idle.
+        assert!((cop.total_power().watts() - 5.4).abs() < 1e-9);
+        let app = AppId::new(1);
+        let id = cop.launch(app, ContainerSpec::quad_core()).expect("fits");
+        cop.set_demand(id, 1.0).expect("exists");
+        // One saturated server adds 3.65 W of dynamic power.
+        assert!((cop.total_power().watts() - (5.4 + 3.65)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placement_spreads_across_servers() {
+        let mut cop = Cop::new(CopConfig::microserver_cluster(3));
+        let app = AppId::new(1);
+        let ids: Vec<ContainerId> = (0..3)
+            .map(|_| cop.launch(app, ContainerSpec::single_core()).expect("fits"))
+            .collect();
+        let mut hosts: Vec<ServerId> = ids
+            .iter()
+            .map(|id| cop.container(*id).expect("exists").server())
+            .collect();
+        hosts.sort();
+        hosts.dedup();
+        assert_eq!(hosts.len(), 3);
+    }
+
+    #[test]
+    fn gpu_containers_need_gpu_servers() {
+        let mut cop = Cop::new(CopConfig::microserver_cluster_with_gpus(3, 1));
+        let app = AppId::new(1);
+        let spec = ContainerSpec::quad_core().with_gpu();
+        let id = cop.launch(app, spec).expect("one gpu server");
+        assert_eq!(cop.container(id).expect("exists").server(), ServerId::new(0));
+        // Second GPU container cannot fit.
+        assert!(cop.launch(app, spec).is_err());
+    }
+
+    #[test]
+    fn unknown_container_errors() {
+        let mut cop = cop();
+        let ghost = ContainerId::new(999);
+        assert!(matches!(cop.stop(ghost), Err(CopError::UnknownContainer(_))));
+        assert!(matches!(cop.set_demand(ghost, 1.0), Err(CopError::UnknownContainer(_))));
+        assert!(matches!(
+            cop.set_power_cap(ghost, None),
+            Err(CopError::UnknownContainer(_))
+        ));
+        assert!(cop.container_power(ghost).is_err());
+    }
+}

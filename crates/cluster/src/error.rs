@@ -1,0 +1,66 @@
+//! COP error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::container::ContainerId;
+
+/// Errors returned by COP operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CopError {
+    /// No server has enough free cores/memory for the requested container.
+    InsufficientCapacity {
+        /// Cores requested.
+        cores: u32,
+        /// Memory requested in MiB.
+        memory_mib: u64,
+    },
+    /// The referenced container does not exist (or was destroyed).
+    UnknownContainer(ContainerId),
+    /// The operation is invalid in the container's current state.
+    InvalidState {
+        /// Container the operation targeted.
+        container: ContainerId,
+        /// Description of the conflict.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CopError::InsufficientCapacity { cores, memory_mib } => write!(
+                f,
+                "no server can host a container with {cores} cores and {memory_mib} MiB"
+            ),
+            CopError::UnknownContainer(id) => write!(f, "unknown container {id}"),
+            CopError::InvalidState { container, reason } => {
+                write!(f, "invalid operation on container {container}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CopError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CopError::InsufficientCapacity {
+            cores: 4,
+            memory_mib: 4096,
+        };
+        assert!(e.to_string().contains("4 cores"));
+        let u = CopError::UnknownContainer(ContainerId::new(7));
+        assert!(u.to_string().contains("unknown container"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(CopError::UnknownContainer(ContainerId::new(1)));
+        assert!(!e.to_string().is_empty());
+    }
+}

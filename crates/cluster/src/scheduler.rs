@@ -1,0 +1,121 @@
+//! Container placement scheduling.
+//!
+//! The paper uses "LXD's default container scheduler, which simply
+//! allocates a container to the server with the fewest container
+//! instances" (§4). That policy is [`FewestContainers`]; the [`Placement`]
+//! trait leaves room for alternatives (best-fit is provided for the
+//! ablation benches).
+
+use crate::container::ContainerSpec;
+use crate::server::{Server, ServerId};
+
+/// A placement policy choosing a server for a new container.
+pub trait Placement: Send + Sync {
+    /// Returns the id of the server to host `spec`, or `None` when no
+    /// server fits.
+    fn place(&self, servers: &[Server], spec: &ContainerSpec) -> Option<ServerId>;
+}
+
+/// LXD's default policy: the feasible server with the fewest containers,
+/// breaking ties by lowest server id (deterministic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FewestContainers;
+
+impl Placement for FewestContainers {
+    fn place(&self, servers: &[Server], spec: &ContainerSpec) -> Option<ServerId> {
+        servers
+            .iter()
+            .filter(|s| s.fits(spec.cores, spec.memory_mib, spec.gpu))
+            .min_by_key(|s| (s.container_count(), s.id()))
+            .map(|s| s.id())
+    }
+}
+
+/// Best-fit policy: the feasible server with the fewest free cores
+/// (packs tightly, leaving whole servers idle for power gating).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFit;
+
+impl Placement for BestFit {
+    fn place(&self, servers: &[Server], spec: &ContainerSpec) -> Option<ServerId> {
+        servers
+            .iter()
+            .filter(|s| s.fits(spec.cores, spec.memory_mib, spec.gpu))
+            .min_by_key(|s| (s.free_cores(), s.id()))
+            .map(|s| s.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerSpec;
+
+    fn cluster(n: u32) -> Vec<Server> {
+        (0..n)
+            .map(|i| Server::new(ServerId::new(i), ServerSpec::microserver()))
+            .collect()
+    }
+
+    #[test]
+    fn fewest_containers_balances() {
+        let mut servers = cluster(3);
+        let spec = ContainerSpec::single_core();
+        let sched = FewestContainers;
+        // Place 3 containers; each should land on a distinct server.
+        let mut placed = Vec::new();
+        for _ in 0..3 {
+            let sid = sched.place(&servers, &spec).expect("fits");
+            let s = servers.iter_mut().find(|s| s.id() == sid).expect("exists");
+            s.reserve(spec.cores, spec.memory_mib);
+            placed.push(sid);
+        }
+        placed.sort();
+        placed.dedup();
+        assert_eq!(placed.len(), 3);
+    }
+
+    #[test]
+    fn fewest_containers_ties_break_by_id() {
+        let servers = cluster(2);
+        let sid = FewestContainers
+            .place(&servers, &ContainerSpec::single_core())
+            .expect("fits");
+        assert_eq!(sid, ServerId::new(0));
+    }
+
+    #[test]
+    fn infeasible_when_no_capacity() {
+        let mut servers = cluster(1);
+        servers[0].reserve(4, 4096);
+        assert!(FewestContainers
+            .place(&servers, &ContainerSpec::single_core())
+            .is_none());
+    }
+
+    #[test]
+    fn gpu_spec_requires_gpu_server() {
+        let mut servers = cluster(2);
+        servers.push(Server::new(
+            ServerId::new(2),
+            ServerSpec::microserver_with_gpu(),
+        ));
+        let spec = ContainerSpec::single_core().with_gpu();
+        let sid = FewestContainers.place(&servers, &spec).expect("gpu server");
+        assert_eq!(sid, ServerId::new(2));
+    }
+
+    #[test]
+    fn best_fit_packs_tightly() {
+        let mut servers = cluster(2);
+        servers[0].reserve(3, 1024); // 1 core free
+        let sid = BestFit
+            .place(&servers, &ContainerSpec::single_core())
+            .expect("fits");
+        assert_eq!(sid, ServerId::new(0), "best-fit should fill the fuller server");
+        let sid2 = FewestContainers
+            .place(&servers, &ContainerSpec::single_core())
+            .expect("fits");
+        assert_eq!(sid2, ServerId::new(1), "fewest-containers spreads out");
+    }
+}

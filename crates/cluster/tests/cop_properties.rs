@@ -1,0 +1,126 @@
+//! Property-based tests of the COP: capacity accounting, cap→quota
+//! round-trips, and placement feasibility under arbitrary launch/stop
+//! sequences.
+
+use proptest::prelude::*;
+
+use container_cop::{AppId, ContainerId, ContainerSpec, Cop, CopConfig, PowerModel, ServerSpec};
+use simkit::units::Watts;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Launch(u32),
+    StopOldest,
+    SuspendNewest,
+    Cap(f64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..=4).prop_map(Op::Launch),
+        Just(Op::StopOldest),
+        Just(Op::SuspendNewest),
+        (0.0_f64..6.0).prop_map(Op::Cap),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Server reservations never go negative or exceed capacity, across
+    /// arbitrary operation sequences, and placement never double-books.
+    #[test]
+    fn capacity_accounting_holds(
+        servers in 1u32..8,
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let mut cop = Cop::new(CopConfig::microserver_cluster(servers));
+        let app = AppId::new(1);
+        let mut live: Vec<ContainerId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Launch(cores) => {
+                    if let Ok(id) = cop.launch(app, ContainerSpec::with_cores(cores)) {
+                        live.push(id);
+                    }
+                }
+                Op::StopOldest => {
+                    if !live.is_empty() {
+                        let id = live.remove(0);
+                        let _ = cop.stop(id);
+                    }
+                }
+                Op::SuspendNewest => {
+                    if let Some(id) = live.last() {
+                        let _ = cop.suspend(*id);
+                    }
+                }
+                Op::Cap(w) => {
+                    if let Some(id) = live.last() {
+                        let _ = cop.set_power_cap(*id, Some(Watts::new(w)));
+                    }
+                }
+            }
+            for s in cop.servers() {
+                prop_assert!(s.free_cores() <= s.spec().cores);
+                prop_assert!(s.free_memory_mib() <= s.spec().memory_mib);
+            }
+            // Sum of live containers' cores never exceeds cluster cores.
+            let used: u32 = live
+                .iter()
+                .filter_map(|id| cop.container(*id))
+                .map(|c| c.spec().cores)
+                .sum();
+            prop_assert!(used <= servers * 4);
+        }
+    }
+
+    /// For any cap, the enforced container power never exceeds the cap,
+    /// and caps at/above max dynamic power leave the quota at 1.
+    #[test]
+    fn cap_quota_roundtrip(
+        cores in 1u32..=4,
+        cap_w in 0.0_f64..10.0,
+        demand in 0.0_f64..=1.0,
+    ) {
+        let model = PowerModel::new(ServerSpec::microserver());
+        let quota = model.quota_for_cap(cores, false, Watts::new(cap_w));
+        let u = demand.min(quota);
+        let power = model.container_power(cores, u, false);
+        prop_assert!(
+            power.watts() <= cap_w + 1e-9,
+            "power {power} exceeds cap {cap_w}"
+        );
+        if cap_w >= model.container_max_power(cores, false).watts() {
+            prop_assert_eq!(quota, 1.0);
+        }
+    }
+
+    /// Cluster power is the idle floor plus attributed dynamic power —
+    /// total power minus idle equals the sum over container powers.
+    #[test]
+    fn total_power_decomposes(
+        n in 1u32..6,
+        demands in proptest::collection::vec(0.0_f64..=1.0, 1..6),
+    ) {
+        let mut cop = Cop::new(CopConfig::microserver_cluster(n * 2));
+        let app = AppId::new(1);
+        let mut ids = Vec::new();
+        for d in &demands {
+            if let Ok(id) = cop.launch(app, ContainerSpec::quad_core()) {
+                cop.set_demand(id, *d).unwrap();
+                ids.push(id);
+            }
+        }
+        let idle: f64 = cop.servers().iter().map(|s| s.spec().idle_power.watts()).sum();
+        let attributed: f64 = ids
+            .iter()
+            .map(|id| cop.container_power(*id).unwrap().watts())
+            .sum();
+        let total = cop.total_power().watts();
+        prop_assert!(
+            (total - idle - attributed).abs() < 1e-9,
+            "total {total} != idle {idle} + attributed {attributed}"
+        );
+    }
+}

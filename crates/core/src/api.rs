@@ -1,0 +1,227 @@
+//! The ecovisor's application-facing API.
+//!
+//! [`EcovisorApi`] is the paper's **Table 1** — "Ecovisor's narrow API
+//! that provides applications visibility and control over their virtual
+//! energy system" — plus the container/resource management calls §3.1
+//! says applications may also make (launch, stop, suspend, resume,
+//! horizontal/vertical scaling). Getter and setter methods are
+//! synchronous downcalls; the `tick()` upcall is delivered through
+//! [`crate::app::Application::on_tick`].
+//!
+//! [`LibraryApi`] is the paper's **Table 2** — "example library functions
+//! using ecovisor's API": interval energy/carbon queries (backed by the
+//! telemetry TSDB, as the prototype backs them with InfluxDB), carbon
+//! rates and budgets. The `notify_*` functions of Table 2 surface as
+//! [`crate::event::Notification`] upcalls.
+//!
+//! Both traits are object-safe; applications and policies receive
+//! `&mut dyn LibraryApi` scoped to their own virtual energy system, so a
+//! tenant can never touch another tenant's containers or battery.
+
+use container_cop::{AppId, ContainerId, ContainerSpec};
+use simkit::time::{SimDuration, SimTime};
+use simkit::units::{CarbonIntensity, CarbonRate, Co2Grams, WattHours, Watts};
+
+use crate::error::Result;
+
+/// Table 1: the narrow per-application API, plus container management.
+pub trait EcovisorApi {
+    // ------------------------------------------------------------------
+    // Table 1 setters
+    // ------------------------------------------------------------------
+
+    /// Sets a container's power cap (`set_container_powercap`).
+    ///
+    /// Enforced by converting the cap into a cgroup-style CPU quota on
+    /// the hosting server.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container does not exist or belongs to another app.
+    fn set_container_powercap(&mut self, container: ContainerId, cap: Watts) -> Result<()>;
+
+    /// Removes a container's power cap.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container does not exist or belongs to another app.
+    fn clear_container_powercap(&mut self, container: ContainerId) -> Result<()>;
+
+    /// Sets the virtual battery's grid-charging rate, which applies
+    /// "until full" (`set_battery_charge_rate`).
+    fn set_battery_charge_rate(&mut self, rate: Watts);
+
+    /// Sets the maximum rate at which the virtual battery may discharge
+    /// to serve this app's deficit (`set_battery_max_discharge`).
+    fn set_battery_max_discharge(&mut self, rate: Watts);
+
+    // ------------------------------------------------------------------
+    // Table 1 getters
+    // ------------------------------------------------------------------
+
+    /// Virtual solar power available this tick (`get_solar_power`).
+    fn get_solar_power(&self) -> Watts;
+
+    /// Current virtual grid power usage (`get_grid_power`).
+    fn get_grid_power(&self) -> Watts;
+
+    /// Current grid carbon intensity (`get_grid_carbon`).
+    fn get_grid_carbon(&self) -> CarbonIntensity;
+
+    /// Current battery discharge rate (`get_battery_discharge_rate`).
+    fn get_battery_discharge_rate(&self) -> Watts;
+
+    /// Energy stored in the virtual battery (`get_battery_charge_level`).
+    fn get_battery_charge_level(&self) -> WattHours;
+
+    /// A container's power cap, if set (`get_container_powercap`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container does not exist or belongs to another app.
+    fn get_container_powercap(&self, container: ContainerId) -> Result<Option<Watts>>;
+
+    /// A container's current power usage (`get_container_power`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container does not exist or belongs to another app.
+    fn get_container_power(&self, container: ContainerId) -> Result<Watts>;
+
+    // ------------------------------------------------------------------
+    // Container & resource management (§3.1)
+    // ------------------------------------------------------------------
+
+    /// Launches a container in this app's virtual cluster (horizontal
+    /// scale-up).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no server has capacity for the spec.
+    fn launch_container(&mut self, spec: ContainerSpec) -> Result<ContainerId>;
+
+    /// Destroys a container (horizontal scale-down).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container does not exist, is already stopped, or
+    /// belongs to another app.
+    fn stop_container(&mut self, container: ContainerId) -> Result<()>;
+
+    /// Freezes a running container.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container is not running or belongs to another app.
+    fn suspend_container(&mut self, container: ContainerId) -> Result<()>;
+
+    /// Thaws a suspended container.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container is not suspended or belongs to another app.
+    fn resume_container(&mut self, container: ContainerId) -> Result<()>;
+
+    /// Sets a container's CPU demand for this tick (what fraction of its
+    /// allocated cores the workload wants to use).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container does not exist or belongs to another app.
+    fn set_container_demand(&mut self, container: ContainerId, demand: f64) -> Result<()>;
+
+    /// Ids of this app's live containers, in id order.
+    fn container_ids(&self) -> Vec<ContainerId>;
+
+    /// Number of this app's running (not suspended) containers.
+    fn running_containers(&self) -> usize;
+
+    /// Effective compute capacity this tick, in core-equivalents
+    /// (demand clipped by quotas across all containers).
+    fn effective_cores(&self) -> f64;
+
+    /// One container's effective cores this tick (demand clipped by its
+    /// power-cap quota) — the per-task grant §5.4's policies balance.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container does not exist or belongs to another app.
+    fn container_effective_cores(&self, container: ContainerId) -> Result<f64>;
+
+    // ------------------------------------------------------------------
+    // Clock
+    // ------------------------------------------------------------------
+
+    /// Start instant of the current tick.
+    fn now(&self) -> SimTime;
+
+    /// The tick interval Δt.
+    fn tick_interval(&self) -> SimDuration;
+
+    /// This application's id.
+    fn app_id(&self) -> AppId;
+}
+
+/// Table 2: library functions layered on the narrow API and the
+/// historical telemetry store.
+pub trait LibraryApi: EcovisorApi {
+    /// Energy used by a container over `[from, to)`
+    /// (`get_container_energy`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container does not exist or belongs to another app.
+    fn get_container_energy(
+        &self,
+        container: ContainerId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<WattHours>;
+
+    /// Carbon attributed to a container over `[from, to)`
+    /// (`get_container_carbon`). Carbon is apportioned to containers in
+    /// proportion to their share of app power each tick.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the container does not exist or belongs to another app.
+    fn get_container_carbon(
+        &self,
+        container: ContainerId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<Co2Grams>;
+
+    /// Current power usage across the app's containers (`get_app_power`).
+    fn get_app_power(&self) -> Watts;
+
+    /// Energy used by the app over `[from, to)` (`get_app_energy`).
+    fn get_app_energy(&self, from: SimTime, to: SimTime) -> WattHours;
+
+    /// Cumulative carbon attributed to the app (`get_app_carbon`).
+    fn get_app_carbon(&self) -> Co2Grams;
+
+    /// Carbon attributed to the app over `[from, to)`.
+    fn get_app_carbon_between(&self, from: SimTime, to: SimTime) -> Co2Grams;
+
+    /// Sets a carbon rate limit (`set_carbon_rate`): each tick the
+    /// ecovisor converts the rate into container power caps given the
+    /// current carbon intensity (zero-carbon supply — solar and battery —
+    /// is exempt). `None` clears the limit.
+    fn set_carbon_rate(&mut self, rate: Option<CarbonRate>);
+
+    /// The active carbon rate limit, if any.
+    fn carbon_rate_limit(&self) -> Option<CarbonRate>;
+
+    /// Sets a total carbon budget (`set_carbon_budget`). Budgets are
+    /// advisory: the library tracks consumption and exposes the
+    /// remainder; enforcement strategy is the application's policy
+    /// decision (the point of §5.2). `None` clears the budget.
+    fn set_carbon_budget(&mut self, budget: Option<Co2Grams>);
+
+    /// The configured carbon budget, if any.
+    fn carbon_budget(&self) -> Option<Co2Grams>;
+
+    /// Budget remaining (budget − cumulative carbon), if one is set.
+    fn remaining_carbon_budget(&self) -> Option<Co2Grams>;
+}

@@ -1,0 +1,149 @@
+//! Ecovisor configuration.
+
+use carbon_intel::service::{CarbonService, ConstantCarbonService};
+use container_cop::CopConfig;
+use energy_system::battery::{Battery, BatterySpec};
+use energy_system::grid::GridConnection;
+use energy_system::solar::{SolarSource, TraceSolarSource};
+use simkit::time::SimDuration;
+use simkit::trace::Trace;
+use simkit::units::CarbonIntensity;
+
+/// What happens to excess virtual solar power once an application's
+/// battery is full (§3.1: "Determining how to handle excess solar power
+/// is a policy decision").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExcessPolicy {
+    /// Rely on the charge controller to curtail it (the paper's
+    /// prototype default, which does not net-meter).
+    #[default]
+    Curtail,
+    /// Net-meter it back to the grid (requires a net-metering grid
+    /// connection).
+    NetMeter,
+    /// Reclaim and redistribute it to other applications with available
+    /// virtual battery capacity, then curtail the remainder.
+    Redistribute,
+}
+
+/// Builder for an [`crate::Ecovisor`].
+///
+/// Defaults model the paper's prototype: 1-minute ticks, a 16-node
+/// microserver cluster, the 1,440 Wh battery bank, no solar array, an
+/// unlimited grid, a flat 200 g/kWh carbon signal, and curtailment of
+/// excess solar. Every component can be swapped.
+pub struct EcovisorBuilder {
+    /// Tick interval Δt.
+    pub tick_interval: SimDuration,
+    /// Cluster composition.
+    pub cop: CopConfig,
+    /// Solar power source.
+    pub solar: Box<dyn SolarSource>,
+    /// Physical battery bank.
+    pub battery: Battery,
+    /// Grid connection.
+    pub grid: GridConnection,
+    /// Carbon information service.
+    pub carbon: Box<dyn CarbonService>,
+    /// Excess-solar policy.
+    pub excess: ExcessPolicy,
+}
+
+impl Default for EcovisorBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EcovisorBuilder {
+    /// Starts from the prototype defaults described above.
+    pub fn new() -> Self {
+        Self {
+            tick_interval: SimDuration::from_minutes(1),
+            cop: CopConfig::microserver_cluster(16),
+            solar: Box::new(TraceSolarSource::new(Trace::constant(0.0))),
+            battery: Battery::new_full(BatterySpec::paper_prototype()),
+            grid: GridConnection::new(),
+            carbon: Box::new(ConstantCarbonService::new(
+                "flat",
+                CarbonIntensity::new(200.0),
+            )),
+            excess: ExcessPolicy::Curtail,
+        }
+    }
+
+    /// Sets the tick interval.
+    pub fn tick_interval(mut self, dt: SimDuration) -> Self {
+        self.tick_interval = dt;
+        self
+    }
+
+    /// Sets the cluster composition.
+    pub fn cluster(mut self, cop: CopConfig) -> Self {
+        self.cop = cop;
+        self
+    }
+
+    /// Sets the solar source.
+    pub fn solar(mut self, solar: Box<dyn SolarSource>) -> Self {
+        self.solar = solar;
+        self
+    }
+
+    /// Sets the physical battery.
+    pub fn battery(mut self, battery: Battery) -> Self {
+        self.battery = battery;
+        self
+    }
+
+    /// Sets the grid connection.
+    pub fn grid(mut self, grid: GridConnection) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Sets the carbon information service.
+    pub fn carbon(mut self, carbon: Box<dyn CarbonService>) -> Self {
+        self.carbon = carbon;
+        self
+    }
+
+    /// Sets the excess-solar policy.
+    pub fn excess(mut self, excess: ExcessPolicy) -> Self {
+        self.excess = excess;
+        self
+    }
+
+    /// Builds the ecovisor.
+    pub fn build(self) -> crate::ecovisor::Ecovisor {
+        crate::ecovisor::Ecovisor::from_builder(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_prototype() {
+        let b = EcovisorBuilder::new();
+        assert_eq!(b.tick_interval, SimDuration::from_minutes(1));
+        assert_eq!(b.cop.servers.len(), 16);
+        assert_eq!(b.excess, ExcessPolicy::Curtail);
+        assert_eq!(
+            b.battery.spec().capacity,
+            simkit::units::WattHours::new(1440.0)
+        );
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let b = EcovisorBuilder::new()
+            .tick_interval(SimDuration::from_minutes(5))
+            .cluster(CopConfig::microserver_cluster(4))
+            .excess(ExcessPolicy::Redistribute);
+        assert_eq!(b.tick_interval, SimDuration::from_minutes(5));
+        assert_eq!(b.cop.servers.len(), 4);
+        assert_eq!(b.excess, ExcessPolicy::Redistribute);
+    }
+}

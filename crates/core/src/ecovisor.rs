@@ -1,0 +1,899 @@
+//! The ecovisor: multiplexing the physical energy system across
+//! applications' virtual energy systems.
+//!
+//! "An ecovisor is akin to a hypervisor but virtualizes the energy system
+//! of computing infrastructure" (§1). [`Ecovisor`] owns the physical
+//! components (solar array, battery bank, grid, PSU), the container
+//! orchestration platform, the carbon information service, and the
+//! telemetry store; it exposes each registered application a scoped view
+//! ([`ScopedApi`]) implementing the Table 1 and Table 2 APIs over that
+//! application's [`VirtualEnergySystem`].
+//!
+//! Multiplexing (§3.3) "simply requires computing the limit on the
+//! maximum battery discharge rates and charging rates across all
+//! applications": each tick the ecovisor collects the desired flows of
+//! every app, computes per-direction throttle factors against the
+//! physical battery's limits, commits the scaled flows, and mirrors the
+//! aggregate onto the physical bank, the grid meter, and the PSU.
+
+use std::collections::BTreeMap;
+
+use carbon_intel::service::CarbonService;
+use container_cop::{AppId, ContainerId, ContainerSpec, ContainerState, Cop};
+use energy_system::battery::Battery;
+use energy_system::grid::GridConnection;
+use energy_system::psu::ProgrammablePsu;
+use energy_system::solar::SolarSource;
+use power_telemetry::{metrics, Tsdb};
+use simkit::time::{SimDuration, SimTime, TickClock};
+use simkit::units::{CarbonIntensity, CarbonRate, Co2Grams, WattHours, Watts};
+
+use crate::api::{EcovisorApi, LibraryApi};
+use crate::config::{EcovisorBuilder, ExcessPolicy};
+use crate::error::{EcovisorError, Result};
+use crate::event::{Notification, NotifyConfig};
+use crate::share::EnergyShare;
+use crate::ves::{VesFlows, VesTotals, VirtualEnergySystem};
+
+/// Per-application state held by the ecovisor.
+struct AppState {
+    name: String,
+    ves: VirtualEnergySystem,
+    notify: NotifyConfig,
+    pending_events: Vec<Notification>,
+    carbon_rate_limit: Option<CarbonRate>,
+    carbon_budget: Option<Co2Grams>,
+}
+
+/// System-wide flows settled in one tick (diagnostics/telemetry).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SystemFlows {
+    /// Physical solar output during the tick (buffered for next tick).
+    pub physical_solar: Watts,
+    /// Total grid import across apps.
+    pub grid_import: Watts,
+    /// Total battery charging across apps.
+    pub battery_charge: Watts,
+    /// Total battery discharge across apps.
+    pub battery_discharge: Watts,
+    /// Excess solar redistributed between apps.
+    pub redistributed: Watts,
+    /// Excess solar exported via net metering.
+    pub exported: Watts,
+    /// Excess solar curtailed.
+    pub curtailed: Watts,
+}
+
+/// The ecovisor.
+pub struct Ecovisor {
+    clock: TickClock,
+    cop: Cop,
+    solar: Box<dyn SolarSource>,
+    physical_battery: Battery,
+    grid: GridConnection,
+    psu: ProgrammablePsu,
+    carbon: Box<dyn CarbonService>,
+    excess: ExcessPolicy,
+    tsdb: Tsdb,
+    apps: BTreeMap<AppId, AppState>,
+    next_app: u32,
+    intensity: CarbonIntensity,
+    prev_intensity: CarbonIntensity,
+    last_system_flows: SystemFlows,
+}
+
+impl std::fmt::Debug for Ecovisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ecovisor")
+            .field("tick", &self.clock.tick_index())
+            .field("apps", &self.apps.len())
+            .field("battery_soc", &self.physical_battery.soc_fraction())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Ecovisor {
+    /// Builds from an [`EcovisorBuilder`] (use [`EcovisorBuilder::build`]).
+    pub fn from_builder(b: EcovisorBuilder) -> Self {
+        let clock = TickClock::new(b.tick_interval);
+        let intensity = b.carbon.current_intensity(clock.now());
+        let psu = b.psu_or_default();
+        Self {
+            clock,
+            cop: Cop::new(b.cop),
+            solar: b.solar,
+            physical_battery: b.battery,
+            grid: b.grid,
+            psu,
+            carbon: b.carbon,
+            excess: b.excess,
+            tsdb: Tsdb::new(),
+            apps: BTreeMap::new(),
+            next_app: 1,
+            intensity,
+            prev_intensity: intensity,
+            last_system_flows: SystemFlows::default(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Registration & lookup
+    // ------------------------------------------------------------------
+
+    /// Registers an application with its exogenous energy share (§3.3).
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::InvalidShare`] when the share fails validation;
+    /// [`EcovisorError::ShareExceeded`] when accepting it would
+    /// oversubscribe the physical solar array or battery.
+    pub fn register_app(&mut self, name: impl Into<String>, share: EnergyShare) -> Result<AppId> {
+        share.validate().map_err(EcovisorError::InvalidShare)?;
+
+        let solar_total: f64 = self
+            .apps
+            .values()
+            .map(|a| a.ves.share().solar_fraction)
+            .sum::<f64>()
+            + share.solar_fraction;
+        if solar_total > 1.0 + 1e-9 {
+            return Err(EcovisorError::ShareExceeded(format!(
+                "solar fractions would sum to {solar_total:.3}"
+            )));
+        }
+        let battery_total: WattHours = self
+            .apps
+            .values()
+            .map(|a| a.ves.share().battery_capacity)
+            .sum::<WattHours>()
+            + share.battery_capacity;
+        if battery_total > self.physical_battery.spec().capacity {
+            return Err(EcovisorError::ShareExceeded(format!(
+                "battery capacity shares would sum to {battery_total}"
+            )));
+        }
+
+        let id = AppId::new(self.next_app);
+        self.next_app += 1;
+        self.apps.insert(
+            id,
+            AppState {
+                name: name.into(),
+                ves: VirtualEnergySystem::new(share),
+                notify: NotifyConfig::default(),
+                pending_events: Vec::new(),
+                carbon_rate_limit: None,
+                carbon_budget: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Registered application ids, in registration order.
+    pub fn app_ids(&self) -> Vec<AppId> {
+        self.apps.keys().copied().collect()
+    }
+
+    /// An application's display name.
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn app_name(&self, app: AppId) -> Result<&str> {
+        Ok(self.state(app)?.name.as_str())
+    }
+
+    /// Overrides an application's notification thresholds.
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn set_notify_config(&mut self, app: AppId, cfg: NotifyConfig) -> Result<()> {
+        self.state_mut(app)?.notify = cfg;
+        Ok(())
+    }
+
+    /// A scoped API handle for one application.
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn scoped(&mut self, app: AppId) -> Result<ScopedApi<'_>> {
+        if !self.apps.contains_key(&app) {
+            return Err(EcovisorError::UnknownApp(app));
+        }
+        Ok(ScopedApi { eco: self, app })
+    }
+
+    // ------------------------------------------------------------------
+    // Tick protocol
+    // ------------------------------------------------------------------
+
+    /// Begins a tick: samples the carbon information service. Call before
+    /// delivering `tick()` upcalls.
+    pub fn begin_tick(&mut self) {
+        self.intensity = self.carbon.current_intensity(self.clock.now());
+    }
+
+    /// Drains the notifications queued for an application (delivered at
+    /// the start of its tick, before `on_tick`).
+    pub fn drain_events(&mut self, app: AppId) -> Vec<Notification> {
+        self.apps
+            .get_mut(&app)
+            .map(|s| std::mem::take(&mut s.pending_events))
+            .unwrap_or_default()
+    }
+
+    /// Settles the current tick: enforces carbon-rate caps, runs the
+    /// two-phase virtual settlement, multiplexes the battery, handles
+    /// excess solar, mirrors aggregates onto the physical components,
+    /// records telemetry, and buffers next-tick solar.
+    pub fn settle_tick(&mut self) -> SystemFlows {
+        let now = self.clock.now();
+        let dt = self.clock.interval();
+        let intensity = self.intensity;
+
+        // 1. Enforce carbon-rate limits by converting them to container
+        //    power caps under the current intensity (Table 2
+        //    set_carbon_rate semantics).
+        self.enforce_carbon_rates(dt);
+
+        // 2. Desired flows per app, from post-cap container power.
+        let ids: Vec<AppId> = self.apps.keys().copied().collect();
+        let mut desired = BTreeMap::new();
+        for &id in &ids {
+            let demand = self.cop.app_power(id);
+            let state = self.apps.get(&id).expect("registered");
+            desired.insert(id, state.ves.desired_flows(demand, dt));
+        }
+
+        // 3. Aggregate throttle factors against the physical bank's rate
+        //    limits (§3.3: "computing the limit on the maximum battery
+        //    discharge rates and charging rates across all applications").
+        //    SoC feasibility is enforced per virtual battery; Σ virtual
+        //    capacity ≤ physical capacity guarantees the bank can honor
+        //    whatever the virtual batteries accept.
+        let total_charge: Watts = desired.values().map(|d| d.total_charge()).sum();
+        let total_discharge: Watts = desired.values().map(|d| d.discharge).sum();
+        let charge_allow = self.physical_battery.spec().max_charge_rate;
+        let discharge_allow = self.physical_battery.spec().max_discharge_rate;
+        let charge_scale = if total_charge > charge_allow {
+            charge_allow / total_charge
+        } else {
+            1.0
+        };
+        let discharge_scale = if total_discharge > discharge_allow {
+            discharge_allow / total_discharge
+        } else {
+            1.0
+        };
+
+        // 4. Commit per-app flows.
+        let mut flows = BTreeMap::new();
+        let mut surplus_pool = Watts::ZERO;
+        let mut charge_applied = Watts::ZERO;
+        let mut discharge_applied = Watts::ZERO;
+        let mut grid_total = Watts::ZERO;
+        for &id in &ids {
+            let d = desired.get(&id).expect("computed");
+            let state = self.apps.get_mut(&id).expect("registered");
+            let (f, events) = state.ves.apply_flows(d, charge_scale, discharge_scale, intensity, dt);
+            state.pending_events.extend(events);
+            surplus_pool += f.solar_surplus;
+            charge_applied += f.solar_to_battery + f.grid_to_battery;
+            discharge_applied += f.battery_to_load;
+            grid_total += f.grid_import();
+            flows.insert(id, f);
+        }
+
+        // 5. Excess-solar policy.
+        let mut redistributed = Watts::ZERO;
+        let mut remaining_pool = surplus_pool;
+        if self.excess == ExcessPolicy::Redistribute && remaining_pool > Watts::ZERO {
+            let mut headroom = (charge_allow - charge_applied).max_zero();
+            for &id in &ids {
+                if remaining_pool <= Watts::ZERO || headroom <= Watts::ZERO {
+                    break;
+                }
+                let state = self.apps.get_mut(&id).expect("registered");
+                let offer = remaining_pool.min(headroom);
+                let accepted = state.ves.accept_redistribution(offer, dt);
+                remaining_pool -= accepted;
+                headroom -= accepted;
+                redistributed += accepted;
+                charge_applied += accepted;
+            }
+        }
+        let exported = if self.excess == ExcessPolicy::NetMeter {
+            self.grid.export(remaining_pool, dt)
+        } else {
+            Watts::ZERO
+        };
+        let curtailed = remaining_pool - exported;
+
+        // 6. Mirror aggregates onto the physical meters. The bank's
+        //    state of charge is *derived* from the virtual batteries
+        //    (see [`Self::physical_battery_level`]); only the grid meter
+        //    and PSU carry independent physical state.
+        self.grid.import(grid_total, dt);
+        self.psu.record_draw(now, grid_total, dt);
+
+        // 7. Physical solar this tick, buffered per app for next tick;
+        //    solar-change notifications compare old vs new availability.
+        let physical_solar = self.solar.mean_power_over(now, now + dt);
+        for &id in &ids {
+            let state = self.apps.get_mut(&id).expect("registered");
+            let share = state.ves.share().solar_fraction;
+            let new_buffer = physical_solar * share;
+            let old_buffer = state.ves.solar_available();
+            if state.notify.solar_significant(old_buffer, new_buffer) {
+                state.pending_events.push(Notification::SolarChange {
+                    previous: old_buffer,
+                    current: new_buffer,
+                });
+            }
+            state.ves.buffer_solar(new_buffer);
+        }
+
+        // 8. Carbon-change notifications (this tick vs previous tick).
+        for &id in &ids {
+            let state = self.apps.get_mut(&id).expect("registered");
+            if state
+                .notify
+                .carbon_significant(self.prev_intensity, intensity)
+            {
+                state.pending_events.push(Notification::CarbonChange {
+                    previous: self.prev_intensity,
+                    current: intensity,
+                });
+            }
+        }
+        self.prev_intensity = intensity;
+
+        let system = SystemFlows {
+            physical_solar,
+            grid_import: grid_total,
+            battery_charge: charge_applied,
+            battery_discharge: discharge_applied,
+            redistributed,
+            exported,
+            curtailed,
+        };
+        self.last_system_flows = system;
+
+        // 9. Telemetry.
+        self.record_telemetry(now, &flows, &system);
+
+        system
+    }
+
+    /// Advances the tick clock. Call after [`settle_tick`](Self::settle_tick).
+    pub fn advance_clock(&mut self) {
+        self.clock.advance();
+    }
+
+    // ------------------------------------------------------------------
+    // Observers
+    // ------------------------------------------------------------------
+
+    /// Start of the current tick.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The tick interval Δt.
+    pub fn tick_interval(&self) -> SimDuration {
+        self.clock.interval()
+    }
+
+    /// Index of the current tick.
+    pub fn tick_index(&self) -> u64 {
+        self.clock.tick_index()
+    }
+
+    /// Carbon intensity sampled at the start of the current tick.
+    pub fn grid_carbon_intensity(&self) -> CarbonIntensity {
+        self.intensity
+    }
+
+    /// The historical telemetry store.
+    pub fn tsdb(&self) -> &Tsdb {
+        &self.tsdb
+    }
+
+    /// The container orchestration platform (read-only).
+    pub fn cop(&self) -> &Cop {
+        &self.cop
+    }
+
+    /// The validation PSU (read-only).
+    pub fn psu(&self) -> &ProgrammablePsu {
+        &self.psu
+    }
+
+    /// Sets the PSU validation limit.
+    pub fn set_psu_limit(&mut self, limit: Option<Watts>) {
+        self.psu.set_limit(limit);
+    }
+
+    /// The physical battery bank (spec carrier; see
+    /// [`Self::physical_battery_level`] for the live state).
+    pub fn physical_battery(&self) -> &Battery {
+        &self.physical_battery
+    }
+
+    /// Live energy stored in the physical bank: the sum of the virtual
+    /// batteries' levels (unallocated capacity is inert).
+    pub fn physical_battery_level(&self) -> WattHours {
+        self.virtual_battery_total()
+    }
+
+    /// The grid connection (read-only).
+    pub fn grid(&self) -> &GridConnection {
+        &self.grid
+    }
+
+    /// The carbon information service (read-only).
+    pub fn carbon_service(&self) -> &dyn CarbonService {
+        self.carbon.as_ref()
+    }
+
+    /// System flows from the most recent settlement.
+    pub fn last_system_flows(&self) -> &SystemFlows {
+        &self.last_system_flows
+    }
+
+    /// An app's flows from the most recent settlement.
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn app_flows(&self, app: AppId) -> Result<&VesFlows> {
+        Ok(self.state(app)?.ves.last_flows())
+    }
+
+    /// An app's cumulative energy/carbon totals.
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn app_totals(&self, app: AppId) -> Result<&VesTotals> {
+        Ok(self.state(app)?.ves.totals())
+    }
+
+    /// An app's virtual energy system (read-only).
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn app_ves(&self, app: AppId) -> Result<&VirtualEnergySystem> {
+        Ok(&self.state(app)?.ves)
+    }
+
+    /// Sum of all apps' virtual battery charge levels (invariant checks).
+    pub fn virtual_battery_total(&self) -> WattHours {
+        self.apps
+            .values()
+            .map(|s| s.ves.battery_charge_level())
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn state(&self, app: AppId) -> Result<&AppState> {
+        self.apps.get(&app).ok_or(EcovisorError::UnknownApp(app))
+    }
+
+    fn state_mut(&mut self, app: AppId) -> Result<&mut AppState> {
+        self.apps.get_mut(&app).ok_or(EcovisorError::UnknownApp(app))
+    }
+
+    fn verify_owner(&self, app: AppId, container: ContainerId) -> Result<()> {
+        match self.cop.container(container) {
+            Some(c) if c.owner() == app => Ok(()),
+            Some(_) => Err(EcovisorError::NotOwner { container, app }),
+            None => Err(EcovisorError::Cop(
+                container_cop::CopError::UnknownContainer(container),
+            )),
+        }
+    }
+
+    /// Converts each app's carbon-rate limit into per-container power
+    /// caps under the current intensity. Zero-carbon supply (available
+    /// solar plus allowed battery discharge) is exempt from the cap.
+    fn enforce_carbon_rates(&mut self, dt: SimDuration) {
+        let intensity = self.intensity.grams_per_kwh().max(1e-9);
+        let ids: Vec<AppId> = self.apps.keys().copied().collect();
+        for id in ids {
+            let (rate, zero_carbon) = {
+                let state = self.apps.get(&id).expect("registered");
+                let Some(rate) = state.carbon_rate_limit else {
+                    continue;
+                };
+                let battery_ok = state
+                    .ves
+                    .battery()
+                    .map(|b| b.max_discharge_power(dt).min(state.ves.max_discharge()))
+                    .unwrap_or(Watts::ZERO);
+                (rate, state.ves.solar_available() + battery_ok)
+            };
+            // rate (g/s) allows P watts of grid power where
+            // P × intensity / 3.6e6 = rate  =>  P = rate × 3.6e6 / intensity.
+            let grid_allowance = Watts::new(rate.grams_per_sec() * 3.6e6 / intensity);
+            let total_allowed = zero_carbon + grid_allowance;
+            let running: Vec<ContainerId> = self
+                .cop
+                .containers_of(id)
+                .iter()
+                .filter(|c| c.state() == ContainerState::Running)
+                .map(|c| c.id())
+                .collect();
+            if running.is_empty() {
+                continue;
+            }
+            let per_container = total_allowed / running.len() as f64;
+            for c in running {
+                let _ = self.cop.set_power_cap(c, Some(per_container));
+            }
+        }
+    }
+
+    fn record_telemetry(
+        &mut self,
+        now: SimTime,
+        flows: &BTreeMap<AppId, VesFlows>,
+        system: &SystemFlows,
+    ) {
+        // System-wide series.
+        self.tsdb.record(
+            metrics::GRID_CARBON_INTENSITY,
+            metrics::SYSTEM,
+            now,
+            self.intensity.grams_per_kwh(),
+        );
+        self.tsdb.record(
+            metrics::SOLAR_POWER,
+            metrics::SYSTEM,
+            now,
+            system.physical_solar.watts(),
+        );
+        self.tsdb.record(
+            metrics::GRID_POWER,
+            metrics::SYSTEM,
+            now,
+            system.grid_import.watts(),
+        );
+        self.tsdb.record(
+            metrics::APP_POWER,
+            metrics::SYSTEM,
+            now,
+            self.cop.total_power().watts(),
+        );
+        let phys_capacity = self.physical_battery.spec().capacity;
+        self.tsdb.record(
+            metrics::BATTERY_SOC,
+            metrics::SYSTEM,
+            now,
+            self.virtual_battery_total() / phys_capacity,
+        );
+        self.tsdb.record(
+            metrics::SOLAR_CURTAILED,
+            metrics::SYSTEM,
+            now,
+            system.curtailed.watts(),
+        );
+
+        // Per-app and per-container series.
+        for (&id, f) in flows {
+            let subject = id.to_string();
+            let state = self.apps.get(&id).expect("registered");
+            let app_power = f.demand;
+            self.tsdb
+                .record(metrics::APP_POWER, &subject, now, app_power.watts());
+            self.tsdb
+                .record(metrics::GRID_POWER, &subject, now, f.grid_import().watts());
+            self.tsdb
+                .record(metrics::SOLAR_POWER, &subject, now, f.solar_available.watts());
+            self.tsdb.record(
+                metrics::BATTERY_DISCHARGE,
+                &subject,
+                now,
+                f.battery_to_load.watts(),
+            );
+            self.tsdb.record(
+                metrics::BATTERY_CHARGE,
+                &subject,
+                now,
+                (f.solar_to_battery + f.grid_to_battery + f.redistributed_in).watts(),
+            );
+            self.tsdb.record(
+                metrics::BATTERY_LEVEL,
+                &subject,
+                now,
+                state.ves.battery_charge_level().watt_hours(),
+            );
+            self.tsdb
+                .record(metrics::BATTERY_SOC, &subject, now, state.ves.battery_soc());
+            self.tsdb.record(
+                metrics::CARBON_RATE,
+                &subject,
+                now,
+                f.carbon_rate.grams_per_sec(),
+            );
+            self.tsdb.record(
+                metrics::CARBON_TOTAL,
+                &subject,
+                now,
+                state.ves.totals().carbon.grams(),
+            );
+            self.tsdb.record(
+                metrics::CONTAINER_COUNT,
+                &subject,
+                now,
+                self.cop.running_count(id) as f64,
+            );
+
+            // Containers: power + proportional carbon attribution.
+            let containers = self.cop.container_ids_of(id);
+            for c in containers {
+                let power = self.cop.container_power(c).unwrap_or(Watts::ZERO);
+                let c_subject = c.to_string();
+                self.tsdb
+                    .record(metrics::CONTAINER_POWER, &c_subject, now, power.watts());
+                let share = if app_power > Watts::ZERO {
+                    power / app_power
+                } else {
+                    0.0
+                };
+                self.tsdb.record(
+                    metrics::CARBON_RATE,
+                    &c_subject,
+                    now,
+                    f.carbon_rate.grams_per_sec() * share,
+                );
+            }
+        }
+    }
+}
+
+// Builder glue: keep the builder free of psu details.
+impl EcovisorBuilder {
+    pub(crate) fn psu_or_default(&self) -> ProgrammablePsu {
+        ProgrammablePsu::new()
+    }
+}
+
+/// A Table 1 + Table 2 API handle scoped to one application.
+///
+/// Obtained from [`Ecovisor::scoped`]; every operation is validated
+/// against the application's ownership, so one tenant cannot observe or
+/// control another tenant's containers or virtual energy system.
+pub struct ScopedApi<'a> {
+    eco: &'a mut Ecovisor,
+    app: AppId,
+}
+
+impl std::fmt::Debug for ScopedApi<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedApi").field("app", &self.app).finish()
+    }
+}
+
+impl ScopedApi<'_> {
+    fn ves(&self) -> &VirtualEnergySystem {
+        &self.eco.apps.get(&self.app).expect("scoped to live app").ves
+    }
+
+    fn ves_mut(&mut self) -> &mut VirtualEnergySystem {
+        &mut self
+            .eco
+            .apps
+            .get_mut(&self.app)
+            .expect("scoped to live app")
+            .ves
+    }
+
+    fn app_state_mut(&mut self) -> &mut AppState {
+        self.eco.apps.get_mut(&self.app).expect("scoped to live app")
+    }
+}
+
+impl EcovisorApi for ScopedApi<'_> {
+    fn set_container_powercap(&mut self, container: ContainerId, cap: Watts) -> Result<()> {
+        self.eco.verify_owner(self.app, container)?;
+        self.eco.cop.set_power_cap(container, Some(cap))?;
+        Ok(())
+    }
+
+    fn clear_container_powercap(&mut self, container: ContainerId) -> Result<()> {
+        self.eco.verify_owner(self.app, container)?;
+        self.eco.cop.set_power_cap(container, None)?;
+        Ok(())
+    }
+
+    fn set_battery_charge_rate(&mut self, rate: Watts) {
+        self.ves_mut().set_charge_rate(rate);
+    }
+
+    fn set_battery_max_discharge(&mut self, rate: Watts) {
+        self.ves_mut().set_max_discharge(rate);
+    }
+
+    fn get_solar_power(&self) -> Watts {
+        self.ves().solar_available()
+    }
+
+    fn get_grid_power(&self) -> Watts {
+        self.ves().grid_power()
+    }
+
+    fn get_grid_carbon(&self) -> CarbonIntensity {
+        self.eco.intensity
+    }
+
+    fn get_battery_discharge_rate(&self) -> Watts {
+        self.ves().battery_discharge_rate()
+    }
+
+    fn get_battery_charge_level(&self) -> WattHours {
+        self.ves().battery_charge_level()
+    }
+
+    fn get_container_powercap(&self, container: ContainerId) -> Result<Option<Watts>> {
+        self.eco.verify_owner(self.app, container)?;
+        Ok(self
+            .eco
+            .cop
+            .container(container)
+            .expect("verified")
+            .power_cap())
+    }
+
+    fn get_container_power(&self, container: ContainerId) -> Result<Watts> {
+        self.eco.verify_owner(self.app, container)?;
+        Ok(self.eco.cop.container_power(container)?)
+    }
+
+    fn launch_container(&mut self, spec: ContainerSpec) -> Result<ContainerId> {
+        Ok(self.eco.cop.launch(self.app, spec)?)
+    }
+
+    fn stop_container(&mut self, container: ContainerId) -> Result<()> {
+        self.eco.verify_owner(self.app, container)?;
+        Ok(self.eco.cop.stop(container)?)
+    }
+
+    fn suspend_container(&mut self, container: ContainerId) -> Result<()> {
+        self.eco.verify_owner(self.app, container)?;
+        Ok(self.eco.cop.suspend(container)?)
+    }
+
+    fn resume_container(&mut self, container: ContainerId) -> Result<()> {
+        self.eco.verify_owner(self.app, container)?;
+        Ok(self.eco.cop.resume(container)?)
+    }
+
+    fn set_container_demand(&mut self, container: ContainerId, demand: f64) -> Result<()> {
+        self.eco.verify_owner(self.app, container)?;
+        Ok(self.eco.cop.set_demand(container, demand)?)
+    }
+
+    fn container_ids(&self) -> Vec<ContainerId> {
+        self.eco.cop.container_ids_of(self.app)
+    }
+
+    fn running_containers(&self) -> usize {
+        self.eco.cop.running_count(self.app)
+    }
+
+    fn effective_cores(&self) -> f64 {
+        self.eco.cop.app_effective_cores(self.app)
+    }
+
+    fn container_effective_cores(&self, container: ContainerId) -> Result<f64> {
+        self.eco.verify_owner(self.app, container)?;
+        Ok(self
+            .eco
+            .cop
+            .container(container)
+            .expect("verified")
+            .effective_cores())
+    }
+
+    fn now(&self) -> SimTime {
+        self.eco.clock.now()
+    }
+
+    fn tick_interval(&self) -> SimDuration {
+        self.eco.clock.interval()
+    }
+
+    fn app_id(&self) -> AppId {
+        self.app
+    }
+}
+
+impl LibraryApi for ScopedApi<'_> {
+    fn get_container_energy(
+        &self,
+        container: ContainerId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<WattHours> {
+        self.eco.verify_owner(self.app, container)?;
+        let ws = self
+            .eco
+            .tsdb
+            .integrate(metrics::CONTAINER_POWER, &container.to_string(), from, to);
+        Ok(WattHours::new(ws / 3600.0))
+    }
+
+    fn get_container_carbon(
+        &self,
+        container: ContainerId,
+        from: SimTime,
+        to: SimTime,
+    ) -> Result<Co2Grams> {
+        self.eco.verify_owner(self.app, container)?;
+        let grams = self
+            .eco
+            .tsdb
+            .integrate(metrics::CARBON_RATE, &container.to_string(), from, to);
+        Ok(Co2Grams::new(grams))
+    }
+
+    fn get_app_power(&self) -> Watts {
+        self.eco.cop.app_power(self.app)
+    }
+
+    fn get_app_energy(&self, from: SimTime, to: SimTime) -> WattHours {
+        let ws = self
+            .eco
+            .tsdb
+            .integrate(metrics::APP_POWER, &self.app.to_string(), from, to);
+        WattHours::new(ws / 3600.0)
+    }
+
+    fn get_app_carbon(&self) -> Co2Grams {
+        self.ves().totals().carbon
+    }
+
+    fn get_app_carbon_between(&self, from: SimTime, to: SimTime) -> Co2Grams {
+        let grams = self
+            .eco
+            .tsdb
+            .integrate(metrics::CARBON_RATE, &self.app.to_string(), from, to);
+        Co2Grams::new(grams)
+    }
+
+    fn set_carbon_rate(&mut self, rate: Option<CarbonRate>) {
+        self.app_state_mut().carbon_rate_limit = rate;
+    }
+
+    fn carbon_rate_limit(&self) -> Option<CarbonRate> {
+        self.eco
+            .apps
+            .get(&self.app)
+            .expect("scoped to live app")
+            .carbon_rate_limit
+    }
+
+    fn set_carbon_budget(&mut self, budget: Option<Co2Grams>) {
+        self.app_state_mut().carbon_budget = budget;
+    }
+
+    fn carbon_budget(&self) -> Option<Co2Grams> {
+        self.eco
+            .apps
+            .get(&self.app)
+            .expect("scoped to live app")
+            .carbon_budget
+    }
+
+    fn remaining_carbon_budget(&self) -> Option<Co2Grams> {
+        self.carbon_budget()
+            .map(|b| (b - self.get_app_carbon()).max(Co2Grams::ZERO))
+    }
+}

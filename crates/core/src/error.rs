@@ -1,0 +1,80 @@
+//! Ecovisor error types.
+
+use std::error::Error;
+use std::fmt;
+
+use container_cop::{AppId, ContainerId, CopError};
+
+/// Errors returned by ecovisor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EcovisorError {
+    /// The referenced application is not registered.
+    UnknownApp(AppId),
+    /// A container operation referenced a container the calling
+    /// application does not own (isolation violation).
+    NotOwner {
+        /// Container that was targeted.
+        container: ContainerId,
+        /// Application that attempted the operation.
+        app: AppId,
+    },
+    /// Registering an application would oversubscribe the physical
+    /// energy system (solar fractions or battery capacity).
+    ShareExceeded(String),
+    /// The energy share failed validation.
+    InvalidShare(String),
+    /// An underlying COP operation failed.
+    Cop(CopError),
+}
+
+impl fmt::Display for EcovisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcovisorError::UnknownApp(app) => write!(f, "unknown application {app}"),
+            EcovisorError::NotOwner { container, app } => {
+                write!(f, "application {app} does not own container {container}")
+            }
+            EcovisorError::ShareExceeded(msg) => {
+                write!(f, "physical energy system oversubscribed: {msg}")
+            }
+            EcovisorError::InvalidShare(msg) => write!(f, "invalid energy share: {msg}"),
+            EcovisorError::Cop(e) => write!(f, "orchestration error: {e}"),
+        }
+    }
+}
+
+impl Error for EcovisorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EcovisorError::Cop(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CopError> for EcovisorError {
+    fn from(e: CopError) -> Self {
+        EcovisorError::Cop(e)
+    }
+}
+
+/// Convenience alias for ecovisor results.
+pub type Result<T> = std::result::Result<T, EcovisorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EcovisorError::NotOwner {
+            container: ContainerId::new(3),
+            app: AppId::new(1),
+        };
+        assert!(e.to_string().contains("does not own"));
+
+        let cop_err = EcovisorError::from(CopError::UnknownContainer(ContainerId::new(9)));
+        assert!(cop_err.source().is_some());
+        assert!(EcovisorError::UnknownApp(AppId::new(0)).source().is_none());
+    }
+}

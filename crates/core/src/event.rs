@@ -1,0 +1,115 @@
+//! Asynchronous upcall notifications.
+//!
+//! Beyond the periodic `tick()` upcall, the paper describes event
+//! notifications an ecovisor "could also expose to applications via
+//! asynchronous upcalls": significant changes in solar output or grid
+//! carbon, and the virtual battery reaching full or empty (§3.1, Table 2
+//! `notify_*` functions). The ecovisor computes these at each settlement
+//! and delivers them at the start of the next tick, before `tick()`.
+
+use serde::{Deserialize, Serialize};
+
+use simkit::units::{CarbonIntensity, Watts};
+
+/// An asynchronous notification delivered to an application.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Notification {
+    /// Virtual solar availability changed significantly
+    /// (Table 2 `notify_solar_change`).
+    SolarChange {
+        /// Availability during the previous tick.
+        previous: Watts,
+        /// Availability during the current tick.
+        current: Watts,
+    },
+    /// Grid carbon intensity changed significantly
+    /// (Table 2 `notify_carbon_change`).
+    CarbonChange {
+        /// Intensity during the previous tick.
+        previous: CarbonIntensity,
+        /// Intensity during the current tick.
+        current: CarbonIntensity,
+    },
+    /// The virtual battery just reached full capacity
+    /// (Table 2 `notify_battery_full`).
+    BatteryFull,
+    /// The virtual battery just drained to its empty floor
+    /// (Table 2 `notify_battery_empty`).
+    BatteryEmpty,
+}
+
+/// Per-application thresholds controlling event generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NotifyConfig {
+    /// Relative change in solar availability that triggers
+    /// [`Notification::SolarChange`] (e.g. 0.2 = 20 %).
+    pub solar_change_fraction: f64,
+    /// Absolute floor for solar change detection, so noise around zero
+    /// watts does not spam events.
+    pub solar_change_floor: Watts,
+    /// Relative change in carbon intensity that triggers
+    /// [`Notification::CarbonChange`].
+    pub carbon_change_fraction: f64,
+}
+
+impl Default for NotifyConfig {
+    fn default() -> Self {
+        Self {
+            solar_change_fraction: 0.20,
+            solar_change_floor: Watts::new(1.0),
+            carbon_change_fraction: 0.15,
+        }
+    }
+}
+
+impl NotifyConfig {
+    /// Whether a solar swing from `previous` to `current` is significant.
+    pub fn solar_significant(&self, previous: Watts, current: Watts) -> bool {
+        let delta = previous.abs_diff(current);
+        if delta < self.solar_change_floor.watts() {
+            return false;
+        }
+        let base = previous.max(current).watts().max(1e-9);
+        delta / base >= self.solar_change_fraction
+    }
+
+    /// Whether a carbon-intensity swing is significant.
+    pub fn carbon_significant(&self, previous: CarbonIntensity, current: CarbonIntensity) -> bool {
+        let delta = previous.abs_diff(current);
+        let base = previous.grams_per_kwh().max(1e-9);
+        delta / base >= self.carbon_change_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solar_threshold_behaviour() {
+        let cfg = NotifyConfig::default();
+        assert!(cfg.solar_significant(Watts::new(100.0), Watts::new(70.0)));
+        assert!(!cfg.solar_significant(Watts::new(100.0), Watts::new(95.0)));
+        // Below the absolute floor: insignificant even though 100% change.
+        assert!(!cfg.solar_significant(Watts::new(0.4), Watts::new(0.0)));
+    }
+
+    #[test]
+    fn carbon_threshold_behaviour() {
+        let cfg = NotifyConfig::default();
+        assert!(cfg.carbon_significant(
+            CarbonIntensity::new(200.0),
+            CarbonIntensity::new(260.0)
+        ));
+        assert!(!cfg.carbon_significant(
+            CarbonIntensity::new(200.0),
+            CarbonIntensity::new(210.0)
+        ));
+    }
+
+    #[test]
+    fn notifications_compare() {
+        assert_eq!(Notification::BatteryFull, Notification::BatteryFull);
+        assert_ne!(Notification::BatteryFull, Notification::BatteryEmpty);
+    }
+}

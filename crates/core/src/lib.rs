@@ -1,0 +1,76 @@
+//! # ecovisor — a virtual energy system for carbon-efficient applications
+//!
+//! Reproduction of the core contribution of *"Ecovisor: A Virtual Energy
+//! System for Carbon-Efficient Applications"* (ASPLOS 2023): a software
+//! layer that virtualizes a physical energy system — grid connection,
+//! solar array, battery bank — and exposes **software-defined visibility
+//! and control of it directly to applications**, so each application can
+//! handle clean energy's unreliability according to its own requirements.
+//!
+//! ## Architecture
+//!
+//! * [`Ecovisor`] owns the physical components (from `energy-system`),
+//!   the container orchestration platform (from `container-cop`), the
+//!   carbon information service (from `carbon-intel`), and the telemetry
+//!   store (from `power-telemetry`).
+//! * Each registered application receives a [`VirtualEnergySystem`] —
+//!   virtual grid + virtual battery + virtual solar share — settled every
+//!   tick with the paper's supply priority (solar → battery → grid) and
+//!   per-tick carbon attribution.
+//! * Applications interact through the narrow Table 1 API
+//!   ([`EcovisorApi`]) and the Table 2 library layer ([`LibraryApi`]),
+//!   receive the periodic `tick()` upcall via [`Application::on_tick`],
+//!   and asynchronous notifications via [`Application::on_event`].
+//! * [`Simulation`] drives the tick protocol deterministically.
+//!
+//! ## Example
+//!
+//! ```
+//! use container_cop::ContainerSpec;
+//! use ecovisor::{
+//!     Application, EcovisorBuilder, EnergyShare, LibraryApi, Simulation,
+//! };
+//!
+//! struct Busy;
+//! impl Application for Busy {
+//!     fn on_start(&mut self, api: &mut dyn ecovisor::LibraryApi) {
+//!         let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
+//!         api.set_container_demand(c, 1.0).unwrap();
+//!     }
+//!     fn on_tick(&mut self, api: &mut dyn LibraryApi) {
+//!         // React to carbon intensity here (the paper's tick() upcall).
+//!         let _intensity = api.get_grid_carbon();
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(EcovisorBuilder::new().build());
+//! let app = sim.add_app("busy", EnergyShare::grid_only(), Box::new(Busy)).unwrap();
+//! sim.run_ticks(10);
+//! assert!(sim.eco().app_totals(app).unwrap().carbon.grams() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod app;
+pub mod config;
+pub mod ecovisor;
+pub mod error;
+pub mod event;
+pub mod share;
+pub mod sim;
+pub mod ves;
+
+pub use api::{EcovisorApi, LibraryApi};
+pub use app::Application;
+pub use config::{EcovisorBuilder, ExcessPolicy};
+pub use ecovisor::{Ecovisor, ScopedApi, SystemFlows};
+pub use error::{EcovisorError, Result};
+pub use event::{Notification, NotifyConfig};
+pub use share::EnergyShare;
+pub use sim::Simulation;
+pub use ves::{VesFlows, VesTotals, VirtualEnergySystem};
+
+// Re-export the identifiers applications deal with.
+pub use container_cop::{AppId, ContainerId, ContainerSpec};

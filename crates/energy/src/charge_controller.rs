@@ -1,0 +1,159 @@
+//! Smart charge controllers.
+//!
+//! The prototype battery "connects to two smart charge controllers, which
+//! expose software APIs: one connected to the grid and the other to solar"
+//! (§4). The grid-connected controller accepts a software-settable
+//! charging rate; the solar-connected controller automatically routes any
+//! excess solar into the battery and curtails once full. The ecovisor has
+//! privileged access to both to set *aggregate* limits when multiplexing
+//! virtual batteries (§3.3).
+
+use serde::{Deserialize, Serialize};
+
+use simkit::time::SimDuration;
+use simkit::units::Watts;
+
+use crate::battery::Battery;
+
+/// Grid-connected charge controller with a software-settable charge rate.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GridChargeController {
+    charge_rate: Watts,
+}
+
+impl GridChargeController {
+    /// Creates a controller with charging disabled (rate 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the grid-charging rate; the controller charges the battery at
+    /// this rate "until full" (Table 1 `set_battery_charge_rate`).
+    /// Negative rates clamp to zero.
+    pub fn set_charge_rate(&mut self, rate: Watts) {
+        self.charge_rate = rate.max_zero();
+    }
+
+    /// Currently configured charge rate.
+    pub fn charge_rate(&self) -> Watts {
+        self.charge_rate
+    }
+
+    /// Computes the grid power needed to top the battery's charging up to
+    /// the configured rate, given that `already_charging` watts are
+    /// arriving from solar. Does not mutate the battery.
+    pub fn grid_supplement(
+        &self,
+        battery: &Battery,
+        already_charging: Watts,
+        dt: SimDuration,
+    ) -> Watts {
+        let allow = (battery.max_charge_power(dt) - already_charging).max_zero();
+        (self.charge_rate - already_charging).max_zero().min(allow)
+    }
+}
+
+/// Result of routing excess solar through the solar charge controller.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SolarRouting {
+    /// Power accepted into the battery.
+    pub charged: Watts,
+    /// Power that could not be stored (battery full or rate-limited).
+    pub surplus: Watts,
+}
+
+/// Solar-connected charge controller: automatically charges from excess
+/// solar, reporting any surplus for curtailment/export decisions upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SolarChargeController;
+
+impl SolarChargeController {
+    /// Creates the controller.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Splits `excess_solar` into a battery-charge component and a
+    /// surplus component, without mutating the battery.
+    pub fn route(&self, battery: &Battery, excess_solar: Watts, dt: SimDuration) -> SolarRouting {
+        let excess = excess_solar.max_zero();
+        let charged = excess.min(battery.max_charge_power(dt));
+        SolarRouting {
+            charged,
+            surplus: excess - charged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery::BatterySpec;
+
+    fn hour() -> SimDuration {
+        SimDuration::from_hours(1)
+    }
+
+    #[test]
+    fn grid_controller_supplements_solar() {
+        let battery = Battery::new_at(BatterySpec::paper_prototype(), 0.5);
+        let mut ctl = GridChargeController::new();
+        ctl.set_charge_rate(Watts::new(300.0));
+        // 100 W of solar charging already, want 300 total -> 200 from grid.
+        let sup = ctl.grid_supplement(&battery, Watts::new(100.0), hour());
+        assert_eq!(sup, Watts::new(200.0));
+    }
+
+    #[test]
+    fn grid_supplement_respects_battery_limit() {
+        let battery = Battery::new_at(BatterySpec::paper_prototype(), 0.5);
+        let mut ctl = GridChargeController::new();
+        ctl.set_charge_rate(Watts::new(10_000.0));
+        // Battery limit is 360 W (0.25C); 100 W already charging.
+        let sup = ctl.grid_supplement(&battery, Watts::new(100.0), hour());
+        assert_eq!(sup, Watts::new(260.0));
+    }
+
+    #[test]
+    fn grid_supplement_zero_when_solar_covers_rate() {
+        let battery = Battery::new_at(BatterySpec::paper_prototype(), 0.5);
+        let mut ctl = GridChargeController::new();
+        ctl.set_charge_rate(Watts::new(50.0));
+        let sup = ctl.grid_supplement(&battery, Watts::new(80.0), hour());
+        assert_eq!(sup, Watts::ZERO);
+    }
+
+    #[test]
+    fn negative_rate_clamps() {
+        let mut ctl = GridChargeController::new();
+        ctl.set_charge_rate(Watts::new(-5.0));
+        assert_eq!(ctl.charge_rate(), Watts::ZERO);
+    }
+
+    #[test]
+    fn solar_controller_routes_within_limit() {
+        let battery = Battery::new_at(BatterySpec::paper_prototype(), 0.5);
+        let ctl = SolarChargeController::new();
+        let r = ctl.route(&battery, Watts::new(200.0), hour());
+        assert_eq!(r.charged, Watts::new(200.0));
+        assert_eq!(r.surplus, Watts::ZERO);
+    }
+
+    #[test]
+    fn solar_controller_reports_surplus_when_rate_limited() {
+        let battery = Battery::new_at(BatterySpec::paper_prototype(), 0.5);
+        let ctl = SolarChargeController::new();
+        let r = ctl.route(&battery, Watts::new(500.0), hour());
+        assert_eq!(r.charged, Watts::new(360.0));
+        assert_eq!(r.surplus, Watts::new(140.0));
+    }
+
+    #[test]
+    fn solar_controller_curtails_when_full() {
+        let battery = Battery::new_full(BatterySpec::paper_prototype());
+        let ctl = SolarChargeController::new();
+        let r = ctl.route(&battery, Watts::new(100.0), hour());
+        assert_eq!(r.charged, Watts::ZERO);
+        assert_eq!(r.surplus, Watts::new(100.0));
+    }
+}

@@ -1,0 +1,37 @@
+//! # energy-system — physical energy system substrate
+//!
+//! Software model of the hardware the ecovisor prototype virtualizes
+//! (paper §4): a grid connection behind a programmable power supply, a
+//! battery bank with two smart charge controllers, and a solar array
+//! emulator.
+//!
+//! The paper's hardware constants are the defaults here:
+//!
+//! * Battery bank: 1,440 Wh, discharged only to 70 % depth (30 %
+//!   state-of-charge is "empty"), 0.25C max charge (full in 4 h),
+//!   1C max discharge (1,440 W).
+//! * Solar: a Chroma 62020H-150S solar-array emulator replaying
+//!   irradiance traces — reproduced by [`solar::SolarArrayBuilder`], a
+//!   clear-sky bell curve modulated by stochastic weather.
+//! * Grid: effectively unlimited supply, metered by the programmable PSU.
+//!
+//! [`system::PhysicalEnergySystem`] composes the three sources and settles
+//! aggregate energy flows each tick; the ecovisor (crate `ecovisor`)
+//! multiplexes it across applications' virtual energy systems.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod charge_controller;
+pub mod grid;
+pub mod psu;
+pub mod solar;
+pub mod system;
+
+pub use battery::{Battery, BatterySpec};
+pub use charge_controller::{GridChargeController, SolarChargeController};
+pub use grid::GridConnection;
+pub use psu::ProgrammablePsu;
+pub use solar::{SolarArrayBuilder, SolarSource, TraceSolarSource};
+pub use system::{PhysicalEnergySystem, PhysicalFlows};

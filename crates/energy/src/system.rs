@@ -1,0 +1,401 @@
+//! The composed physical energy system and its per-tick settlement.
+//!
+//! [`PhysicalEnergySystem`] wires together the three power sources of the
+//! paper's prototype (grid, battery, solar — §2 "Background") behind one
+//! settlement routine implementing the paper's supply priority (§3.1):
+//!
+//! 1. solar first satisfies demand;
+//! 2. excess solar charges the battery (grid tops charging up to the
+//!    configured rate);
+//! 3. remaining excess is net-metered or curtailed;
+//! 4. deficits draw from the battery up to the allowed discharge rate;
+//! 5. any remainder imports from the grid.
+//!
+//! The ecovisor applies this same routine per *virtual* energy system; the
+//! physical settlement here is used both standalone (single-tenant
+//! experiments, property tests) and as the aggregate enforcement layer.
+
+use serde::{Deserialize, Serialize};
+
+use simkit::time::{SimDuration, SimTime};
+use simkit::units::{Watts, WattHours};
+
+use crate::battery::Battery;
+use crate::charge_controller::{GridChargeController, SolarChargeController};
+use crate::grid::GridConnection;
+use crate::psu::ProgrammablePsu;
+use crate::solar::SolarSource;
+
+/// Power flows settled over one tick. All fields are mean powers over the
+/// tick interval; multiply by Δt for energies.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PhysicalFlows {
+    /// Load demand presented to the system.
+    pub demand: Watts,
+    /// Solar power available this tick.
+    pub solar_available: Watts,
+    /// Solar power delivered directly to the load.
+    pub solar_to_load: Watts,
+    /// Solar power charged into the battery.
+    pub solar_to_battery: Watts,
+    /// Solar power exported via net metering.
+    pub solar_exported: Watts,
+    /// Solar power curtailed (battery full, no export).
+    pub solar_curtailed: Watts,
+    /// Battery power delivered to the load.
+    pub battery_to_load: Watts,
+    /// Grid power delivered to the load.
+    pub grid_to_load: Watts,
+    /// Grid power charged into the battery.
+    pub grid_to_battery: Watts,
+}
+
+impl PhysicalFlows {
+    /// Total grid import (load + battery charging).
+    pub fn grid_import(&self) -> Watts {
+        self.grid_to_load + self.grid_to_battery
+    }
+
+    /// Verifies energy conservation within floating-point tolerance:
+    /// every watt of demand and solar is accounted for.
+    pub fn conservation_error(&self) -> f64 {
+        let load_err = (self.demand
+            - (self.solar_to_load + self.battery_to_load + self.grid_to_load))
+            .watts()
+            .abs();
+        let solar_err = (self.solar_available
+            - (self.solar_to_load
+                + self.solar_to_battery
+                + self.solar_exported
+                + self.solar_curtailed))
+            .watts()
+            .abs();
+        load_err.max(solar_err)
+    }
+
+    /// `true` when conservation holds within tolerance.
+    pub fn is_conserved(&self) -> bool {
+        self.conservation_error() < 1e-6
+    }
+}
+
+/// The composed physical energy system.
+pub struct PhysicalEnergySystem {
+    solar: Box<dyn SolarSource>,
+    battery: Battery,
+    grid: GridConnection,
+    psu: ProgrammablePsu,
+    grid_controller: GridChargeController,
+    solar_controller: SolarChargeController,
+    /// Maximum aggregate battery discharge allowed by software
+    /// (Table 1 `set_battery_max_discharge`); physical 1C still applies.
+    max_discharge: Watts,
+}
+
+impl std::fmt::Debug for PhysicalEnergySystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysicalEnergySystem")
+            .field("battery", &self.battery)
+            .field("grid", &self.grid)
+            .field("max_discharge", &self.max_discharge)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PhysicalEnergySystem {
+    /// Composes a system from its parts. The software discharge limit
+    /// starts at the battery's physical maximum.
+    pub fn new(solar: Box<dyn SolarSource>, battery: Battery, grid: GridConnection) -> Self {
+        let max_discharge = battery.spec().max_discharge_rate;
+        Self {
+            solar,
+            battery,
+            grid,
+            psu: ProgrammablePsu::new(),
+            grid_controller: GridChargeController::new(),
+            solar_controller: SolarChargeController::new(),
+            max_discharge,
+        }
+    }
+
+    /// Current solar output.
+    pub fn solar_power(&self, at: SimTime) -> Watts {
+        self.solar.power_at(at)
+    }
+
+    /// Mean solar output over a window.
+    pub fn solar_power_over(&self, from: SimTime, to: SimTime) -> Watts {
+        self.solar.mean_power_over(from, to)
+    }
+
+    /// Battery state (read-only).
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Grid connection state (read-only).
+    pub fn grid(&self) -> &GridConnection {
+        &self.grid
+    }
+
+    /// The metering PSU (read-only).
+    pub fn psu(&self) -> &ProgrammablePsu {
+        &self.psu
+    }
+
+    /// Sets the PSU validation limit.
+    pub fn set_psu_limit(&mut self, limit: Option<Watts>) {
+        self.psu.set_limit(limit);
+    }
+
+    /// Sets the grid-charging rate (privileged ecovisor operation).
+    pub fn set_battery_charge_rate(&mut self, rate: Watts) {
+        self.grid_controller.set_charge_rate(rate);
+    }
+
+    /// Currently configured grid-charging rate.
+    pub fn battery_charge_rate(&self) -> Watts {
+        self.grid_controller.charge_rate()
+    }
+
+    /// Sets the software cap on battery discharge (privileged ecovisor
+    /// operation). Clamped to the physical 1C limit.
+    pub fn set_battery_max_discharge(&mut self, rate: Watts) {
+        self.max_discharge = rate
+            .max_zero()
+            .min(self.battery.spec().max_discharge_rate);
+    }
+
+    /// Current software cap on battery discharge.
+    pub fn battery_max_discharge(&self) -> Watts {
+        self.max_discharge
+    }
+
+    /// Settles one tick, sampling solar from the attached source over
+    /// `[at, at + dt)`.
+    pub fn settle(&mut self, at: SimTime, dt: SimDuration, demand: Watts) -> PhysicalFlows {
+        let solar = self.solar.mean_power_over(at, at + dt);
+        self.settle_with_solar(at, dt, demand, solar)
+    }
+
+    /// Settles one tick with an explicitly provided solar availability
+    /// (the ecovisor supplies the previous tick's buffered output,
+    /// implementing the paper's one-tick solar buffer).
+    pub fn settle_with_solar(
+        &mut self,
+        at: SimTime,
+        dt: SimDuration,
+        demand: Watts,
+        solar_available: Watts,
+    ) -> PhysicalFlows {
+        let demand = demand.max_zero();
+        let solar_available = solar_available.max_zero();
+
+        // 1. Solar satisfies demand first.
+        let solar_to_load = solar_available.min(demand);
+        let excess_solar = solar_available - solar_to_load;
+        let deficit = demand - solar_to_load;
+
+        // 2. Excess solar charges the battery via the solar controller.
+        let routing = self.solar_controller.route(&self.battery, excess_solar, dt);
+        let solar_to_battery = routing.charged;
+
+        // 3. Remaining excess exports (if permitted) or curtails.
+        let exported = self.grid.export(routing.surplus, dt);
+        let curtailed = routing.surplus - exported;
+
+        // 4. Deficit draws from the battery up to the software cap.
+        let battery_to_load = if deficit > Watts::ZERO {
+            self.battery.discharge(deficit.min(self.max_discharge), dt)
+        } else {
+            Watts::ZERO
+        };
+
+        // 5. Grid covers the remainder, plus any charging supplement when
+        //    the battery is not discharging this tick.
+        let grid_to_battery = if battery_to_load == Watts::ZERO {
+            self.grid_controller
+                .grid_supplement(&self.battery, solar_to_battery, dt)
+        } else {
+            Watts::ZERO
+        };
+        let total_charge = solar_to_battery + grid_to_battery;
+        if total_charge > Watts::ZERO {
+            let accepted = self.battery.charge(total_charge, dt);
+            debug_assert!(
+                accepted.abs_diff(total_charge) < 1e-6,
+                "controllers pre-limited the charge request"
+            );
+        }
+        let grid_request = (deficit - battery_to_load) + grid_to_battery;
+        let grid_supplied = self.grid.import(grid_request, dt);
+        let grid_to_load = (grid_supplied - grid_to_battery).max_zero();
+
+        self.psu.record_draw(at, grid_supplied, dt);
+
+        PhysicalFlows {
+            demand,
+            solar_available,
+            solar_to_load,
+            solar_to_battery,
+            solar_exported: exported,
+            solar_curtailed: curtailed,
+            battery_to_load,
+            grid_to_load,
+            grid_to_battery,
+        }
+    }
+
+    /// Total energy imported from the grid so far.
+    pub fn total_grid_energy(&self) -> WattHours {
+        self.grid.total_imported()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::battery::BatterySpec;
+    use crate::solar::{SolarArrayBuilder, TraceSolarSource, Weather};
+    use simkit::trace::Trace;
+
+    fn tick() -> SimDuration {
+        SimDuration::from_minutes(1)
+    }
+
+    fn constant_solar(watts: f64) -> Box<dyn SolarSource> {
+        Box::new(TraceSolarSource::new(Trace::constant(watts)))
+    }
+
+    fn system_with(solar_w: f64, soc: f64) -> PhysicalEnergySystem {
+        PhysicalEnergySystem::new(
+            constant_solar(solar_w),
+            Battery::new_at(BatterySpec::paper_prototype(), soc),
+            GridConnection::new(),
+        )
+    }
+
+    #[test]
+    fn solar_first_then_battery_then_grid() {
+        let mut sys = system_with(30.0, 1.0);
+        sys.set_battery_max_discharge(Watts::new(20.0));
+        let f = sys.settle(SimTime::EPOCH, tick(), Watts::new(100.0));
+        assert_eq!(f.solar_to_load, Watts::new(30.0));
+        assert_eq!(f.battery_to_load, Watts::new(20.0));
+        assert_eq!(f.grid_to_load, Watts::new(50.0));
+        assert!(f.is_conserved());
+    }
+
+    #[test]
+    fn excess_solar_charges_battery() {
+        let mut sys = system_with(100.0, 0.5);
+        let f = sys.settle(SimTime::EPOCH, tick(), Watts::new(40.0));
+        assert_eq!(f.solar_to_load, Watts::new(40.0));
+        assert_eq!(f.solar_to_battery, Watts::new(60.0));
+        assert_eq!(f.solar_curtailed, Watts::ZERO);
+        assert_eq!(f.grid_import(), Watts::ZERO);
+        assert!(f.is_conserved());
+    }
+
+    #[test]
+    fn full_battery_curtails_excess() {
+        let mut sys = system_with(100.0, 1.0);
+        let f = sys.settle(SimTime::EPOCH, tick(), Watts::new(40.0));
+        assert_eq!(f.solar_to_battery, Watts::ZERO);
+        assert_eq!(f.solar_curtailed, Watts::new(60.0));
+        assert!(f.is_conserved());
+    }
+
+    #[test]
+    fn net_metering_exports_instead_of_curtailing() {
+        let mut sys = PhysicalEnergySystem::new(
+            constant_solar(100.0),
+            Battery::new_full(BatterySpec::paper_prototype()),
+            GridConnection::new().with_net_metering(),
+        );
+        let f = sys.settle(SimTime::EPOCH, tick(), Watts::new(40.0));
+        assert_eq!(f.solar_exported, Watts::new(60.0));
+        assert_eq!(f.solar_curtailed, Watts::ZERO);
+        assert!(f.is_conserved());
+    }
+
+    #[test]
+    fn grid_supplements_battery_charging() {
+        let mut sys = system_with(0.0, 0.5);
+        sys.set_battery_charge_rate(Watts::new(200.0));
+        let f = sys.settle(SimTime::EPOCH, tick(), Watts::ZERO);
+        assert_eq!(f.grid_to_battery, Watts::new(200.0));
+        assert_eq!(f.grid_import(), Watts::new(200.0));
+        assert!(f.is_conserved());
+    }
+
+    #[test]
+    fn no_grid_charging_while_discharging() {
+        let mut sys = system_with(0.0, 0.8);
+        sys.set_battery_charge_rate(Watts::new(100.0));
+        sys.set_battery_max_discharge(Watts::new(500.0));
+        let f = sys.settle(SimTime::EPOCH, tick(), Watts::new(300.0));
+        assert_eq!(f.battery_to_load, Watts::new(300.0));
+        assert_eq!(f.grid_to_battery, Watts::ZERO);
+        assert!(f.is_conserved());
+    }
+
+    #[test]
+    fn discharge_cap_limits_battery_contribution() {
+        let mut sys = system_with(0.0, 1.0);
+        sys.set_battery_max_discharge(Watts::new(50.0));
+        let f = sys.settle(SimTime::EPOCH, tick(), Watts::new(200.0));
+        assert_eq!(f.battery_to_load, Watts::new(50.0));
+        assert_eq!(f.grid_to_load, Watts::new(150.0));
+    }
+
+    #[test]
+    fn empty_battery_forces_grid() {
+        let mut sys = system_with(0.0, 0.30);
+        let f = sys.settle(SimTime::EPOCH, tick(), Watts::new(100.0));
+        assert_eq!(f.battery_to_load, Watts::ZERO);
+        assert_eq!(f.grid_to_load, Watts::new(100.0));
+    }
+
+    #[test]
+    fn psu_meters_grid_draw() {
+        let mut sys = system_with(0.0, 1.0);
+        sys.set_battery_max_discharge(Watts::ZERO);
+        sys.set_psu_limit(Some(Watts::new(150.0)));
+        sys.settle(SimTime::EPOCH, tick(), Watts::new(100.0));
+        assert!(sys.psu().limit_respected());
+        sys.settle(SimTime::from_secs(60), tick(), Watts::new(200.0));
+        assert!(!sys.psu().limit_respected());
+    }
+
+    #[test]
+    fn settle_with_real_solar_trace_conserves() {
+        let source = SolarArrayBuilder::new(400.0)
+            .days(1)
+            .weather(Weather::Mixed)
+            .seed(3)
+            .build_source();
+        let mut sys = PhysicalEnergySystem::new(
+            Box::new(source),
+            Battery::new_at(BatterySpec::paper_prototype(), 0.6),
+            GridConnection::new(),
+        );
+        let dt = tick();
+        let mut at = SimTime::EPOCH;
+        for i in 0..(24 * 60) {
+            let demand = Watts::new(((i % 37) as f64) * 2.0);
+            let f = sys.settle(at, dt, demand);
+            assert!(f.is_conserved(), "tick {i}: err {}", f.conservation_error());
+            at += dt;
+        }
+        let soc = sys.battery().soc_fraction();
+        assert!((0.30..=1.0).contains(&soc), "soc {soc} out of bounds");
+    }
+
+    #[test]
+    fn software_discharge_cap_clamps_to_physical() {
+        let mut sys = system_with(0.0, 1.0);
+        sys.set_battery_max_discharge(Watts::new(10_000.0));
+        assert_eq!(sys.battery_max_discharge(), Watts::new(1440.0));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the battery model: SoC bounds, rate limits,
+//! and energy bookkeeping under arbitrary operation sequences.
+
+use proptest::prelude::*;
+
+use energy_system::battery::{Battery, BatterySpec};
+use simkit::time::SimDuration;
+use simkit::units::{WattHours, Watts};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Charge(f64),
+    Discharge(f64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0_f64..2000.0).prop_map(Op::Charge),
+        (0.0_f64..3000.0).prop_map(Op::Discharge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The state of charge never leaves [floor, capacity], no matter the
+    /// operation sequence.
+    #[test]
+    fn soc_always_in_bounds(
+        capacity in 10.0_f64..2000.0,
+        initial in 0.0_f64..=1.0,
+        ops in proptest::collection::vec(arb_op(), 1..60),
+    ) {
+        let spec = BatterySpec::with_capacity(WattHours::new(capacity));
+        let mut b = Battery::new_at(spec, initial);
+        let dt = SimDuration::from_minutes(1);
+        for op in ops {
+            match op {
+                Op::Charge(w) => { b.charge(Watts::new(w), dt); }
+                Op::Discharge(w) => { b.discharge(Watts::new(w), dt); }
+            }
+            let level = b.charge_level().watt_hours();
+            prop_assert!(level <= capacity + 1e-9, "level {level} > capacity");
+            prop_assert!(
+                level >= spec.floor_energy().watt_hours() - 1e-9,
+                "level {level} below floor"
+            );
+        }
+    }
+
+    /// Accepted charge and delivered discharge never exceed the C-rate
+    /// limits (0.25C / 1C).
+    #[test]
+    fn rates_never_exceeded(
+        capacity in 10.0_f64..2000.0,
+        initial in 0.0_f64..=1.0,
+        request in 0.0_f64..10_000.0,
+    ) {
+        let spec = BatterySpec::with_capacity(WattHours::new(capacity));
+        let mut b = Battery::new_at(spec, initial);
+        let dt = SimDuration::from_minutes(1);
+        let accepted = b.charge(Watts::new(request), dt);
+        prop_assert!(accepted.watts() <= spec.max_charge_rate.watts() + 1e-9);
+        let delivered = b.discharge(Watts::new(request), dt);
+        prop_assert!(delivered.watts() <= spec.max_discharge_rate.watts() + 1e-9);
+    }
+
+    /// Energy bookkeeping is exact (efficiency 1.0): final level equals
+    /// initial level plus accepted charge minus delivered discharge.
+    #[test]
+    fn energy_bookkeeping_is_exact(
+        capacity in 10.0_f64..2000.0,
+        initial in 0.3_f64..=1.0,
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        let spec = BatterySpec::with_capacity(WattHours::new(capacity));
+        let mut b = Battery::new_at(spec, initial);
+        let start = b.charge_level();
+        let dt = SimDuration::from_minutes(1);
+        let mut net = WattHours::ZERO;
+        for op in ops {
+            match op {
+                Op::Charge(w) => net += b.charge(Watts::new(w), dt) * dt,
+                Op::Discharge(w) => net -= b.discharge(Watts::new(w), dt) * dt,
+            }
+        }
+        let expected = start + net;
+        prop_assert!(
+            b.charge_level().abs_diff(expected) < 1e-6,
+            "level {} vs expected {expected}",
+            b.charge_level()
+        );
+    }
+
+    /// Cycle counting is monotone and proportional to discharge volume.
+    #[test]
+    fn cycles_monotone(
+        capacity in 50.0_f64..500.0,
+        rounds in 1usize..10,
+    ) {
+        let spec = BatterySpec::with_capacity(WattHours::new(capacity));
+        let mut b = Battery::new_full(spec);
+        let dt = SimDuration::from_hours(1);
+        let mut last = 0.0;
+        for _ in 0..rounds {
+            b.discharge(spec.max_discharge_rate, dt);
+            let c = b.equivalent_cycles();
+            prop_assert!(c >= last);
+            last = c;
+            b.charge(spec.max_charge_rate, dt);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Interior-mutable stat handles.
+//!
+//! Applications live inside the [`ecovisor::Simulation`] as boxed trait
+//! objects; experiments need their per-app results (finish times, SLO
+//! violations) after — or during — a run. [`Shared`] is a cheap
+//! `Rc<RefCell<T>>` handle the experiment clones before handing the app
+//! to the simulation. Simulations are single-threaded by design, so `Rc`
+//! is sufficient.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared, interior-mutable handle to experiment-visible state.
+pub type Shared<T> = Rc<RefCell<T>>;
+
+/// Creates a new shared handle.
+pub fn shared<T>(value: T) -> Shared<T> {
+    Rc::new(RefCell::new(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_alias_state() {
+        let a = shared(1u32);
+        let b = Rc::clone(&a);
+        *b.borrow_mut() = 7;
+        assert_eq!(*a.borrow(), 7);
+    }
+}

@@ -1,0 +1,192 @@
+//! In-memory time-series database with interval queries.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use simkit::series::TimeSeries;
+use simkit::time::SimTime;
+
+/// Addresses one series: a metric name plus a subject (container, app, or
+/// system).
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SeriesKey {
+    /// Metric name (see [`crate::metrics`]).
+    pub metric: String,
+    /// Subject identifier, e.g. `"c3"`, `"app1"`, `"system"`.
+    pub subject: String,
+}
+
+impl SeriesKey {
+    /// Builds a key.
+    pub fn new(metric: impl Into<String>, subject: impl Into<String>) -> Self {
+        Self {
+            metric: metric.into(),
+            subject: subject.into(),
+        }
+    }
+}
+
+/// The time-series store.
+///
+/// All queries take half-open windows `[from, to)`. Writes must be
+/// time-ordered per series (enforced by [`TimeSeries`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tsdb {
+    series: BTreeMap<SeriesKey, TimeSeries>,
+}
+
+impl Tsdb {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to `(metric, subject)`.
+    pub fn record(&mut self, metric: &str, subject: &str, at: SimTime, value: f64) {
+        self.series
+            .entry(SeriesKey::new(metric, subject))
+            .or_default()
+            .push(at, value);
+    }
+
+    /// The series for `(metric, subject)`, if any samples exist.
+    pub fn series(&self, metric: &str, subject: &str) -> Option<&TimeSeries> {
+        self.series.get(&SeriesKey::new(metric, subject))
+    }
+
+    /// Latest value of `(metric, subject)`.
+    pub fn latest(&self, metric: &str, subject: &str) -> Option<f64> {
+        self.series(metric, subject)?.last().map(|s| s.value)
+    }
+
+    /// Value at or before `at`.
+    pub fn value_at(&self, metric: &str, subject: &str, at: SimTime) -> Option<f64> {
+        self.series(metric, subject)?.value_at(at)
+    }
+
+    /// Mean over `[from, to)`.
+    pub fn mean(&self, metric: &str, subject: &str, from: SimTime, to: SimTime) -> Option<f64> {
+        self.series(metric, subject)?.mean_over(from, to)
+    }
+
+    /// Sum of samples over `[from, to)`.
+    pub fn sum(&self, metric: &str, subject: &str, from: SimTime, to: SimTime) -> Option<f64> {
+        self.series(metric, subject).map(|s| s.sum_over(from, to))
+    }
+
+    /// Percentile over `[from, to)`.
+    pub fn percentile(
+        &self,
+        metric: &str,
+        subject: &str,
+        from: SimTime,
+        to: SimTime,
+        p: f64,
+    ) -> Option<f64> {
+        self.series(metric, subject)?.percentile_over(from, to, p)
+    }
+
+    /// Step-integrates a *rate-per-second* series over `[from, to)`.
+    ///
+    /// For a power series in watts this yields watt-seconds (divide by
+    /// 3600 for Wh); for a g/s carbon-rate series it yields grams.
+    pub fn integrate(&self, metric: &str, subject: &str, from: SimTime, to: SimTime) -> f64 {
+        self.series(metric, subject)
+            .map(|s| s.integrate_step(from, to))
+            .unwrap_or(0.0)
+    }
+
+    /// All subjects that have samples for `metric`, in order.
+    pub fn subjects_of(&self, metric: &str) -> Vec<&str> {
+        self.series
+            .keys()
+            .filter(|k| k.metric == metric)
+            .map(|k| k.subject.as_str())
+            .collect()
+    }
+
+    /// Number of stored series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Total number of stored samples across all series.
+    pub fn sample_count(&self) -> usize {
+        self.series.values().map(TimeSeries::len).sum()
+    }
+
+    /// Iterates over all `(key, series)` pairs (used by CSV export).
+    pub fn iter(&self) -> impl Iterator<Item = (&SeriesKey, &TimeSeries)> {
+        self.series.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn sample_db() -> Tsdb {
+        let mut db = Tsdb::new();
+        for (i, v) in [1.0, 2.0, 3.0, 4.0].iter().enumerate() {
+            db.record("power", "c1", t(i as u64 * 60), *v);
+        }
+        db.record("power", "c2", t(0), 10.0);
+        db.record("carbon", "app1", t(0), 0.5);
+        db
+    }
+
+    #[test]
+    fn record_and_query() {
+        let db = sample_db();
+        assert_eq!(db.latest("power", "c1"), Some(4.0));
+        assert_eq!(db.value_at("power", "c1", t(90)), Some(2.0));
+        assert_eq!(db.mean("power", "c1", t(0), t(240)), Some(2.5));
+        assert_eq!(db.sum("power", "c1", t(0), t(240)), Some(10.0));
+        assert_eq!(db.percentile("power", "c1", t(0), t(240), 50.0), Some(2.5));
+    }
+
+    #[test]
+    fn missing_series_queries() {
+        let db = sample_db();
+        assert_eq!(db.latest("power", "ghost"), None);
+        assert_eq!(db.mean("ghost", "c1", t(0), t(100)), None);
+        assert_eq!(db.integrate("ghost", "c1", t(0), t(100)), 0.0);
+    }
+
+    #[test]
+    fn integrate_power_series() {
+        let mut db = Tsdb::new();
+        db.record("power", "c1", t(0), 60.0); // 60 W for 60 s
+        db.record("power", "c1", t(60), 0.0);
+        let ws = db.integrate("power", "c1", t(0), t(120));
+        assert_eq!(ws, 3600.0); // 1 Wh in watt-seconds
+    }
+
+    #[test]
+    fn subjects_listing() {
+        let db = sample_db();
+        assert_eq!(db.subjects_of("power"), vec!["c1", "c2"]);
+        assert_eq!(db.subjects_of("carbon"), vec!["app1"]);
+        assert!(db.subjects_of("nothing").is_empty());
+    }
+
+    #[test]
+    fn counts() {
+        let db = sample_db();
+        assert_eq!(db.series_count(), 3);
+        assert_eq!(db.sample_count(), 6);
+    }
+
+    #[test]
+    fn iter_visits_all_series() {
+        let db = sample_db();
+        assert_eq!(db.iter().count(), 3);
+    }
+}

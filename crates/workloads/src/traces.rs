@@ -1,0 +1,204 @@
+//! Request-rate workload traces.
+//!
+//! Stands in for the real-world traces the paper replays: the 48-hour
+//! Wikipedia workload of §5.2 (Urdaneta et al.) and the §5.3 monitoring
+//! service's daytime-only logging workload. Shapes are diurnal with
+//! weekday modulation, stochastic noise, and occasional flash spikes —
+//! the property Fig. 6 depends on is that workload peaks are *not*
+//! aligned with carbon-intensity peaks, creating periods of simultaneous
+//! high carbon and high load.
+
+use simkit::rng::SimRng;
+use simkit::time::{SimDuration, SimTime};
+use simkit::trace::{Extend, Sampling, Trace};
+
+/// Builder for diurnal request-rate traces (requests/second).
+#[derive(Debug, Clone)]
+pub struct WorkloadTraceBuilder {
+    base_rate: f64,
+    peak_rate: f64,
+    peak_hour: f64,
+    days: u64,
+    step: SimDuration,
+    seed: u64,
+    noise_std: f64,
+    spike_prob_per_hour: f64,
+    spike_magnitude: f64,
+    daytime_only: bool,
+}
+
+impl WorkloadTraceBuilder {
+    /// Starts a builder with the given off-peak and peak request rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= base_rate <= peak_rate`.
+    pub fn new(base_rate: f64, peak_rate: f64) -> Self {
+        assert!(
+            0.0 <= base_rate && base_rate <= peak_rate,
+            "rates must satisfy 0 <= base <= peak"
+        );
+        Self {
+            base_rate,
+            peak_rate,
+            peak_hour: 14.0,
+            days: 2,
+            step: SimDuration::from_minutes(5),
+            seed: 0,
+            noise_std: 0.08,
+            spike_prob_per_hour: 0.02,
+            spike_magnitude: 0.5,
+            daytime_only: false,
+        }
+    }
+
+    /// Sets the hour of day at which load peaks.
+    pub fn peak_hour(mut self, hour: f64) -> Self {
+        self.peak_hour = hour.rem_euclid(24.0);
+        self
+    }
+
+    /// Sets the number of days.
+    pub fn days(mut self, days: u64) -> Self {
+        self.days = days;
+        self
+    }
+
+    /// Sets the generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets relative noise.
+    pub fn noise(mut self, std: f64) -> Self {
+        self.noise_std = std.max(0.0);
+        self
+    }
+
+    /// Enables flash spikes with the given hourly probability and
+    /// relative magnitude.
+    pub fn spikes(mut self, prob_per_hour: f64, magnitude: f64) -> Self {
+        self.spike_prob_per_hour = prob_per_hour.max(0.0);
+        self.spike_magnitude = magnitude.max(0.0);
+        self
+    }
+
+    /// Restricts load to daylight hours (the §5.3 monitoring service:
+    /// "the application sees only a daytime workload and is dormant
+    /// during nighttime hours").
+    pub fn daytime_only(mut self) -> Self {
+        self.daytime_only = true;
+        self
+    }
+
+    /// Generates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if configured for zero days.
+    pub fn build(&self) -> Trace {
+        assert!(self.days > 0, "trace must cover at least one day");
+        let mut rng = SimRng::from_seed(self.seed).fork("workload");
+        let step_hours = self.step.as_hours();
+        let n = (self.days * simkit::time::SECS_PER_DAY) / self.step.as_secs();
+        let mut spike: Option<(f64, f64)> = None; // (remaining_h, magnitude)
+        let mut samples = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let at = SimTime::from_secs(i * self.step.as_secs());
+            let hour = at.hour_of_day();
+            // Cosine diurnal bump centred on the peak hour.
+            let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+            let diurnal = 0.5 * (1.0 + phase.cos());
+            let weekday = if at.day_index() % 7 >= 5 { 0.8 } else { 1.0 };
+            let mut rate =
+                (self.base_rate + (self.peak_rate - self.base_rate) * diurnal) * weekday;
+
+            match &mut spike {
+                Some((remaining, mag)) => {
+                    rate *= 1.0 + *mag;
+                    *remaining -= step_hours;
+                    if *remaining <= 0.0 {
+                        spike = None;
+                    }
+                }
+                None => {
+                    if rng.chance(self.spike_prob_per_hour * step_hours) {
+                        spike = Some((rng.uniform(0.25, 1.5), self.spike_magnitude));
+                    }
+                }
+            }
+
+            rate *= (1.0 + rng.normal(0.0, self.noise_std)).max(0.0);
+            if self.daytime_only && !(7.0..19.0).contains(&hour) {
+                rate = 0.0;
+            }
+            samples.push(rate.max(0.0));
+        }
+        Trace::from_samples(samples, self.step)
+            .with_sampling(Sampling::Step)
+            .with_extend(Extend::Cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_near_peak_hour() {
+        let t = WorkloadTraceBuilder::new(50.0, 400.0)
+            .peak_hour(14.0)
+            .days(4)
+            .noise(0.0)
+            .spikes(0.0, 0.0)
+            .seed(1)
+            .build();
+        let at_peak = t.sample(SimTime::from_hours(14));
+        let off_peak = t.sample(SimTime::from_hours(2));
+        assert!(at_peak > 3.0 * off_peak, "peak {at_peak} vs off {off_peak}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = WorkloadTraceBuilder::new(10.0, 100.0).seed(9).build();
+        let b = WorkloadTraceBuilder::new(10.0, 100.0).seed(9).build();
+        assert_eq!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn daytime_only_is_dormant_at_night() {
+        let t = WorkloadTraceBuilder::new(20.0, 200.0)
+            .daytime_only()
+            .days(2)
+            .seed(3)
+            .build();
+        assert_eq!(t.sample(SimTime::from_hours(2)), 0.0);
+        assert_eq!(t.sample(SimTime::from_hours(22)), 0.0);
+        assert!(t.sample(SimTime::from_hours(12)) > 0.0);
+    }
+
+    #[test]
+    fn rates_never_negative() {
+        let t = WorkloadTraceBuilder::new(0.0, 50.0).noise(0.5).seed(7).build();
+        assert!(t.samples().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn weekend_dip() {
+        let t = WorkloadTraceBuilder::new(100.0, 100.0)
+            .days(7)
+            .noise(0.0)
+            .spikes(0.0, 0.0)
+            .build();
+        let weekday = t.sample(SimTime::from_hours(2 * 24 + 12));
+        let weekend = t.sample(SimTime::from_hours(5 * 24 + 12));
+        assert!(weekend < weekday);
+    }
+
+    #[test]
+    #[should_panic(expected = "base <= peak")]
+    fn inverted_rates_rejected() {
+        WorkloadTraceBuilder::new(100.0, 50.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # ecovisor-suite — umbrella crate for the Ecovisor reproduction
+//!
+//! Re-exports the public API of every crate in the workspace so the
+//! examples and cross-crate integration tests have a single import root.
+//!
+//! * [`ecovisor`] — the paper's contribution: virtual energy systems.
+//! * [`simkit`] — units, time, RNG, traces.
+//! * [`carbon_intel`] — carbon information service substrate.
+//! * [`energy_system`] — solar / battery / grid / PSU substrate.
+//! * [`container_cop`] — container orchestration substrate.
+//! * [`power_telemetry`] — metering and time-series store.
+//! * [`workloads`] — application models from the evaluation.
+//! * [`carbon_policies`] — the §5 policy suite.
+//! * [`experiments`] — per-figure regeneration harness.
+
+#![forbid(unsafe_code)]
+
+pub use carbon_intel;
+pub use carbon_policies;
+pub use container_cop;
+pub use ecovisor;
+pub use energy_system;
+pub use experiments;
+pub use power_telemetry;
+pub use simkit;
+pub use workloads;
