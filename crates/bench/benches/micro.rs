@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use carbon_intel::service::TraceCarbonService;
 use container_cop::{AppId, ContainerSpec, Cop, CopConfig, CopError};
 use ecovisor::{
-    Application, EcovisorBuilder, EnergyShare, ExcessPolicy, LibraryApi, Simulation,
+    Application, EcovisorBuilder, EcovisorClient, EnergyShare, ExcessPolicy, Simulation,
 };
 use energy_system::solar::TraceSolarSource;
 use power_telemetry::Tsdb;
@@ -19,14 +19,14 @@ use workloads::web::response_quantile;
 struct Busy(u32);
 
 impl Application for Busy {
-    fn on_start(&mut self, api: &mut dyn LibraryApi) {
+    fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
         for _ in 0..self.0 {
             if let Ok(c) = api.launch_container(ContainerSpec::quad_core()) {
                 let _ = api.set_container_demand(c, 1.0);
             }
         }
     }
-    fn on_tick(&mut self, _api: &mut dyn LibraryApi) {}
+    fn on_tick(&mut self, _api: &mut EcovisorClient<'_>) {}
 }
 
 fn settlement_sim(apps: u32, excess: ExcessPolicy) -> Simulation {

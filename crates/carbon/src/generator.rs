@@ -115,8 +115,7 @@ impl CarbonTraceBuilder {
                 None => {
                     if rng.chance(p.excursion_prob_per_hour * step_hours) {
                         let hours = rng.uniform(p.excursion_hours.0, p.excursion_hours.1);
-                        let mag =
-                            rng.uniform(p.excursion_magnitude.0, p.excursion_magnitude.1);
+                        let mag = rng.uniform(p.excursion_magnitude.0, p.excursion_magnitude.1);
                         let sign = if rng.chance(0.65) { 1.0 } else { -1.0 };
                         excursion = Some((hours, sign * mag));
                     }

@@ -117,7 +117,8 @@ mod tests {
             100.0
         );
         assert_eq!(
-            svc.current_intensity(SimTime::from_hours(1)).grams_per_kwh(),
+            svc.current_intensity(SimTime::from_hours(1))
+                .grams_per_kwh(),
             200.0
         );
     }
@@ -135,7 +136,11 @@ mod tests {
         assert_eq!(h[2].1.grams_per_kwh(), 3.0);
         // Zero step yields no history rather than looping forever.
         assert!(svc
-            .history(SimTime::from_secs(0), SimTime::from_secs(900), SimDuration::ZERO)
+            .history(
+                SimTime::from_secs(0),
+                SimTime::from_secs(900),
+                SimDuration::ZERO
+            )
             .is_empty());
     }
 
@@ -143,15 +148,18 @@ mod tests {
     fn constant_service() {
         let svc = ConstantCarbonService::new("Flat", CarbonIntensity::new(50.0));
         assert_eq!(
-            svc.current_intensity(SimTime::from_hours(99)).grams_per_kwh(),
+            svc.current_intensity(SimTime::from_hours(99))
+                .grams_per_kwh(),
             50.0
         );
     }
 
     #[test]
     fn service_is_object_safe() {
-        let svc: Box<dyn CarbonService> =
-            Box::new(ConstantCarbonService::new("Flat", CarbonIntensity::new(10.0)));
+        let svc: Box<dyn CarbonService> = Box::new(ConstantCarbonService::new(
+            "Flat",
+            CarbonIntensity::new(10.0),
+        ));
         assert_eq!(svc.region(), "Flat");
     }
 }

@@ -51,10 +51,7 @@ pub fn fraction_below(
     if history.is_empty() {
         return 0.0;
     }
-    let below = history
-        .iter()
-        .filter(|(_, ci)| *ci <= threshold)
-        .count();
+    let below = history.iter().filter(|(_, ci)| *ci <= threshold).count();
     below as f64 / history.len() as f64
 }
 
@@ -101,8 +98,10 @@ mod tests {
     #[test]
     fn empty_window_returns_none() {
         let svc = ConstantCarbonService::new("C", CarbonIntensity::new(5.0));
-        assert!(percentile_threshold(&svc, SimTime::EPOCH, SimDuration::ZERO, five_min(), 30.0)
-            .is_none());
+        assert!(
+            percentile_threshold(&svc, SimTime::EPOCH, SimDuration::ZERO, five_min(), 30.0)
+                .is_none()
+        );
         assert!(percentile_threshold(
             &svc,
             SimTime::EPOCH,
@@ -135,11 +134,23 @@ mod tests {
         let svc = ConstantCarbonService::new("C", CarbonIntensity::new(100.0));
         let w = SimDuration::from_hours(1);
         assert_eq!(
-            fraction_below(&svc, SimTime::EPOCH, w, five_min(), CarbonIntensity::new(99.0)),
+            fraction_below(
+                &svc,
+                SimTime::EPOCH,
+                w,
+                five_min(),
+                CarbonIntensity::new(99.0)
+            ),
             0.0
         );
         assert_eq!(
-            fraction_below(&svc, SimTime::EPOCH, w, five_min(), CarbonIntensity::new(100.0)),
+            fraction_below(
+                &svc,
+                SimTime::EPOCH,
+                w,
+                five_min(),
+                CarbonIntensity::new(100.0)
+            ),
             1.0
         );
     }

@@ -1,99 +1,113 @@
-//! Property-based tests of the carbon-intensity generator: bounds,
+//! Randomized property tests of the carbon-intensity generator: bounds,
 //! determinism, and percentile-threshold coherence across arbitrary
 //! regions and seeds.
-
-use proptest::prelude::*;
+//!
+//! Cases are generated from a fixed-seed [`SimRng`] stream (the offline
+//! replacement for proptest), so failures are exactly reproducible.
 
 use carbon_intel::service::CarbonService;
 use carbon_intel::{percentile_threshold, regions, CarbonTraceBuilder, RegionProfile};
+use simkit::rng::SimRng;
 use simkit::time::{SimDuration, SimTime};
 
-fn arb_region() -> impl Strategy<Value = RegionProfile> {
-    prop_oneof![
-        Just(regions::ontario()),
-        Just(regions::california()),
-        Just(regions::uruguay()),
-    ]
+fn arb_region(rng: &mut SimRng) -> RegionProfile {
+    match rng.uniform_u64(0, 3) {
+        0 => regions::ontario(),
+        1 => regions::california(),
+        _ => regions::uruguay(),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Generated intensity always respects the profile's floor/ceiling.
-    #[test]
-    fn intensity_within_profile_bounds(
-        profile in arb_region(),
-        seed in 0u64..1000,
-        days in 1u64..5,
-    ) {
+/// Generated intensity always respects the profile's floor/ceiling.
+#[test]
+fn intensity_within_profile_bounds() {
+    let mut rng = SimRng::from_seed(3003).fork("intensity_within_profile_bounds");
+    for _ in 0..64 {
+        let profile = arb_region(&mut rng);
+        let seed = rng.uniform_u64(0, 1000);
+        let days = rng.uniform_u64(1, 5);
         let trace = CarbonTraceBuilder::new(profile.clone())
             .days(days)
             .seed(seed)
             .build();
         for &v in trace.samples() {
-            prop_assert!(v >= profile.floor - 1e-9, "{v} below floor");
-            prop_assert!(v <= profile.ceiling + 1e-9, "{v} above ceiling");
+            assert!(v >= profile.floor - 1e-9, "{v} below floor");
+            assert!(v <= profile.ceiling + 1e-9, "{v} above ceiling");
         }
     }
+}
 
-    /// Generation is a pure function of (profile, days, seed).
-    #[test]
-    fn generation_is_deterministic(
-        profile in arb_region(),
-        seed in 0u64..1000,
-    ) {
-        let a = CarbonTraceBuilder::new(profile.clone()).days(2).seed(seed).build();
+/// Generation is a pure function of (profile, days, seed).
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = SimRng::from_seed(3003).fork("generation_is_deterministic");
+    for _ in 0..64 {
+        let profile = arb_region(&mut rng);
+        let seed = rng.uniform_u64(0, 1000);
+        let a = CarbonTraceBuilder::new(profile.clone())
+            .days(2)
+            .seed(seed)
+            .build();
         let b = CarbonTraceBuilder::new(profile).days(2).seed(seed).build();
-        prop_assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.samples(), b.samples());
     }
+}
 
-    /// A percentile threshold splits the window as advertised: the
-    /// fraction of samples at/below the p-th percentile is ≈ p.
-    #[test]
-    fn threshold_splits_window(
-        profile in arb_region(),
-        seed in 0u64..200,
-        p in 10.0_f64..90.0,
-    ) {
-        let svc = CarbonTraceBuilder::new(profile).days(3).seed(seed).build_service();
+/// A percentile threshold splits the window as advertised: the fraction
+/// of samples at/below the p-th percentile is ≈ p.
+#[test]
+fn threshold_splits_window() {
+    let mut rng = SimRng::from_seed(3003).fork("threshold_splits_window");
+    for _ in 0..64 {
+        let profile = arb_region(&mut rng);
+        let seed = rng.uniform_u64(0, 200);
+        let p = rng.uniform(10.0, 90.0);
+        let svc = CarbonTraceBuilder::new(profile)
+            .days(3)
+            .seed(seed)
+            .build_service();
         let window = SimDuration::from_hours(48);
         let step = SimDuration::from_minutes(5);
-        let th = percentile_threshold(&svc, SimTime::EPOCH, window, step, p)
-            .expect("non-empty window");
-        let below = carbon_intel::threshold::fraction_below(
-            &svc, SimTime::EPOCH, window, step, th,
-        );
-        prop_assert!(
+        let th =
+            percentile_threshold(&svc, SimTime::EPOCH, window, step, p).expect("non-empty window");
+        let below = carbon_intel::threshold::fraction_below(&svc, SimTime::EPOCH, window, step, th);
+        assert!(
             (below - p / 100.0).abs() < 0.05,
             "p={p}: fraction below was {below}"
         );
     }
+}
 
-    /// The diurnal multiplier is continuous enough that adjacent hours
-    /// never jump more than the shape's largest segment slope.
-    #[test]
-    fn diurnal_multiplier_is_bounded(
-        profile in arb_region(),
-        hour in 0.0_f64..24.0,
-    ) {
+/// The diurnal multiplier is bounded and wraps every 24 hours.
+#[test]
+fn diurnal_multiplier_is_bounded() {
+    let mut rng = SimRng::from_seed(3003).fork("diurnal_multiplier_is_bounded");
+    for _ in 0..64 {
+        let profile = arb_region(&mut rng);
+        let hour = rng.uniform(0.0, 24.0);
         let m = profile.diurnal_multiplier(hour);
-        prop_assert!((0.1..5.0).contains(&m), "multiplier {m} at hour {hour}");
+        assert!((0.1..5.0).contains(&m), "multiplier {m} at hour {hour}");
         // Wrap coherence.
         let wrapped = profile.diurnal_multiplier(hour + 24.0);
-        prop_assert!((m - wrapped).abs() < 1e-9);
+        assert!((m - wrapped).abs() < 1e-9);
     }
+}
 
-    /// The service view agrees with the raw trace.
-    #[test]
-    fn service_matches_trace(
-        profile in arb_region(),
-        seed in 0u64..100,
-        minute in 0u64..(2 * 24 * 60),
-    ) {
-        let svc = CarbonTraceBuilder::new(profile).days(2).seed(seed).build_service();
+/// The service view agrees with the raw trace.
+#[test]
+fn service_matches_trace() {
+    let mut rng = SimRng::from_seed(3003).fork("service_matches_trace");
+    for _ in 0..64 {
+        let profile = arb_region(&mut rng);
+        let seed = rng.uniform_u64(0, 100);
+        let minute = rng.uniform_u64(0, 2 * 24 * 60);
+        let svc = CarbonTraceBuilder::new(profile)
+            .days(2)
+            .seed(seed)
+            .build_service();
         let at = SimTime::from_secs(minute * 60);
         let via_service = svc.current_intensity(at).grams_per_kwh();
         let via_trace = svc.trace().sample(at);
-        prop_assert_eq!(via_service, via_trace);
+        assert_eq!(via_service, via_trace);
     }
 }

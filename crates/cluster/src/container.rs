@@ -9,9 +9,7 @@ use simkit::units::Watts;
 use crate::server::ServerId;
 
 /// Identifies an application (tenant) owning containers.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct AppId(u32);
 
 impl AppId {
@@ -33,9 +31,7 @@ impl fmt::Display for AppId {
 }
 
 /// Identifies a container instance.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ContainerId(u64);
 
 impl ContainerId {
@@ -137,7 +133,12 @@ pub struct Container {
 
 impl Container {
     /// Creates a running container (used by the COP).
-    pub(crate) fn new(id: ContainerId, owner: AppId, spec: ContainerSpec, server: ServerId) -> Self {
+    pub(crate) fn new(
+        id: ContainerId,
+        owner: AppId,
+        spec: ContainerSpec,
+        server: ServerId,
+    ) -> Self {
         Self {
             id,
             owner,

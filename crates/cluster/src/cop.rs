@@ -110,13 +110,13 @@ impl Cop {
     ///
     /// [`CopError::InsufficientCapacity`] when no server fits the spec.
     pub fn launch(&mut self, owner: AppId, spec: ContainerSpec) -> Result<ContainerId, CopError> {
-        let sid = self
-            .scheduler
-            .place(&self.servers, &spec)
-            .ok_or(CopError::InsufficientCapacity {
-                cores: spec.cores,
-                memory_mib: spec.memory_mib,
-            })?;
+        let sid =
+            self.scheduler
+                .place(&self.servers, &spec)
+                .ok_or(CopError::InsufficientCapacity {
+                    cores: spec.cores,
+                    memory_mib: spec.memory_mib,
+                })?;
         let server = self
             .servers
             .iter_mut()
@@ -145,7 +145,7 @@ impl Cop {
         if container.state() == ContainerState::Stopped {
             return Err(CopError::InvalidState {
                 container: id,
-                reason: "already stopped",
+                reason: "already stopped".into(),
             });
         }
         let (cores, mem, sid) = (
@@ -175,7 +175,7 @@ impl Cop {
             }
             _ => Err(CopError::InvalidState {
                 container: id,
-                reason: "only running containers can be suspended",
+                reason: "only running containers can be suspended".into(),
             }),
         }
     }
@@ -197,7 +197,7 @@ impl Cop {
             }
             _ => Err(CopError::InvalidState {
                 container: id,
-                reason: "only suspended containers can be resumed",
+                reason: "only suspended containers can be resumed".into(),
             }),
         }
     }
@@ -366,7 +366,10 @@ mod tests {
         assert_eq!(cop.running_count(app), 1);
         cop.stop(id).expect("stoppable");
         assert_eq!(cop.running_count(app), 0);
-        assert_eq!(cop.container(id).expect("retained").state(), ContainerState::Stopped);
+        assert_eq!(
+            cop.container(id).expect("retained").state(),
+            ContainerState::Stopped
+        );
         // Double stop is an error.
         assert!(matches!(cop.stop(id), Err(CopError::InvalidState { .. })));
     }
@@ -375,10 +378,15 @@ mod tests {
     fn capacity_exhaustion() {
         let mut cop = Cop::new(CopConfig::microserver_cluster(2));
         let app = AppId::new(1);
-        cop.launch(app, ContainerSpec::quad_core()).expect("first fits");
-        cop.launch(app, ContainerSpec::quad_core()).expect("second fits");
+        cop.launch(app, ContainerSpec::quad_core())
+            .expect("first fits");
+        cop.launch(app, ContainerSpec::quad_core())
+            .expect("second fits");
         let err = cop.launch(app, ContainerSpec::quad_core()).unwrap_err();
-        assert!(matches!(err, CopError::InsufficientCapacity { cores: 4, .. }));
+        assert!(matches!(
+            err,
+            CopError::InsufficientCapacity { cores: 4, .. }
+        ));
         // Stopping frees capacity.
         let ids = cop.container_ids_of(app);
         cop.stop(ids[0]).expect("stoppable");
@@ -393,7 +401,10 @@ mod tests {
         cop.set_demand(id, 1.0).expect("exists");
         cop.suspend(id).expect("running");
         assert_eq!(cop.container_power(id).expect("exists"), Watts::ZERO);
-        assert!(matches!(cop.suspend(id), Err(CopError::InvalidState { .. })));
+        assert!(matches!(
+            cop.suspend(id),
+            Err(CopError::InvalidState { .. })
+        ));
         cop.resume(id).expect("suspended");
         assert!(cop.container_power(id).expect("exists") > Watts::ZERO);
     }
@@ -404,7 +415,8 @@ mod tests {
         let app = AppId::new(1);
         let id = cop.launch(app, ContainerSpec::quad_core()).expect("fits");
         cop.set_demand(id, 1.0).expect("exists");
-        cop.set_power_cap(id, Some(Watts::new(3.0))).expect("exists");
+        cop.set_power_cap(id, Some(Watts::new(3.0)))
+            .expect("exists");
         let c = cop.container(id).expect("exists");
         assert_eq!(c.power_cap(), Some(Watts::new(3.0)));
         let p = cop.container_power(id).expect("exists");
@@ -467,7 +479,10 @@ mod tests {
         let app = AppId::new(1);
         let spec = ContainerSpec::quad_core().with_gpu();
         let id = cop.launch(app, spec).expect("one gpu server");
-        assert_eq!(cop.container(id).expect("exists").server(), ServerId::new(0));
+        assert_eq!(
+            cop.container(id).expect("exists").server(),
+            ServerId::new(0)
+        );
         // Second GPU container cannot fit.
         assert!(cop.launch(app, spec).is_err());
     }
@@ -476,8 +491,14 @@ mod tests {
     fn unknown_container_errors() {
         let mut cop = cop();
         let ghost = ContainerId::new(999);
-        assert!(matches!(cop.stop(ghost), Err(CopError::UnknownContainer(_))));
-        assert!(matches!(cop.set_demand(ghost, 1.0), Err(CopError::UnknownContainer(_))));
+        assert!(matches!(
+            cop.stop(ghost),
+            Err(CopError::UnknownContainer(_))
+        ));
+        assert!(matches!(
+            cop.set_demand(ghost, 1.0),
+            Err(CopError::UnknownContainer(_))
+        ));
         assert!(matches!(
             cop.set_power_cap(ghost, None),
             Err(CopError::UnknownContainer(_))

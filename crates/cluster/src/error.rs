@@ -21,8 +21,9 @@ pub enum CopError {
     InvalidState {
         /// Container the operation targeted.
         container: ContainerId,
-        /// Description of the conflict.
-        reason: &'static str,
+        /// Description of the conflict (owned so the error can cross a
+        /// serialization boundary intact).
+        reason: String,
     },
 }
 

@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn utilization_clamped() {
         let m = model();
-        assert_eq!(m.container_power(4, 2.0, false), m.container_power(4, 1.0, false));
+        assert_eq!(
+            m.container_power(4, 2.0, false),
+            m.container_power(4, 1.0, false)
+        );
         assert_eq!(m.container_power(4, -1.0, false), Watts::ZERO);
     }
 }

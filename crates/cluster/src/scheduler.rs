@@ -112,7 +112,11 @@ mod tests {
         let sid = BestFit
             .place(&servers, &ContainerSpec::single_core())
             .expect("fits");
-        assert_eq!(sid, ServerId::new(0), "best-fit should fill the fuller server");
+        assert_eq!(
+            sid,
+            ServerId::new(0),
+            "best-fit should fill the fuller server"
+        );
         let sid2 = FewestContainers
             .place(&servers, &ContainerSpec::single_core())
             .expect("fits");

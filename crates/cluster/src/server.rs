@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use simkit::units::Watts;
 
 /// Identifies a server in the cluster.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ServerId(u32);
 
 impl ServerId {

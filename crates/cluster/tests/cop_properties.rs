@@ -1,10 +1,12 @@
-//! Property-based tests of the COP: capacity accounting, cap→quota
+//! Randomized property tests of the COP: capacity accounting, cap→quota
 //! round-trips, and placement feasibility under arbitrary launch/stop
 //! sequences.
-
-use proptest::prelude::*;
+//!
+//! Cases are generated from a fixed-seed [`SimRng`] stream (the offline
+//! replacement for proptest), so failures are exactly reproducible.
 
 use container_cop::{AppId, ContainerId, ContainerSpec, Cop, CopConfig, PowerModel, ServerSpec};
+use simkit::rng::SimRng;
 use simkit::units::Watts;
 
 #[derive(Debug, Clone, Copy)]
@@ -15,25 +17,25 @@ enum Op {
     Cap(f64),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (1u32..=4).prop_map(Op::Launch),
-        Just(Op::StopOldest),
-        Just(Op::SuspendNewest),
-        (0.0_f64..6.0).prop_map(Op::Cap),
-    ]
+fn arb_op(rng: &mut SimRng) -> Op {
+    match rng.uniform_u64(0, 4) {
+        0 => Op::Launch(rng.uniform_u64(1, 5) as u32),
+        1 => Op::StopOldest,
+        2 => Op::SuspendNewest,
+        _ => Op::Cap(rng.uniform(0.0, 6.0)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Server reservations never go negative or exceed capacity, across
-    /// arbitrary operation sequences, and placement never double-books.
-    #[test]
-    fn capacity_accounting_holds(
-        servers in 1u32..8,
-        ops in proptest::collection::vec(arb_op(), 1..60),
-    ) {
+/// Server reservations never go negative or exceed capacity, across
+/// arbitrary operation sequences, and placement never double-books.
+#[test]
+fn capacity_accounting_holds() {
+    let mut rng = SimRng::from_seed(4004).fork("capacity_accounting_holds");
+    for _ in 0..128 {
+        let servers = rng.uniform_u64(1, 8) as u32;
+        let ops: Vec<Op> = (0..rng.uniform_u64(1, 60))
+            .map(|_| arb_op(&mut rng))
+            .collect();
         let mut cop = Cop::new(CopConfig::microserver_cluster(servers));
         let app = AppId::new(1);
         let mut live: Vec<ContainerId> = Vec::new();
@@ -62,8 +64,8 @@ proptest! {
                 }
             }
             for s in cop.servers() {
-                prop_assert!(s.free_cores() <= s.spec().cores);
-                prop_assert!(s.free_memory_mib() <= s.spec().memory_mib);
+                assert!(s.free_cores() <= s.spec().cores);
+                assert!(s.free_memory_mib() <= s.spec().memory_mib);
             }
             // Sum of live containers' cores never exceeds cluster cores.
             let used: u32 = live
@@ -71,38 +73,42 @@ proptest! {
                 .filter_map(|id| cop.container(*id))
                 .map(|c| c.spec().cores)
                 .sum();
-            prop_assert!(used <= servers * 4);
+            assert!(used <= servers * 4);
         }
     }
+}
 
-    /// For any cap, the enforced container power never exceeds the cap,
-    /// and caps at/above max dynamic power leave the quota at 1.
-    #[test]
-    fn cap_quota_roundtrip(
-        cores in 1u32..=4,
-        cap_w in 0.0_f64..10.0,
-        demand in 0.0_f64..=1.0,
-    ) {
+/// For any cap, the enforced container power never exceeds the cap, and
+/// caps at/above max dynamic power leave the quota at 1.
+#[test]
+fn cap_quota_roundtrip() {
+    let mut rng = SimRng::from_seed(4004).fork("cap_quota_roundtrip");
+    for _ in 0..128 {
+        let cores = rng.uniform_u64(1, 5) as u32;
+        let cap_w = rng.uniform(0.0, 10.0);
+        let demand = rng.unit();
         let model = PowerModel::new(ServerSpec::microserver());
         let quota = model.quota_for_cap(cores, false, Watts::new(cap_w));
         let u = demand.min(quota);
         let power = model.container_power(cores, u, false);
-        prop_assert!(
+        assert!(
             power.watts() <= cap_w + 1e-9,
             "power {power} exceeds cap {cap_w}"
         );
         if cap_w >= model.container_max_power(cores, false).watts() {
-            prop_assert_eq!(quota, 1.0);
+            assert_eq!(quota, 1.0);
         }
     }
+}
 
-    /// Cluster power is the idle floor plus attributed dynamic power —
-    /// total power minus idle equals the sum over container powers.
-    #[test]
-    fn total_power_decomposes(
-        n in 1u32..6,
-        demands in proptest::collection::vec(0.0_f64..=1.0, 1..6),
-    ) {
+/// Cluster power is the idle floor plus attributed dynamic power — total
+/// power minus idle equals the sum over container powers.
+#[test]
+fn total_power_decomposes() {
+    let mut rng = SimRng::from_seed(4004).fork("total_power_decomposes");
+    for _ in 0..128 {
+        let n = rng.uniform_u64(1, 6) as u32;
+        let demands: Vec<f64> = (0..rng.uniform_u64(1, 6)).map(|_| rng.unit()).collect();
         let mut cop = Cop::new(CopConfig::microserver_cluster(n * 2));
         let app = AppId::new(1);
         let mut ids = Vec::new();
@@ -112,13 +118,17 @@ proptest! {
                 ids.push(id);
             }
         }
-        let idle: f64 = cop.servers().iter().map(|s| s.spec().idle_power.watts()).sum();
+        let idle: f64 = cop
+            .servers()
+            .iter()
+            .map(|s| s.spec().idle_power.watts())
+            .sum();
         let attributed: f64 = ids
             .iter()
             .map(|id| cop.container_power(*id).unwrap().watts())
             .sum();
         let total = cop.total_power().watts();
-        prop_assert!(
+        assert!(
             (total - idle - attributed).abs() < 1e-9,
             "total {total} != idle {idle} + attributed {attributed}"
         );

@@ -1,4 +1,16 @@
-//! The ecovisor's application-facing API.
+//! The trait-based compatibility façade over the wire protocol.
+//!
+//! **The primary application-facing API is the versioned command/query
+//! protocol in [`crate::proto`]** — these traits survive as a thin,
+//! synchronous veneer for code that predates it (and as the shape the
+//! conformance suite checks the protocol against). Every method here
+//! corresponds to exactly one [`crate::proto::EnergyRequest`] variant;
+//! [`crate::ecovisor::ScopedApi`] implements both traits by building
+//! that request, routing it through the one dispatch hot path
+//! ([`crate::ecovisor::Ecovisor::dispatch`]), and translating the
+//! [`crate::proto::EnergyResponse`] back into the method's signature.
+//! The façade therefore *cannot* drift from the protocol: scope checks,
+//! error values, and semantics are shared by construction.
 //!
 //! [`EcovisorApi`] is the paper's **Table 1** — "Ecovisor's narrow API
 //! that provides applications visibility and control over their virtual
@@ -6,7 +18,8 @@
 //! says applications may also make (launch, stop, suspend, resume,
 //! horizontal/vertical scaling). Getter and setter methods are
 //! synchronous downcalls; the `tick()` upcall is delivered through
-//! [`crate::app::Application::on_tick`].
+//! [`crate::app::Application::on_tick`] (which hands applications the
+//! batching [`crate::client::EcovisorClient`] instead of these traits).
 //!
 //! [`LibraryApi`] is the paper's **Table 2** — "example library functions
 //! using ecovisor's API": interval energy/carbon queries (backed by the
@@ -14,9 +27,10 @@
 //! rates and budgets. The `notify_*` functions of Table 2 surface as
 //! [`crate::event::Notification`] upcalls.
 //!
-//! Both traits are object-safe; applications and policies receive
-//! `&mut dyn LibraryApi` scoped to their own virtual energy system, so a
-//! tenant can never touch another tenant's containers or battery.
+//! Both traits are object-safe and scoped: a handle is bound to one
+//! [`AppId`], and the dispatcher underneath rejects any request that
+//! names another tenant's containers, so a tenant can never touch
+//! another tenant's containers or battery.
 
 use container_cop::{AppId, ContainerId, ContainerSpec};
 use simkit::time::{SimDuration, SimTime};

@@ -9,8 +9,15 @@
 //! is the periodic `tick()` upcall; [`Application::on_event`] receives
 //! the asynchronous notifications of Table 2 (`notify_solar_change`,
 //! `notify_carbon_change`, `notify_battery_full/empty`).
+//!
+//! Since the protocol redesign, upcalls receive an
+//! [`EcovisorClient`] — the batching protocol handle — instead of a raw
+//! `&mut dyn LibraryApi` trait object. The method surface is unchanged
+//! (`launch_container`, `get_grid_carbon`, …), but every call now travels
+//! as a wire-serializable [`crate::proto::EnergyRequest`], and
+//! fire-and-forget setters coalesce into per-tick batches.
 
-use crate::api::LibraryApi;
+use crate::client::EcovisorClient;
 use crate::event::Notification;
 
 /// An application running on the ecovisor: typically a workload model
@@ -23,13 +30,13 @@ pub trait Application {
 
     /// Called once at registration, before the first tick. Launch the
     /// initial virtual cluster here.
-    fn on_start(&mut self, _api: &mut dyn LibraryApi) {}
+    fn on_start(&mut self, _api: &mut EcovisorClient<'_>) {}
 
     /// The paper's `tick()` upcall, invoked every Δt.
-    fn on_tick(&mut self, api: &mut dyn LibraryApi);
+    fn on_tick(&mut self, api: &mut EcovisorClient<'_>);
 
     /// Asynchronous notification upcall, delivered before `on_tick`.
-    fn on_event(&mut self, _event: &Notification, _api: &mut dyn LibraryApi) {}
+    fn on_event(&mut self, _event: &Notification, _api: &mut EcovisorClient<'_>) {}
 
     /// `true` once the application has finished its work (batch jobs).
     /// Services that run forever keep the default `false`.
@@ -44,7 +51,7 @@ mod tests {
 
     struct Noop;
     impl Application for Noop {
-        fn on_tick(&mut self, _api: &mut dyn LibraryApi) {}
+        fn on_tick(&mut self, _api: &mut EcovisorClient<'_>) {}
     }
 
     #[test]

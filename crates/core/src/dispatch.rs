@@ -1,0 +1,331 @@
+//! The protocol dispatcher: the one hot path for all API traffic.
+//!
+//! Every application-facing operation — whether it arrives through the
+//! [`EcovisorClient`](crate::client::EcovisorClient) handle, the
+//! [`ScopedApi`](crate::ecovisor::ScopedApi) compatibility façade, or a
+//! raw replayed [`RequestBatch`] — funnels through
+//! [`Ecovisor::dispatch`]. The dispatcher:
+//!
+//! 1. validates the batch envelope (protocol version, registered app);
+//! 2. enforces **scope**: a request can only observe or mutate state
+//!    belonging to the envelope's [`AppId`] — cross-tenant container
+//!    references come back as [`ProtoError::Scope`] *values*, they never
+//!    panic and never leak another tenant's state;
+//! 3. executes each request against the app's virtual energy system and
+//!    the shared substrates (COP, TSDB, clock, carbon service);
+//! 4. optionally records the batch into a protocol trace for replay.
+//!    Recording hooks [`Ecovisor::dispatch_batch`], so it captures all
+//!    *batch* traffic — every [`EcovisorClient`](crate::client) call and
+//!    every raw batch — but not calls made through the legacy
+//!    [`ScopedApi`](crate::ecovisor::ScopedApi) façade, which dispatches
+//!    single requests without an envelope.
+
+use container_cop::{AppId, ContainerId};
+use simkit::units::{Co2Grams, WattHours};
+
+use crate::ecovisor::Ecovisor;
+use crate::proto::{
+    EnergyRequest, EnergyResponse, ProtoError, RequestBatch, ResponseBatch, PROTOCOL_VERSION,
+};
+
+/// One recorded dispatch, stamped with the tick it executed in.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceEntry {
+    /// Tick index at dispatch time.
+    pub tick: u64,
+    /// The batch as received.
+    pub batch: RequestBatch,
+}
+
+/// A recorded protocol trace: the ordered batch traffic of a run — every
+/// [`EcovisorClient`](crate::client::EcovisorClient) call and raw batch.
+/// (Calls through the legacy [`ScopedApi`](crate::ecovisor::ScopedApi)
+/// façade dispatch without an envelope and are not recorded; drive
+/// applications through the client when capturing a replayable run.)
+///
+/// Serializable, so a trace taken from one process can be
+/// [`replayed`](Ecovisor::replay) against another ecovisor.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ProtocolTrace {
+    /// Entries in dispatch order.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl ProtocolTrace {
+    /// Total number of requests across all entries.
+    pub fn request_count(&self) -> usize {
+        self.entries.iter().map(|e| e.batch.requests.len()).sum()
+    }
+}
+
+impl Ecovisor {
+    /// Executes a request batch: validates the envelope, then answers
+    /// each request in order. One response per request, always — errors
+    /// are [`EnergyResponse::Err`] values and never abort the batch.
+    pub fn dispatch_batch(&mut self, batch: &RequestBatch) -> ResponseBatch {
+        if let Some(trace) = self.proto_trace.as_mut() {
+            trace.entries.push(TraceEntry {
+                tick: self.clock.tick_index(),
+                batch: batch.clone(),
+            });
+        }
+        let responses = if batch.version != PROTOCOL_VERSION {
+            vec![
+                EnergyResponse::Err(ProtoError::Version {
+                    expected: PROTOCOL_VERSION,
+                    got: batch.version,
+                });
+                batch.requests.len()
+            ]
+        } else if !self.apps.contains_key(&batch.app) {
+            vec![EnergyResponse::Err(ProtoError::UnknownApp(batch.app)); batch.requests.len()]
+        } else {
+            batch
+                .requests
+                .iter()
+                .map(|req| self.dispatch(batch.app, req))
+                .collect()
+        };
+        ResponseBatch {
+            version: PROTOCOL_VERSION,
+            app: batch.app,
+            responses,
+        }
+    }
+
+    /// Executes one request under `app`'s scope. Commands and queries
+    /// both route here; this is the single entry point all API surfaces
+    /// share.
+    pub fn dispatch(&mut self, app: AppId, request: &EnergyRequest) -> EnergyResponse {
+        use EnergyRequest::*;
+        if request.is_query() {
+            return self.dispatch_query(app, request);
+        }
+        if !self.apps.contains_key(&app) {
+            return EnergyResponse::Err(ProtoError::UnknownApp(app));
+        }
+        match request {
+            SetContainerPowercap { container, cap } => {
+                self.with_owned(app, *container, |eco, c| {
+                    eco.cop
+                        .set_power_cap(c, Some(*cap))
+                        .map_err(ProtoError::from)?;
+                    Ok(EnergyResponse::Ok)
+                })
+            }
+            ClearContainerPowercap { container } => self.with_owned(app, *container, |eco, c| {
+                eco.cop.set_power_cap(c, None).map_err(ProtoError::from)?;
+                Ok(EnergyResponse::Ok)
+            }),
+            SetBatteryChargeRate { rate } => {
+                self.app_state_mut(app).ves.set_charge_rate(*rate);
+                EnergyResponse::Ok
+            }
+            SetBatteryMaxDischarge { rate } => {
+                self.app_state_mut(app).ves.set_max_discharge(*rate);
+                EnergyResponse::Ok
+            }
+            LaunchContainer { spec } => match self.cop.launch(app, *spec) {
+                Ok(id) => EnergyResponse::Container(id),
+                Err(e) => EnergyResponse::Err(e.into()),
+            },
+            StopContainer { container } => self.with_owned(app, *container, |eco, c| {
+                eco.cop.stop(c).map_err(ProtoError::from)?;
+                Ok(EnergyResponse::Ok)
+            }),
+            SuspendContainer { container } => self.with_owned(app, *container, |eco, c| {
+                eco.cop.suspend(c).map_err(ProtoError::from)?;
+                Ok(EnergyResponse::Ok)
+            }),
+            ResumeContainer { container } => self.with_owned(app, *container, |eco, c| {
+                eco.cop.resume(c).map_err(ProtoError::from)?;
+                Ok(EnergyResponse::Ok)
+            }),
+            SetContainerDemand { container, demand } => {
+                self.with_owned(app, *container, |eco, c| {
+                    eco.cop.set_demand(c, *demand).map_err(ProtoError::from)?;
+                    Ok(EnergyResponse::Ok)
+                })
+            }
+            SetCarbonRate { rate } => {
+                self.app_state_mut(app).carbon_rate_limit = *rate;
+                EnergyResponse::Ok
+            }
+            SetCarbonBudget { budget } => {
+                self.app_state_mut(app).carbon_budget = *budget;
+                EnergyResponse::Ok
+            }
+            // is_query() returned false, so no query variant reaches here.
+            _ => unreachable!("non-command request in command dispatch"),
+        }
+    }
+
+    /// Executes one read-only request under `app`'s scope against
+    /// `&self`. Commands are rejected with [`ProtoError::NotAQuery`].
+    pub fn dispatch_query(&self, app: AppId, request: &EnergyRequest) -> EnergyResponse {
+        use EnergyRequest::*;
+        if !request.is_query() {
+            return EnergyResponse::Err(ProtoError::NotAQuery);
+        }
+        let Some(state) = self.apps.get(&app) else {
+            return EnergyResponse::Err(ProtoError::UnknownApp(app));
+        };
+        match request {
+            GetSolarPower => EnergyResponse::Power(state.ves.solar_available()),
+            GetGridPower => EnergyResponse::Power(state.ves.grid_power()),
+            GetGridCarbon => EnergyResponse::Intensity(self.intensity),
+            GetBatteryDischargeRate => EnergyResponse::Power(state.ves.battery_discharge_rate()),
+            GetBatteryChargeLevel => EnergyResponse::Energy(state.ves.battery_charge_level()),
+            GetContainerPowercap { container } => match self.check_scope(app, *container) {
+                Err(e) => EnergyResponse::Err(e),
+                Ok(()) => EnergyResponse::PowerCap(
+                    self.cop
+                        .container(*container)
+                        .expect("verified")
+                        .power_cap(),
+                ),
+            },
+            GetContainerPower { container } => match self.check_scope(app, *container) {
+                Err(e) => EnergyResponse::Err(e),
+                Ok(()) => match self.cop.container_power(*container) {
+                    Ok(p) => EnergyResponse::Power(p),
+                    Err(e) => EnergyResponse::Err(e.into()),
+                },
+            },
+            ListContainers => EnergyResponse::Containers(self.cop.container_ids_of(app)),
+            CountRunningContainers => EnergyResponse::Count(self.cop.running_count(app)),
+            GetEffectiveCores => EnergyResponse::Cores(self.cop.app_effective_cores(app)),
+            GetContainerEffectiveCores { container } => match self.check_scope(app, *container) {
+                Err(e) => EnergyResponse::Err(e),
+                Ok(()) => EnergyResponse::Cores(
+                    self.cop
+                        .container(*container)
+                        .expect("verified")
+                        .effective_cores(),
+                ),
+            },
+            GetTime => EnergyResponse::Time(self.clock.now()),
+            GetTickInterval => EnergyResponse::Interval(self.clock.interval()),
+            GetAppId => EnergyResponse::App(app),
+            GetContainerEnergy {
+                container,
+                from,
+                to,
+            } => match self.check_scope(app, *container) {
+                Err(e) => EnergyResponse::Err(e),
+                Ok(()) => {
+                    let ws = self.tsdb.integrate(
+                        power_telemetry::metrics::CONTAINER_POWER,
+                        &container.to_string(),
+                        *from,
+                        *to,
+                    );
+                    EnergyResponse::Energy(WattHours::new(ws / 3600.0))
+                }
+            },
+            GetContainerCarbon {
+                container,
+                from,
+                to,
+            } => match self.check_scope(app, *container) {
+                Err(e) => EnergyResponse::Err(e),
+                Ok(()) => {
+                    let grams = self.tsdb.integrate(
+                        power_telemetry::metrics::CARBON_RATE,
+                        &container.to_string(),
+                        *from,
+                        *to,
+                    );
+                    EnergyResponse::Carbon(Co2Grams::new(grams))
+                }
+            },
+            GetAppPower => EnergyResponse::Power(self.cop.app_power(app)),
+            GetAppEnergy { from, to } => {
+                let ws = self.tsdb.integrate(
+                    power_telemetry::metrics::APP_POWER,
+                    &app.to_string(),
+                    *from,
+                    *to,
+                );
+                EnergyResponse::Energy(WattHours::new(ws / 3600.0))
+            }
+            GetAppCarbon => EnergyResponse::Carbon(state.ves.totals().carbon),
+            GetAppCarbonBetween { from, to } => {
+                let grams = self.tsdb.integrate(
+                    power_telemetry::metrics::CARBON_RATE,
+                    &app.to_string(),
+                    *from,
+                    *to,
+                );
+                EnergyResponse::Carbon(Co2Grams::new(grams))
+            }
+            GetCarbonRateLimit => EnergyResponse::RateLimit(state.carbon_rate_limit),
+            GetCarbonBudget => EnergyResponse::Budget(state.carbon_budget),
+            GetRemainingCarbonBudget => EnergyResponse::Budget(
+                state
+                    .carbon_budget
+                    .map(|b| (b - state.ves.totals().carbon).max(Co2Grams::ZERO)),
+            ),
+            // is_query() returned true, so no command variant reaches here.
+            _ => unreachable!("non-query request in query dispatch"),
+        }
+    }
+
+    /// Replays recorded batches through the dispatcher (no re-recording
+    /// happens: recording only captures live traffic).
+    pub fn replay(&mut self, batches: &[RequestBatch]) -> Vec<ResponseBatch> {
+        let recording = self.proto_trace.take();
+        let out = batches.iter().map(|b| self.dispatch_batch(b)).collect();
+        self.proto_trace = recording;
+        out
+    }
+
+    /// Starts recording all dispatched batches into a protocol trace
+    /// (batch traffic only — see [`ProtocolTrace`] for the scope).
+    pub fn enable_protocol_trace(&mut self) {
+        if self.proto_trace.is_none() {
+            self.proto_trace = Some(ProtocolTrace::default());
+        }
+    }
+
+    /// Stops recording and returns the trace captured so far, if any.
+    pub fn take_protocol_trace(&mut self) -> Option<ProtocolTrace> {
+        self.proto_trace.take()
+    }
+
+    // ------------------------------------------------------------------
+    // Scope enforcement
+    // ------------------------------------------------------------------
+
+    /// Scope check as a value: `Err(ProtoError::Scope)` when `container`
+    /// belongs to another application, `Err(UnknownContainer)` when it
+    /// does not exist.
+    pub(crate) fn check_scope(&self, app: AppId, container: ContainerId) -> Result<(), ProtoError> {
+        match self.cop.container(container) {
+            Some(c) if c.owner() == app => Ok(()),
+            Some(_) => Err(ProtoError::Scope { container, app }),
+            None => Err(ProtoError::UnknownContainer(container)),
+        }
+    }
+
+    /// Runs `op` only if `container` is owned by `app`, folding scope
+    /// denials and operation failures into an error response.
+    fn with_owned(
+        &mut self,
+        app: AppId,
+        container: ContainerId,
+        op: impl FnOnce(&mut Self, ContainerId) -> Result<EnergyResponse, ProtoError>,
+    ) -> EnergyResponse {
+        match self.check_scope(app, container) {
+            Ok(()) => match op(self, container) {
+                Ok(resp) => resp,
+                Err(e) => EnergyResponse::Err(e),
+            },
+            Err(e) => EnergyResponse::Err(e),
+        }
+    }
+
+    fn app_state_mut(&mut self, app: AppId) -> &mut crate::ecovisor::AppState {
+        self.apps.get_mut(&app).expect("validated before dispatch")
+    }
+}

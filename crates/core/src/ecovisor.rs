@@ -32,17 +32,18 @@ use crate::api::{EcovisorApi, LibraryApi};
 use crate::config::{EcovisorBuilder, ExcessPolicy};
 use crate::error::{EcovisorError, Result};
 use crate::event::{Notification, NotifyConfig};
+use crate::proto::{EnergyRequest, EnergyResponse};
 use crate::share::EnergyShare;
 use crate::ves::{VesFlows, VesTotals, VirtualEnergySystem};
 
 /// Per-application state held by the ecovisor.
-struct AppState {
-    name: String,
-    ves: VirtualEnergySystem,
-    notify: NotifyConfig,
-    pending_events: Vec<Notification>,
-    carbon_rate_limit: Option<CarbonRate>,
-    carbon_budget: Option<Co2Grams>,
+pub(crate) struct AppState {
+    pub(crate) name: String,
+    pub(crate) ves: VirtualEnergySystem,
+    pub(crate) notify: NotifyConfig,
+    pub(crate) pending_events: Vec<Notification>,
+    pub(crate) carbon_rate_limit: Option<CarbonRate>,
+    pub(crate) carbon_budget: Option<Co2Grams>,
 }
 
 /// System-wide flows settled in one tick (diagnostics/telemetry).
@@ -66,20 +67,23 @@ pub struct SystemFlows {
 
 /// The ecovisor.
 pub struct Ecovisor {
-    clock: TickClock,
-    cop: Cop,
+    pub(crate) clock: TickClock,
+    pub(crate) cop: Cop,
     solar: Box<dyn SolarSource>,
     physical_battery: Battery,
     grid: GridConnection,
     psu: ProgrammablePsu,
     carbon: Box<dyn CarbonService>,
     excess: ExcessPolicy,
-    tsdb: Tsdb,
-    apps: BTreeMap<AppId, AppState>,
+    pub(crate) tsdb: Tsdb,
+    pub(crate) apps: BTreeMap<AppId, AppState>,
     next_app: u32,
-    intensity: CarbonIntensity,
+    pub(crate) intensity: CarbonIntensity,
     prev_intensity: CarbonIntensity,
     last_system_flows: SystemFlows,
+    /// Recorded protocol traffic, when tracing is enabled (see
+    /// [`Ecovisor::enable_protocol_trace`]).
+    pub(crate) proto_trace: Option<crate::dispatch::ProtocolTrace>,
 }
 
 impl std::fmt::Debug for Ecovisor {
@@ -113,6 +117,7 @@ impl Ecovisor {
             intensity,
             prev_intensity: intensity,
             last_system_flows: SystemFlows::default(),
+            proto_trace: None,
         }
     }
 
@@ -193,7 +198,10 @@ impl Ecovisor {
         Ok(())
     }
 
-    /// A scoped API handle for one application.
+    /// A scoped API handle for one application — the *compatibility
+    /// façade*: each trait call translates into exactly one
+    /// [`crate::proto::EnergyRequest`] dispatched immediately. New code
+    /// should prefer [`Ecovisor::client`].
     ///
     /// # Errors
     ///
@@ -203,6 +211,19 @@ impl Ecovisor {
             return Err(EcovisorError::UnknownApp(app));
         }
         Ok(ScopedApi { eco: self, app })
+    }
+
+    /// A batching protocol client for one application — the primary API
+    /// handle (see [`crate::client::EcovisorClient`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn client(&mut self, app: AppId) -> Result<crate::client::EcovisorClient<'_>> {
+        if !self.apps.contains_key(&app) {
+            return Err(EcovisorError::UnknownApp(app));
+        }
+        Ok(crate::client::EcovisorClient::new(self, app))
     }
 
     // ------------------------------------------------------------------
@@ -277,7 +298,10 @@ impl Ecovisor {
         for &id in &ids {
             let d = desired.get(&id).expect("computed");
             let state = self.apps.get_mut(&id).expect("registered");
-            let (f, events) = state.ves.apply_flows(d, charge_scale, discharge_scale, intensity, dt);
+            let (f, events) =
+                state
+                    .ves
+                    .apply_flows(d, charge_scale, discharge_scale, intensity, dt);
             state.pending_events.extend(events);
             surplus_pool += f.solar_surplus;
             charge_applied += f.solar_to_battery + f.grid_to_battery;
@@ -487,17 +511,9 @@ impl Ecovisor {
     }
 
     fn state_mut(&mut self, app: AppId) -> Result<&mut AppState> {
-        self.apps.get_mut(&app).ok_or(EcovisorError::UnknownApp(app))
-    }
-
-    fn verify_owner(&self, app: AppId, container: ContainerId) -> Result<()> {
-        match self.cop.container(container) {
-            Some(c) if c.owner() == app => Ok(()),
-            Some(_) => Err(EcovisorError::NotOwner { container, app }),
-            None => Err(EcovisorError::Cop(
-                container_cop::CopError::UnknownContainer(container),
-            )),
-        }
+        self.apps
+            .get_mut(&app)
+            .ok_or(EcovisorError::UnknownApp(app))
     }
 
     /// Converts each app's carbon-rate limit into per-container power
@@ -594,8 +610,12 @@ impl Ecovisor {
                 .record(metrics::APP_POWER, &subject, now, app_power.watts());
             self.tsdb
                 .record(metrics::GRID_POWER, &subject, now, f.grid_import().watts());
-            self.tsdb
-                .record(metrics::SOLAR_POWER, &subject, now, f.solar_available.watts());
+            self.tsdb.record(
+                metrics::SOLAR_POWER,
+                &subject,
+                now,
+                f.solar_available.watts(),
+            );
             self.tsdb.record(
                 metrics::BATTERY_DISCHARGE,
                 &subject,
@@ -667,9 +687,15 @@ impl EcovisorBuilder {
 
 /// A Table 1 + Table 2 API handle scoped to one application.
 ///
-/// Obtained from [`Ecovisor::scoped`]; every operation is validated
-/// against the application's ownership, so one tenant cannot observe or
-/// control another tenant's containers or virtual energy system.
+/// Obtained from [`Ecovisor::scoped`]. Since the protocol redesign this
+/// is a **thin compatibility façade**: every trait method builds the
+/// corresponding [`crate::proto::EnergyRequest`] and routes it through
+/// the one dispatch hot path ([`Ecovisor::dispatch`] /
+/// [`Ecovisor::dispatch_query`]), then translates the
+/// [`crate::proto::EnergyResponse`] back into the old signature. Scope is
+/// therefore enforced in exactly one place for both API styles, so one
+/// tenant cannot observe or control another tenant's containers or
+/// virtual energy system.
 pub struct ScopedApi<'a> {
     eco: &'a mut Ecovisor,
     app: AppId,
@@ -682,132 +708,122 @@ impl std::fmt::Debug for ScopedApi<'_> {
 }
 
 impl ScopedApi<'_> {
-    fn ves(&self) -> &VirtualEnergySystem {
-        &self.eco.apps.get(&self.app).expect("scoped to live app").ves
+    /// Routes a command through the dispatch hot path.
+    fn command(&mut self, request: EnergyRequest) -> EnergyResponse {
+        self.eco.dispatch(self.app, &request)
     }
 
-    fn ves_mut(&mut self) -> &mut VirtualEnergySystem {
-        &mut self
-            .eco
-            .apps
-            .get_mut(&self.app)
-            .expect("scoped to live app")
-            .ves
-    }
-
-    fn app_state_mut(&mut self) -> &mut AppState {
-        self.eco.apps.get_mut(&self.app).expect("scoped to live app")
+    /// Routes a query through the read-only dispatch path.
+    fn query(&self, request: EnergyRequest) -> EnergyResponse {
+        self.eco.dispatch_query(self.app, &request)
     }
 }
 
 impl EcovisorApi for ScopedApi<'_> {
     fn set_container_powercap(&mut self, container: ContainerId, cap: Watts) -> Result<()> {
-        self.eco.verify_owner(self.app, container)?;
-        self.eco.cop.set_power_cap(container, Some(cap))?;
-        Ok(())
+        self.command(EnergyRequest::SetContainerPowercap { container, cap })
+            .unit()
     }
 
     fn clear_container_powercap(&mut self, container: ContainerId) -> Result<()> {
-        self.eco.verify_owner(self.app, container)?;
-        self.eco.cop.set_power_cap(container, None)?;
-        Ok(())
+        self.command(EnergyRequest::ClearContainerPowercap { container })
+            .unit()
     }
 
     fn set_battery_charge_rate(&mut self, rate: Watts) {
-        self.ves_mut().set_charge_rate(rate);
+        self.command(EnergyRequest::SetBatteryChargeRate { rate })
+            .unit()
+            .expect("infallible setter");
     }
 
     fn set_battery_max_discharge(&mut self, rate: Watts) {
-        self.ves_mut().set_max_discharge(rate);
+        self.command(EnergyRequest::SetBatteryMaxDischarge { rate })
+            .unit()
+            .expect("infallible setter");
     }
 
     fn get_solar_power(&self) -> Watts {
-        self.ves().solar_available()
+        self.query(EnergyRequest::GetSolarPower).expect_power()
     }
 
     fn get_grid_power(&self) -> Watts {
-        self.ves().grid_power()
+        self.query(EnergyRequest::GetGridPower).expect_power()
     }
 
     fn get_grid_carbon(&self) -> CarbonIntensity {
-        self.eco.intensity
+        self.query(EnergyRequest::GetGridCarbon).expect_intensity()
     }
 
     fn get_battery_discharge_rate(&self) -> Watts {
-        self.ves().battery_discharge_rate()
+        self.query(EnergyRequest::GetBatteryDischargeRate)
+            .expect_power()
     }
 
     fn get_battery_charge_level(&self) -> WattHours {
-        self.ves().battery_charge_level()
+        self.query(EnergyRequest::GetBatteryChargeLevel)
+            .expect_energy()
     }
 
     fn get_container_powercap(&self, container: ContainerId) -> Result<Option<Watts>> {
-        self.eco.verify_owner(self.app, container)?;
-        Ok(self
-            .eco
-            .cop
-            .container(container)
-            .expect("verified")
-            .power_cap())
+        self.query(EnergyRequest::GetContainerPowercap { container })
+            .power_cap()
     }
 
     fn get_container_power(&self, container: ContainerId) -> Result<Watts> {
-        self.eco.verify_owner(self.app, container)?;
-        Ok(self.eco.cop.container_power(container)?)
+        self.query(EnergyRequest::GetContainerPower { container })
+            .power()
     }
 
     fn launch_container(&mut self, spec: ContainerSpec) -> Result<ContainerId> {
-        Ok(self.eco.cop.launch(self.app, spec)?)
+        self.command(EnergyRequest::LaunchContainer { spec })
+            .container()
     }
 
     fn stop_container(&mut self, container: ContainerId) -> Result<()> {
-        self.eco.verify_owner(self.app, container)?;
-        Ok(self.eco.cop.stop(container)?)
+        self.command(EnergyRequest::StopContainer { container })
+            .unit()
     }
 
     fn suspend_container(&mut self, container: ContainerId) -> Result<()> {
-        self.eco.verify_owner(self.app, container)?;
-        Ok(self.eco.cop.suspend(container)?)
+        self.command(EnergyRequest::SuspendContainer { container })
+            .unit()
     }
 
     fn resume_container(&mut self, container: ContainerId) -> Result<()> {
-        self.eco.verify_owner(self.app, container)?;
-        Ok(self.eco.cop.resume(container)?)
+        self.command(EnergyRequest::ResumeContainer { container })
+            .unit()
     }
 
     fn set_container_demand(&mut self, container: ContainerId, demand: f64) -> Result<()> {
-        self.eco.verify_owner(self.app, container)?;
-        Ok(self.eco.cop.set_demand(container, demand)?)
+        self.command(EnergyRequest::SetContainerDemand { container, demand })
+            .unit()
     }
 
     fn container_ids(&self) -> Vec<ContainerId> {
-        self.eco.cop.container_ids_of(self.app)
+        self.query(EnergyRequest::ListContainers)
+            .expect_containers()
     }
 
     fn running_containers(&self) -> usize {
-        self.eco.cop.running_count(self.app)
+        self.query(EnergyRequest::CountRunningContainers)
+            .expect_count()
     }
 
     fn effective_cores(&self) -> f64 {
-        self.eco.cop.app_effective_cores(self.app)
+        self.query(EnergyRequest::GetEffectiveCores).expect_cores()
     }
 
     fn container_effective_cores(&self, container: ContainerId) -> Result<f64> {
-        self.eco.verify_owner(self.app, container)?;
-        Ok(self
-            .eco
-            .cop
-            .container(container)
-            .expect("verified")
-            .effective_cores())
+        self.query(EnergyRequest::GetContainerEffectiveCores { container })
+            .cores()
     }
 
     fn now(&self) -> SimTime {
-        self.eco.clock.now()
+        self.query(EnergyRequest::GetTime).expect_time()
     }
 
     fn tick_interval(&self) -> SimDuration {
-        self.eco.clock.interval()
+        self.query(EnergyRequest::GetTickInterval).expect_interval()
     }
 
     fn app_id(&self) -> AppId {
@@ -822,12 +838,12 @@ impl LibraryApi for ScopedApi<'_> {
         from: SimTime,
         to: SimTime,
     ) -> Result<WattHours> {
-        self.eco.verify_owner(self.app, container)?;
-        let ws = self
-            .eco
-            .tsdb
-            .integrate(metrics::CONTAINER_POWER, &container.to_string(), from, to);
-        Ok(WattHours::new(ws / 3600.0))
+        self.query(EnergyRequest::GetContainerEnergy {
+            container,
+            from,
+            to,
+        })
+        .energy()
     }
 
     fn get_container_carbon(
@@ -836,64 +852,55 @@ impl LibraryApi for ScopedApi<'_> {
         from: SimTime,
         to: SimTime,
     ) -> Result<Co2Grams> {
-        self.eco.verify_owner(self.app, container)?;
-        let grams = self
-            .eco
-            .tsdb
-            .integrate(metrics::CARBON_RATE, &container.to_string(), from, to);
-        Ok(Co2Grams::new(grams))
+        self.query(EnergyRequest::GetContainerCarbon {
+            container,
+            from,
+            to,
+        })
+        .carbon()
     }
 
     fn get_app_power(&self) -> Watts {
-        self.eco.cop.app_power(self.app)
+        self.query(EnergyRequest::GetAppPower).expect_power()
     }
 
     fn get_app_energy(&self, from: SimTime, to: SimTime) -> WattHours {
-        let ws = self
-            .eco
-            .tsdb
-            .integrate(metrics::APP_POWER, &self.app.to_string(), from, to);
-        WattHours::new(ws / 3600.0)
+        self.query(EnergyRequest::GetAppEnergy { from, to })
+            .expect_energy()
     }
 
     fn get_app_carbon(&self) -> Co2Grams {
-        self.ves().totals().carbon
+        self.query(EnergyRequest::GetAppCarbon).expect_carbon()
     }
 
     fn get_app_carbon_between(&self, from: SimTime, to: SimTime) -> Co2Grams {
-        let grams = self
-            .eco
-            .tsdb
-            .integrate(metrics::CARBON_RATE, &self.app.to_string(), from, to);
-        Co2Grams::new(grams)
+        self.query(EnergyRequest::GetAppCarbonBetween { from, to })
+            .expect_carbon()
     }
 
     fn set_carbon_rate(&mut self, rate: Option<CarbonRate>) {
-        self.app_state_mut().carbon_rate_limit = rate;
+        self.command(EnergyRequest::SetCarbonRate { rate })
+            .unit()
+            .expect("infallible setter");
     }
 
     fn carbon_rate_limit(&self) -> Option<CarbonRate> {
-        self.eco
-            .apps
-            .get(&self.app)
-            .expect("scoped to live app")
-            .carbon_rate_limit
+        self.query(EnergyRequest::GetCarbonRateLimit)
+            .expect_rate_limit()
     }
 
     fn set_carbon_budget(&mut self, budget: Option<Co2Grams>) {
-        self.app_state_mut().carbon_budget = budget;
+        self.command(EnergyRequest::SetCarbonBudget { budget })
+            .unit()
+            .expect("infallible setter");
     }
 
     fn carbon_budget(&self) -> Option<Co2Grams> {
-        self.eco
-            .apps
-            .get(&self.app)
-            .expect("scoped to live app")
-            .carbon_budget
+        self.query(EnergyRequest::GetCarbonBudget).expect_budget()
     }
 
     fn remaining_carbon_budget(&self) -> Option<Co2Grams> {
-        self.carbon_budget()
-            .map(|b| (b - self.get_app_carbon()).max(Co2Grams::ZERO))
+        self.query(EnergyRequest::GetRemainingCarbonBudget)
+            .expect_budget()
     }
 }

@@ -25,6 +25,9 @@ pub enum EcovisorError {
     InvalidShare(String),
     /// An underlying COP operation failed.
     Cop(CopError),
+    /// A protocol-level failure with no richer mapping (version
+    /// mismatch, command on the query path, …).
+    Protocol(String),
 }
 
 impl fmt::Display for EcovisorError {
@@ -39,6 +42,7 @@ impl fmt::Display for EcovisorError {
             }
             EcovisorError::InvalidShare(msg) => write!(f, "invalid energy share: {msg}"),
             EcovisorError::Cop(e) => write!(f, "orchestration error: {e}"),
+            EcovisorError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }

@@ -97,14 +97,8 @@ mod tests {
     #[test]
     fn carbon_threshold_behaviour() {
         let cfg = NotifyConfig::default();
-        assert!(cfg.carbon_significant(
-            CarbonIntensity::new(200.0),
-            CarbonIntensity::new(260.0)
-        ));
-        assert!(!cfg.carbon_significant(
-            CarbonIntensity::new(200.0),
-            CarbonIntensity::new(210.0)
-        ));
+        assert!(cfg.carbon_significant(CarbonIntensity::new(200.0), CarbonIntensity::new(260.0)));
+        assert!(!cfg.carbon_significant(CarbonIntensity::new(200.0), CarbonIntensity::new(210.0)));
     }
 
     #[test]

@@ -7,37 +7,65 @@
 //! and control of it directly to applications**, so each application can
 //! handle clean energy's unreliability according to its own requirements.
 //!
+//! ## Protocol-first architecture
+//!
+//! The application-facing API is a **versioned, wire-serializable
+//! command/query protocol** ([`proto`]): every Table 1 setter/getter,
+//! §3.1 container-management call, and Table 2 library function is an
+//! [`EnergyRequest`] variant answered by an [`EnergyResponse`], carried
+//! in [`RequestBatch`] envelopes tagged with the protocol version and the
+//! issuing application's [`AppId`] scope. Three surfaces sit on that one
+//! hot path:
+//!
+//! * [`EcovisorClient`] ([`client`]) — the **primary handle**.
+//!   Applications receive it in their `tick()` upcall; it batches
+//!   fire-and-forget commands and flushes them at tick boundaries (or
+//!   before any read), so call sites keep the old ergonomic method names
+//!   while all traffic travels as protocol messages.
+//! * [`EcovisorApi`]/[`LibraryApi`] ([`api`]) — the original trait
+//!   surface, kept as a thin compatibility façade: [`ScopedApi`]
+//!   translates each trait call into exactly one request.
+//! * Raw batches — [`Ecovisor::dispatch_batch`] accepts a
+//!   [`RequestBatch`] directly; with [`Ecovisor::enable_protocol_trace`]
+//!   a run's full API traffic can be recorded and
+//!   [`replayed`](Ecovisor::replay).
+//!
+//! Scope enforcement lives in the dispatcher ([`dispatch`]), in one
+//! place for all three surfaces: a request that names another tenant's
+//! container comes back as an [`EnergyResponse::Err`] carrying
+//! [`ProtoError::Scope`] — an error value on the wire, never a panic.
+//!
 //! ## Architecture
 //!
-//! * [`Ecovisor`] owns the physical components (from `energy-system`),
-//!   the container orchestration platform (from `container-cop`), the
-//!   carbon information service (from `carbon-intel`), and the telemetry
-//!   store (from `power-telemetry`).
+//! * [`Ecovisor`] owns the physical components (from `energy_system`),
+//!   the container orchestration platform (from `container_cop`), the
+//!   carbon information service (from `carbon_intel`), and the telemetry
+//!   store (from `power_telemetry`).
 //! * Each registered application receives a [`VirtualEnergySystem`] —
 //!   virtual grid + virtual battery + virtual solar share — settled every
 //!   tick with the paper's supply priority (solar → battery → grid) and
 //!   per-tick carbon attribution.
-//! * Applications interact through the narrow Table 1 API
-//!   ([`EcovisorApi`]) and the Table 2 library layer ([`LibraryApi`]),
-//!   receive the periodic `tick()` upcall via [`Application::on_tick`],
-//!   and asynchronous notifications via [`Application::on_event`].
-//! * [`Simulation`] drives the tick protocol deterministically.
+//! * Applications interact through the protocol, receive the periodic
+//!   `tick()` upcall via [`Application::on_tick`], and asynchronous
+//!   notifications via [`Application::on_event`].
+//! * [`Simulation`] drives the tick protocol deterministically and
+//!   flushes each application's request batch at the tick boundary.
 //!
 //! ## Example
 //!
 //! ```
 //! use container_cop::ContainerSpec;
 //! use ecovisor::{
-//!     Application, EcovisorBuilder, EnergyShare, LibraryApi, Simulation,
+//!     Application, EcovisorBuilder, EcovisorClient, EnergyShare, Simulation,
 //! };
 //!
 //! struct Busy;
 //! impl Application for Busy {
-//!     fn on_start(&mut self, api: &mut dyn ecovisor::LibraryApi) {
+//!     fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
 //!         let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
 //!         api.set_container_demand(c, 1.0).unwrap();
 //!     }
-//!     fn on_tick(&mut self, api: &mut dyn LibraryApi) {
+//!     fn on_tick(&mut self, api: &mut EcovisorClient<'_>) {
 //!         // React to carbon intensity here (the paper's tick() upcall).
 //!         let _intensity = api.get_grid_carbon();
 //!     }
@@ -54,20 +82,28 @@
 
 pub mod api;
 pub mod app;
+pub mod client;
 pub mod config;
+pub mod dispatch;
 pub mod ecovisor;
 pub mod error;
 pub mod event;
+pub mod proto;
 pub mod share;
 pub mod sim;
 pub mod ves;
 
 pub use api::{EcovisorApi, LibraryApi};
 pub use app::Application;
+pub use client::EcovisorClient;
 pub use config::{EcovisorBuilder, ExcessPolicy};
+pub use dispatch::{ProtocolTrace, TraceEntry};
 pub use ecovisor::{Ecovisor, ScopedApi, SystemFlows};
 pub use error::{EcovisorError, Result};
 pub use event::{Notification, NotifyConfig};
+pub use proto::{
+    EnergyRequest, EnergyResponse, ProtoError, RequestBatch, ResponseBatch, PROTOCOL_VERSION,
+};
 pub use share::EnergyShare;
 pub use sim::Simulation;
 pub use ves::{VesFlows, VesTotals, VirtualEnergySystem};

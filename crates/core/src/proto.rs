@@ -1,0 +1,576 @@
+//! The versioned, wire-serializable command/query protocol.
+//!
+//! This is the ecovisor's *primary* application-facing API: every Table 1
+//! setter/getter, every §3.1 container-management call, and every Table 2
+//! library function is a variant of [`EnergyRequest`], answered by an
+//! [`EnergyResponse`]. Requests travel in a [`RequestBatch`] envelope
+//! tagged with the [`PROTOCOL_VERSION`] and the calling application's
+//! [`AppId`] scope; the ecovisor validates both before executing anything
+//! (see [`crate::ecovisor::Ecovisor::dispatch_batch`]).
+//!
+//! Three properties fall out of the message encoding:
+//!
+//! * **Remotable** — every type here round-trips through
+//!   [`serde::json`], so a batch can cross a process or network boundary
+//!   unchanged.
+//! * **Batchable** — a `Vec<EnergyRequest>` settles in one dispatch call,
+//!   the seam all future sharding/async/remote work builds on.
+//! * **Recordable** — a run's API traffic is a `Vec<RequestBatch>` that
+//!   can be persisted and replayed (see
+//!   [`crate::ecovisor::Ecovisor::replay`]).
+//!
+//! Failures are **values, not panics**: scope violations, unknown
+//! containers, and capacity exhaustion come back as
+//! [`EnergyResponse::Err`] carrying a [`ProtoError`], and one failed
+//! request never aborts the rest of its batch.
+//!
+//! The old [`crate::api::EcovisorApi`]/[`crate::api::LibraryApi`] traits
+//! survive as a compatibility façade: [`crate::ecovisor::ScopedApi`]
+//! translates each trait call into exactly one of these requests.
+
+use container_cop::{AppId, ContainerId, ContainerSpec};
+use serde::{Deserialize, Serialize};
+use simkit::time::{SimDuration, SimTime};
+use simkit::units::{CarbonIntensity, CarbonRate, Co2Grams, WattHours, Watts};
+
+use crate::error::EcovisorError;
+
+/// Current protocol version. Bump on any wire-visible change to
+/// [`EnergyRequest`]/[`EnergyResponse`]; the dispatcher rejects batches
+/// from other versions with [`ProtoError::Version`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// One application-issued command or query.
+///
+/// Variants mirror the paper's API surface one-to-one; the doc comment on
+/// each names the Table 1 / Table 2 function it encodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EnergyRequest {
+    // -- Table 1 setters ------------------------------------------------
+    /// `set_container_powercap(c, l)`.
+    SetContainerPowercap {
+        /// Target container.
+        container: ContainerId,
+        /// Power cap to enforce.
+        cap: Watts,
+    },
+    /// Clears a container's power cap.
+    ClearContainerPowercap {
+        /// Target container.
+        container: ContainerId,
+    },
+    /// `set_battery_charge_rate(r)`.
+    SetBatteryChargeRate {
+        /// Grid-charging rate, applied until full.
+        rate: Watts,
+    },
+    /// `set_battery_max_discharge(r)`.
+    SetBatteryMaxDischarge {
+        /// Maximum discharge rate serving this app's deficit.
+        rate: Watts,
+    },
+
+    // -- Table 1 getters ------------------------------------------------
+    /// `get_solar_power()`.
+    GetSolarPower,
+    /// `get_grid_power()`.
+    GetGridPower,
+    /// `get_grid_carbon()`.
+    GetGridCarbon,
+    /// `get_battery_discharge_rate()`.
+    GetBatteryDischargeRate,
+    /// `get_battery_charge_level()`.
+    GetBatteryChargeLevel,
+    /// `get_container_powercap(c)`.
+    GetContainerPowercap {
+        /// Target container.
+        container: ContainerId,
+    },
+    /// `get_container_power(c)`.
+    GetContainerPower {
+        /// Target container.
+        container: ContainerId,
+    },
+
+    // -- Container & resource management (§3.1) -------------------------
+    /// Launches a container (horizontal scale-up).
+    LaunchContainer {
+        /// Requested shape.
+        spec: ContainerSpec,
+    },
+    /// Destroys a container (horizontal scale-down).
+    StopContainer {
+        /// Target container.
+        container: ContainerId,
+    },
+    /// Freezes a running container.
+    SuspendContainer {
+        /// Target container.
+        container: ContainerId,
+    },
+    /// Thaws a suspended container.
+    ResumeContainer {
+        /// Target container.
+        container: ContainerId,
+    },
+    /// Sets a container's CPU demand for this tick.
+    SetContainerDemand {
+        /// Target container.
+        container: ContainerId,
+        /// Fraction of allocated cores the workload wants.
+        demand: f64,
+    },
+    /// Ids of the app's live containers.
+    ListContainers,
+    /// Number of running (not suspended) containers.
+    CountRunningContainers,
+    /// Effective compute capacity this tick, in core-equivalents.
+    GetEffectiveCores,
+    /// One container's effective cores this tick.
+    GetContainerEffectiveCores {
+        /// Target container.
+        container: ContainerId,
+    },
+
+    // -- Clock ----------------------------------------------------------
+    /// Start instant of the current tick.
+    GetTime,
+    /// The tick interval Δt.
+    GetTickInterval,
+    /// The calling application's id.
+    GetAppId,
+
+    // -- Table 2 library functions --------------------------------------
+    /// `get_container_energy(c, t1, t2)`.
+    GetContainerEnergy {
+        /// Target container.
+        container: ContainerId,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        to: SimTime,
+    },
+    /// `get_container_carbon(c, t1, t2)`.
+    GetContainerCarbon {
+        /// Target container.
+        container: ContainerId,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        to: SimTime,
+    },
+    /// `get_app_power()`.
+    GetAppPower,
+    /// `get_app_energy(t1, t2)`.
+    GetAppEnergy {
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        to: SimTime,
+    },
+    /// `get_app_carbon()` (cumulative).
+    GetAppCarbon,
+    /// App carbon over a window.
+    GetAppCarbonBetween {
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        to: SimTime,
+    },
+    /// `set_carbon_rate(r)`; `None` clears the limit.
+    SetCarbonRate {
+        /// Rate limit, or `None` to clear.
+        rate: Option<CarbonRate>,
+    },
+    /// The active carbon rate limit.
+    GetCarbonRateLimit,
+    /// `set_carbon_budget(b)`; `None` clears the budget.
+    SetCarbonBudget {
+        /// Budget, or `None` to clear.
+        budget: Option<Co2Grams>,
+    },
+    /// The configured carbon budget.
+    GetCarbonBudget,
+    /// Budget remaining (budget − cumulative carbon), if set.
+    GetRemainingCarbonBudget,
+}
+
+impl EnergyRequest {
+    /// `true` for read-only requests (the *query* half of the protocol):
+    /// they never mutate ecovisor state and may execute against `&self`.
+    pub fn is_query(&self) -> bool {
+        use EnergyRequest::*;
+        matches!(
+            self,
+            GetSolarPower
+                | GetGridPower
+                | GetGridCarbon
+                | GetBatteryDischargeRate
+                | GetBatteryChargeLevel
+                | GetContainerPowercap { .. }
+                | GetContainerPower { .. }
+                | ListContainers
+                | CountRunningContainers
+                | GetEffectiveCores
+                | GetContainerEffectiveCores { .. }
+                | GetTime
+                | GetTickInterval
+                | GetAppId
+                | GetContainerEnergy { .. }
+                | GetContainerCarbon { .. }
+                | GetAppPower
+                | GetAppEnergy { .. }
+                | GetAppCarbon
+                | GetAppCarbonBetween { .. }
+                | GetCarbonRateLimit
+                | GetCarbonBudget
+                | GetRemainingCarbonBudget
+        )
+    }
+
+    /// `true` for state-mutating requests (the *command* half).
+    pub fn is_command(&self) -> bool {
+        !self.is_query()
+    }
+
+    /// Stable method name, for logs and benchmarks.
+    pub fn name(&self) -> &'static str {
+        use EnergyRequest::*;
+        match self {
+            SetContainerPowercap { .. } => "set_container_powercap",
+            ClearContainerPowercap { .. } => "clear_container_powercap",
+            SetBatteryChargeRate { .. } => "set_battery_charge_rate",
+            SetBatteryMaxDischarge { .. } => "set_battery_max_discharge",
+            GetSolarPower => "get_solar_power",
+            GetGridPower => "get_grid_power",
+            GetGridCarbon => "get_grid_carbon",
+            GetBatteryDischargeRate => "get_battery_discharge_rate",
+            GetBatteryChargeLevel => "get_battery_charge_level",
+            GetContainerPowercap { .. } => "get_container_powercap",
+            GetContainerPower { .. } => "get_container_power",
+            LaunchContainer { .. } => "launch_container",
+            StopContainer { .. } => "stop_container",
+            SuspendContainer { .. } => "suspend_container",
+            ResumeContainer { .. } => "resume_container",
+            SetContainerDemand { .. } => "set_container_demand",
+            ListContainers => "container_ids",
+            CountRunningContainers => "running_containers",
+            GetEffectiveCores => "effective_cores",
+            GetContainerEffectiveCores { .. } => "container_effective_cores",
+            GetTime => "now",
+            GetTickInterval => "tick_interval",
+            GetAppId => "app_id",
+            GetContainerEnergy { .. } => "get_container_energy",
+            GetContainerCarbon { .. } => "get_container_carbon",
+            GetAppPower => "get_app_power",
+            GetAppEnergy { .. } => "get_app_energy",
+            GetAppCarbon => "get_app_carbon",
+            GetAppCarbonBetween { .. } => "get_app_carbon_between",
+            SetCarbonRate { .. } => "set_carbon_rate",
+            GetCarbonRateLimit => "carbon_rate_limit",
+            SetCarbonBudget { .. } => "set_carbon_budget",
+            GetCarbonBudget => "carbon_budget",
+            GetRemainingCarbonBudget => "remaining_carbon_budget",
+        }
+    }
+}
+
+/// The answer to one [`EnergyRequest`].
+///
+/// Exactly one response is produced per request, in batch order. Failures
+/// are the [`EnergyResponse::Err`] variant — a value on the wire, never a
+/// panic in the dispatcher.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EnergyResponse {
+    /// Command acknowledged, no payload.
+    Ok,
+    /// A power reading.
+    Power(Watts),
+    /// An optional power cap.
+    PowerCap(Option<Watts>),
+    /// An energy quantity.
+    Energy(WattHours),
+    /// A carbon mass.
+    Carbon(Co2Grams),
+    /// A grid carbon intensity.
+    Intensity(CarbonIntensity),
+    /// An optional carbon-rate limit.
+    RateLimit(Option<CarbonRate>),
+    /// An optional carbon budget (or remainder).
+    Budget(Option<Co2Grams>),
+    /// A core-equivalent capacity.
+    Cores(f64),
+    /// A count.
+    Count(usize),
+    /// A newly launched container.
+    Container(ContainerId),
+    /// Container ids, in id order.
+    Containers(Vec<ContainerId>),
+    /// A simulation instant.
+    Time(SimTime),
+    /// A simulation duration.
+    Interval(SimDuration),
+    /// An application id.
+    App(AppId),
+    /// The request failed; the error is data.
+    Err(ProtoError),
+}
+
+/// A protocol-level failure, serializable like everything else.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProtoError {
+    /// The batch's protocol version does not match the dispatcher's.
+    Version {
+        /// Version the dispatcher speaks.
+        expected: u16,
+        /// Version the batch carried.
+        got: u16,
+    },
+    /// The batch's `app` scope is not a registered application.
+    UnknownApp(AppId),
+    /// The request referenced a container owned by another application —
+    /// the isolation boundary held and the denial is reported as data.
+    Scope {
+        /// Container that was targeted.
+        container: ContainerId,
+        /// Application that attempted the operation.
+        app: AppId,
+    },
+    /// The referenced container does not exist (or was destroyed).
+    UnknownContainer(ContainerId),
+    /// No server can host the requested container.
+    InsufficientCapacity {
+        /// Cores requested.
+        cores: u32,
+        /// Memory requested in MiB.
+        memory_mib: u64,
+    },
+    /// The operation is invalid in the container's current state.
+    InvalidState {
+        /// Container the operation targeted.
+        container: ContainerId,
+        /// Description of the conflict.
+        reason: String,
+    },
+    /// A command was sent down the read-only query path.
+    NotAQuery,
+    /// Any other failure, as a message.
+    Other(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Version { expected, got } => {
+                write!(
+                    f,
+                    "protocol version mismatch: expected v{expected}, got v{got}"
+                )
+            }
+            ProtoError::UnknownApp(app) => write!(f, "unknown application {app}"),
+            ProtoError::Scope { container, app } => {
+                write!(f, "application {app} does not own container {container}")
+            }
+            ProtoError::UnknownContainer(c) => write!(f, "unknown container {c}"),
+            ProtoError::InsufficientCapacity { cores, memory_mib } => write!(
+                f,
+                "no server can host a container with {cores} cores and {memory_mib} MiB"
+            ),
+            ProtoError::InvalidState { container, reason } => {
+                write!(f, "container {container}: {reason}")
+            }
+            ProtoError::NotAQuery => write!(f, "command sent down the query path"),
+            ProtoError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<EcovisorError> for ProtoError {
+    fn from(e: EcovisorError) -> Self {
+        match e {
+            EcovisorError::UnknownApp(app) => ProtoError::UnknownApp(app),
+            EcovisorError::NotOwner { container, app } => ProtoError::Scope { container, app },
+            EcovisorError::Cop(cop) => cop.into(),
+            other => ProtoError::Other(other.to_string()),
+        }
+    }
+}
+
+impl From<container_cop::CopError> for ProtoError {
+    fn from(e: container_cop::CopError) -> Self {
+        match e {
+            container_cop::CopError::UnknownContainer(c) => ProtoError::UnknownContainer(c),
+            container_cop::CopError::InsufficientCapacity { cores, memory_mib } => {
+                ProtoError::InsufficientCapacity { cores, memory_mib }
+            }
+            container_cop::CopError::InvalidState { container, reason } => {
+                ProtoError::InvalidState { container, reason }
+            }
+        }
+    }
+}
+
+impl From<ProtoError> for EcovisorError {
+    fn from(e: ProtoError) -> Self {
+        match e {
+            ProtoError::UnknownApp(app) => EcovisorError::UnknownApp(app),
+            ProtoError::Scope { container, app } => EcovisorError::NotOwner { container, app },
+            ProtoError::UnknownContainer(c) => {
+                EcovisorError::Cop(container_cop::CopError::UnknownContainer(c))
+            }
+            ProtoError::InsufficientCapacity { cores, memory_mib } => {
+                EcovisorError::Cop(container_cop::CopError::InsufficientCapacity {
+                    cores,
+                    memory_mib,
+                })
+            }
+            ProtoError::InvalidState { container, reason } => {
+                EcovisorError::Cop(container_cop::CopError::InvalidState { container, reason })
+            }
+            other => EcovisorError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A batch of requests from one application, tagged with the protocol
+/// version and the issuing application's scope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestBatch {
+    /// Protocol version the sender speaks.
+    pub version: u16,
+    /// Scope every request executes under. The dispatcher enforces that
+    /// no request can touch state outside this application.
+    pub app: AppId,
+    /// Requests, executed in order.
+    pub requests: Vec<EnergyRequest>,
+}
+
+impl RequestBatch {
+    /// A current-version batch for `app`.
+    pub fn new(app: AppId, requests: Vec<EnergyRequest>) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            app,
+            requests,
+        }
+    }
+}
+
+/// The responses to a [`RequestBatch`], one per request, in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseBatch {
+    /// Protocol version the dispatcher speaks.
+    pub version: u16,
+    /// Scope the batch executed under.
+    pub app: AppId,
+    /// Per-request responses, in request order.
+    pub responses: Vec<EnergyResponse>,
+}
+
+// ----------------------------------------------------------------------
+// Typed extractors: the compatibility façade and the client handle use
+// these to turn a wire response back into the old method signatures.
+// ----------------------------------------------------------------------
+
+/// Panics with a uniform message on a request/response type mismatch —
+/// only reachable through a dispatcher bug, never through bad input.
+macro_rules! extractors {
+    ($( $(#[$doc:meta])* $fallible:ident / $infallible:ident => $variant:ident ( $ty:ty ) ),* $(,)?) => {
+        impl EnergyResponse {
+            $(
+                $(#[$doc])*
+                ///
+                /// # Errors
+                ///
+                /// Maps [`EnergyResponse::Err`] back to [`EcovisorError`].
+                ///
+                /// # Panics
+                ///
+                /// On a response of any other variant (dispatcher bug).
+                pub fn $fallible(self) -> crate::error::Result<$ty> {
+                    match self {
+                        EnergyResponse::$variant(v) => Ok(v),
+                        EnergyResponse::Err(e) => Err(e.into()),
+                        other => panic!(
+                            concat!("protocol violation: expected ", stringify!($variant), ", got {:?}"),
+                            other
+                        ),
+                    }
+                }
+
+                /// Infallible form of the extractor, for getters that
+                /// cannot fail.
+                ///
+                /// # Panics
+                ///
+                /// On [`EnergyResponse::Err`] or any other variant.
+                pub fn $infallible(self) -> $ty {
+                    match self {
+                        EnergyResponse::$variant(v) => v,
+                        other => panic!(
+                            concat!("protocol violation: expected ", stringify!($variant), ", got {:?}"),
+                            other
+                        ),
+                    }
+                }
+            )*
+        }
+    };
+}
+
+extractors! {
+    /// Extracts a power reading.
+    power / expect_power => Power(Watts),
+    /// Extracts an optional power cap.
+    power_cap / expect_power_cap => PowerCap(Option<Watts>),
+    /// Extracts an energy quantity.
+    energy / expect_energy => Energy(WattHours),
+    /// Extracts a carbon mass.
+    carbon / expect_carbon => Carbon(Co2Grams),
+    /// Extracts a carbon intensity.
+    intensity / expect_intensity => Intensity(CarbonIntensity),
+    /// Extracts an optional rate limit.
+    rate_limit / expect_rate_limit => RateLimit(Option<CarbonRate>),
+    /// Extracts an optional budget.
+    budget / expect_budget => Budget(Option<Co2Grams>),
+    /// Extracts a core-equivalent capacity.
+    cores / expect_cores => Cores(f64),
+    /// Extracts a count.
+    count / expect_count => Count(usize),
+    /// Extracts a container id.
+    container / expect_container => Container(ContainerId),
+    /// Extracts container ids.
+    containers / expect_containers => Containers(Vec<ContainerId>),
+    /// Extracts an instant.
+    time / expect_time => Time(SimTime),
+    /// Extracts a duration.
+    interval / expect_interval => Interval(SimDuration),
+    /// Extracts an application id.
+    app / expect_app => App(AppId),
+}
+
+impl EnergyResponse {
+    /// Extracts a command acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Maps [`EnergyResponse::Err`] back to [`EcovisorError`].
+    ///
+    /// # Panics
+    ///
+    /// On a response of any other variant (dispatcher bug).
+    pub fn unit(self) -> crate::error::Result<()> {
+        match self {
+            EnergyResponse::Ok => Ok(()),
+            EnergyResponse::Err(e) => Err(e.into()),
+            other => panic!("protocol violation: expected Ok, got {other:?}"),
+        }
+    }
+
+    /// `true` when the request failed.
+    pub fn is_err(&self) -> bool {
+        matches!(self, EnergyResponse::Err(_))
+    }
+}

@@ -5,12 +5,15 @@
 //!
 //! 1. samples the carbon service ([`Ecovisor::begin_tick`]);
 //! 2. delivers pending notifications and the `tick()` upcall to every
-//!    application, in registration order, through a [`ScopedApi`] so
-//!    applications can only touch their own virtual energy system;
-//! 3. settles energy and carbon ([`Ecovisor::settle_tick`]);
-//! 4. advances the clock.
+//!    application, in registration order, through an [`EcovisorClient`]
+//!    protocol handle so applications can only touch their own virtual
+//!    energy system and their fire-and-forget commands coalesce into
+//!    per-tick request batches;
+//! 3. flushes each application's outstanding batch at the tick boundary;
+//! 4. settles energy and carbon ([`Ecovisor::settle_tick`]);
+//! 5. advances the clock.
 //!
-//! [`ScopedApi`]: crate::ecovisor::ScopedApi
+//! [`EcovisorClient`]: crate::client::EcovisorClient
 
 use container_cop::AppId;
 use simkit::time::SimDuration;
@@ -64,8 +67,9 @@ impl Simulation {
     ) -> Result<AppId> {
         let id = self.eco.register_app(name, share)?;
         {
-            let mut api = self.eco.scoped(id)?;
+            let mut api = self.eco.client(id)?;
             app.on_start(&mut api);
+            // `api` drops here, flushing anything still queued.
         }
         self.entries.push(Entry { id, app });
         Ok(id)
@@ -76,11 +80,13 @@ impl Simulation {
         self.eco.begin_tick();
         for entry in &mut self.entries {
             let events = self.eco.drain_events(entry.id);
-            let mut api = self.eco.scoped(entry.id).expect("registered app");
+            let mut api = self.eco.client(entry.id).expect("registered app");
             for event in &events {
                 entry.app.on_event(event, &mut api);
             }
             entry.app.on_tick(&mut api);
+            // Tick boundary: whatever the app queued settles as one batch.
+            api.flush();
         }
         self.eco.settle_tick();
         self.eco.advance_clock();

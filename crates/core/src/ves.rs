@@ -207,7 +207,10 @@ impl VirtualEnergySystem {
 
     /// Virtual battery state of charge fraction (0 without a battery).
     pub fn battery_soc(&self) -> f64 {
-        self.battery.as_ref().map(Battery::soc_fraction).unwrap_or(0.0)
+        self.battery
+            .as_ref()
+            .map(Battery::soc_fraction)
+            .unwrap_or(0.0)
     }
 
     /// Sets the grid-charging rate (Table 1 `set_battery_charge_rate`).
@@ -455,14 +458,15 @@ mod tests {
             .with_battery(WattHours::new(720.0))
     }
 
-    fn apply_simple(
-        ves: &mut VirtualEnergySystem,
-        demand: Watts,
-        intensity: f64,
-    ) -> VesFlows {
+    fn apply_simple(ves: &mut VirtualEnergySystem, demand: Watts, intensity: f64) -> VesFlows {
         let desired = ves.desired_flows(demand, minute());
-        let (flows, _) =
-            ves.apply_flows(&desired, 1.0, 1.0, CarbonIntensity::new(intensity), minute());
+        let (flows, _) = ves.apply_flows(
+            &desired,
+            1.0,
+            1.0,
+            CarbonIntensity::new(intensity),
+            minute(),
+        );
         flows
     }
 
@@ -530,8 +534,7 @@ mod tests {
         ves.set_max_discharge(Watts::new(100.0));
         let desired = ves.desired_flows(Watts::new(100.0), minute());
         assert_eq!(desired.discharge, Watts::new(100.0));
-        let (flows, _) =
-            ves.apply_flows(&desired, 1.0, 0.5, CarbonIntensity::new(100.0), minute());
+        let (flows, _) = ves.apply_flows(&desired, 1.0, 0.5, CarbonIntensity::new(100.0), minute());
         assert_eq!(flows.battery_to_load, Watts::new(50.0));
         assert_eq!(flows.grid_to_load, Watts::new(50.0));
         assert!(flows.is_conserved());
@@ -544,8 +547,7 @@ mod tests {
         ves.buffer_solar(Watts::new(100.0));
         let desired = ves.desired_flows(Watts::ZERO, minute());
         assert_eq!(desired.charge_solar, Watts::new(100.0));
-        let (flows, _) =
-            ves.apply_flows(&desired, 0.25, 1.0, CarbonIntensity::new(0.0), minute());
+        let (flows, _) = ves.apply_flows(&desired, 0.25, 1.0, CarbonIntensity::new(0.0), minute());
         assert_eq!(flows.solar_to_battery, Watts::new(25.0));
         assert_eq!(flows.solar_surplus, Watts::new(75.0));
         assert!(flows.is_conserved());
@@ -578,8 +580,7 @@ mod tests {
         let mut events = Vec::new();
         for _ in 0..300 {
             let desired = ves.desired_flows(Watts::new(720.0), minute());
-            let (_, ev) =
-                ves.apply_flows(&desired, 1.0, 1.0, CarbonIntensity::new(0.0), minute());
+            let (_, ev) = ves.apply_flows(&desired, 1.0, 1.0, CarbonIntensity::new(0.0), minute());
             events.extend(ev);
         }
         assert_eq!(
@@ -595,8 +596,7 @@ mod tests {
         let mut events = Vec::new();
         for _ in 0..600 {
             let desired = ves.desired_flows(Watts::ZERO, minute());
-            let (_, ev) =
-                ves.apply_flows(&desired, 1.0, 1.0, CarbonIntensity::new(0.0), minute());
+            let (_, ev) = ves.apply_flows(&desired, 1.0, 1.0, CarbonIntensity::new(0.0), minute());
             events.extend(ev);
         }
         assert_eq!(
@@ -618,10 +618,16 @@ mod tests {
         assert_eq!(ves.last_flows().redistributed_in, Watts::new(50.0));
         // Full battery accepts nothing.
         let mut full = VirtualEnergySystem::new(solar_battery_share());
-        assert_eq!(full.accept_redistribution(Watts::new(50.0), minute()), Watts::ZERO);
+        assert_eq!(
+            full.accept_redistribution(Watts::new(50.0), minute()),
+            Watts::ZERO
+        );
         // No battery: nothing accepted.
         let mut none = VirtualEnergySystem::new(EnergyShare::grid_only());
-        assert_eq!(none.accept_redistribution(Watts::new(50.0), minute()), Watts::ZERO);
+        assert_eq!(
+            none.accept_redistribution(Watts::new(50.0), minute()),
+            Watts::ZERO
+        );
     }
 
     #[test]
@@ -642,7 +648,7 @@ mod tests {
         let mut ves = VirtualEnergySystem::new(solar_battery_share());
         ves.set_max_discharge(Watts::new(100_000.0));
         assert_eq!(ves.max_discharge(), Watts::new(720.0)); // 1C of 720 Wh
-        // Without a battery, the setting pins to zero.
+                                                            // Without a battery, the setting pins to zero.
         let mut grid = VirtualEnergySystem::new(EnergyShare::grid_only());
         grid.set_max_discharge(Watts::new(100.0));
         assert_eq!(grid.max_discharge(), Watts::ZERO);

@@ -4,8 +4,8 @@
 use carbon_intel::service::TraceCarbonService;
 use container_cop::{ContainerSpec, CopConfig};
 use ecovisor::{
-    Application, EcovisorApi, EcovisorBuilder, EcovisorError, EnergyShare, ExcessPolicy,
-    LibraryApi, Notification, Simulation,
+    Application, EcovisorApi, EcovisorBuilder, EcovisorClient, EcovisorError, EnergyShare,
+    ExcessPolicy, LibraryApi, Notification, Simulation,
 };
 use energy_system::battery::{Battery, BatterySpec};
 use energy_system::grid::GridConnection;
@@ -42,14 +42,14 @@ impl Application for Saturated {
         "saturated"
     }
 
-    fn on_start(&mut self, api: &mut dyn LibraryApi) {
+    fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
         for _ in 0..self.containers {
             let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
             api.set_container_demand(c, 1.0).unwrap();
         }
     }
 
-    fn on_tick(&mut self, _api: &mut dyn LibraryApi) {
+    fn on_tick(&mut self, _api: &mut EcovisorClient<'_>) {
         self.ticks += 1;
     }
 
@@ -59,10 +59,7 @@ impl Application for Saturated {
 }
 
 fn flat_carbon(intensity: f64) -> Box<TraceCarbonService> {
-    Box::new(TraceCarbonService::new(
-        "flat",
-        Trace::constant(intensity),
-    ))
+    Box::new(TraceCarbonService::new("flat", Trace::constant(intensity)))
 }
 
 fn constant_solar(watts: f64) -> Box<TraceSolarSource> {
@@ -163,8 +160,12 @@ fn multiplexing_isolates_tenants_and_conserves_energy() {
     let share_b = EnergyShare::grid_only()
         .with_solar_fraction(0.5)
         .with_battery(WattHours::new(700.0));
-    let a = sim.add_app("a", share_a, Box::new(Saturated::new(2))).unwrap();
-    let b = sim.add_app("b", share_b, Box::new(Saturated::new(1))).unwrap();
+    let a = sim
+        .add_app("a", share_a, Box::new(Saturated::new(2)))
+        .unwrap();
+    let b = sim
+        .add_app("b", share_b, Box::new(Saturated::new(1)))
+        .unwrap();
     sim.run_ticks(120);
 
     let fa = sim.eco().app_flows(a).unwrap();
@@ -304,14 +305,14 @@ fn battery_events_are_delivered() {
         container: Option<container_cop::ContainerId>,
     }
     impl Application for EventCollector {
-        fn on_start(&mut self, api: &mut dyn LibraryApi) {
+        fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
             let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
             api.set_container_demand(c, 1.0).unwrap();
             api.set_battery_max_discharge(Watts::new(1000.0));
             self.container = Some(c);
         }
-        fn on_tick(&mut self, _api: &mut dyn LibraryApi) {}
-        fn on_event(&mut self, event: &Notification, _api: &mut dyn LibraryApi) {
+        fn on_tick(&mut self, _api: &mut EcovisorClient<'_>) {}
+        fn on_event(&mut self, event: &Notification, _api: &mut EcovisorClient<'_>) {
             match event {
                 Notification::BatteryEmpty => self.seen.push("empty"),
                 Notification::BatteryFull => self.seen.push("full"),
@@ -363,7 +364,11 @@ fn psu_validates_software_power_caps() {
         .build();
     let mut sim = Simulation::new(eco);
     let app = sim
-        .add_app("caps", EnergyShare::grid_only(), Box::new(Saturated::new(2)))
+        .add_app(
+            "caps",
+            EnergyShare::grid_only(),
+            Box::new(Saturated::new(2)),
+        )
         .unwrap();
     sim.eco_mut().set_psu_limit(Some(Watts::new(4.0)));
     {
@@ -401,8 +406,12 @@ fn redistribution_moves_excess_solar_between_apps() {
     let share_b = EnergyShare::grid_only()
         .with_battery(WattHours::new(600.0))
         .with_initial_soc(0.30);
-    let _a = sim.add_app("a", share_a, Box::new(Saturated::new(1))).unwrap();
-    let b = sim.add_app("b", share_b, Box::new(Saturated::new(1))).unwrap();
+    let _a = sim
+        .add_app("a", share_a, Box::new(Saturated::new(1)))
+        .unwrap();
+    let b = sim
+        .add_app("b", share_b, Box::new(Saturated::new(1)))
+        .unwrap();
     sim.run_ticks(120);
 
     let ves_b = sim.eco().app_ves(b).unwrap();
@@ -444,8 +453,14 @@ fn table2_interval_queries_match_totals() {
     let ids = api.container_ids();
     let c_energy = api.get_container_energy(ids[0], from, to).unwrap();
     let c_carbon = api.get_container_carbon(ids[0], from, to).unwrap();
-    assert!(c_energy.abs_diff(energy) < 0.1, "container energy {c_energy}");
-    assert!(c_carbon.abs_diff(carbon) < 0.1, "container carbon {c_carbon}");
+    assert!(
+        c_energy.abs_diff(energy) < 0.1,
+        "container energy {c_energy}"
+    );
+    assert!(
+        c_carbon.abs_diff(carbon) < 0.1,
+        "container carbon {c_carbon}"
+    );
 }
 
 #[test]
@@ -465,7 +480,8 @@ fn aggregate_discharge_throttled_to_physical_limit() {
         let share = EnergyShare::grid_only()
             .with_battery(WattHours::new(50.0))
             .with_initial_soc(1.0);
-        sim.add_app(name, share, Box::new(Saturated::new(1))).unwrap();
+        sim.add_app(name, share, Box::new(Saturated::new(1)))
+            .unwrap();
     }
     sim.run_ticks(30);
     // Each app draws 3.65 W from its battery; aggregate 7.3 W < 100 W

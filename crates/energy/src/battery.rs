@@ -294,7 +294,10 @@ mod tests {
     fn zero_duration_is_noop() {
         let mut b = Battery::new_at(BatterySpec::paper_prototype(), 0.5);
         assert_eq!(b.charge(Watts::new(100.0), SimDuration::ZERO), Watts::ZERO);
-        assert_eq!(b.discharge(Watts::new(100.0), SimDuration::ZERO), Watts::ZERO);
+        assert_eq!(
+            b.discharge(Watts::new(100.0), SimDuration::ZERO),
+            Watts::ZERO
+        );
     }
 
     #[test]

@@ -236,7 +236,11 @@ mod tests {
     fn night_output_is_zero() {
         let src = SolarArrayBuilder::new(400.0).days(2).seed(3).build_source();
         for h in [0u64, 3, 5, 20, 23] {
-            assert_eq!(src.power_at(SimTime::from_hours(h)).watts(), 0.0, "hour {h}");
+            assert_eq!(
+                src.power_at(SimTime::from_hours(h)).watts(),
+                0.0,
+                "hour {h}"
+            );
         }
     }
 
@@ -254,7 +258,11 @@ mod tests {
     #[test]
     fn overcast_dimmer_than_clear() {
         let daily_energy = |w: Weather| {
-            let src = SolarArrayBuilder::new(400.0).days(3).weather(w).seed(7).build_source();
+            let src = SolarArrayBuilder::new(400.0)
+                .days(3)
+                .weather(w)
+                .seed(7)
+                .build_source();
             let mut total = 0.0;
             for m in (0..(3 * 24 * 60)).step_by(5) {
                 total += src.power_at(SimTime::from_secs(m * 60)).watts() / 12.0;
@@ -278,7 +286,10 @@ mod tests {
 
     #[test]
     fn never_negative_never_wildly_above_rated() {
-        let src = SolarArrayBuilder::new(250.0).days(4).seed(11).build_source();
+        let src = SolarArrayBuilder::new(250.0)
+            .days(4)
+            .seed(11)
+            .build_source();
         for m in (0..(4 * 24 * 60)).step_by(7) {
             let p = src.power_at(SimTime::from_secs(m * 60)).watts();
             assert!(p >= 0.0, "negative output at minute {m}");

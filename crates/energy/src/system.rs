@@ -18,7 +18,7 @@
 use serde::{Deserialize, Serialize};
 
 use simkit::time::{SimDuration, SimTime};
-use simkit::units::{Watts, WattHours};
+use simkit::units::{WattHours, Watts};
 
 use crate::battery::Battery;
 use crate::charge_controller::{GridChargeController, SolarChargeController};
@@ -161,9 +161,7 @@ impl PhysicalEnergySystem {
     /// Sets the software cap on battery discharge (privileged ecovisor
     /// operation). Clamped to the physical 1C limit.
     pub fn set_battery_max_discharge(&mut self, rate: Watts) {
-        self.max_discharge = rate
-            .max_zero()
-            .min(self.battery.spec().max_discharge_rate);
+        self.max_discharge = rate.max_zero().min(self.battery.spec().max_discharge_rate);
     }
 
     /// Current software cap on battery discharge.

@@ -1,9 +1,11 @@
-//! Property-based tests of the battery model: SoC bounds, rate limits,
-//! and energy bookkeeping under arbitrary operation sequences.
-
-use proptest::prelude::*;
+//! Randomized property tests of the battery model: SoC bounds, rate
+//! limits, and energy bookkeeping under arbitrary operation sequences.
+//!
+//! Cases are generated from a fixed-seed [`SimRng`] stream (the offline
+//! replacement for proptest), so failures are exactly reproducible.
 
 use energy_system::battery::{Battery, BatterySpec};
+use simkit::rng::SimRng;
 use simkit::time::SimDuration;
 use simkit::units::{WattHours, Watts};
 
@@ -13,66 +15,78 @@ enum Op {
     Discharge(f64),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0.0_f64..2000.0).prop_map(Op::Charge),
-        (0.0_f64..3000.0).prop_map(Op::Discharge),
-    ]
+fn arb_op(rng: &mut SimRng) -> Op {
+    if rng.chance(0.5) {
+        Op::Charge(rng.uniform(0.0, 2000.0))
+    } else {
+        Op::Discharge(rng.uniform(0.0, 3000.0))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_ops(rng: &mut SimRng, max: u64) -> Vec<Op> {
+    let len = rng.uniform_u64(1, max);
+    (0..len).map(|_| arb_op(rng)).collect()
+}
 
-    /// The state of charge never leaves [floor, capacity], no matter the
-    /// operation sequence.
-    #[test]
-    fn soc_always_in_bounds(
-        capacity in 10.0_f64..2000.0,
-        initial in 0.0_f64..=1.0,
-        ops in proptest::collection::vec(arb_op(), 1..60),
-    ) {
+/// The state of charge never leaves [floor, capacity], no matter the
+/// operation sequence.
+#[test]
+fn soc_always_in_bounds() {
+    let mut rng = SimRng::from_seed(2002).fork("soc_always_in_bounds");
+    for _ in 0..256 {
+        let capacity = rng.uniform(10.0, 2000.0);
+        let initial = rng.unit();
+        let ops = arb_ops(&mut rng, 60);
         let spec = BatterySpec::with_capacity(WattHours::new(capacity));
         let mut b = Battery::new_at(spec, initial);
         let dt = SimDuration::from_minutes(1);
         for op in ops {
             match op {
-                Op::Charge(w) => { b.charge(Watts::new(w), dt); }
-                Op::Discharge(w) => { b.discharge(Watts::new(w), dt); }
+                Op::Charge(w) => {
+                    b.charge(Watts::new(w), dt);
+                }
+                Op::Discharge(w) => {
+                    b.discharge(Watts::new(w), dt);
+                }
             }
             let level = b.charge_level().watt_hours();
-            prop_assert!(level <= capacity + 1e-9, "level {level} > capacity");
-            prop_assert!(
+            assert!(level <= capacity + 1e-9, "level {level} > capacity");
+            assert!(
                 level >= spec.floor_energy().watt_hours() - 1e-9,
                 "level {level} below floor"
             );
         }
     }
+}
 
-    /// Accepted charge and delivered discharge never exceed the C-rate
-    /// limits (0.25C / 1C).
-    #[test]
-    fn rates_never_exceeded(
-        capacity in 10.0_f64..2000.0,
-        initial in 0.0_f64..=1.0,
-        request in 0.0_f64..10_000.0,
-    ) {
+/// Accepted charge and delivered discharge never exceed the C-rate
+/// limits (0.25C / 1C).
+#[test]
+fn rates_never_exceeded() {
+    let mut rng = SimRng::from_seed(2002).fork("rates_never_exceeded");
+    for _ in 0..256 {
+        let capacity = rng.uniform(10.0, 2000.0);
+        let initial = rng.unit();
+        let request = rng.uniform(0.0, 10_000.0);
         let spec = BatterySpec::with_capacity(WattHours::new(capacity));
         let mut b = Battery::new_at(spec, initial);
         let dt = SimDuration::from_minutes(1);
         let accepted = b.charge(Watts::new(request), dt);
-        prop_assert!(accepted.watts() <= spec.max_charge_rate.watts() + 1e-9);
+        assert!(accepted.watts() <= spec.max_charge_rate.watts() + 1e-9);
         let delivered = b.discharge(Watts::new(request), dt);
-        prop_assert!(delivered.watts() <= spec.max_discharge_rate.watts() + 1e-9);
+        assert!(delivered.watts() <= spec.max_discharge_rate.watts() + 1e-9);
     }
+}
 
-    /// Energy bookkeeping is exact (efficiency 1.0): final level equals
-    /// initial level plus accepted charge minus delivered discharge.
-    #[test]
-    fn energy_bookkeeping_is_exact(
-        capacity in 10.0_f64..2000.0,
-        initial in 0.3_f64..=1.0,
-        ops in proptest::collection::vec(arb_op(), 1..40),
-    ) {
+/// Energy bookkeeping is exact (efficiency 1.0): final level equals
+/// initial level plus accepted charge minus delivered discharge.
+#[test]
+fn energy_bookkeeping_is_exact() {
+    let mut rng = SimRng::from_seed(2002).fork("energy_bookkeeping_is_exact");
+    for _ in 0..256 {
+        let capacity = rng.uniform(10.0, 2000.0);
+        let initial = rng.uniform(0.3, 1.0);
+        let ops = arb_ops(&mut rng, 40);
         let spec = BatterySpec::with_capacity(WattHours::new(capacity));
         let mut b = Battery::new_at(spec, initial);
         let start = b.charge_level();
@@ -85,19 +99,21 @@ proptest! {
             }
         }
         let expected = start + net;
-        prop_assert!(
+        assert!(
             b.charge_level().abs_diff(expected) < 1e-6,
             "level {} vs expected {expected}",
             b.charge_level()
         );
     }
+}
 
-    /// Cycle counting is monotone and proportional to discharge volume.
-    #[test]
-    fn cycles_monotone(
-        capacity in 50.0_f64..500.0,
-        rounds in 1usize..10,
-    ) {
+/// Cycle counting is monotone and proportional to discharge volume.
+#[test]
+fn cycles_monotone() {
+    let mut rng = SimRng::from_seed(2002).fork("cycles_monotone");
+    for _ in 0..256 {
+        let capacity = rng.uniform(50.0, 500.0);
+        let rounds = rng.uniform_u64(1, 10) as usize;
         let spec = BatterySpec::with_capacity(WattHours::new(capacity));
         let mut b = Battery::new_full(spec);
         let dt = SimDuration::from_hours(1);
@@ -105,7 +121,7 @@ proptest! {
         for _ in 0..rounds {
             b.discharge(spec.max_discharge_rate, dt);
             let c = b.equivalent_cycles();
-            prop_assert!(c >= last);
+            assert!(c >= last);
             last = c;
             b.charge(spec.max_charge_rate, dt);
         }

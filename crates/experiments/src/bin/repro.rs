@@ -18,7 +18,10 @@ fn main() {
         .map(String::as_str)
         .unwrap_or("all");
 
-    println!("ecovisor reproduction — experiment '{what}'{}", if quick { " (quick)" } else { "" });
+    println!(
+        "ecovisor reproduction — experiment '{what}'{}",
+        if quick { " (quick)" } else { "" }
+    );
     println!("results directory: {}", common::results_dir().display());
 
     let run_fig4 = |kind: fig4::JobKind, file: &str| {

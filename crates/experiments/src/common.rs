@@ -56,12 +56,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 
 /// `mean ± std` cell formatting from a [`Summary`].
 pub fn mean_std(summary: &Summary, digits: usize) -> String {
-    format!(
-        "{:.d$} ± {:.d$}",
-        summary.mean,
-        summary.std_dev,
-        d = digits
-    )
+    format!("{:.d$} ± {:.d$}", summary.mean, summary.std_dev, d = digits)
 }
 
 /// Prints a coarse ASCII sparkline of a series (for quick terminal
@@ -105,9 +100,7 @@ mod tests {
     #[test]
     fn sparkline_handles_empty_and_flat() {
         sparkline("empty", &TimeSeries::new(), 10);
-        let flat: TimeSeries = (0..10)
-            .map(|i| (SimTime::from_secs(i * 60), 5.0))
-            .collect();
+        let flat: TimeSeries = (0..10).map(|i| (SimTime::from_secs(i * 60), 5.0)).collect();
         sparkline("flat", &flat, 5);
     }
 

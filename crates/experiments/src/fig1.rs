@@ -22,7 +22,10 @@ pub struct Fig1Config {
 
 impl Default for Fig1Config {
     fn default() -> Self {
-        Self { days: 4, seed: 2023 }
+        Self {
+            days: 4,
+            seed: 2023,
+        }
     }
 }
 
@@ -138,9 +141,6 @@ mod tests {
     fn deterministic() {
         let a = run(Fig1Config { days: 1, seed: 3 });
         let b = run(Fig1Config { days: 1, seed: 3 });
-        assert_eq!(
-            a.regions[1].series.samples(),
-            b.regions[1].series.samples()
-        );
+        assert_eq!(a.regions[1].series.samples(), b.regions[1].series.samples());
     }
 }

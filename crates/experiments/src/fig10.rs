@@ -177,7 +177,11 @@ pub fn run(cfg: Fig10Config) -> Fig10Result {
             static_ticks: st,
             dynamic_ticks: dy,
             improvement_pct: improvement,
-            efficiency: if energy_kj > 0.0 { work / energy_kj } else { 0.0 },
+            efficiency: if energy_kj > 0.0 {
+                work / energy_kj
+            } else {
+                0.0
+            },
         });
     }
 
@@ -210,7 +214,13 @@ pub fn report(result: &Fig10Result) {
         .collect();
     common::print_table(
         "Fig. 10c — dynamic vs static caps across renewable power",
-        &["solar %", "static (ticks)", "dynamic (ticks)", "runtime improvement", "efficiency (ch/kJ)"],
+        &[
+            "solar %",
+            "static (ticks)",
+            "dynamic (ticks)",
+            "runtime improvement",
+            "efficiency (ch/kJ)",
+        ],
         &rows,
     );
     let mut csv_text =
@@ -302,7 +312,11 @@ pub fn run_fig11(cfg: Fig10Config, straggler_prob: f64) -> Fig11Result {
             baseline_ticks: base,
             replica_ticks: with,
             improvement_pct: 100.0 * (base as f64 - with as f64) / base as f64,
-            efficiency: if energy_kj > 0.0 { work / energy_kj } else { 0.0 },
+            efficiency: if energy_kj > 0.0 {
+                work / energy_kj
+            } else {
+                0.0
+            },
             replicas: stats.borrow().replicas_launched,
         });
     }
@@ -327,16 +341,27 @@ pub fn report_fig11(result: &Fig11Result) {
         .collect();
     common::print_table(
         "Fig. 11 — straggler mitigation with excess solar",
-        &["solar %", "no-mitigation", "replicas", "improvement", "efficiency (ch/kJ)", "replicas launched"],
+        &[
+            "solar %",
+            "no-mitigation",
+            "replicas",
+            "improvement",
+            "efficiency (ch/kJ)",
+            "replicas launched",
+        ],
         &rows,
     );
-    let mut csv_text = String::from(
-        "percent,baseline_ticks,replica_ticks,improvement_pct,efficiency,replicas\n",
-    );
+    let mut csv_text =
+        String::from("percent,baseline_ticks,replica_ticks,improvement_pct,efficiency,replicas\n");
     for p in &result.sweep {
         csv_text.push_str(&format!(
             "{},{},{},{:.3},{:.6},{}\n",
-            p.percent, p.baseline_ticks, p.replica_ticks, p.improvement_pct, p.efficiency, p.replicas
+            p.percent,
+            p.baseline_ticks,
+            p.replica_ticks,
+            p.improvement_pct,
+            p.efficiency,
+            p.replicas
         ));
     }
     common::write_result("fig11.csv", &csv_text);

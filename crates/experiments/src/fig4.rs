@@ -179,9 +179,12 @@ fn threshold_for(kind: JobKind, seed: u64) -> CarbonIntensity {
     .expect("non-empty window")
 }
 
+/// A labelled policy constructor parameterized by the carbon threshold.
+type ModeFactory = Box<dyn Fn(CarbonIntensity) -> BatchMode>;
+
 /// Runs Fig. 4a or 4b.
 pub fn run(kind: JobKind, cfg: Fig4Config) -> Fig4Result {
-    let mut modes: Vec<(String, Box<dyn Fn(CarbonIntensity) -> BatchMode>)> = vec![
+    let mut modes: Vec<(String, ModeFactory)> = vec![
         (
             policy_label(&BatchMode::CarbonAgnostic),
             Box::new(|_| BatchMode::CarbonAgnostic),
@@ -211,8 +214,7 @@ pub fn run(kind: JobKind, cfg: Fig4Config) -> Fig4Result {
         for run_idx in 0..cfg.runs {
             let mut rng = root.fork_indexed("fig4-run", u64::from(run_idx));
             let trace_seed = cfg.seed ^ (u64::from(run_idx) << 8);
-            let arrival_secs =
-                rng.uniform_u64(0, cfg.arrival_window_hours.max(1) * 3600);
+            let arrival_secs = rng.uniform_u64(0, cfg.arrival_window_hours.max(1) * 3600);
             let arrival = SimTime::from_secs((arrival_secs / 60) * 60);
             let threshold = threshold_for(kind, trace_seed);
             let mode = make_mode(threshold);
@@ -355,8 +357,10 @@ pub fn run_fig5(seed: u64) -> Fig5Result {
 
 /// Prints Fig. 5's series and writes `fig5.csv`.
 pub fn report_fig5(result: &Fig5Result) {
-    println!("\n### Figure 5: multi-tenant Wait&Scale (thresholds: ML {:.0}, BLAST {:.0} gCO2/kWh)",
-        result.ml_threshold, result.blast_threshold);
+    println!(
+        "\n### Figure 5: multi-tenant Wait&Scale (thresholds: ML {:.0}, BLAST {:.0} gCO2/kWh)",
+        result.ml_threshold, result.blast_threshold
+    );
     common::sparkline("carbon intensity", &result.intensity, 48);
     common::sparkline("ML containers (W&S 2x)", &result.ml_containers, 48);
     common::sparkline("BLAST containers (W&S 3x)", &result.blast_containers, 48);

@@ -103,10 +103,7 @@ fn workload_traces(cfg: &Fig6Config) -> (Trace, Trace) {
     (w1, w2)
 }
 
-fn run_policy(
-    cfg: &Fig6Config,
-    static_policy: bool,
-) -> Vec<WebOutcome> {
+fn run_policy(cfg: &Fig6Config, static_policy: bool) -> Vec<WebOutcome> {
     let svc = CarbonTraceBuilder::new(regions::california())
         .days(cfg.hours.div_ceil(24).max(2))
         .seed(cfg.seed)
@@ -242,7 +239,10 @@ pub fn report(result: &Fig6Result) {
                 o.app.to_string(),
                 o.policy.to_string(),
                 format!("{}", o.violations),
-                format!("{:.1}%", 100.0 * o.violations as f64 / o.ticks.max(1) as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * o.violations as f64 / o.ticks.max(1) as f64
+                ),
                 format!("{:.2}", o.carbon_g),
             ]
         })
@@ -258,11 +258,7 @@ pub fn report(result: &Fig6Result) {
     }
     println!("\n### Figure 7: carbon rate and workers (multi-tenancy)");
     for o in &result.outcomes {
-        common::sparkline(
-            &format!("workers {} / {}", o.app, o.policy),
-            &o.workers,
-            48,
-        );
+        common::sparkline(&format!("workers {} / {}", o.app, o.policy), &o.workers, 48);
     }
 
     let mut cols: Vec<(String, &TimeSeries)> = vec![
@@ -280,8 +276,7 @@ pub fn report(result: &Fig6Result) {
         cols.push((format!("workers_{}_{}", o.app, tag), &o.workers));
         cols.push((format!("carbonrate_{}_{}", o.app, tag), &o.carbon_rate));
     }
-    let col_refs: Vec<(&str, &TimeSeries)> =
-        cols.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+    let col_refs: Vec<(&str, &TimeSeries)> = cols.iter().map(|(n, s)| (n.as_str(), *s)).collect();
     common::write_result("fig6_fig7.csv", &csv::aligned_csv(&col_refs));
 }
 

@@ -198,8 +198,18 @@ fn run_policy(cfg: &Fig8Config, dynamic: bool) -> (Fig8Run, TimeSeries, TimeSeri
         web_soc: grab(metrics::BATTERY_SOC, &web_id.to_string()),
         spark_battery_rate: battery_rate(spark_id),
         web_battery_rate: battery_rate(web_id),
-        total_carbon_g: sim.eco().app_totals(spark_id).expect("registered").carbon.grams()
-            + sim.eco().app_totals(web_id).expect("registered").carbon.grams(),
+        total_carbon_g: sim
+            .eco()
+            .app_totals(spark_id)
+            .expect("registered")
+            .carbon
+            .grams()
+            + sim
+                .eco()
+                .app_totals(web_id)
+                .expect("registered")
+                .carbon
+                .grams(),
     };
     let solar_series = grab(metrics::SOLAR_POWER, metrics::SYSTEM);
     let workload_series: TimeSeries = (0..total_ticks)
@@ -267,7 +277,13 @@ pub fn report(result: &Fig8Result) {
     ];
     common::print_table(
         "Fig. 8 — policy outcomes",
-        &["policy", "spark finish", "lost work (ch)", "web SLO violations", "CO2 (g)"],
+        &[
+            "policy",
+            "spark finish",
+            "lost work (ch)",
+            "web SLO violations",
+            "CO2 (g)",
+        ],
         &rows,
     );
 
@@ -279,7 +295,11 @@ pub fn report(result: &Fig8Result) {
         &result.dynamic_run.spark_battery_rate,
         48,
     );
-    common::sparkline("web batt rate (W)", &result.dynamic_run.web_battery_rate, 48);
+    common::sparkline(
+        "web batt rate (W)",
+        &result.dynamic_run.web_battery_rate,
+        48,
+    );
 
     common::write_result(
         "fig8.csv",
@@ -343,7 +363,10 @@ mod tests {
             max_dynamic > max_static,
             "dynamic peak {max_dynamic} vs static {max_static}"
         );
-        match (r.static_run.spark_finish_ticks, r.dynamic_run.spark_finish_ticks) {
+        match (
+            r.static_run.spark_finish_ticks,
+            r.dynamic_run.spark_finish_ticks,
+        ) {
             (Some(s), Some(d)) => assert!(d < s, "dynamic {d} vs static {s} ticks"),
             (None, Some(_)) => {} // dynamic finished where static did not
             (s, d) => panic!("unexpected finishes: static {s:?}, dynamic {d:?}"),
@@ -351,7 +374,7 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_web_violates_less(){
+    fn dynamic_web_violates_less() {
         let r = run(quick());
         assert!(
             r.dynamic_run.web_violations <= r.static_run.web_violations / 2,

@@ -8,7 +8,7 @@
 //! workload without arbitrage.
 
 use container_cop::ContainerSpec;
-use ecovisor::{Application, LibraryApi};
+use ecovisor::{Application, EcovisorClient};
 use simkit::units::{CarbonIntensity, Watts};
 
 /// A steady service that charges its virtual battery on clean power and
@@ -57,7 +57,7 @@ impl Application for ArbitrageApp {
         &self.label
     }
 
-    fn on_start(&mut self, api: &mut dyn LibraryApi) {
+    fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
         for _ in 0..self.containers {
             if let Ok(id) = api.launch_container(ContainerSpec::quad_core()) {
                 let _ = api.set_container_demand(id, 1.0);
@@ -65,7 +65,7 @@ impl Application for ArbitrageApp {
         }
     }
 
-    fn on_tick(&mut self, api: &mut dyn LibraryApi) {
+    fn on_tick(&mut self, api: &mut EcovisorClient<'_>) {
         let intensity = api.get_grid_carbon();
         if intensity <= self.low_threshold {
             // Clean: stock up, don't discharge.
@@ -99,8 +99,7 @@ mod tests {
         samples.extend(vec![400.0; 6 * 12]);
         Box::new(TraceCarbonService::new(
             "wave",
-            Trace::from_samples(samples, SimDuration::from_minutes(5))
-                .with_extend(Extend::Cycle),
+            Trace::from_samples(samples, SimDuration::from_minutes(5)).with_extend(Extend::Cycle),
         ))
     }
 

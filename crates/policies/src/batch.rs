@@ -9,7 +9,7 @@
 //! optimal scale-up factors, which the system may not know." (§5.1)
 
 use container_cop::ContainerSpec;
-use ecovisor::{Application, LibraryApi};
+use ecovisor::{Application, EcovisorClient};
 use simkit::time::SimTime;
 use simkit::units::CarbonIntensity;
 use workloads::batch::BatchJob;
@@ -129,17 +129,18 @@ impl BatchApp {
         }
     }
 
-    fn below_threshold(&self, api: &dyn LibraryApi) -> bool {
+    fn below_threshold(&self, api: &mut EcovisorClient<'_>) -> bool {
         match self.mode {
             BatchMode::CarbonAgnostic => true,
-            BatchMode::SuspendResume { threshold }
-            | BatchMode::WaitAndScale { threshold, .. } => api.get_grid_carbon() <= threshold,
+            BatchMode::SuspendResume { threshold } | BatchMode::WaitAndScale { threshold, .. } => {
+                api.get_grid_carbon() <= threshold
+            }
         }
     }
 
     /// Adjusts the running container count to `target` by launching or
     /// stopping (horizontal scaling).
-    fn scale_to(&mut self, api: &mut dyn LibraryApi, target: u32) {
+    fn scale_to(&mut self, api: &mut EcovisorClient<'_>, target: u32) {
         let ids = api.container_ids();
         let current = ids.len() as u32;
         if current < target {
@@ -164,7 +165,7 @@ impl Application for BatchApp {
         &self.label
     }
 
-    fn on_tick(&mut self, api: &mut dyn LibraryApi) {
+    fn on_tick(&mut self, api: &mut EcovisorClient<'_>) {
         if self.job.is_done() {
             return;
         }
@@ -255,7 +256,8 @@ mod tests {
         let job = BatchJob::new(1.0, Box::new(LinearScaling));
         let app = BatchApp::new("agnostic", job, BatchMode::CarbonAgnostic, 1, 4);
         let stats = app.stats();
-        sim.add_app("a", EnergyShare::grid_only(), Box::new(app)).unwrap();
+        sim.add_app("a", EnergyShare::grid_only(), Box::new(app))
+            .unwrap();
         let ticks = sim.run_until_done(10_000);
         assert_eq!(ticks, 15);
         let s = stats.borrow();
@@ -279,11 +281,12 @@ mod tests {
             4,
         );
         let stats = app.stats();
-        sim.add_app("a", EnergyShare::grid_only(), Box::new(app)).unwrap();
+        sim.add_app("a", EnergyShare::grid_only(), Box::new(app))
+            .unwrap();
         let ticks = sim.run_until_done(10_000);
         // 60 running minutes at a 50% duty cycle ≈ 90 total (first window
         // is low-carbon).
-        assert!(ticks >= 85 && ticks <= 95, "took {ticks} ticks");
+        assert!((85..=95).contains(&ticks), "took {ticks} ticks");
         let s = stats.borrow();
         assert_eq!(s.running_ticks, 60);
         assert!(s.waiting_ticks >= 25);
@@ -295,12 +298,16 @@ mod tests {
             let mut sim = sim_with(square_wave_carbon(100.0, 400.0, 60));
             let job = BatchJob::new(4.0, Box::new(LinearScaling));
             let app = BatchApp::new("b", job, mode, 1, 4);
-            sim.add_app("a", EnergyShare::grid_only(), Box::new(app)).unwrap();
+            sim.add_app("a", EnergyShare::grid_only(), Box::new(app))
+                .unwrap();
             sim.run_until_done(10_000)
         };
         let threshold = CarbonIntensity::new(200.0);
         let sr = run(BatchMode::SuspendResume { threshold });
-        let ws2 = run(BatchMode::WaitAndScale { threshold, scale: 2 });
+        let ws2 = run(BatchMode::WaitAndScale {
+            threshold,
+            scale: 2,
+        });
         assert!(
             ws2 < sr,
             "W&S 2x ({ws2} ticks) should beat suspend-resume ({sr} ticks)"
@@ -314,7 +321,8 @@ mod tests {
         let app = BatchApp::new("d", job, BatchMode::CarbonAgnostic, 1, 4)
             .with_arrival(SimTime::from_secs(600));
         let stats = app.stats();
-        sim.add_app("a", EnergyShare::grid_only(), Box::new(app)).unwrap();
+        sim.add_app("a", EnergyShare::grid_only(), Box::new(app))
+            .unwrap();
         sim.run_until_done(10_000);
         assert_eq!(stats.borrow().started_at, Some(SimTime::from_secs(600)));
     }

@@ -10,7 +10,7 @@
 //! battery according to their own requirements (§5.3).
 
 use container_cop::ContainerSpec;
-use ecovisor::{Application, LibraryApi};
+use ecovisor::{Application, EcovisorClient};
 use simkit::time::SimTime;
 use simkit::trace::Trace;
 use simkit::units::Watts;
@@ -69,7 +69,12 @@ pub struct SparkApp {
 impl SparkApp {
     /// Creates the application. `guaranteed_power` is the minimum power
     /// the battery should provide when solar dips during the day.
-    pub fn new(label: impl Into<String>, job: SparkJob, mode: SparkMode, guaranteed_power: Watts) -> Self {
+    pub fn new(
+        label: impl Into<String>,
+        job: SparkJob,
+        mode: SparkMode,
+        guaranteed_power: Watts,
+    ) -> Self {
         Self {
             label: label.into(),
             job,
@@ -90,7 +95,7 @@ impl SparkApp {
         &self.job
     }
 
-    fn scale_to(&mut self, api: &mut dyn LibraryApi, target: u32) {
+    fn scale_to(&mut self, api: &mut EcovisorClient<'_>, target: u32) {
         let ids = api.container_ids();
         let current = ids.len() as u32;
         if current < target {
@@ -110,8 +115,11 @@ impl SparkApp {
                 let kept = total_lost - lost;
                 if kept > 0.0 {
                     // Re-inject the surviving workers' volatile progress.
-                    self.job
-                        .advance(kept / api.tick_interval().as_hours(), api.now(), api.tick_interval());
+                    self.job.advance(
+                        kept / api.tick_interval().as_hours(),
+                        api.now(),
+                        api.tick_interval(),
+                    );
                 }
                 self.stats.borrow_mut().lost_work += lost;
             }
@@ -127,7 +135,7 @@ impl Application for SparkApp {
         &self.label
     }
 
-    fn on_tick(&mut self, api: &mut dyn LibraryApi) {
+    fn on_tick(&mut self, api: &mut EcovisorClient<'_>) {
         if self.job.is_done() {
             for id in api.container_ids() {
                 let _ = api.stop_container(id);
@@ -281,7 +289,7 @@ impl SolarWebApp {
         Shared::clone(&self.stats)
     }
 
-    fn scale_to(api: &mut dyn LibraryApi, target: u32) {
+    fn scale_to(api: &mut EcovisorClient<'_>, target: u32) {
         let ids = api.container_ids();
         let current = ids.len() as u32;
         if current < target {
@@ -303,7 +311,7 @@ impl Application for SolarWebApp {
         &self.label
     }
 
-    fn on_tick(&mut self, api: &mut dyn LibraryApi) {
+    fn on_tick(&mut self, api: &mut EcovisorClient<'_>) {
         let now = api.now();
         let solar = api.get_solar_power();
         let day = solar > Watts::new(0.5);
@@ -417,7 +425,9 @@ mod tests {
             Watts::new(10.0),
         );
         let stats = app.stats();
-        let id = sim.add_app("spark", battery_share(), Box::new(app)).unwrap();
+        let id = sim
+            .add_app("spark", battery_share(), Box::new(app))
+            .unwrap();
         sim.run_ticks(2 * 24 * 60); // two days
 
         // No grid usage beyond numerical dust: zero-carbon policy.
@@ -439,7 +449,8 @@ mod tests {
             let mut sim = solar_sim(150.0);
             let job = SparkJob::new(30.0, SimDuration::from_minutes(30));
             let app = SparkApp::new("spark", job, mode, Watts::new(10.0));
-            sim.add_app("spark", battery_share(), Box::new(app)).unwrap();
+            sim.add_app("spark", battery_share(), Box::new(app))
+                .unwrap();
             sim.run_until_done(6 * 24 * 60)
         };
         let static_ticks = run(SparkMode::StaticWorkers { workers: 2 });
@@ -465,7 +476,8 @@ mod tests {
             Watts::new(10.0),
         );
         let stats = app.stats();
-        sim.add_app("spark", battery_share(), Box::new(app)).unwrap();
+        sim.add_app("spark", battery_share(), Box::new(app))
+            .unwrap();
         sim.run_ticks(26 * 60); // through one sunset
         assert!(
             stats.borrow().lost_work > 0.0,

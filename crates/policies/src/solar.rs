@@ -11,7 +11,7 @@
 //! turns *excess* solar into replicas for straggling tasks (Fig. 11).
 
 use container_cop::{ContainerId, ContainerSpec};
-use ecovisor::{Application, LibraryApi};
+use ecovisor::{Application, EcovisorClient};
 use simkit::time::SimTime;
 use simkit::units::Watts;
 use workloads::parallel::SyntheticParallelJob;
@@ -84,7 +84,7 @@ impl Application for ParallelSolarApp {
         &self.label
     }
 
-    fn on_start(&mut self, api: &mut dyn LibraryApi) {
+    fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
         for _ in 0..self.job.config().workers {
             match api.launch_container(ContainerSpec::quad_core()) {
                 Ok(id) => self.workers.push(id),
@@ -93,7 +93,7 @@ impl Application for ParallelSolarApp {
         }
     }
 
-    fn on_tick(&mut self, api: &mut dyn LibraryApi) {
+    fn on_tick(&mut self, api: &mut EcovisorClient<'_>) {
         if self.job.is_done() {
             for id in api.container_ids() {
                 let _ = api.stop_container(id);
@@ -168,8 +168,7 @@ impl Application for ParallelSolarApp {
                             }
                             if let Ok(id) = api.launch_container(ContainerSpec::quad_core()) {
                                 let _ = api.set_container_demand(id, 1.0);
-                                let _ =
-                                    api.set_container_powercap(id, Watts::new(WORKER_MAX_W));
+                                let _ = api.set_container_powercap(id, Watts::new(WORKER_MAX_W));
                                 self.replicas.push(id);
                                 self.job.add_replica(straggler);
                                 self.stats.borrow_mut().replicas_launched += 1;
@@ -276,7 +275,10 @@ mod tests {
         let static_ticks = run(SolarCapMode::StaticCaps, 60.0, 0.0);
         let dynamic_ticks = run(SolarCapMode::DynamicCaps, 60.0, 0.0);
         let diff = static_ticks.abs_diff(dynamic_ticks);
-        assert!(diff <= 2, "static {static_ticks} vs dynamic {dynamic_ticks}");
+        assert!(
+            diff <= 2,
+            "static {static_ticks} vs dynamic {dynamic_ticks}"
+        );
     }
 
     #[test]
@@ -293,11 +295,7 @@ mod tests {
     #[test]
     fn replica_containers_retire_at_phase_end() {
         let mut sim = sim_with_solar(45.0);
-        let app = ParallelSolarApp::new(
-            "par",
-            small_job(1.0, 9),
-            SolarCapMode::StragglerReplicas,
-        );
+        let app = ParallelSolarApp::new("par", small_job(1.0, 9), SolarCapMode::StragglerReplicas);
         let stats = app.stats();
         let id = sim
             .add_app(

@@ -10,7 +10,7 @@
 //! observed workload (§5.2).
 
 use container_cop::ContainerSpec;
-use ecovisor::{Application, LibraryApi};
+use ecovisor::{Application, EcovisorClient};
 use simkit::time::SimTime;
 use simkit::trace::Trace;
 use simkit::units::{CarbonRate, Co2Grams, Watts};
@@ -63,10 +63,7 @@ impl WebAppStats {
 
     /// Maximum observed p95 latency (ms).
     pub fn max_p95(&self) -> f64 {
-        self.p95_series
-            .iter()
-            .map(|(_, v)| *v)
-            .fold(0.0, f64::max)
+        self.p95_series.iter().map(|(_, v)| *v).fold(0.0, f64::max)
     }
 }
 
@@ -153,7 +150,7 @@ impl WebApp {
     /// Conservative worker count affordable under a carbon rate at the
     /// current intensity, sized by peak worker power (used by the
     /// dynamic policy when its credits run out).
-    fn workers_for_rate(&self, api: &dyn LibraryApi, rate: CarbonRate) -> u32 {
+    fn workers_for_rate(&self, api: &mut EcovisorClient<'_>, rate: CarbonRate) -> u32 {
         let intensity = api.get_grid_carbon().grams_per_kwh().max(1e-9);
         let allowed = rate.grams_per_sec() * 3.6e6 / intensity; // watts
         let n = (allowed / self.worker_max_power().watts()).floor() as u32;
@@ -165,7 +162,7 @@ impl WebApp {
     /// system-level policy uses as many resources and energy to satisfy
     /// its target carbon rate", §5.2.3 / Fig. 7a). The ecovisor's
     /// carbon-rate enforcement caps any overdraw under load.
-    fn workers_filling_rate(&self, api: &dyn LibraryApi, rate: CarbonRate) -> u32 {
+    fn workers_filling_rate(&self, api: &mut EcovisorClient<'_>, rate: CarbonRate) -> u32 {
         let intensity = api.get_grid_carbon().grams_per_kwh().max(1e-9);
         let allowed = rate.grams_per_sec() * 3.6e6 / intensity; // watts
         let base_power = self.worker_max_power().watts() * self.worker_base_util.max(0.05);
@@ -173,7 +170,7 @@ impl WebApp {
         n.clamp(self.min_workers, self.max_workers)
     }
 
-    fn scale_to(&mut self, api: &mut dyn LibraryApi, target: u32) {
+    fn scale_to(&mut self, api: &mut EcovisorClient<'_>, target: u32) {
         let ids = api.container_ids();
         let current = ids.len() as u32;
         if current < target {
@@ -195,7 +192,7 @@ impl Application for WebApp {
         &self.label
     }
 
-    fn on_start(&mut self, api: &mut dyn LibraryApi) {
+    fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
         for _ in 0..self.min_workers {
             let _ = api.launch_container(ContainerSpec::single_core());
         }
@@ -204,7 +201,7 @@ impl Application for WebApp {
         }
     }
 
-    fn on_tick(&mut self, api: &mut dyn LibraryApi) {
+    fn on_tick(&mut self, api: &mut EcovisorClient<'_>) {
         let now = api.now();
         let lambda = self.workload.sample(now);
 
@@ -214,7 +211,10 @@ impl Application for WebApp {
                 // Use everything the carbon rate affords, at all times.
                 self.workers_filling_rate(api, rate)
             }
-            WebPolicy::DynamicBudget { target_rate, slo_ms } => {
+            WebPolicy::DynamicBudget {
+                target_rate,
+                slo_ms,
+            } => {
                 // Accrue credits; enforce the rate only when exhausted.
                 let elapsed = now.as_secs() as f64;
                 let accrued = Co2Grams::new(target_rate.grams_per_sec() * elapsed);
@@ -253,8 +253,7 @@ impl Application for WebApp {
 
         // 4. Reflect real CPU usage in power attribution: baseline burn
         //    plus load-proportional serving work.
-        let worker_util = (self.worker_base_util
-            + (1.0 - self.worker_base_util) * out.utilization)
+        let worker_util = (self.worker_base_util + (1.0 - self.worker_base_util) * out.utilization)
             .clamp(0.0, 1.0);
         for id in &ids {
             let _ = api.set_container_demand(*id, worker_util);
@@ -310,7 +309,8 @@ mod tests {
             60.0,
         );
         let stats = app.stats();
-        s.add_app("w", EnergyShare::grid_only(), Box::new(app)).unwrap();
+        s.add_app("w", EnergyShare::grid_only(), Box::new(app))
+            .unwrap();
         s.run_ticks(120);
 
         let st = stats.borrow();
@@ -337,7 +337,8 @@ mod tests {
             60.0,
         );
         let stats = app.stats();
-        s.add_app("w", EnergyShare::grid_only(), Box::new(app)).unwrap();
+        s.add_app("w", EnergyShare::grid_only(), Box::new(app))
+            .unwrap();
         s.run_ticks(60);
         let st = stats.borrow();
         assert!(
@@ -362,7 +363,8 @@ mod tests {
         )
         .with_worker_bounds(1, 12);
         let stats = app.stats();
-        s.add_app("w", EnergyShare::grid_only(), Box::new(app)).unwrap();
+        s.add_app("w", EnergyShare::grid_only(), Box::new(app))
+            .unwrap();
         s.run_ticks(30);
         let st = stats.borrow();
         let workers = st.worker_series.last().unwrap().1;
@@ -390,7 +392,8 @@ mod tests {
             },
             60.0,
         );
-        s.add_app("w", EnergyShare::grid_only(), Box::new(app)).unwrap();
+        s.add_app("w", EnergyShare::grid_only(), Box::new(app))
+            .unwrap();
         s.run_ticks(240);
         let ids = s.app_ids();
         let carbon = s.eco().app_totals(ids[0]).unwrap().carbon;

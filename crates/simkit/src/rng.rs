@@ -6,14 +6,11 @@
 //! a requirement for the paper's "ten runs with random job arrivals"
 //! methodology (§5.1.1) to be replayable.
 
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic random stream.
 ///
-/// Wraps a [`SmallRng`] seeded from a root seed plus a label hash, giving
-/// stable, independent substreams per component.
+/// Backed by a self-contained xoshiro256++ generator seeded from a root
+/// seed plus a label hash (no external RNG dependency — the build is
+/// offline), giving stable, independent substreams per component.
 ///
 /// # Example
 ///
@@ -27,7 +24,7 @@ use rand::{Rng, RngCore, SeedableRng};
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
@@ -35,7 +32,7 @@ impl SimRng {
     pub fn from_seed(seed: u64) -> Self {
         Self {
             seed,
-            inner: SmallRng::seed_from_u64(seed),
+            state: expand_seed(seed),
         }
     }
 
@@ -50,25 +47,42 @@ impl SimRng {
     /// interleaving with draws never changes a substream's contents.
     pub fn fork(&self, label: &str) -> SimRng {
         let mixed = splitmix64(self.seed ^ fnv1a(label));
-        SimRng {
-            seed: mixed,
-            inner: SmallRng::seed_from_u64(mixed),
-        }
+        SimRng::from_seed(mixed)
     }
 
     /// Derives an independent substream for an indexed replica (e.g. run 3
     /// of 10).
     pub fn fork_indexed(&self, label: &str, index: u64) -> SimRng {
         let mixed = splitmix64(self.seed ^ fnv1a(label) ^ splitmix64(index.wrapping_add(1)));
-        SimRng {
-            seed: mixed,
-            inner: SmallRng::seed_from_u64(mixed),
-        }
+        SimRng::from_seed(mixed)
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ step.
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits, the standard [0, 1) construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -78,7 +92,13 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo < hi, "uniform range must be non-empty");
-        Uniform::new(lo, hi).sample(&mut self.inner)
+        let draw = lo + self.unit() * (hi - lo);
+        // Guard against floating-point rounding landing exactly on `hi`.
+        if draw >= hi {
+            lo
+        } else {
+            draw
+        }
     }
 
     /// Uniform integer draw in `[lo, hi)`.
@@ -88,7 +108,11 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "uniform range must be non-empty");
-        self.inner.gen_range(lo..hi)
+        let range = hi - lo;
+        // Lemire's multiply-shift maps 64 random bits onto the range with
+        // negligible bias for the range sizes simulations use.
+        let wide = u128::from(self.next_u64()) * u128::from(range);
+        lo + (wide >> 64) as u64
     }
 
     /// Standard-normal draw via Box–Muller (no extra dependency needed).
@@ -117,22 +141,19 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+/// Expands a 64-bit seed into xoshiro256++ state via splitmix64 (the
+/// initialization the xoshiro authors recommend).
+fn expand_seed(seed: u64) -> [u64; 4] {
+    let mut x = seed;
+    let mut state = [0u64; 4];
+    for slot in &mut state {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        *slot = z ^ (z >> 31);
     }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
+    state
 }
 
 fn fnv1a(s: &str) -> u64 {

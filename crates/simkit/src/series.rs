@@ -87,10 +87,7 @@ impl TimeSeries {
     /// Value at or immediately before `at` (step semantics), if any sample
     /// exists at or before that instant.
     pub fn value_at(&self, at: SimTime) -> Option<f64> {
-        match self
-            .samples
-            .binary_search_by(|s| s.at.cmp(&at))
-        {
+        match self.samples.binary_search_by(|s| s.at.cmp(&at)) {
             Ok(idx) => Some(self.samples[idx].value),
             Err(0) => None,
             Err(idx) => Some(self.samples[idx - 1].value),

@@ -370,7 +370,10 @@ mod tests {
         assert_eq!(b.as_secs(), 150);
         assert_eq!((b - a).as_secs(), 50);
         assert_eq!(b.duration_since(a).as_secs(), 50);
-        assert_eq!(a.saturating_sub(SimDuration::from_secs(1000)), SimTime::EPOCH);
+        assert_eq!(
+            a.saturating_sub(SimDuration::from_secs(1000)),
+            SimTime::EPOCH
+        );
     }
 
     #[test]

@@ -251,8 +251,7 @@ mod tests {
 
     #[test]
     fn start_offset_clamps_before() {
-        let t = Trace::from_samples(vec![5.0, 6.0], minutes(1))
-            .with_start(SimTime::from_secs(600));
+        let t = Trace::from_samples(vec![5.0, 6.0], minutes(1)).with_start(SimTime::from_secs(600));
         assert_eq!(t.sample(SimTime::from_secs(0)), 5.0);
         assert_eq!(t.sample(SimTime::from_secs(660)), 6.0);
     }
@@ -270,7 +269,10 @@ mod tests {
         let m = t.window_mean(SimTime::from_secs(0), SimTime::from_secs(120));
         assert_eq!(m, 2.0);
         // Degenerate window falls back to point sample.
-        assert_eq!(t.window_mean(SimTime::from_secs(0), SimTime::from_secs(0)), 1.0);
+        assert_eq!(
+            t.window_mean(SimTime::from_secs(0), SimTime::from_secs(0)),
+            1.0
+        );
     }
 
     #[test]

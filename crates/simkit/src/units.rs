@@ -442,7 +442,10 @@ mod tests {
     fn display_formats_with_unit() {
         assert_eq!(format!("{:.1}", Watts::new(2.25)), "2.2 W");
         assert_eq!(format!("{}", Co2Grams::new(1.0)), "1.000 gCO2e");
-        assert_eq!(format!("{:.0}", CarbonIntensity::new(250.0)), "250 gCO2/kWh");
+        assert_eq!(
+            format!("{:.0}", CarbonIntensity::new(250.0)),
+            "250 gCO2/kWh"
+        );
     }
 
     #[test]

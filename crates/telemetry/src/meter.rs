@@ -6,8 +6,7 @@
 //! `db.record` calls) keeps a single code path for sampling and makes the
 //! sampling instant explicit.
 
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 use simkit::time::SimTime;
 
@@ -27,7 +26,8 @@ impl MeterSet {
 
     /// Queues an observation for `(metric, subject)`.
     pub fn observe(&mut self, metric: &str, subject: &str, value: f64) {
-        self.pending.push((metric.to_string(), subject.to_string(), value));
+        self.pending
+            .push((metric.to_string(), subject.to_string(), value));
     }
 
     /// Number of queued observations.
@@ -95,14 +95,18 @@ mod tests {
             .map(|i| {
                 let db = Arc::clone(&db);
                 std::thread::spawn(move || {
-                    db.write()
-                        .record("m", &format!("s{i}"), SimTime::from_secs(0), i as f64);
+                    db.write().expect("lock not poisoned").record(
+                        "m",
+                        &format!("s{i}"),
+                        SimTime::from_secs(0),
+                        i as f64,
+                    );
                 })
             })
             .collect();
         for h in handles {
             h.join().expect("no panics");
         }
-        assert_eq!(db.read().series_count(), 4);
+        assert_eq!(db.read().expect("lock not poisoned").series_count(), 4);
     }
 }

@@ -9,9 +9,7 @@ use simkit::time::SimTime;
 
 /// Addresses one series: a metric name plus a subject (container, app, or
 /// system).
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SeriesKey {
     /// Metric name (see [`crate::metrics`]).
     pub metric: String,

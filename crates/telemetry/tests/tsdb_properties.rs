@@ -1,19 +1,18 @@
-//! Property-based tests of the TSDB: query/window coherence and
+//! Randomized property tests of the TSDB: query/window coherence and
 //! integration linearity.
-
-use proptest::prelude::*;
+//!
+//! Cases are generated from a fixed-seed [`SimRng`] stream (the offline
+//! replacement for proptest), so failures are exactly reproducible.
 
 use power_telemetry::Tsdb;
+use simkit::rng::SimRng;
 use simkit::time::SimTime;
 
-prop_compose! {
-    fn arb_series()(values in proptest::collection::vec(-100.0_f64..100.0, 1..80)) -> Vec<(u64, f64)> {
-        values
-            .into_iter()
-            .enumerate()
-            .map(|(i, v)| (i as u64 * 60, v))
-            .collect()
-    }
+fn arb_series(rng: &mut SimRng) -> Vec<(u64, f64)> {
+    let len = rng.uniform_u64(1, 80) as usize;
+    (0..len)
+        .map(|i| (i as u64 * 60, rng.uniform(-100.0, 100.0)))
+        .collect()
 }
 
 fn db_from(samples: &[(u64, f64)]) -> Tsdb {
@@ -24,59 +23,76 @@ fn db_from(samples: &[(u64, f64)]) -> Tsdb {
     db
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The mean over the full window equals the arithmetic mean of all
-    /// samples, and sub-window sums add up to the full-window sum.
-    #[test]
-    fn windows_compose(samples in arb_series(), split in 0usize..80) {
+/// The mean over the full window equals the arithmetic mean of all
+/// samples, and sub-window sums add up to the full-window sum.
+#[test]
+fn windows_compose() {
+    let mut rng = SimRng::from_seed(1001).fork("windows_compose");
+    for _ in 0..128 {
+        let samples = arb_series(&mut rng);
+        let split = rng.uniform_u64(0, 80) as usize;
         let db = db_from(&samples);
         let end = SimTime::from_secs(samples.len() as u64 * 60);
         let expected_mean = samples.iter().map(|(_, v)| v).sum::<f64>() / samples.len() as f64;
         let mean = db.mean("m", "s", SimTime::EPOCH, end).expect("non-empty");
-        prop_assert!((mean - expected_mean).abs() < 1e-9);
+        assert!((mean - expected_mean).abs() < 1e-9);
 
         let mid = SimTime::from_secs((split.min(samples.len()) as u64) * 60);
         let left = db.sum("m", "s", SimTime::EPOCH, mid).unwrap_or(0.0);
         let right = db.sum("m", "s", mid, end).unwrap_or(0.0);
         let total = db.sum("m", "s", SimTime::EPOCH, end).expect("non-empty");
-        prop_assert!((left + right - total).abs() < 1e-9);
+        assert!((left + right - total).abs() < 1e-9);
     }
+}
 
-    /// Step integration is additive over adjacent windows.
-    #[test]
-    fn integration_is_additive(samples in arb_series(), split in 1usize..79) {
+/// Step integration is additive over adjacent windows.
+#[test]
+fn integration_is_additive() {
+    let mut rng = SimRng::from_seed(1001).fork("integration_is_additive");
+    for _ in 0..128 {
+        let samples = arb_series(&mut rng);
+        let split = rng.uniform_u64(1, 79) as usize;
         let db = db_from(&samples);
         let end = SimTime::from_secs(samples.len() as u64 * 60);
         let mid = SimTime::from_secs((split.min(samples.len()) as u64) * 60);
         let whole = db.integrate("m", "s", SimTime::EPOCH, end);
-        let parts = db.integrate("m", "s", SimTime::EPOCH, mid)
-            + db.integrate("m", "s", mid, end);
-        prop_assert!((whole - parts).abs() < 1e-6, "{whole} vs {parts}");
+        let parts = db.integrate("m", "s", SimTime::EPOCH, mid) + db.integrate("m", "s", mid, end);
+        assert!((whole - parts).abs() < 1e-6, "{whole} vs {parts}");
     }
+}
 
-    /// `value_at` returns the most recent sample at or before the query
-    /// instant (step semantics).
-    #[test]
-    fn value_at_is_step(samples in arb_series(), probe in 0u64..80 * 60) {
+/// `value_at` returns the most recent sample at or before the query
+/// instant (step semantics).
+#[test]
+fn value_at_is_step() {
+    let mut rng = SimRng::from_seed(1001).fork("value_at_is_step");
+    for _ in 0..128 {
+        let samples = arb_series(&mut rng);
+        let probe = rng.uniform_u64(0, 80 * 60);
         let db = db_from(&samples);
         let expected = samples
             .iter()
             .rev()
             .find(|(secs, _)| *secs <= probe)
             .map(|(_, v)| *v);
-        prop_assert_eq!(db.value_at("m", "s", SimTime::from_secs(probe)), expected);
+        assert_eq!(db.value_at("m", "s", SimTime::from_secs(probe)), expected);
     }
+}
 
-    /// Percentiles over the window are bounded by the window's min/max.
-    #[test]
-    fn percentile_bounded(samples in arb_series(), p in 0.0_f64..100.0) {
+/// Percentiles over the window are bounded by the window's min/max.
+#[test]
+fn percentile_bounded() {
+    let mut rng = SimRng::from_seed(1001).fork("percentile_bounded");
+    for _ in 0..128 {
+        let samples = arb_series(&mut rng);
+        let p = rng.uniform(0.0, 100.0);
         let db = db_from(&samples);
         let end = SimTime::from_secs(samples.len() as u64 * 60);
-        let q = db.percentile("m", "s", SimTime::EPOCH, end, p).expect("non-empty");
+        let q = db
+            .percentile("m", "s", SimTime::EPOCH, end, p)
+            .expect("non-empty");
         let lo = samples.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
         let hi = samples.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
-        prop_assert!(q >= lo - 1e-12 && q <= hi + 1e-12);
+        assert!(q >= lo - 1e-12 && q <= hi + 1e-12);
     }
 }

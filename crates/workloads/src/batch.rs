@@ -194,10 +194,7 @@ mod tests {
         let job = BatchJob::new(10.0, Box::new(QueueBottleneck::new(24.0)));
         // 32 allocated cores yield only 24 effective.
         assert_eq!(job.throughput(32.0, 32.0), 24.0);
-        assert_eq!(
-            job.ideal_runtime_hours(32.0),
-            job.ideal_runtime_hours(24.0)
-        );
+        assert_eq!(job.ideal_runtime_hours(32.0), job.ideal_runtime_hours(24.0));
     }
 
     #[test]

@@ -155,7 +155,9 @@ impl SyntheticParallelJob {
 
     fn fresh_worker(&mut self) -> Worker {
         let jitter = if self.cfg.work_jitter > 0.0 {
-            1.0 + self.rng.uniform(-self.cfg.work_jitter, self.cfg.work_jitter)
+            1.0 + self
+                .rng
+                .uniform(-self.cfg.work_jitter, self.cfg.work_jitter)
         } else {
             1.0
         };
@@ -217,9 +219,7 @@ impl SyntheticParallelJob {
             .iter()
             .enumerate()
             .filter(|(_, w)| {
-                w.straggler
-                    && w.replicas == 0
-                    && matches!(w.stage, WorkerStage::Compute { .. })
+                w.straggler && w.replicas == 0 && matches!(w.stage, WorkerStage::Compute { .. })
             })
             .map(|(i, _)| i)
             .collect()
@@ -295,9 +295,7 @@ impl SyntheticParallelJob {
         {
             self.phase += 1;
             if !self.is_done() {
-                self.workers = (0..self.cfg.workers)
-                    .map(|_| self.fresh_worker())
-                    .collect();
+                self.workers = (0..self.cfg.workers).map(|_| self.fresh_worker()).collect();
             }
         }
         done_this_tick

@@ -111,8 +111,7 @@ impl WorkloadTraceBuilder {
             let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
             let diurnal = 0.5 * (1.0 + phase.cos());
             let weekday = if at.day_index() % 7 >= 5 { 0.8 } else { 1.0 };
-            let mut rate =
-                (self.base_rate + (self.peak_rate - self.base_rate) * diurnal) * weekday;
+            let mut rate = (self.base_rate + (self.peak_rate - self.base_rate) * diurnal) * weekday;
 
             match &mut spike {
                 Some((remaining, mag)) => {
@@ -180,7 +179,10 @@ mod tests {
 
     #[test]
     fn rates_never_negative() {
-        let t = WorkloadTraceBuilder::new(0.0, 50.0).noise(0.5).seed(7).build();
+        let t = WorkloadTraceBuilder::new(0.0, 50.0)
+            .noise(0.5)
+            .seed(7)
+            .build();
         assert!(t.samples().iter().all(|&v| v >= 0.0));
     }
 

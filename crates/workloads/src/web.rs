@@ -139,7 +139,13 @@ impl WebService {
 
     /// Advances one tick: `lambda` request/s arrive, served by `workers`
     /// containers whose mean CPU quota is `mean_quota`.
-    pub fn tick(&mut self, lambda: f64, workers: usize, mean_quota: f64, dt: SimDuration) -> WebTick {
+    pub fn tick(
+        &mut self,
+        lambda: f64,
+        workers: usize,
+        mean_quota: f64,
+        dt: SimDuration,
+    ) -> WebTick {
         let lambda = lambda.max(0.0);
         let quota = mean_quota.clamp(0.0, 1.0);
         let secs = dt.as_secs_f64();
@@ -259,7 +265,12 @@ mod tests {
         let dt = SimDuration::from_minutes(1);
         let f = full.tick(150.0, 2, 1.0, dt);
         let h = half.tick(150.0, 2, 0.5, dt);
-        assert!(h.p95_ms > f.p95_ms, "half quota {} vs full {}", h.p95_ms, f.p95_ms);
+        assert!(
+            h.p95_ms > f.p95_ms,
+            "half quota {} vs full {}",
+            h.p95_ms,
+            f.p95_ms
+        );
     }
 
     #[test]

@@ -31,8 +31,20 @@ fn main() {
     for (name, mode) in [
         ("carbon-agnostic", BatchMode::CarbonAgnostic),
         ("suspend-resume", BatchMode::SuspendResume { threshold }),
-        ("wait&scale 2x", BatchMode::WaitAndScale { threshold, scale: 2 }),
-        ("wait&scale 3x", BatchMode::WaitAndScale { threshold, scale: 3 }),
+        (
+            "wait&scale 2x",
+            BatchMode::WaitAndScale {
+                threshold,
+                scale: 2,
+            },
+        ),
+        (
+            "wait&scale 3x",
+            BatchMode::WaitAndScale {
+                threshold,
+                scale: 3,
+            },
+        ),
     ] {
         let carbon = CarbonTraceBuilder::new(regions::california())
             .days(8)

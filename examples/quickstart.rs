@@ -8,7 +8,7 @@
 use ecovisor_suite::carbon_intel::{regions, CarbonTraceBuilder};
 use ecovisor_suite::container_cop::{ContainerSpec, CopConfig};
 use ecovisor_suite::ecovisor::{
-    Application, EcovisorBuilder, EnergyShare, LibraryApi, Simulation,
+    Application, EcovisorBuilder, EcovisorClient, EnergyShare, Simulation,
 };
 use ecovisor_suite::simkit::units::CarbonIntensity;
 
@@ -23,12 +23,12 @@ impl Application for ThrottleOnDirtyGrid {
         "throttle-demo"
     }
 
-    fn on_start(&mut self, api: &mut dyn LibraryApi) {
+    fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
         let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
         api.set_container_demand(c, 1.0).unwrap();
     }
 
-    fn on_tick(&mut self, api: &mut dyn LibraryApi) {
+    fn on_tick(&mut self, api: &mut EcovisorClient<'_>) {
         // The paper's tick() upcall: inspect the virtual energy system…
         let intensity = api.get_grid_carbon();
         let ids = api.container_ids();

@@ -78,10 +78,7 @@ fn main() {
     println!("after three days on solar + batteries:");
     println!(
         "  spark : finished {:?}, lost work {:.1} ch, carbon {:.3} g",
-        spark_stats
-            .borrow()
-            .finished_at
-            .map(|t| format!("at {t}")),
+        spark_stats.borrow().finished_at.map(|t| format!("at {t}")),
         spark_stats.borrow().lost_work,
         spark_totals.carbon.grams()
     );

@@ -19,7 +19,10 @@ fn main() {
     let target = CarbonRate::from_milligrams_per_sec(0.30);
 
     for (name, policy) in [
-        ("static rate-limit", WebPolicy::StaticRateLimit { rate: target }),
+        (
+            "static rate-limit",
+            WebPolicy::StaticRateLimit { rate: target },
+        ),
         (
             "dynamic budget",
             WebPolicy::DynamicBudget {

@@ -1,18 +1,24 @@
 //! Table 1 conformance: every function of the paper's narrow API exists
-//! with the documented semantics, end to end across all crates.
+//! with the documented semantics, end to end across all crates — and the
+//! trait-based compatibility façade is *provably equivalent* to raw
+//! protocol batch dispatch: the same call sequence produces identical
+//! responses and identical end state through either path.
 
 use ecovisor_suite::carbon_intel::service::TraceCarbonService;
 use ecovisor_suite::container_cop::{ContainerSpec, CopConfig};
+use ecovisor_suite::ecovisor::proto::{EnergyRequest, EnergyResponse, ProtoError, RequestBatch};
 use ecovisor_suite::ecovisor::{
-    Application, EcovisorApi, EcovisorBuilder, EnergyShare, LibraryApi, Simulation,
+    Application, EcovisorApi, EcovisorBuilder, EcovisorClient, EcovisorError, EnergyShare,
+    LibraryApi, ScopedApi, Simulation,
 };
 use ecovisor_suite::energy_system::solar::TraceSolarSource;
+use ecovisor_suite::simkit::time::SimTime;
 use ecovisor_suite::simkit::trace::Trace;
 use ecovisor_suite::simkit::units::{WattHours, Watts};
 
 struct Idle;
 impl Application for Idle {
-    fn on_tick(&mut self, _api: &mut dyn LibraryApi) {}
+    fn on_tick(&mut self, _api: &mut EcovisorClient<'_>) {}
 }
 
 fn sim() -> Simulation {
@@ -44,7 +50,10 @@ fn table1_setters_and_getters() {
     let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
     api.set_container_demand(c, 1.0).unwrap();
     api.set_container_powercap(c, Watts::new(2.0)).unwrap();
-    assert_eq!(api.get_container_powercap(c).unwrap(), Some(Watts::new(2.0)));
+    assert_eq!(
+        api.get_container_powercap(c).unwrap(),
+        Some(Watts::new(2.0))
+    );
     let p = api.get_container_power(c).unwrap();
     assert!(
         (p.watts() - 2.0).abs() < 1e-9,
@@ -76,7 +85,7 @@ fn table1_setters_and_getters() {
 fn tick_upcall_period_matches_interval() {
     struct CountTicks(u64);
     impl Application for CountTicks {
-        fn on_tick(&mut self, _api: &mut dyn LibraryApi) {
+        fn on_tick(&mut self, _api: &mut EcovisorClient<'_>) {
             self.0 += 1;
         }
         fn is_done(&self) -> bool {
@@ -123,4 +132,387 @@ fn solar_is_known_one_tick_ahead() {
         }
         s.run_ticks(1);
     }
+}
+
+// ======================================================================
+// Protocol conformance: façade ≡ batch dispatch
+// ======================================================================
+
+/// Executes one request through the *trait façade* and wraps the typed
+/// result back into a wire response, covering every request shape the
+/// sequence below uses.
+fn via_facade(api: &mut ScopedApi<'_>, req: &EnergyRequest) -> EnergyResponse {
+    fn wrap<T>(r: Result<T, EcovisorError>, f: impl FnOnce(T) -> EnergyResponse) -> EnergyResponse {
+        match r {
+            Ok(v) => f(v),
+            Err(e) => EnergyResponse::Err(ProtoError::from(e)),
+        }
+    }
+    match req {
+        EnergyRequest::LaunchContainer { spec } => {
+            wrap(api.launch_container(*spec), EnergyResponse::Container)
+        }
+        EnergyRequest::SetContainerDemand { container, demand } => {
+            wrap(api.set_container_demand(*container, *demand), |()| {
+                EnergyResponse::Ok
+            })
+        }
+        EnergyRequest::SetContainerPowercap { container, cap } => {
+            wrap(api.set_container_powercap(*container, *cap), |()| {
+                EnergyResponse::Ok
+            })
+        }
+        EnergyRequest::GetContainerPowercap { container } => wrap(
+            api.get_container_powercap(*container),
+            EnergyResponse::PowerCap,
+        ),
+        EnergyRequest::ClearContainerPowercap { container } => {
+            wrap(api.clear_container_powercap(*container), |()| {
+                EnergyResponse::Ok
+            })
+        }
+        EnergyRequest::GetContainerPower { container } => {
+            wrap(api.get_container_power(*container), EnergyResponse::Power)
+        }
+        EnergyRequest::SuspendContainer { container } => {
+            wrap(api.suspend_container(*container), |()| EnergyResponse::Ok)
+        }
+        EnergyRequest::ResumeContainer { container } => {
+            wrap(api.resume_container(*container), |()| EnergyResponse::Ok)
+        }
+        EnergyRequest::StopContainer { container } => {
+            wrap(api.stop_container(*container), |()| EnergyResponse::Ok)
+        }
+        EnergyRequest::SetBatteryChargeRate { rate } => {
+            api.set_battery_charge_rate(*rate);
+            EnergyResponse::Ok
+        }
+        EnergyRequest::SetBatteryMaxDischarge { rate } => {
+            api.set_battery_max_discharge(*rate);
+            EnergyResponse::Ok
+        }
+        EnergyRequest::GetSolarPower => EnergyResponse::Power(api.get_solar_power()),
+        EnergyRequest::GetGridPower => EnergyResponse::Power(api.get_grid_power()),
+        EnergyRequest::GetGridCarbon => EnergyResponse::Intensity(api.get_grid_carbon()),
+        EnergyRequest::GetBatteryDischargeRate => {
+            EnergyResponse::Power(api.get_battery_discharge_rate())
+        }
+        EnergyRequest::GetBatteryChargeLevel => {
+            EnergyResponse::Energy(api.get_battery_charge_level())
+        }
+        EnergyRequest::ListContainers => EnergyResponse::Containers(api.container_ids()),
+        EnergyRequest::CountRunningContainers => EnergyResponse::Count(api.running_containers()),
+        EnergyRequest::GetEffectiveCores => EnergyResponse::Cores(api.effective_cores()),
+        EnergyRequest::GetContainerEffectiveCores { container } => wrap(
+            api.container_effective_cores(*container),
+            EnergyResponse::Cores,
+        ),
+        EnergyRequest::GetTime => EnergyResponse::Time(api.now()),
+        EnergyRequest::GetTickInterval => EnergyResponse::Interval(api.tick_interval()),
+        EnergyRequest::GetAppId => EnergyResponse::App(api.app_id()),
+        EnergyRequest::GetAppPower => EnergyResponse::Power(api.get_app_power()),
+        EnergyRequest::GetAppEnergy { from, to } => {
+            EnergyResponse::Energy(api.get_app_energy(*from, *to))
+        }
+        EnergyRequest::GetAppCarbon => EnergyResponse::Carbon(api.get_app_carbon()),
+        EnergyRequest::GetAppCarbonBetween { from, to } => {
+            EnergyResponse::Carbon(api.get_app_carbon_between(*from, *to))
+        }
+        EnergyRequest::GetContainerEnergy {
+            container,
+            from,
+            to,
+        } => wrap(
+            api.get_container_energy(*container, *from, *to),
+            EnergyResponse::Energy,
+        ),
+        EnergyRequest::GetContainerCarbon {
+            container,
+            from,
+            to,
+        } => wrap(
+            api.get_container_carbon(*container, *from, *to),
+            EnergyResponse::Carbon,
+        ),
+        EnergyRequest::SetCarbonRate { rate } => {
+            api.set_carbon_rate(*rate);
+            EnergyResponse::Ok
+        }
+        EnergyRequest::GetCarbonRateLimit => EnergyResponse::RateLimit(api.carbon_rate_limit()),
+        EnergyRequest::SetCarbonBudget { budget } => {
+            api.set_carbon_budget(*budget);
+            EnergyResponse::Ok
+        }
+        EnergyRequest::GetCarbonBudget => EnergyResponse::Budget(api.carbon_budget()),
+        EnergyRequest::GetRemainingCarbonBudget => {
+            EnergyResponse::Budget(api.remaining_carbon_budget())
+        }
+    }
+}
+
+/// A call sequence touching every corner of the API: container lifecycle,
+/// power caps, battery knobs, clock, and Table 2 accounting — including
+/// deliberate failures (an unknown container id).
+fn conformance_sequence(bogus: ecovisor_suite::container_cop::ContainerId) -> Vec<EnergyRequest> {
+    use EnergyRequest::*;
+    let from = SimTime::EPOCH;
+    let to = SimTime::from_secs(120);
+    vec![
+        LaunchContainer {
+            spec: ContainerSpec::quad_core(),
+        },
+        ListContainers,
+        GetTime,
+        GetTickInterval,
+        GetAppId,
+        GetSolarPower,
+        GetGridPower,
+        GetGridCarbon,
+        GetBatteryDischargeRate,
+        GetBatteryChargeLevel,
+        GetEffectiveCores,
+        CountRunningContainers,
+        GetAppPower,
+        GetAppCarbon,
+        GetAppEnergy { from, to },
+        GetAppCarbonBetween { from, to },
+        SetBatteryChargeRate {
+            rate: Watts::new(80.0),
+        },
+        SetBatteryMaxDischarge {
+            rate: Watts::new(40.0),
+        },
+        SetCarbonRate { rate: None },
+        GetCarbonRateLimit,
+        SetCarbonBudget {
+            budget: Some(ecovisor_suite::simkit::units::Co2Grams::new(50.0)),
+        },
+        GetCarbonBudget,
+        GetRemainingCarbonBudget,
+        // Failures as values: bogus container id.
+        GetContainerPower { container: bogus },
+        StopContainer { container: bogus },
+    ]
+}
+
+/// Per-container follow-up once the launched id is known.
+fn per_container_sequence(c: ecovisor_suite::container_cop::ContainerId) -> Vec<EnergyRequest> {
+    use EnergyRequest::*;
+    let from = SimTime::EPOCH;
+    let to = SimTime::from_secs(120);
+    vec![
+        SetContainerDemand {
+            container: c,
+            demand: 0.75,
+        },
+        SetContainerPowercap {
+            container: c,
+            cap: Watts::new(2.5),
+        },
+        GetContainerPowercap { container: c },
+        GetContainerPower { container: c },
+        GetContainerEffectiveCores { container: c },
+        GetContainerEnergy {
+            container: c,
+            from,
+            to,
+        },
+        GetContainerCarbon {
+            container: c,
+            from,
+            to,
+        },
+        ClearContainerPowercap { container: c },
+        SuspendContainer { container: c },
+        ResumeContainer { container: c },
+        // Double-resume is an InvalidState failure — also a value.
+        ResumeContainer { container: c },
+    ]
+}
+
+fn conformance_sim() -> (Simulation, ecovisor_suite::container_cop::AppId) {
+    let mut s = sim();
+    let share = EnergyShare::grid_only()
+        .with_solar_fraction(0.5)
+        .with_battery(WattHours::new(720.0))
+        .with_initial_soc(0.8);
+    let app = s.add_app("conf", share, Box::new(Idle)).unwrap();
+    s.run_ticks(2);
+    (s, app)
+}
+
+/// The tentpole's acceptance property: the same call sequence produces
+/// byte-identical responses and identical end state whether it travels
+/// through the trait façade or through raw batch dispatch.
+#[test]
+fn facade_and_batch_dispatch_are_equivalent() {
+    let bogus = ecovisor_suite::container_cop::ContainerId::new(999_999);
+
+    // Path A: trait façade, one call at a time.
+    let (mut sim_a, app_a) = conformance_sim();
+    let mut responses_a = Vec::new();
+    {
+        let mut api = sim_a.eco_mut().scoped(app_a).unwrap();
+        for req in conformance_sequence(bogus) {
+            responses_a.push(via_facade(&mut api, &req));
+        }
+        let c = match &responses_a[0] {
+            EnergyResponse::Container(c) => *c,
+            other => panic!("launch failed: {other:?}"),
+        };
+        for req in per_container_sequence(c) {
+            responses_a.push(via_facade(&mut api, &req));
+        }
+    }
+
+    // Path B: raw protocol batches against an identical twin.
+    let (mut sim_b, app_b) = conformance_sim();
+    let eco = sim_b.eco_mut();
+    let first = eco.dispatch_batch(&RequestBatch::new(app_b, conformance_sequence(bogus)));
+    let c = match &first.responses[0] {
+        EnergyResponse::Container(c) => *c,
+        other => panic!("launch failed: {other:?}"),
+    };
+    let second = eco.dispatch_batch(&RequestBatch::new(app_b, per_container_sequence(c)));
+    let responses_b: Vec<EnergyResponse> = first
+        .responses
+        .into_iter()
+        .chain(second.responses)
+        .collect();
+
+    assert_eq!(responses_a.len(), responses_b.len());
+    for (i, (a, b)) in responses_a.iter().zip(&responses_b).enumerate() {
+        assert_eq!(a, b, "call #{i} diverged between façade and dispatch");
+    }
+
+    // And the two ecovisors evolved identically: run on and compare state.
+    sim_a.run_ticks(5);
+    sim_b.run_ticks(5);
+    assert_eq!(
+        sim_a.eco().app_totals(app_a).unwrap(),
+        sim_b.eco().app_totals(app_b).unwrap()
+    );
+    assert_eq!(
+        sim_a.eco().app_flows(app_a).unwrap(),
+        sim_b.eco().app_flows(app_b).unwrap()
+    );
+}
+
+/// Serialized round-trip does not change dispatch results: a batch that
+/// crosses the JSON wire behaves exactly like the in-memory one.
+#[test]
+fn wire_serialized_batch_dispatches_identically() {
+    let bogus = ecovisor_suite::container_cop::ContainerId::new(999_999);
+    let (mut sim_a, app) = conformance_sim();
+    let batch = RequestBatch::new(app, conformance_sequence(bogus));
+
+    let wire = serde::json::to_string(&batch);
+    let parsed: RequestBatch = serde::json::from_str(&wire).expect("parse");
+    assert_eq!(parsed, batch);
+
+    let (mut sim_b, app_b) = conformance_sim();
+    let direct = sim_a.eco_mut().dispatch_batch(&batch);
+    let via_wire = sim_b
+        .eco_mut()
+        .dispatch_batch(&RequestBatch::new(app_b, parsed.requests));
+    assert_eq!(direct.responses, via_wire.responses);
+}
+
+// ======================================================================
+// Cross-tenant scoping: denials are values, not panics
+// ======================================================================
+
+/// Two registered apps; app B addressing app A's container gets a
+/// `Scope` error *value* on every container-addressed request, through
+/// both the raw protocol and the client/trait surfaces, and app A's
+/// state is untouched.
+#[test]
+fn cross_tenant_requests_denied_as_values() {
+    let mut s = sim();
+    let a = s
+        .add_app("tenant-a", EnergyShare::grid_only(), Box::new(Idle))
+        .unwrap();
+    let b = s
+        .add_app("tenant-b", EnergyShare::grid_only(), Box::new(Idle))
+        .unwrap();
+
+    // App A launches a container and sets a demand.
+    let victim = {
+        let mut api = s.eco_mut().client(a).unwrap();
+        let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
+        api.set_container_demand(c, 1.0).unwrap();
+        c
+    };
+
+    // Raw protocol: every container-addressed request from B is denied
+    // with a Scope error value; the batch keeps going (no abort).
+    use EnergyRequest::*;
+    let hostile = vec![
+        SetContainerPowercap {
+            container: victim,
+            cap: Watts::new(0.0),
+        },
+        ClearContainerPowercap { container: victim },
+        GetContainerPowercap { container: victim },
+        GetContainerPower { container: victim },
+        StopContainer { container: victim },
+        SuspendContainer { container: victim },
+        ResumeContainer { container: victim },
+        SetContainerDemand {
+            container: victim,
+            demand: 0.0,
+        },
+        GetContainerEffectiveCores { container: victim },
+        GetContainerEnergy {
+            container: victim,
+            from: SimTime::EPOCH,
+            to: SimTime::from_secs(60),
+        },
+        GetContainerCarbon {
+            container: victim,
+            from: SimTime::EPOCH,
+            to: SimTime::from_secs(60),
+        },
+        // A request of B's own still succeeds after all those denials.
+        ListContainers,
+    ];
+    let n_hostile = hostile.len();
+    let out = s.eco_mut().dispatch_batch(&RequestBatch::new(b, hostile));
+    assert_eq!(out.responses.len(), n_hostile);
+    for resp in &out.responses[..n_hostile - 1] {
+        assert_eq!(
+            resp,
+            &EnergyResponse::Err(ProtoError::Scope {
+                container: victim,
+                app: b
+            }),
+            "cross-tenant request must be denied as a Scope value"
+        );
+    }
+    assert_eq!(
+        out.responses[n_hostile - 1],
+        EnergyResponse::Containers(vec![])
+    );
+
+    // Client handle: the denial surfaces as the classic NotOwner error.
+    {
+        let mut api = s.eco_mut().client(b).unwrap();
+        let err = api.stop_container(victim).unwrap_err();
+        assert!(matches!(err, EcovisorError::NotOwner { container, app }
+            if container == victim && app == b));
+    }
+
+    // Trait façade: same.
+    {
+        let mut api = s.eco_mut().scoped(b).unwrap();
+        let err = api
+            .set_container_powercap(victim, Watts::new(0.0))
+            .unwrap_err();
+        assert!(matches!(err, EcovisorError::NotOwner { .. }));
+    }
+
+    // App A's container survived the assault untouched.
+    let mut api = s.eco_mut().client(a).unwrap();
+    assert_eq!(api.container_ids(), vec![victim]);
+    assert_eq!(api.get_container_powercap(victim).unwrap(), None);
 }

@@ -57,7 +57,10 @@ fn heterogeneous_multi_tenant_day() {
     let web = WebApp::new(
         "web",
         WebService::new(100.0),
-        WorkloadTraceBuilder::new(50.0, 400.0).days(3).seed(4).build(),
+        WorkloadTraceBuilder::new(50.0, 400.0)
+            .days(3)
+            .seed(4)
+            .build(),
         WebPolicy::DynamicBudget {
             target_rate: CarbonRate::from_milligrams_per_sec(0.3),
             slo_ms: 60.0,
@@ -145,14 +148,19 @@ fn end_to_end_determinism() {
         let web = WebApp::new(
             "web",
             WebService::new(100.0),
-            WorkloadTraceBuilder::new(50.0, 300.0).days(2).seed(6).build(),
+            WorkloadTraceBuilder::new(50.0, 300.0)
+                .days(2)
+                .seed(6)
+                .build(),
             WebPolicy::DynamicBudget {
                 target_rate: CarbonRate::from_milligrams_per_sec(0.3),
                 slo_ms: 60.0,
             },
             60.0,
         );
-        let id = sim.add_app("web", EnergyShare::grid_only(), Box::new(web)).unwrap();
+        let id = sim
+            .add_app("web", EnergyShare::grid_only(), Box::new(web))
+            .unwrap();
         sim.run_ticks(12 * 60);
         sim.eco().app_totals(id).unwrap().carbon.grams()
     };

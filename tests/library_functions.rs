@@ -4,7 +4,8 @@
 use ecovisor_suite::carbon_intel::service::TraceCarbonService;
 use ecovisor_suite::container_cop::{ContainerSpec, CopConfig};
 use ecovisor_suite::ecovisor::{
-    Application, EcovisorApi, EcovisorBuilder, EnergyShare, LibraryApi, Notification, Simulation,
+    Application, EcovisorApi, EcovisorBuilder, EcovisorClient, EnergyShare, LibraryApi,
+    Notification, Simulation,
 };
 use ecovisor_suite::energy_system::solar::TraceSolarSource;
 use ecovisor_suite::simkit::time::{SimDuration, SimTime};
@@ -13,13 +14,13 @@ use ecovisor_suite::simkit::units::{CarbonRate, Co2Grams, WattHours, Watts};
 
 struct TwoContainers;
 impl Application for TwoContainers {
-    fn on_start(&mut self, api: &mut dyn LibraryApi) {
+    fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
         for demand in [1.0, 0.5] {
             let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
             api.set_container_demand(c, demand).unwrap();
         }
     }
-    fn on_tick(&mut self, _api: &mut dyn LibraryApi) {}
+    fn on_tick(&mut self, _api: &mut EcovisorClient<'_>) {}
 }
 
 #[test]
@@ -45,7 +46,10 @@ fn interval_energy_and_carbon_queries() {
 
     // get_app_energy over the hour.
     let energy = api.get_app_energy(from, to);
-    assert!((energy.watt_hours() - 5.475).abs() < 0.01, "energy {energy}");
+    assert!(
+        (energy.watt_hours() - 5.475).abs() < 0.01,
+        "energy {energy}"
+    );
 
     // get_app_carbon == interval carbon over the whole run.
     let carbon = api.get_app_carbon();
@@ -111,13 +115,13 @@ fn notify_upcalls_fire() {
     }
     struct EventApp(ecovisor_suite::carbon_policies::Shared<Collector>);
     impl Application for EventApp {
-        fn on_start(&mut self, api: &mut dyn LibraryApi) {
+        fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
             let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
             api.set_container_demand(c, 1.0).unwrap();
             api.set_battery_max_discharge(Watts::new(1000.0));
         }
-        fn on_tick(&mut self, _api: &mut dyn LibraryApi) {}
-        fn on_event(&mut self, event: &Notification, _api: &mut dyn LibraryApi) {
+        fn on_tick(&mut self, _api: &mut EcovisorClient<'_>) {}
+        fn on_event(&mut self, event: &Notification, _api: &mut EcovisorClient<'_>) {
             let mut c = self.0.borrow_mut();
             match event {
                 Notification::SolarChange { .. } => c.solar_changes += 1,
@@ -151,10 +155,22 @@ fn notify_upcalls_fire() {
 
     let c = collector.borrow();
     assert!(c.solar_changes > 5, "solar changes: {}", c.solar_changes);
-    assert!(c.carbon_changes >= 2, "carbon changes: {}", c.carbon_changes);
+    assert!(
+        c.carbon_changes >= 2,
+        "carbon changes: {}",
+        c.carbon_changes
+    );
     // The tiny battery drains, partially recharges on the solar wave,
     // and can drain again — at least one empty edge must fire, and each
     // firing must be a genuine full→empty transition (no spam).
-    assert!(c.battery_empty >= 1, "battery empty events: {}", c.battery_empty);
-    assert!(c.battery_empty <= 10, "battery empty spam: {}", c.battery_empty);
+    assert!(
+        c.battery_empty >= 1,
+        "battery empty events: {}",
+        c.battery_empty
+    );
+    assert!(
+        c.battery_empty <= 10,
+        "battery empty spam: {}",
+        c.battery_empty
+    );
 }

@@ -1,0 +1,358 @@
+//! JSON wire codec for [`Value`](crate::Value).
+//!
+//! This is the concrete byte format of the ecovisor protocol: every
+//! [`Serialize`](crate::Serialize) type renders to a JSON string via
+//! [`to_string`] and parses back via [`from_str`]. Integers keep full
+//! `u64`/`i64` precision; floats are rendered with Rust's shortest
+//! round-trip formatting. JSON has no encoding for non-finite floats, so
+//! they render as the strings `"NaN"`/`"inf"`/`"-inf"`, which the float
+//! deserializer accepts back — a request carrying a NaN field dispatches
+//! identically on both sides of the wire instead of failing to parse.
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+/// Serializes any value to its JSON wire form.
+pub fn to_string<T: Serialize + ?Sized>(t: &T) -> String {
+    let mut out = String::new();
+    write_value(&t.to_value(), &mut out);
+    out
+}
+
+/// Parses a value from its JSON wire form.
+///
+/// # Errors
+///
+/// On malformed JSON or a tree that does not match `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse(s)?)
+}
+
+/// Maximum container nesting accepted by the parser. The wire protocol
+/// nests a handful of levels; the bound exists so hostile input (e.g.
+/// `"[".repeat(1 << 20)`) returns an error value instead of overflowing
+/// the stack — the protocol's failures-are-values promise extends to
+/// the codec.
+const MAX_DEPTH: u32 = 128;
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// # Errors
+///
+/// On malformed JSON, or nesting deeper than [`MAX_DEPTH`] levels.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!("trailing input at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float form; ensure a
+                // decimal point or exponent so it reparses as a float.
+                let s = format!("{f:?}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else if f.is_nan() {
+                out.push_str("\"NaN\"");
+            } else if *f > 0.0 {
+                out.push_str("\"inf\"");
+            } else {
+                out.push_str("\"-inf\"");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error::custom("nesting deeper than MAX_DEPTH"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error::custom("unexpected end of input")),
+        Some(b'n') => {
+            expect_literal(bytes, pos, "null")?;
+            Ok(Value::Null)
+        }
+        Some(b't') => {
+            expect_literal(bytes, pos, "true")?;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') => {
+            expect_literal(bytes, pos, "false")?;
+            Ok(Value::Bool(false))
+        }
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Seq(items));
+                    }
+                    _ => return Err(Error::custom(format!("expected ',' or ']' at {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(Error::custom(format!("expected ':' at {pos}")));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Map(entries));
+                    }
+                    _ => return Err(Error::custom(format!("expected ',' or '}}' at {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn expect_literal(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::custom(format!("expected `{lit}` at {pos}")))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(Error::custom(format!("expected string at {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::custom("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                        // Surrogate pairs are not needed for this workspace's
+                        // wire traffic; map lone surrogates to the
+                        // replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::custom("bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::custom("invalid utf-8"))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
+    if text.is_empty() || text == "-" {
+        return Err(Error::custom(format!("expected number at {start}")));
+    }
+    if !is_float {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::Float)
+        .map_err(|_| Error::custom(format!("bad number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-12", "3.5", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(parse(&to_string_value(&v)).unwrap(), v);
+        }
+    }
+
+    fn to_string_value(v: &Value) -> String {
+        let mut out = String::new();
+        write_value(v, &mut out);
+        out
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let v = Value::UInt(u64::MAX);
+        assert_eq!(parse(&to_string_value(&v)).unwrap(), Value::UInt(u64::MAX));
+    }
+
+    #[test]
+    fn float_shortest_form_round_trips() {
+        let v = Value::Float(0.1 + 0.2);
+        assert_eq!(parse(&to_string_value(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn nested_structures() {
+        let text = r#"{"a":[1,2,{"b":"x\n"}],"c":null}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(to_string_value(&v), text);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("1 2").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        let bomb = "[".repeat(1 << 20);
+        assert!(parse(&bomb).is_err());
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&ok).is_ok(), "normal nesting stays accepted");
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let wire = crate::json::to_string(&f);
+            let back: f64 = crate::json::from_str(&wire).unwrap();
+            assert!(
+                back.is_nan() == f.is_nan() && (f.is_nan() || back == f),
+                "{f} -> {wire} -> {back}"
+            );
+        }
+    }
+}

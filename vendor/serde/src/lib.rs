@@ -1,0 +1,464 @@
+//! Offline shim of the serde data model.
+//!
+//! The build runs without network access, so the real `serde` crate is
+//! unavailable. This shim keeps the surface the workspace uses —
+//! `use serde::{Serialize, Deserialize}` plus `#[derive(...)]` — while
+//! implementing a deliberately small framework:
+//!
+//! * [`Value`] is a self-describing tree (the serde data model collapsed
+//!   to the variants this workspace needs).
+//! * [`Serialize`]/[`Deserialize`] convert to/from [`Value`].
+//! * [`json`] renders a [`Value`] to a JSON string and parses it back,
+//!   which is the wire format of the ecovisor protocol.
+//!
+//! Derive semantics mirror serde's defaults: structs become maps keyed by
+//! field name, newtype structs are transparent, enums are externally
+//! tagged (`"Variant"` for unit variants, `{"Variant": payload}`
+//! otherwise).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// A self-describing serialized tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer that does not fit `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields, enum tags).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a [`Value::Map`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ----------------------------------------------------------------------
+// Helpers used by the derive-generated code (stable names, public API).
+// ----------------------------------------------------------------------
+
+/// Fetches a struct field from a map value.
+///
+/// # Errors
+///
+/// When `v` is not a map or lacks `name`.
+pub fn __field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    match v {
+        Value::Map(_) => v
+            .get(name)
+            .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+        other => Err(Error::custom(format!(
+            "expected map for struct, found {other:?}"
+        ))),
+    }
+}
+
+/// Splits an externally-tagged enum value into `(tag, payload)`.
+///
+/// # Errors
+///
+/// When `v` is neither a string nor a single-entry map.
+pub fn __variant(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+    match v {
+        Value::Str(tag) => Ok((tag.as_str(), None)),
+        Value::Map(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+        }
+        other => Err(Error::custom(format!(
+            "expected externally tagged enum, found {other:?}"
+        ))),
+    }
+}
+
+/// Checks a sequence value's arity and returns its elements.
+///
+/// # Errors
+///
+/// When `v` is not a sequence of exactly `expect` elements.
+pub fn __seq(v: &Value, expect: usize) -> Result<&[Value], Error> {
+    match v {
+        Value::Seq(items) if items.len() == expect => Ok(items),
+        Value::Seq(items) => Err(Error::custom(format!(
+            "expected {expect} elements, found {}",
+            items.len()
+        ))),
+        other => Err(Error::custom(format!("expected seq, found {other:?}"))),
+    }
+}
+
+/// Accepts the unit encoding (`null`).
+///
+/// # Errors
+///
+/// When `v` is not null.
+pub fn __unit(v: &Value) -> Result<(), Error> {
+    match v {
+        Value::Null => Ok(()),
+        other => Err(Error::custom(format!("expected null, found {other:?}"))),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Primitive impls
+// ----------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+fn int_from_value(v: &Value) -> Result<i128, Error> {
+    match v {
+        Value::Int(i) => Ok(i128::from(*i)),
+        Value::UInt(u) => Ok(i128::from(*u)),
+        Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Ok(*f as i128),
+        other => Err(Error::custom(format!("expected integer, found {other:?}"))),
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                <$t>::try_from(int_from_value(v)?)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = u64::from(*self);
+                match i64::try_from(wide) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(wide),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                <$t>::try_from(int_from_value(v)?)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        (*self as u64).to_value()
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        usize::try_from(int_from_value(v)?)
+            .map_err(|_| Error::custom("integer out of range for usize"))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        isize::try_from(int_from_value(v)?)
+            .map_err(|_| Error::custom("integer out of range for isize"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            // The JSON codec's encoding of non-finite floats (JSON itself
+            // has none), so NaN/inf fields round-trip the wire.
+            Value::Str(s) if s == "NaN" => Ok(f64::NAN),
+            Value::Str(s) if s == "inf" => Ok(f64::INFINITY),
+            Value::Str(s) if s == "-inf" => Ok(f64::NEG_INFINITY),
+            other => Err(Error::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        __unit(v)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Composite impls
+// ----------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected seq, found {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items
+                .iter()
+                .map(|pair| {
+                    let kv = __seq(pair, 2)?;
+                    Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                })
+                .collect(),
+            other => Err(Error::custom(format!("expected map seq, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:expr => $($t:ident . $idx:tt),*) => {
+        impl<$($t: Serialize),*> Serialize for ($($t,)*) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),*])
+            }
+        }
+        impl<$($t: Deserialize),*> Deserialize for ($($t,)*) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = __seq(v, $n)?;
+                Ok(($($t::from_value(&items[$idx])?,)*))
+            }
+        }
+    };
+}
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u32>::from_value(&None::<u32>.to_value()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn map_round_trips_as_pair_seq() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2u32);
+        let back: BTreeMap<String, u32> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let v = Value::Map(vec![("x".into(), Value::Int(1))]);
+        assert!(__field(&v, "y").is_err());
+        assert!(__field(&v, "x").is_ok());
+    }
+}

@@ -1,0 +1,394 @@
+//! Dependency-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored serde shim.
+//!
+//! The build is offline, so `syn`/`quote` are unavailable; this macro
+//! parses the item's token stream by hand. It supports the shapes the
+//! workspace uses — unit structs, tuple structs, named-field structs, and
+//! enums with unit / tuple / named-field variants — and rejects generics
+//! with a clear compile error. Generated code mirrors serde's default
+//! encodings (struct → map, newtype → transparent, enum → externally
+//! tagged).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated code parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated code parses")
+}
+
+// ----------------------------------------------------------------------
+// Parsing
+// ----------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (type `{name}`)");
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("cannot derive for `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                *i += 1; // [ ... ]
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a `{ ... }` body; types are skipped (the generated code
+/// lets inference pick the right `Deserialize` impl).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        names.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Advances past one type: everything up to a `,` at angle-bracket depth
+/// zero. Grouped tokens (`(..)`, `[..]`) arrive as single trees, so only
+/// `<`/`>` need depth tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ----------------------------------------------------------------------
+// Codegen
+// ----------------------------------------------------------------------
+
+fn named_map_expr(fields: &[String], accessor: &dyn Fn(&str) -> String) -> String {
+    let mut code = String::from(
+        "{ let mut __m: ::std::vec::Vec<(::std::string::String, serde::Value)> = \
+         ::std::vec::Vec::new();",
+    );
+    for f in fields {
+        code.push_str(&format!(
+            "__m.push((::std::string::String::from(\"{f}\"), \
+             serde::Serialize::to_value({})));",
+            accessor(f)
+        ));
+    }
+    code.push_str("serde::Value::Map(__m) }");
+    code
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(","))
+                }
+                Fields::Named(fields) => named_map_expr(fields, &|f| format!("&self.{f}")),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Seq(vec![{}])", items.join(","))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::Value::Map(vec![\
+                             (::std::string::String::from(\"{vn}\"), {payload})]),",
+                            binds.join(",")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let payload = named_map_expr(fields, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => serde::Value::Map(vec![\
+                             (::std::string::String::from(\"{vn}\"), {payload})]),",
+                            fields.join(",")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{ {arms} }}"))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{ \
+         fn to_value(&self) -> serde::Value {{ {body} }} }}"
+    )
+}
+
+fn named_build_expr(prefix: &str, fields: &[String], src: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: serde::Deserialize::from_value(serde::__field({src}, \"{f}\")?)?"))
+        .collect();
+    format!("{prefix} {{ {} }}", inits.join(","))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("{{ serde::__unit(__v)?; Ok({name}) }}"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                        .collect();
+                    format!(
+                        "{{ let __s = serde::__seq(__v, {n})?; Ok({name}({})) }}",
+                        items.join(",")
+                    )
+                }
+                Fields::Named(fields) => {
+                    format!("Ok({})", named_build_expr(name, fields, "__v"))
+                }
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    Fields::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("Ok({name}::{vn}(serde::Deserialize::from_value(__p)?))")
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let __s = serde::__seq(__p, {n})?; \
+                                 Ok({name}::{vn}({})) }}",
+                                items.join(",")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __p = __payload.ok_or_else(|| \
+                             serde::Error::custom(\"variant `{vn}` expects a payload\"))?; \
+                             {build} }}"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let build = named_build_expr(&format!("{name}::{vn}"), fields, "__p");
+                        arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __p = __payload.ok_or_else(|| \
+                             serde::Error::custom(\"variant `{vn}` expects a payload\"))?; \
+                             Ok({build}) }}"
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "{{ let (__tag, __payload) = serde::__variant(__v)?; \
+                 match __tag {{ {arms} __other => Err(serde::Error::custom(format!(\
+                 \"unknown variant `{{}}` for {name}\", __other))) }} }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{ \
+         fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::Error> \
+         {{ {body} }} }}"
+    )
+}
