@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use carbon_intel::service::TraceCarbonService;
 use container_cop::{AppId, ContainerSpec, Cop, CopConfig, CopError};
 use ecovisor::{
-    Application, EcovisorBuilder, EcovisorClient, EnergyShare, ExcessPolicy, Simulation,
+    Application, EcovisorBuilder, EcovisorClient, EnergyClient, EnergyShare, ExcessPolicy,
+    Simulation,
 };
 use energy_system::solar::TraceSolarSource;
 use power_telemetry::Tsdb;

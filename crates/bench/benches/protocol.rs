@@ -1,14 +1,17 @@
 //! Batch-dispatch throughput baseline: requests/second through
 //! [`Ecovisor::dispatch_batch`] at batch sizes 1, 32, and 256, for a
 //! query-only workload, a command-heavy workload, and the serialized
-//! (JSON wire) path. Future perf PRs regress against these numbers.
+//! wire paths — JSON (`dispatch_wire_batch`) and the binary codec the
+//! transport negotiates by default (`dispatch_wire_binary`). Future perf
+//! PRs regress against these numbers; `BENCH_protocol.json` in the crate
+//! root holds the committed baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use carbon_intel::service::TraceCarbonService;
 use container_cop::{AppId, ContainerId, ContainerSpec, CopConfig};
 use ecovisor::proto::{EnergyRequest, RequestBatch};
-use ecovisor::{Ecovisor, EcovisorBuilder, EnergyShare};
+use ecovisor::{Ecovisor, EcovisorBuilder, EnergyClient, EnergyShare};
 use simkit::time::SimTime;
 use simkit::trace::Trace;
 use simkit::units::{WattHours, Watts};
@@ -112,8 +115,9 @@ fn bench_command_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-/// The full wire path: serialize the batch to JSON, parse it back, then
-/// dispatch — what a remote transport would pay per round trip.
+/// The full JSON wire path: parse the request batch, dispatch, serialize
+/// the response batch — what a remote transport pays per round trip on
+/// the fallback codec.
 fn bench_wire_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_wire_batch");
     for &n in &BATCH_SIZES {
@@ -122,7 +126,27 @@ fn bench_wire_dispatch(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let batch: RequestBatch = serde::json::from_str(&wire).expect("parse");
-                std::hint::black_box(eco.dispatch_batch(&batch))
+                let resp = eco.dispatch_batch(&batch);
+                std::hint::black_box(serde::json::to_string(&resp))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The full binary wire path over the same batches — the codec the
+/// transport negotiates by default. The gap against `dispatch_wire_batch`
+/// is the win codec negotiation buys.
+fn bench_wire_binary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_wire_binary");
+    for &n in &BATCH_SIZES {
+        let (mut eco, app, container) = dispatch_fixture();
+        let wire = serde::binary::to_bytes(&query_batch(app, container, n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let batch: RequestBatch = serde::binary::from_bytes(&wire).expect("parse");
+                let resp = eco.dispatch_batch(&batch);
+                std::hint::black_box(serde::binary::to_bytes(&resp))
             })
         });
     }
@@ -134,5 +158,6 @@ criterion_group!(
     bench_query_dispatch,
     bench_command_dispatch,
     bench_wire_dispatch,
+    bench_wire_binary,
 );
 criterion_main!(protocol);

@@ -126,9 +126,13 @@ pub struct Container {
     cpu_quota: f64,
     /// Workload CPU demand as a fraction of allocated cores, in `[0, 1]`.
     demand: f64,
-    /// Power cap that produced the current quota, if any (Table 1
-    /// `get_container_powercap`).
+    /// Application-set power cap, if any (Table 1
+    /// `get_container_powercap` reports exactly what the app set).
     power_cap: Option<Watts>,
+    /// Ecovisor-installed cap component (carbon-rate enforcement). Kept
+    /// separate from `power_cap` so enforcement never clobbers the
+    /// app's own setting; the quota enforces `min` of the two.
+    carbon_cap: Option<Watts>,
 }
 
 impl Container {
@@ -148,6 +152,7 @@ impl Container {
             cpu_quota: 1.0,
             demand: 0.0,
             power_cap: None,
+            carbon_cap: None,
         }
     }
 
@@ -198,13 +203,31 @@ impl Container {
         self.demand = demand.clamp(0.0, 1.0);
     }
 
-    /// The active power cap, if one is set.
+    /// The application-set power cap, if one is set.
     pub fn power_cap(&self) -> Option<Watts> {
         self.power_cap
     }
 
     pub(crate) fn set_power_cap(&mut self, cap: Option<Watts>) {
         self.power_cap = cap;
+    }
+
+    /// The ecovisor-installed carbon-enforcement cap, if one is active.
+    pub fn carbon_cap(&self) -> Option<Watts> {
+        self.carbon_cap
+    }
+
+    pub(crate) fn set_carbon_cap(&mut self, cap: Option<Watts>) {
+        self.carbon_cap = cap;
+    }
+
+    /// The cap the quota actually enforces: `min` of the app-set cap and
+    /// the ecovisor's carbon cap, `None` when neither is active.
+    pub fn effective_power_cap(&self) -> Option<Watts> {
+        match (self.power_cap, self.carbon_cap) {
+            (Some(user), Some(carbon)) => Some(user.min(carbon)),
+            (one, other) => one.or(other),
+        }
     }
 
     /// Effective utilization this tick: demand clipped by quota, zero

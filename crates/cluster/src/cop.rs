@@ -202,34 +202,54 @@ impl Cop {
         }
     }
 
-    /// Sets (or clears) a container's power cap, converting it to a CPU
-    /// quota via the host server's power model — the cgroup mechanism of
-    /// §2/§4.
+    /// Sets (or clears) a container's application-visible power cap —
+    /// the Table 1 `set_container_powercap` mechanism. Enforcement goes
+    /// through the CPU quota (§2/§4 cgroups); the quota honors the
+    /// tighter of this cap and any ecovisor-installed
+    /// [carbon cap](Self::set_carbon_cap).
     ///
     /// # Errors
     ///
     /// [`CopError::UnknownContainer`] if absent.
     pub fn set_power_cap(&mut self, id: ContainerId, cap: Option<Watts>) -> Result<(), CopError> {
-        let model = {
-            let c = self
-                .containers
-                .get(&id)
-                .ok_or(CopError::UnknownContainer(id))?;
-            self.models[c.server().value() as usize]
-        };
-        let c = self.containers.get_mut(&id).expect("checked above");
-        match cap {
+        self.containers
+            .get_mut(&id)
+            .ok_or(CopError::UnknownContainer(id))?
+            .set_power_cap(cap);
+        self.refresh_quota(id);
+        Ok(())
+    }
+
+    /// Sets (or clears) the ecovisor's carbon-enforcement cap component.
+    /// Kept separate from the app's [`Self::set_power_cap`] so
+    /// carbon-rate enforcement never clobbers (and is never clobbered
+    /// by) the application's own setting; the quota enforces
+    /// `min(user cap, carbon cap)`.
+    ///
+    /// # Errors
+    ///
+    /// [`CopError::UnknownContainer`] if absent.
+    pub fn set_carbon_cap(&mut self, id: ContainerId, cap: Option<Watts>) -> Result<(), CopError> {
+        self.containers
+            .get_mut(&id)
+            .ok_or(CopError::UnknownContainer(id))?
+            .set_carbon_cap(cap);
+        self.refresh_quota(id);
+        Ok(())
+    }
+
+    /// Recomputes a container's CPU quota from its effective power cap,
+    /// via the host server's power model.
+    fn refresh_quota(&mut self, id: ContainerId) {
+        let c = self.containers.get_mut(&id).expect("caller verified");
+        let model = self.models[c.server().value() as usize];
+        match c.effective_power_cap() {
             Some(cap) => {
                 let quota = model.quota_for_cap(c.spec().cores, c.spec().gpu, cap);
-                c.set_power_cap(Some(cap));
                 c.set_cpu_quota(quota);
             }
-            None => {
-                c.set_power_cap(None);
-                c.set_cpu_quota(1.0);
-            }
+            None => c.set_cpu_quota(1.0),
         }
-        Ok(())
     }
 
     /// Sets a container's CPU quota directly (vertical scaling).
@@ -425,6 +445,38 @@ mod tests {
             "power {p} should sit at the cap"
         );
         // Clearing the cap restores full quota.
+        cop.set_power_cap(id, None).expect("exists");
+        assert_eq!(cop.container(id).expect("exists").cpu_quota(), 1.0);
+    }
+
+    #[test]
+    fn carbon_cap_composes_with_user_cap() {
+        let mut cop = cop();
+        let app = AppId::new(1);
+        let id = cop.launch(app, ContainerSpec::quad_core()).expect("fits");
+        cop.set_demand(id, 1.0).expect("exists");
+        cop.set_power_cap(id, Some(Watts::new(3.0)))
+            .expect("exists");
+        cop.set_carbon_cap(id, Some(Watts::new(2.0)))
+            .expect("exists");
+        // Effective = min(3, 2) = 2; the app-visible cap stays 3.
+        assert_eq!(
+            cop.container(id).expect("exists").power_cap(),
+            Some(Watts::new(3.0))
+        );
+        let p = cop.container_power(id).expect("exists");
+        assert!((p.watts() - 2.0).abs() < 1e-9, "capped power {p}");
+        // Clearing the carbon component restores the user cap.
+        cop.set_carbon_cap(id, None).expect("exists");
+        let p = cop.container_power(id).expect("exists");
+        assert!((p.watts() - 3.0).abs() < 1e-9, "user-capped power {p}");
+        // A carbon cap looser than the user cap does not tighten it.
+        cop.set_carbon_cap(id, Some(Watts::new(10.0)))
+            .expect("exists");
+        let p = cop.container_power(id).expect("exists");
+        assert!((p.watts() - 3.0).abs() < 1e-9, "loose carbon cap {p}");
+        // Clearing both restores full quota.
+        cop.set_carbon_cap(id, None).expect("exists");
         cop.set_power_cap(id, None).expect("exists");
         assert_eq!(cop.container(id).expect("exists").cpu_quota(), 1.0);
     }

@@ -152,7 +152,19 @@ impl Ecovisor {
                 EnergyResponse::Ok
             }
             SetCarbonBudget { budget } => {
-                self.app_state_mut(app).carbon_budget = *budget;
+                let state = self.app_state_mut(app);
+                state.carbon_budget = *budget;
+                // Clearing the budget or raising it above the carbon
+                // already attributed lifts the grid clamp and re-arms
+                // the exhaustion edge. A budget at or below current
+                // cumulative carbon stays clamped (and fires no new
+                // edge) — otherwise re-setting the same exhausted
+                // budget every tick would buy a tick of grid draw each
+                // time and defeat enforcement entirely.
+                let still_exhausted = budget
+                    .is_some_and(|b| state.ves.totals().carbon >= b && state.budget_exhausted);
+                state.budget_exhausted = still_exhausted;
+                state.ves.set_grid_clamp(still_exhausted);
                 EnergyResponse::Ok
             }
             // is_query() returned false, so no query variant reaches here.
@@ -239,6 +251,11 @@ impl Ecovisor {
                     EnergyResponse::Carbon(Co2Grams::new(grams))
                 }
             },
+            // Instantaneous draw the containers present *this* tick
+            // (pre-settlement). Under grid-cap shedding the served power
+            // can be lower — energy/carbon integrals (GetAppEnergy,
+            // VesTotals) count served power, so integrate those rather
+            // than sampling this reading.
             GetAppPower => EnergyResponse::Power(self.cop.app_power(app)),
             GetAppEnergy { from, to } => {
                 let ws = self.tsdb.integrate(

@@ -44,6 +44,12 @@ pub(crate) struct AppState {
     pub(crate) pending_events: Vec<Notification>,
     pub(crate) carbon_rate_limit: Option<CarbonRate>,
     pub(crate) carbon_budget: Option<Co2Grams>,
+    /// Containers currently carrying an ecovisor-installed carbon cap,
+    /// so enforcement can clear exactly what it installed when the rate
+    /// limit lifts (or re-spread it as the container set changes).
+    pub(crate) carbon_capped: Vec<ContainerId>,
+    /// Edge-trigger state for [`Notification::BudgetExhausted`].
+    pub(crate) budget_exhausted: bool,
 }
 
 /// System-wide flows settled in one tick (diagnostics/telemetry).
@@ -169,6 +175,8 @@ impl Ecovisor {
                 pending_events: Vec::new(),
                 carbon_rate_limit: None,
                 carbon_budget: None,
+                carbon_capped: Vec::new(),
+                budget_exhausted: false,
             },
         );
         Ok(id)
@@ -303,6 +311,20 @@ impl Ecovisor {
                     .ves
                     .apply_flows(d, charge_scale, discharge_scale, intensity, dt);
             state.pending_events.extend(events);
+            // Carbon-budget enforcement (Table 2 set_carbon_budget):
+            // edge-triggered like battery full/empty — notify once at
+            // the crossing and clamp grid allowance to zero until the
+            // budget is cleared or raised.
+            if let Some(budget) = state.carbon_budget {
+                let carbon = state.ves.totals().carbon;
+                if carbon >= budget && !state.budget_exhausted {
+                    state.budget_exhausted = true;
+                    state.ves.set_grid_clamp(true);
+                    state
+                        .pending_events
+                        .push(Notification::BudgetExhausted { budget, carbon });
+                }
+            }
             surplus_pool += f.solar_surplus;
             charge_applied += f.solar_to_battery + f.grid_to_battery;
             discharge_applied += f.battery_to_load;
@@ -516,13 +538,27 @@ impl Ecovisor {
             .ok_or(EcovisorError::UnknownApp(app))
     }
 
-    /// Converts each app's carbon-rate limit into per-container power
-    /// caps under the current intensity. Zero-carbon supply (available
+    /// Converts each app's carbon-rate limit into per-container **carbon
+    /// caps** under the current intensity. Zero-carbon supply (available
     /// solar plus allowed battery discharge) is exempt from the cap.
+    ///
+    /// Carbon caps are a separate component from the caps applications
+    /// set through `set_container_powercap` — the COP enforces the `min`
+    /// of the two — and are cleared and re-installed every settlement,
+    /// so lifting the rate limit (`set_carbon_rate(None)`) restores the
+    /// containers' own caps on the next tick, and the per-container
+    /// spread tracks the live container set.
     fn enforce_carbon_rates(&mut self, dt: SimDuration) {
         let intensity = self.intensity.grams_per_kwh().max(1e-9);
         let ids: Vec<AppId> = self.apps.keys().copied().collect();
         for id in ids {
+            // Clear last tick's installation (containers may have
+            // stopped; the rate limit may be gone; intensity changed).
+            let previous =
+                std::mem::take(&mut self.apps.get_mut(&id).expect("registered").carbon_capped);
+            for c in previous {
+                let _ = self.cop.set_carbon_cap(c, None);
+            }
             let (rate, zero_carbon) = {
                 let state = self.apps.get(&id).expect("registered");
                 let Some(rate) = state.carbon_rate_limit else {
@@ -550,9 +586,10 @@ impl Ecovisor {
                 continue;
             }
             let per_container = total_allowed / running.len() as f64;
-            for c in running {
-                let _ = self.cop.set_power_cap(c, Some(per_container));
+            for &c in &running {
+                let _ = self.cop.set_carbon_cap(c, Some(per_container));
             }
+            self.apps.get_mut(&id).expect("registered").carbon_capped = running;
         }
     }
 
@@ -606,8 +643,14 @@ impl Ecovisor {
             let subject = id.to_string();
             let state = self.apps.get(&id).expect("registered");
             let app_power = f.demand;
+            // APP_POWER records *served* power (demand minus load shed by
+            // the grid cap), so its TSDB integral — get_app_energy —
+            // agrees with VesTotals::energy, which accumulates served
+            // power. Demand stays the denominator for the proportional
+            // carbon attribution below (container powers sum to demand).
+            let served = (f.demand - f.unmet_demand).max_zero();
             self.tsdb
-                .record(metrics::APP_POWER, &subject, now, app_power.watts());
+                .record(metrics::APP_POWER, &subject, now, served.watts());
             self.tsdb
                 .record(metrics::GRID_POWER, &subject, now, f.grid_import().watts());
             self.tsdb.record(

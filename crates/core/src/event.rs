@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use simkit::units::{CarbonIntensity, Watts};
+use simkit::units::{CarbonIntensity, Co2Grams, Watts};
 
 /// An asynchronous notification delivered to an application.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +36,17 @@ pub enum Notification {
     /// The virtual battery just drained to its empty floor
     /// (Table 2 `notify_battery_empty`).
     BatteryEmpty,
+    /// Cumulative attributed carbon just reached the configured budget
+    /// (Table 2 `set_carbon_budget` semantics). Edge-triggered like the
+    /// battery events: delivered once per crossing, and the ecovisor
+    /// clamps the app's grid allowance to zero until the budget is
+    /// cleared or raised.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: Co2Grams,
+        /// Cumulative attributed carbon at the crossing.
+        carbon: Co2Grams,
+    },
 }
 
 /// Per-application thresholds controlling event generation.

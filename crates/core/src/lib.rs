@@ -56,7 +56,7 @@
 //! ```
 //! use container_cop::ContainerSpec;
 //! use ecovisor::{
-//!     Application, EcovisorBuilder, EcovisorClient, EnergyShare, Simulation,
+//!     Application, EcovisorBuilder, EcovisorClient, EnergyClient, EnergyShare, Simulation,
 //! };
 //!
 //! struct Busy;
@@ -91,11 +91,12 @@ pub mod event;
 pub mod proto;
 pub mod share;
 pub mod sim;
+pub mod transport;
 pub mod ves;
 
 pub use api::{EcovisorApi, LibraryApi};
 pub use app::Application;
-pub use client::EcovisorClient;
+pub use client::{EcovisorClient, EnergyClient};
 pub use config::{EcovisorBuilder, ExcessPolicy};
 pub use dispatch::{ProtocolTrace, TraceEntry};
 pub use ecovisor::{Ecovisor, ScopedApi, SystemFlows};
@@ -106,6 +107,10 @@ pub use proto::{
 };
 pub use share::EnergyShare;
 pub use sim::Simulation;
+pub use transport::{
+    ClientHello, EcovisorServer, RemoteEcovisorClient, ServerHandle, ServerHello, SharedEcovisor,
+    WireCodec,
+};
 pub use ves::{VesFlows, VesTotals, VirtualEnergySystem};
 
 // Re-export the identifiers applications deal with.

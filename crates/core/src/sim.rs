@@ -19,6 +19,7 @@ use container_cop::AppId;
 use simkit::time::SimDuration;
 
 use crate::app::Application;
+use crate::client::EnergyClient;
 use crate::ecovisor::Ecovisor;
 use crate::error::Result;
 use crate::share::EnergyShare;

@@ -1,0 +1,696 @@
+//! Remote transport: the ecovisor protocol over TCP.
+//!
+//! PR 1 made every API call a wire-serializable message; this module puts
+//! those messages on an actual wire, so an application binary can drive
+//! an ecovisor in another process (the deployment shape of §3: tenants
+//! are untrusted and live outside the energy-system virtualization
+//! layer). [`EcovisorServer`] owns the ecovisor and answers
+//! [`RequestBatch`] frames; [`RemoteEcovisorClient`] implements the same
+//! [`EnergyClient`] method surface as the in-process handle, so
+//! application code is transport-agnostic.
+//!
+//! ## Wire format
+//!
+//! Every message travels as a **frame**:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | length: u32 LE | payload (length B)  |
+//! +----------------+---------------------+
+//! ```
+//!
+//! Frames longer than [`MAX_FRAME_LEN`] are rejected (the read side never
+//! allocates more than the peer has actually earned the right to send).
+//!
+//! ## Hello / codec negotiation
+//!
+//! The first frame in each direction is a **hello**, always encoded as
+//! JSON so negotiation itself is codec-independent:
+//!
+//! 1. client → server: [`ClientHello`] carrying the client's
+//!    [`PROTOCOL_VERSION`], the [`AppId`] the connection acts for, and
+//!    its supported codecs in preference order (by default
+//!    `[Binary, Json]` — binary preferred, JSON fallback);
+//! 2. server → client: [`ServerHello::Accept`] naming the one codec the
+//!    connection will use (the client's first codec the server also
+//!    speaks), or [`ServerHello::Reject`] with a reason (version
+//!    mismatch, no common codec), after which the server closes the
+//!    connection.
+//!
+//! The server **pins the connection to the hello's `AppId`**: any later
+//! batch claiming a different app scope is denied with error values
+//! without touching the dispatcher. Pinning is an *integrity* measure —
+//! one connection speaks for exactly one scope — not authentication:
+//! the hello's `AppId` is client-asserted, so on a network where peers
+//! are untrusted the listener must sit behind an authenticating layer
+//! (per-app credentials in the hello are the natural v2 extension).
+//!
+//! After an accept, every frame payload in both directions is one
+//! [`RequestBatch`] (client → server) or [`ResponseBatch`] (server →
+//! client) in the negotiated [`WireCodec`] — [`serde::json`] text or the
+//! [`serde::binary`] tag-byte format. Batches stay version-gated by the
+//! dispatcher exactly as in-process traffic, and a [`ProtocolTrace`]
+//! recorded on the server replays identically whichever encoding carried
+//! the batches, because both codecs serialize the same `serde::Value`
+//! data model.
+//!
+//! ## Concurrency model
+//!
+//! The server accepts connections on a background thread and serves each
+//! connection on its own thread; all of them dispatch into one shared
+//! `Arc<Mutex<Ecovisor>>`. The driver loop (whoever ticks the
+//! simulation) locks the same handle between batches — settlement is the
+//! only cross-tenant barrier, which matches the in-process semantics.
+//!
+//! [`ProtocolTrace`]: crate::dispatch::ProtocolTrace
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use container_cop::AppId;
+use serde::{Deserialize, Serialize};
+
+use crate::client::EnergyClient;
+use crate::ecovisor::Ecovisor;
+use crate::proto::{
+    EnergyRequest, EnergyResponse, ProtoError, RequestBatch, ResponseBatch, PROTOCOL_VERSION,
+};
+
+/// Upper bound on a single frame's payload, so a hostile peer cannot make
+/// the read side allocate unboundedly.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// A wire encoding for protocol payloads, negotiated per connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireCodec {
+    /// Human-readable JSON ([`serde::json`]).
+    Json,
+    /// Compact tag-byte + varint encoding ([`serde::binary`]).
+    Binary,
+}
+
+impl WireCodec {
+    /// Every codec this build speaks, in default preference order
+    /// (binary first: it is the fast path the negotiation exists for).
+    pub fn preferred() -> Vec<WireCodec> {
+        vec![WireCodec::Binary, WireCodec::Json]
+    }
+
+    /// Encodes a value in this codec's byte form.
+    pub fn encode<T: Serialize>(&self, t: &T) -> Vec<u8> {
+        match self {
+            WireCodec::Json => serde::json::to_string(t).into_bytes(),
+            WireCodec::Binary => serde::binary::to_bytes(t),
+        }
+    }
+
+    /// Decodes a value from this codec's byte form.
+    ///
+    /// # Errors
+    ///
+    /// On malformed input or a tree that does not match `T`.
+    pub fn decode<T: Deserialize>(&self, bytes: &[u8]) -> Result<T, serde::Error> {
+        match self {
+            WireCodec::Json => {
+                let text = std::str::from_utf8(bytes)
+                    .map_err(|_| serde::Error::custom("frame is not utf-8"))?;
+                serde::json::from_str(text)
+            }
+            WireCodec::Binary => serde::binary::from_bytes(bytes),
+        }
+    }
+}
+
+/// First frame of a connection, client → server (always JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientHello {
+    /// Protocol version the client speaks.
+    pub version: u16,
+    /// The tenant this connection acts for. The server **pins** the
+    /// connection to this scope: every subsequent batch must carry the
+    /// same `app`. Client-asserted — see the module docs for why this
+    /// is integrity, not authentication.
+    pub app: AppId,
+    /// Codecs the client accepts, in preference order.
+    pub codecs: Vec<WireCodec>,
+}
+
+impl ClientHello {
+    /// A current-version hello for `app` with the given codec preference.
+    pub fn new(app: AppId, codecs: Vec<WireCodec>) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            app,
+            codecs,
+        }
+    }
+}
+
+/// Second frame of a connection, server → client (always JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerHello {
+    /// The connection is open; all further frames use `codec`.
+    Accept {
+        /// Protocol version the server speaks.
+        version: u16,
+        /// The negotiated codec.
+        codec: WireCodec,
+    },
+    /// The connection is refused; the server closes after this frame.
+    Reject {
+        /// Why the hello was not acceptable.
+        reason: String,
+    },
+}
+
+// ----------------------------------------------------------------------
+// Framing
+// ----------------------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary.
+fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match stream.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ----------------------------------------------------------------------
+// Server
+// ----------------------------------------------------------------------
+
+/// An ecovisor shared between the transport threads and the driver loop.
+pub type SharedEcovisor = Arc<Mutex<Ecovisor>>;
+
+/// Locks a shared ecovisor, recovering from a poisoned mutex (a panicked
+/// connection thread must not wedge every other tenant).
+fn lock(shared: &SharedEcovisor) -> std::sync::MutexGuard<'_, Ecovisor> {
+    shared
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A TCP server answering protocol batches against one shared ecovisor.
+///
+/// Bind, then either [`spawn`](Self::spawn) the accept loop onto a
+/// background thread (keeping a [`ServerHandle`] for the driver side) or
+/// embed [`EcovisorServer::serve_connection`] in a custom loop.
+pub struct EcovisorServer {
+    listener: TcpListener,
+    shared: SharedEcovisor,
+}
+
+impl std::fmt::Debug for EcovisorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EcovisorServer")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EcovisorServer {
+    /// Binds a listener and takes ownership of the ecovisor. Use port 0
+    /// for an ephemeral port (tests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, eco: Ecovisor) -> io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            shared: Arc::new(Mutex::new(eco)),
+        })
+    }
+
+    /// The bound address (reports the ephemeral port after a `:0` bind).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lookup failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared ecovisor, for the driver loop that ticks settlement.
+    pub fn ecovisor(&self) -> SharedEcovisor {
+        Arc::clone(&self.shared)
+    }
+
+    /// Moves the accept loop onto a background thread; each accepted
+    /// connection is served on its own thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-lookup failures.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<Connection>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&self.shared);
+            let stop = Arc::clone(&stop);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || {
+                for stream in self.listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Keep a second handle to the socket so shutdown can
+                    // unblock a thread parked in read_frame.
+                    let socket = stream.try_clone().ok();
+                    let shared = Arc::clone(&shared);
+                    let thread = std::thread::spawn(move || {
+                        let _ = EcovisorServer::serve_connection(stream, &shared);
+                    });
+                    let mut conns = connections.lock().unwrap_or_else(|p| p.into_inner());
+                    // Reap finished connections so a long-lived server
+                    // does not accumulate one fd + join handle per
+                    // short-lived client (dropping a finished thread's
+                    // handle just detaches it).
+                    conns.retain(|c| !c.thread.is_finished());
+                    conns.push(Connection { thread, socket });
+                }
+            })
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            stop,
+            accept: Some(accept),
+            connections,
+        })
+    }
+
+    /// Serves one connection to completion: hello handshake, then a
+    /// batch/response loop until the peer disconnects.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; protocol-level problems (bad hello,
+    /// undecodable batch) are answered on the wire and end the
+    /// connection cleanly.
+    pub fn serve_connection(mut stream: TcpStream, shared: &SharedEcovisor) -> io::Result<()> {
+        let result = Self::serve_frames(&mut stream, shared);
+        // Shut the socket down explicitly: the spawn path keeps a cloned
+        // fd in the shutdown registry, and shutdown(2) (unlike dropping
+        // this handle) closes the connection for every clone, so the
+        // peer sees EOF as soon as serving ends.
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        result
+    }
+
+    fn serve_frames(mut stream: &mut TcpStream, shared: &SharedEcovisor) -> io::Result<()> {
+        // --- Hello ---
+        let Some(hello_bytes) = read_frame(&mut stream)? else {
+            return Ok(());
+        };
+        let hello: Result<ClientHello, _> = WireCodec::Json.decode(&hello_bytes);
+        let (codec, pinned_app) = match hello {
+            Ok(h) if h.version != PROTOCOL_VERSION => {
+                let reject = ServerHello::Reject {
+                    reason: format!(
+                        "protocol version mismatch: server speaks v{PROTOCOL_VERSION}, client v{}",
+                        h.version
+                    ),
+                };
+                write_frame(&mut stream, &WireCodec::Json.encode(&reject))?;
+                return Ok(());
+            }
+            Ok(h) => match h.codecs.iter().find(|c| WireCodec::preferred().contains(c)) {
+                Some(&codec) => (codec, h.app),
+                None => {
+                    let reject = ServerHello::Reject {
+                        reason: "no common codec".into(),
+                    };
+                    write_frame(&mut stream, &WireCodec::Json.encode(&reject))?;
+                    return Ok(());
+                }
+            },
+            Err(e) => {
+                let reject = ServerHello::Reject {
+                    reason: format!("malformed hello: {e}"),
+                };
+                write_frame(&mut stream, &WireCodec::Json.encode(&reject))?;
+                return Ok(());
+            }
+        };
+        let accept = ServerHello::Accept {
+            version: PROTOCOL_VERSION,
+            codec,
+        };
+        write_frame(&mut stream, &WireCodec::Json.encode(&accept))?;
+
+        // --- Batch loop ---
+        while let Some(frame) = read_frame(&mut stream)? {
+            let response = match codec.decode::<RequestBatch>(&frame) {
+                // Scope pinning: a remote peer is untrusted, so a batch
+                // claiming a different app than the hello pinned is a
+                // spoof attempt — denied as a value, per request.
+                Ok(batch) if batch.app != pinned_app => ResponseBatch {
+                    version: PROTOCOL_VERSION,
+                    app: batch.app,
+                    responses: vec![
+                        EnergyResponse::Err(ProtoError::Other(format!(
+                            "connection is pinned to {pinned_app}, batch claims {}",
+                            batch.app
+                        )));
+                        batch.requests.len()
+                    ],
+                },
+                Ok(batch) => lock(shared).dispatch_batch(&batch),
+                // An undecodable frame means framing may be out of
+                // sync; the server cannot know how many requests the
+                // batch held, so any reply would break the
+                // one-response-per-request contract. Close instead —
+                // the client surfaces the dropped connection as
+                // transport-failure values with the right arity.
+                Err(_) => break,
+            };
+            write_frame(&mut stream, &codec.encode(&response))?;
+        }
+        Ok(())
+    }
+}
+
+/// One accepted connection: its serving thread plus a socket handle the
+/// shutdown path can close to unblock a pending read.
+struct Connection {
+    thread: JoinHandle<()>,
+    socket: Option<TcpStream>,
+}
+
+/// Driver-side handle to a spawned server: the address clients connect
+/// to, the shared ecovisor the driver ticks, and the shutdown switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: SharedEcovisor,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<Connection>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerHandle {
+    /// Address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared ecovisor, for ticking settlement between batches.
+    pub fn ecovisor(&self) -> SharedEcovisor {
+        Arc::clone(&self.shared)
+    }
+
+    /// Stops accepting, disconnects any live clients, joins all server
+    /// threads, and returns the shared ecovisor (sole ownership can be
+    /// reclaimed with `Arc::try_unwrap` once all clients are dropped).
+    pub fn shutdown(mut self) -> SharedEcovisor {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let connections =
+            std::mem::take(&mut *self.connections.lock().unwrap_or_else(|p| p.into_inner()));
+        for conn in connections {
+            // Close the socket first so a thread parked in read_frame
+            // observes EOF instead of blocking the join forever.
+            if let Some(socket) = conn.socket {
+                let _ = socket.shutdown(std::net::Shutdown::Both);
+            }
+            let _ = conn.thread.join();
+        }
+        Arc::clone(&self.shared)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Remote client
+// ----------------------------------------------------------------------
+
+/// The out-of-process protocol handle: same [`EnergyClient`] surface as
+/// [`crate::client::EcovisorClient`], transported over a framed TCP
+/// connection.
+///
+/// Transport failures surface as [`EnergyResponse::Err`] values carrying
+/// [`ProtoError::Other`] — the failures-are-values contract extends over
+/// the network, so a policy loop sees a dead server the same way it sees
+/// a scope denial.
+pub struct RemoteEcovisorClient {
+    stream: TcpStream,
+    codec: WireCodec,
+    app: AppId,
+    queue: Vec<EnergyRequest>,
+    broken: bool,
+}
+
+impl std::fmt::Debug for RemoteEcovisorClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteEcovisorClient")
+            .field("app", &self.app)
+            .field("codec", &self.codec)
+            .field("queued", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteEcovisorClient {
+    /// Connects and negotiates a codec, preferring binary with JSON
+    /// fallback.
+    ///
+    /// # Errors
+    ///
+    /// On connection failure or a rejected hello.
+    pub fn connect(addr: impl ToSocketAddrs, app: AppId) -> io::Result<Self> {
+        Self::connect_with(addr, app, WireCodec::preferred())
+    }
+
+    /// Connects offering an explicit codec preference list.
+    ///
+    /// # Errors
+    ///
+    /// On connection failure, a rejected hello, or an empty codec list.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        app: AppId,
+        codecs: Vec<WireCodec>,
+    ) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let hello = ClientHello::new(app, codecs);
+        write_frame(&mut stream, &WireCodec::Json.encode(&hello))?;
+        let reply = read_frame(&mut stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "server closed during hello",
+            )
+        })?;
+        let reply: ServerHello = WireCodec::Json
+            .decode(&reply)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad hello: {e}")))?;
+        match reply {
+            ServerHello::Accept { codec, .. } => Ok(Self {
+                stream,
+                codec,
+                app,
+                queue: Vec::new(),
+                broken: false,
+            }),
+            ServerHello::Reject { reason } => {
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
+            }
+        }
+    }
+
+    /// The codec this connection negotiated.
+    pub fn codec(&self) -> WireCodec {
+        self.codec
+    }
+
+    /// `true` once the transport has failed; subsequent requests answer
+    /// with error values without touching the socket.
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    fn round_trip(&mut self, batch: &RequestBatch) -> io::Result<ResponseBatch> {
+        write_frame(&mut self.stream, &self.codec.encode(batch))?;
+        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::ConnectionAborted, "server closed mid-batch")
+        })?;
+        self.codec
+            .decode(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// One transport-failure response per request, so batch arithmetic
+    /// (one response per request, in order) holds even when the wire dies.
+    fn failure_batch(&self, batch: &RequestBatch, err: &io::Error) -> ResponseBatch {
+        ResponseBatch {
+            version: PROTOCOL_VERSION,
+            app: batch.app,
+            responses: vec![
+                EnergyResponse::Err(ProtoError::Other(format!("transport: {err}")));
+                batch.requests.len()
+            ],
+        }
+    }
+}
+
+impl EnergyClient for RemoteEcovisorClient {
+    fn app_id(&self) -> AppId {
+        self.app
+    }
+
+    fn pending(&self) -> &Vec<EnergyRequest> {
+        &self.queue
+    }
+
+    fn pending_mut(&mut self) -> &mut Vec<EnergyRequest> {
+        &mut self.queue
+    }
+
+    fn transport(&mut self, batch: RequestBatch) -> ResponseBatch {
+        if self.broken {
+            let err = io::Error::new(io::ErrorKind::NotConnected, "connection already failed");
+            return self.failure_batch(&batch, &err);
+        }
+        match self.round_trip(&batch) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.broken = true;
+                self.failure_batch(&batch, &e)
+            }
+        }
+    }
+}
+
+impl Drop for RemoteEcovisorClient {
+    fn drop(&mut self) {
+        if !self.broken {
+            // Tick-boundary safety net, mirroring the local client.
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).expect("read").as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(read_frame(&mut cursor).expect("eof"), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut header = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        header.extend_from_slice(&[0; 8]);
+        let mut cursor = io::Cursor::new(header);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_are_io_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        buf.truncate(6);
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn hello_types_round_trip_in_json() {
+        let hello = ClientHello::new(AppId::new(3), WireCodec::preferred());
+        let back: ClientHello = WireCodec::Json
+            .decode(&WireCodec::Json.encode(&hello))
+            .expect("decode");
+        assert_eq!(back, hello);
+        for reply in [
+            ServerHello::Accept {
+                version: PROTOCOL_VERSION,
+                codec: WireCodec::Binary,
+            },
+            ServerHello::Reject {
+                reason: "no common codec".into(),
+            },
+        ] {
+            let back: ServerHello = WireCodec::Json
+                .decode(&WireCodec::Json.encode(&reply))
+                .expect("decode");
+            assert_eq!(back, reply);
+        }
+    }
+
+    #[test]
+    fn codecs_agree_on_payloads() {
+        let batch = RequestBatch::new(
+            AppId::new(1),
+            vec![
+                EnergyRequest::GetSolarPower,
+                EnergyRequest::SetBatteryChargeRate {
+                    rate: simkit::units::Watts::new(80.0),
+                },
+            ],
+        );
+        for codec in WireCodec::preferred() {
+            let back: RequestBatch = codec.decode(&codec.encode(&batch)).expect("decode");
+            assert_eq!(back, batch, "{codec:?}");
+        }
+    }
+}

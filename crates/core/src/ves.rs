@@ -148,6 +148,10 @@ pub struct VirtualEnergySystem {
     totals: VesTotals,
     was_full: bool,
     was_empty: bool,
+    /// When set (carbon budget exhausted), the effective grid power cap
+    /// is zero regardless of the share's cap: the app runs on
+    /// zero-carbon supply only.
+    grid_clamped: bool,
 }
 
 impl VirtualEnergySystem {
@@ -183,6 +187,7 @@ impl VirtualEnergySystem {
             totals: VesTotals::default(),
             was_full,
             was_empty,
+            grid_clamped: false,
         }
     }
 
@@ -238,6 +243,29 @@ impl VirtualEnergySystem {
     /// Current maximum discharge rate.
     pub fn max_discharge(&self) -> Watts {
         self.max_discharge
+    }
+
+    /// Clamps (or unclamps) grid draw to zero — the enforcement arm of
+    /// an exhausted carbon budget (Table 2). While clamped the app runs
+    /// on zero-carbon supply only: solar and battery still serve load,
+    /// all grid draw (load and charging) is shed.
+    pub fn set_grid_clamp(&mut self, clamped: bool) {
+        self.grid_clamped = clamped;
+    }
+
+    /// Whether grid draw is currently clamped to zero.
+    pub fn grid_clamped(&self) -> bool {
+        self.grid_clamped
+    }
+
+    /// The grid cap settlement enforces: zero when clamped, otherwise
+    /// the share's cap.
+    fn effective_grid_cap(&self) -> Option<Watts> {
+        if self.grid_clamped {
+            Some(Watts::ZERO)
+        } else {
+            self.share.grid_power_cap
+        }
     }
 
     /// Solar power available this tick (Table 1 `get_solar_power`).
@@ -331,7 +359,7 @@ impl VirtualEnergySystem {
         // Grid covers the unthrottled deficit remainder plus charging.
         let mut grid_to_load = (desired.deficit - discharge).max_zero();
         let mut unmet = Watts::ZERO;
-        if let Some(cap) = self.share.grid_power_cap {
+        if let Some(cap) = self.effective_grid_cap() {
             let requested = grid_to_load + charge_grid;
             if requested > cap {
                 // Shed battery charging first, then load.

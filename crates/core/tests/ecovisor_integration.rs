@@ -4,8 +4,8 @@
 use carbon_intel::service::TraceCarbonService;
 use container_cop::{ContainerSpec, CopConfig};
 use ecovisor::{
-    Application, EcovisorApi, EcovisorBuilder, EcovisorClient, EcovisorError, EnergyShare,
-    ExcessPolicy, LibraryApi, Notification, Simulation,
+    Application, EcovisorApi, EcovisorBuilder, EcovisorClient, EcovisorError, EnergyClient,
+    EnergyShare, ExcessPolicy, LibraryApi, Notification, Simulation,
 };
 use energy_system::battery::{Battery, BatterySpec};
 use energy_system::grid::GridConnection;
@@ -318,6 +318,7 @@ fn battery_events_are_delivered() {
                 Notification::BatteryFull => self.seen.push("full"),
                 Notification::SolarChange { .. } => self.seen.push("solar"),
                 Notification::CarbonChange { .. } => self.seen.push("carbon"),
+                Notification::BudgetExhausted { .. } => self.seen.push("budget"),
             }
         }
     }
@@ -609,4 +610,234 @@ fn grid_export_with_net_metering_policy() {
     let flows = sim.eco().last_system_flows();
     assert!(flows.exported > Watts::ZERO);
     assert_eq!(flows.curtailed, Watts::ZERO);
+}
+
+#[test]
+fn cleared_carbon_rate_restores_container_power() {
+    // Regression: carbon-rate enforcement used to install per-container
+    // power caps it never removed, so clearing the limit left containers
+    // throttled forever.
+    let eco = EcovisorBuilder::new()
+        .cluster(CopConfig::microserver_cluster(4))
+        .carbon(flat_carbon(360.0))
+        .build();
+    let mut sim = Simulation::new(eco);
+    let app = sim
+        .add_app("svc", EnergyShare::grid_only(), Box::new(Saturated::new(2)))
+        .unwrap();
+
+    // Unconstrained baseline: two saturated quad-core containers.
+    sim.run_ticks(3);
+    let free_demand = sim.eco().app_flows(app).unwrap().demand;
+    assert!((free_demand.watts() - 7.3).abs() < 1e-9);
+
+    // 0.5 mg/s at 360 g/kWh allows exactly 5 W of grid power.
+    {
+        let mut api = sim.eco_mut().scoped(app).unwrap();
+        api.set_carbon_rate(Some(simkit::units::CarbonRate::from_milligrams_per_sec(
+            0.5,
+        )));
+    }
+    sim.run_ticks(5);
+    let limited = sim.eco().app_flows(app).unwrap().demand;
+    assert!(
+        limited.watts() <= 5.0 + 1e-6,
+        "rate limit should cap demand, got {limited}"
+    );
+
+    // Clearing the limit restores full power on the next settlement.
+    {
+        let mut api = sim.eco_mut().scoped(app).unwrap();
+        api.set_carbon_rate(None);
+    }
+    sim.run_ticks(2);
+    let restored = sim.eco().app_flows(app).unwrap().demand;
+    assert!(
+        restored.abs_diff(free_demand) < 1e-9,
+        "power should recover after clearing the rate limit: {restored} vs {free_demand}"
+    );
+}
+
+#[test]
+fn user_power_cap_survives_carbon_enforcement() {
+    // Regression: enforcement used to overwrite the cap the application
+    // set through set_container_powercap.
+    let eco = EcovisorBuilder::new()
+        .cluster(CopConfig::microserver_cluster(4))
+        .carbon(flat_carbon(360.0))
+        .build();
+    let mut sim = Simulation::new(eco);
+    let app = sim
+        .add_app("svc", EnergyShare::grid_only(), Box::new(Saturated::new(2)))
+        .unwrap();
+    sim.run_ticks(1);
+
+    let (first, user_cap) = {
+        let mut api = sim.eco_mut().client(app).unwrap();
+        let ids = api.container_ids();
+        let cap = Watts::new(3.0);
+        api.set_container_powercap(ids[0], cap).unwrap();
+        // Tight rate limit: 0.2 mg/s at 360 g/kWh = 2 W total, 1 W per
+        // container — tighter than the user cap.
+        api.set_carbon_rate(Some(simkit::units::CarbonRate::from_milligrams_per_sec(
+            0.2,
+        )));
+        (ids[0], cap)
+    };
+    sim.run_ticks(5);
+
+    // The app-visible cap is untouched while enforcement runs.
+    {
+        let mut api = sim.eco_mut().client(app).unwrap();
+        assert_eq!(api.get_container_powercap(first).unwrap(), Some(user_cap));
+        let power = api.get_container_power(first).unwrap();
+        assert!(
+            power.watts() <= 1.0 + 1e-6,
+            "carbon cap (1 W) should bind below the user cap, got {power}"
+        );
+        api.set_carbon_rate(None);
+    }
+    sim.run_ticks(2);
+
+    // With the limit lifted only the user's own cap remains in force.
+    {
+        let mut api = sim.eco_mut().client(app).unwrap();
+        assert_eq!(api.get_container_powercap(first).unwrap(), Some(user_cap));
+        let power = api.get_container_power(first).unwrap();
+        assert!(
+            (power.watts() - user_cap.watts()).abs() < 1e-9,
+            "user cap should bind again after enforcement ends, got {power}"
+        );
+    }
+}
+
+#[test]
+fn carbon_budget_exhaustion_notifies_and_clamps_grid() {
+    // Regression: the budget was settable and readable but exhaustion
+    // never did anything.
+    struct Witness {
+        exhausted_events: std::rc::Rc<std::cell::RefCell<usize>>,
+    }
+    impl Application for Witness {
+        fn on_start(&mut self, api: &mut EcovisorClient<'_>) {
+            let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
+            api.set_container_demand(c, 1.0).unwrap();
+            // 3.65 W at 1000 g/kWh emits ~0.0608 g per 1-minute tick, so
+            // a 0.15 g budget exhausts on the third settlement.
+            api.set_carbon_budget(Some(Co2Grams::new(0.15)));
+        }
+        fn on_tick(&mut self, _api: &mut EcovisorClient<'_>) {}
+        fn on_event(&mut self, event: &Notification, _api: &mut EcovisorClient<'_>) {
+            if let Notification::BudgetExhausted { budget, carbon } = event {
+                *self.exhausted_events.borrow_mut() += 1;
+                assert_eq!(*budget, Co2Grams::new(0.15));
+                assert!(carbon >= budget, "edge fires at or past the budget");
+            }
+        }
+    }
+
+    let eco = EcovisorBuilder::new()
+        .cluster(CopConfig::microserver_cluster(2))
+        .carbon(flat_carbon(1000.0))
+        .build();
+    let mut sim = Simulation::new(eco);
+    let exhausted_events = std::rc::Rc::new(std::cell::RefCell::new(0usize));
+    let app = sim
+        .add_app(
+            "budgeted",
+            EnergyShare::grid_only(),
+            Box::new(Witness {
+                exhausted_events: std::rc::Rc::clone(&exhausted_events),
+            }),
+        )
+        .unwrap();
+    sim.run_ticks(30);
+
+    // The notification is edge-triggered: exactly once despite staying
+    // exhausted for ~27 ticks.
+    assert_eq!(
+        *exhausted_events.borrow(),
+        1,
+        "BudgetExhausted must fire exactly once"
+    );
+
+    // Enforcement: grid allowance clamped to zero, demand goes unmet
+    // (no solar, no battery), carbon stops accumulating at ~the budget.
+    let flows = sim.eco().app_flows(app).unwrap();
+    assert_eq!(flows.grid_import(), Watts::ZERO);
+    assert!(flows.unmet_demand > Watts::ZERO);
+    let totals = sim.eco().app_totals(app).unwrap();
+    assert!(
+        totals.carbon.grams() <= 0.15 + 0.07,
+        "carbon {} should stop at most one tick past the budget",
+        totals.carbon
+    );
+    {
+        let api = sim.eco_mut().scoped(app).unwrap();
+        assert_eq!(api.remaining_carbon_budget(), Some(Co2Grams::ZERO));
+    }
+
+    // Re-setting the same exhausted budget must NOT lift the clamp —
+    // otherwise a tenant could buy a tick of grid draw per re-set and
+    // defeat enforcement entirely.
+    let carbon_before = sim.eco().app_totals(app).unwrap().carbon;
+    for _ in 0..5 {
+        {
+            let mut api = sim.eco_mut().scoped(app).unwrap();
+            api.set_carbon_budget(Some(Co2Grams::new(0.15)));
+        }
+        sim.run_ticks(1);
+    }
+    let flows = sim.eco().app_flows(app).unwrap();
+    assert_eq!(flows.grid_import(), Watts::ZERO, "clamp must hold");
+    assert_eq!(
+        sim.eco().app_totals(app).unwrap().carbon,
+        carbon_before,
+        "no carbon may accrue past the budget via re-sets"
+    );
+
+    // Raising the budget lifts the clamp and re-arms the edge.
+    {
+        let mut api = sim.eco_mut().scoped(app).unwrap();
+        api.set_carbon_budget(Some(Co2Grams::new(100.0)));
+    }
+    sim.run_ticks(3);
+    let flows = sim.eco().app_flows(app).unwrap();
+    assert!(
+        flows.grid_import() > Watts::ZERO,
+        "grid should resume once the budget is raised"
+    );
+}
+
+#[test]
+fn app_energy_matches_ves_totals_under_grid_cap() {
+    // Regression: APP_POWER telemetry used to record demanded power, so
+    // the get_app_energy integral disagreed with VesTotals::energy (which
+    // counts served power) whenever a grid cap shed load.
+    let eco = EcovisorBuilder::new()
+        .cluster(CopConfig::microserver_cluster(2))
+        .carbon(flat_carbon(100.0))
+        .build();
+    let mut sim = Simulation::new(eco);
+    // 3.65 W demand against a 3 W grid cap: 0.65 W shed every tick.
+    let share = EnergyShare::grid_only().with_grid_cap(Watts::new(3.0));
+    let app = sim
+        .add_app("capped", share, Box::new(Saturated::new(1)))
+        .unwrap();
+    sim.run_ticks(60);
+
+    let flows = sim.eco().app_flows(app).unwrap();
+    assert!(flows.unmet_demand > Watts::ZERO, "cap must actually shed");
+
+    let from = SimTime::EPOCH;
+    let to = sim.eco().now();
+    let api = sim.eco_mut().scoped(app).unwrap();
+    let tsdb_energy = api.get_app_energy(from, to);
+    let ves_energy = sim.eco().app_totals(app).unwrap().energy;
+    assert!(
+        tsdb_energy.abs_diff(ves_energy) < 1e-6,
+        "telemetry integral {tsdb_energy} must match settlement totals {ves_energy}"
+    );
+    // And both equal served power × time: 3 W × 1 h.
+    assert!((ves_energy.watt_hours() - 3.0).abs() < 1e-6);
 }

@@ -258,7 +258,9 @@ fn command_query_split_is_total() {
 #[test]
 fn recorded_traffic_replays_onto_a_twin() {
     use container_cop::CopConfig;
-    use ecovisor::{Application, EcovisorBuilder, EcovisorClient, EnergyShare, Simulation};
+    use ecovisor::{
+        Application, EcovisorBuilder, EcovisorClient, EnergyClient, EnergyShare, Simulation,
+    };
 
     struct Busy;
     impl Application for Busy {
@@ -316,4 +318,320 @@ fn recorded_traffic_replays_onto_a_twin() {
     // Registration-time traffic (tick 0) plus per-tick batches all landed:
     assert!(entries.next().is_none(), "all recorded batches consumed");
     assert_eq!(twin.app_totals(app).unwrap(), &live_totals);
+}
+
+// ----------------------------------------------------------------------
+// Binary wire form: every payload the JSON tests cover must round-trip
+// the compact codec too, since the transport negotiates either.
+// ----------------------------------------------------------------------
+
+#[test]
+fn every_request_and_response_round_trips_in_binary() {
+    for req in &all_requests() {
+        let wire = serde::binary::to_bytes(req);
+        let back: EnergyRequest = serde::binary::from_bytes(&wire).expect("parse back");
+        assert_eq!(&back, req, "binary wire form was {wire:?}");
+    }
+    for resp in &all_responses() {
+        let wire = serde::binary::to_bytes(resp);
+        let back: EnergyResponse = serde::binary::from_bytes(&wire).expect("parse back");
+        assert_eq!(&back, resp, "binary wire form was {wire:?}");
+    }
+}
+
+#[test]
+fn traces_round_trip_identically_in_both_codecs() {
+    let trace = ProtocolTrace {
+        entries: vec![TraceEntry {
+            tick: 3,
+            batch: RequestBatch::new(AppId::new(1), all_requests()),
+        }],
+    };
+    let json: ProtocolTrace = serde::json::from_str(&serde::json::to_string(&trace)).expect("json");
+    let binary: ProtocolTrace =
+        serde::binary::from_bytes(&serde::binary::to_bytes(&trace)).expect("binary");
+    assert_eq!(json, trace);
+    assert_eq!(binary, trace);
+    // Binary earns its place: the same trace costs fewer wire bytes.
+    assert!(
+        serde::binary::to_bytes(&trace).len() < serde::json::to_string(&trace).len(),
+        "binary encoding should be smaller than JSON"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Remote transport round trip: a server on an ephemeral loopback port, a
+// multi-tenant scenario driven through RemoteEcovisorClient in both
+// codecs, and the recorded trace replayed onto a local twin.
+// ----------------------------------------------------------------------
+
+mod transport {
+    use super::*;
+    use container_cop::CopConfig;
+    use ecovisor::{
+        Ecovisor, EcovisorBuilder, EcovisorServer, EnergyClient, EnergyShare, RemoteEcovisorClient,
+        WireCodec,
+    };
+    use simkit::units::Co2Grams;
+
+    fn build_eco() -> (Ecovisor, AppId, AppId) {
+        let mut eco = EcovisorBuilder::new()
+            .cluster(CopConfig::microserver_cluster(8))
+            .build();
+        let share = || EnergyShare::grid_only().with_battery(WattHours::new(360.0));
+        let a = eco.register_app("tenant-a", share()).expect("register a");
+        let b = eco.register_app("tenant-b", share()).expect("register b");
+        (eco, a, b)
+    }
+
+    /// Drives two tenants through remote clients for `ticks` ticks and
+    /// returns their cumulative totals plus the recorded trace.
+    fn drive_remote(
+        codec: WireCodec,
+        ticks: u64,
+    ) -> (
+        ecovisor::VesTotals,
+        ecovisor::VesTotals,
+        ecovisor::ProtocolTrace,
+    ) {
+        let (mut eco, a, b) = build_eco();
+        eco.enable_protocol_trace();
+        let server = EcovisorServer::bind("127.0.0.1:0", eco).expect("bind loopback");
+        let handle = server.spawn().expect("spawn");
+        let shared = handle.ecovisor();
+
+        {
+            let mut client_a = RemoteEcovisorClient::connect_with(handle.addr(), a, vec![codec])
+                .expect("connect a");
+            let mut client_b = RemoteEcovisorClient::connect(handle.addr(), b).expect("connect b");
+            assert_eq!(client_a.codec(), codec);
+            assert_eq!(
+                client_b.codec(),
+                WireCodec::Binary,
+                "default negotiation prefers binary"
+            );
+
+            // Tenant A: one saturated container + queued setters.
+            let ca = client_a
+                .launch_container(ContainerSpec::quad_core())
+                .expect("launch a");
+            client_a.set_container_demand(ca, 1.0).expect("demand a");
+            // Tenant B: two containers, half demand.
+            for _ in 0..2 {
+                let cb = client_b
+                    .launch_container(ContainerSpec::quad_core())
+                    .expect("launch b");
+                client_b.set_container_demand(cb, 0.5).expect("demand b");
+            }
+
+            // Scope isolation holds over the wire: B cannot touch A's
+            // container.
+            assert!(client_b.get_container_power(ca).is_err());
+
+            for _ in 0..ticks {
+                // Per-tick client traffic (mixed queued + immediate).
+                client_a.set_battery_charge_rate(Watts::new(50.0));
+                let _ = client_a.get_grid_carbon();
+                client_b.set_carbon_budget(Some(Co2Grams::new(1000.0)));
+                let _ = client_b.get_app_power();
+                client_a.flush();
+                client_b.flush();
+                // The driver loop ticks settlement between batches.
+                let mut eco = shared.lock().expect("lock");
+                eco.begin_tick();
+                eco.settle_tick();
+                eco.advance_clock();
+            }
+            // Clients drop here, flushing anything queued.
+        }
+
+        let shared = handle.shutdown();
+        let mut eco = shared.lock().expect("lock");
+        let ta = *eco.app_totals(a).expect("totals a");
+        let tb = *eco.app_totals(b).expect("totals b");
+        let trace = eco.take_protocol_trace().expect("recording");
+        (ta, tb, trace)
+    }
+
+    #[test]
+    fn remote_multi_tenant_run_replays_onto_a_local_twin() {
+        for codec in [WireCodec::Binary, WireCodec::Json] {
+            let ticks = 6;
+            let (ta, tb, trace) = drive_remote(codec, ticks);
+            assert!(trace.request_count() > 0, "trace captured traffic");
+            // (Carbon stays zero: the full virtual battery carries the
+            // load. Energy proves real flows settled.)
+            assert!(ta.energy > WattHours::ZERO, "tenant A settled real flows");
+
+            // Cross the wire in the codec under test, bit-for-bit.
+            let wire = codec.encode(&trace);
+            let parsed: ecovisor::ProtocolTrace = codec.decode(&wire).expect("parse");
+            assert_eq!(parsed, trace);
+            assert_eq!(wire, codec.encode(&parsed), "re-encoding is stable");
+
+            // Local twin: same registrations, upcalls replayed from the
+            // trace with the same tick cadence.
+            let (mut twin, a, b) = build_eco();
+            let mut entries = parsed.entries.iter().peekable();
+            for tick in 0..ticks {
+                twin.begin_tick();
+                while let Some(e) = entries.peek() {
+                    if e.tick != tick {
+                        break;
+                    }
+                    twin.dispatch_batch(&e.batch);
+                    entries.next();
+                }
+                twin.settle_tick();
+                twin.advance_clock();
+            }
+            assert!(entries.next().is_none(), "all recorded batches consumed");
+            assert_eq!(twin.app_totals(a).expect("twin a"), &ta, "{codec:?}");
+            assert_eq!(twin.app_totals(b).expect("twin b"), &tb, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn both_codecs_settle_identical_state() {
+        let (ta_bin, tb_bin, _) = drive_remote(WireCodec::Binary, 5);
+        let (ta_json, tb_json, _) = drive_remote(WireCodec::Json, 5);
+        assert_eq!(ta_bin, ta_json, "codec choice must not change physics");
+        assert_eq!(tb_bin, tb_json);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_at_hello() {
+        use ecovisor::proto::PROTOCOL_VERSION;
+        use ecovisor::{ClientHello, ServerHello};
+        use std::io::{Read, Write};
+
+        let (eco, _, _) = build_eco();
+        let server = EcovisorServer::bind("127.0.0.1:0", eco).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.spawn().expect("spawn");
+
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        let hello = ClientHello {
+            version: PROTOCOL_VERSION + 1,
+            app: AppId::new(1),
+            codecs: WireCodec::preferred(),
+        };
+        let payload = WireCodec::Json.encode(&hello);
+        stream
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .expect("len");
+        stream.write_all(&payload).expect("payload");
+        let mut len = [0u8; 4];
+        stream.read_exact(&mut len).expect("reply len");
+        let mut reply = vec![0u8; u32::from_le_bytes(len) as usize];
+        stream.read_exact(&mut reply).expect("reply");
+        let reply: ServerHello = WireCodec::Json.decode(&reply).expect("decode");
+        assert!(
+            matches!(reply, ServerHello::Reject { ref reason } if reason.contains("version")),
+            "expected version reject, got {reply:?}"
+        );
+        // The connect helper surfaces the same rejection as an error.
+        let err = RemoteEcovisorClient::connect_with(addr, AppId::new(1), vec![]);
+        assert!(err.is_err(), "no common codec must fail connect");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn spoofed_app_scope_is_denied_by_connection_pinning() {
+        // A remote tenant is untrusted: a batch claiming another
+        // tenant's AppId must be denied even though the dispatcher
+        // itself would have trusted the envelope.
+        let (eco, a, b) = build_eco();
+        let server = EcovisorServer::bind("127.0.0.1:0", eco).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let mut client_b = RemoteEcovisorClient::connect(handle.addr(), b).expect("connect");
+
+        // Victim state to protect: tenant A's container, launched through
+        // A's own pinned connection.
+        let victim = {
+            let mut client_a = RemoteEcovisorClient::connect(handle.addr(), a).expect("connect a");
+            client_a
+                .launch_container(ContainerSpec::quad_core())
+                .expect("launch")
+        };
+
+        // B forges a batch under A's scope through B's connection.
+        let forged = RequestBatch::new(a, vec![EnergyRequest::StopContainer { container: victim }]);
+        let responses = client_b.transport(forged).responses;
+        assert_eq!(responses.len(), 1);
+        assert!(
+            matches!(&responses[0], EnergyResponse::Err(ProtoError::Other(msg)) if msg.contains("pinned")),
+            "spoofed scope must be denied, got {responses:?}"
+        );
+
+        // The victim's container is untouched.
+        let shared = handle.shutdown();
+        let eco = shared.lock().expect("lock");
+        assert_eq!(eco.cop().running_count(a), 1, "victim container survives");
+    }
+
+    #[test]
+    fn undecodable_batch_closes_the_connection_with_correct_arity() {
+        // The server cannot know how many requests a corrupt frame
+        // held, so it closes instead of answering with a mis-shaped
+        // batch; the client then reports one failure value per request.
+        let (eco, a, _) = build_eco();
+        let server = EcovisorServer::bind("127.0.0.1:0", eco).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let mut client = RemoteEcovisorClient::connect(handle.addr(), a).expect("connect");
+        let _ = client.get_app_power(); // proven live
+
+        // Inject a garbage frame behind the client's back.
+        {
+            use std::io::Write;
+            let mut raw = std::net::TcpStream::connect(handle.addr()).expect("raw");
+            // A valid hello, then a frame that is not a RequestBatch.
+            let hello =
+                WireCodec::Json.encode(&ecovisor::ClientHello::new(a, vec![WireCodec::Binary]));
+            raw.write_all(&(hello.len() as u32).to_le_bytes()).unwrap();
+            raw.write_all(&hello).unwrap();
+            let garbage = b"\xff\xfe\xfd";
+            raw.write_all(&(garbage.len() as u32).to_le_bytes())
+                .unwrap();
+            raw.write_all(garbage).unwrap();
+            // Server must close without replying to the garbage frame:
+            // first frame back is the hello accept, then EOF.
+            use std::io::Read;
+            let mut len = [0u8; 4];
+            raw.read_exact(&mut len).expect("hello reply");
+            let mut reply = vec![0u8; u32::from_le_bytes(len) as usize];
+            raw.read_exact(&mut reply).expect("hello payload");
+            assert!(
+                raw.read_exact(&mut len).is_err(),
+                "no batch reply may follow a corrupt frame"
+            );
+        }
+
+        // The well-behaved client on its own connection is unaffected,
+        // and batch arithmetic holds: three requests, three responses.
+        let responses = client.send(vec![
+            EnergyRequest::GetAppPower,
+            EnergyRequest::GetSolarPower,
+            EnergyRequest::GetTime,
+        ]);
+        assert_eq!(responses.len(), 3);
+        assert!(responses.iter().all(|r| !r.is_err()), "{responses:?}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn transport_failure_is_an_error_value_not_a_panic() {
+        let (eco, a, _) = build_eco();
+        let server = EcovisorServer::bind("127.0.0.1:0", eco).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let mut client = RemoteEcovisorClient::connect(handle.addr(), a).expect("connect");
+        let _ = client.get_app_power(); // proven live
+        handle.shutdown();
+        // The server is gone: requests answer with ProtoError::Other
+        // values, and the client marks itself broken.
+        let responses = client.send(vec![EnergyRequest::GetAppPower]);
+        assert_eq!(responses.len(), 1);
+        assert!(responses[0].is_err(), "got {responses:?}");
+        assert!(client.is_broken());
+    }
 }

@@ -8,7 +8,7 @@
 //! workload without arbitrage.
 
 use container_cop::ContainerSpec;
-use ecovisor::{Application, EcovisorClient};
+use ecovisor::{Application, EcovisorClient, EnergyClient};
 use simkit::units::{CarbonIntensity, Watts};
 
 /// A steady service that charges its virtual battery on clean power and

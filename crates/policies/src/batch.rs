@@ -9,7 +9,7 @@
 //! optimal scale-up factors, which the system may not know." (§5.1)
 
 use container_cop::ContainerSpec;
-use ecovisor::{Application, EcovisorClient};
+use ecovisor::{Application, EcovisorClient, EnergyClient};
 use simkit::time::SimTime;
 use simkit::units::CarbonIntensity;
 use workloads::batch::BatchJob;

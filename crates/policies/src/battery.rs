@@ -10,7 +10,7 @@
 //! battery according to their own requirements (§5.3).
 
 use container_cop::ContainerSpec;
-use ecovisor::{Application, EcovisorClient};
+use ecovisor::{Application, EcovisorClient, EnergyClient};
 use simkit::time::SimTime;
 use simkit::trace::Trace;
 use simkit::units::Watts;

@@ -11,7 +11,7 @@
 //! turns *excess* solar into replicas for straggling tasks (Fig. 11).
 
 use container_cop::{ContainerId, ContainerSpec};
-use ecovisor::{Application, EcovisorClient};
+use ecovisor::{Application, EcovisorClient, EnergyClient};
 use simkit::time::SimTime;
 use simkit::units::Watts;
 use workloads::parallel::SyntheticParallelJob;

@@ -10,7 +10,7 @@
 //! observed workload (§5.2).
 
 use container_cop::ContainerSpec;
-use ecovisor::{Application, EcovisorClient};
+use ecovisor::{Application, EcovisorClient, EnergyClient};
 use simkit::time::SimTime;
 use simkit::trace::Trace;
 use simkit::units::{CarbonRate, Co2Grams, Watts};

@@ -8,7 +8,7 @@
 use ecovisor_suite::carbon_intel::{regions, CarbonTraceBuilder};
 use ecovisor_suite::container_cop::{ContainerSpec, CopConfig};
 use ecovisor_suite::ecovisor::{
-    Application, EcovisorBuilder, EcovisorClient, EnergyShare, Simulation,
+    Application, EcovisorBuilder, EcovisorClient, EnergyClient, EnergyShare, Simulation,
 };
 use ecovisor_suite::simkit::units::CarbonIntensity;
 

@@ -8,8 +8,8 @@ use ecovisor_suite::carbon_intel::service::TraceCarbonService;
 use ecovisor_suite::container_cop::{ContainerSpec, CopConfig};
 use ecovisor_suite::ecovisor::proto::{EnergyRequest, EnergyResponse, ProtoError, RequestBatch};
 use ecovisor_suite::ecovisor::{
-    Application, EcovisorApi, EcovisorBuilder, EcovisorClient, EcovisorError, EnergyShare,
-    LibraryApi, ScopedApi, Simulation,
+    Application, EcovisorApi, EcovisorBuilder, EcovisorClient, EcovisorError, EnergyClient,
+    EnergyShare, LibraryApi, ScopedApi, Simulation,
 };
 use ecovisor_suite::energy_system::solar::TraceSolarSource;
 use ecovisor_suite::simkit::time::SimTime;

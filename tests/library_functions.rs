@@ -4,8 +4,8 @@
 use ecovisor_suite::carbon_intel::service::TraceCarbonService;
 use ecovisor_suite::container_cop::{ContainerSpec, CopConfig};
 use ecovisor_suite::ecovisor::{
-    Application, EcovisorApi, EcovisorBuilder, EcovisorClient, EnergyShare, LibraryApi,
-    Notification, Simulation,
+    Application, EcovisorApi, EcovisorBuilder, EcovisorClient, EnergyClient, EnergyShare,
+    LibraryApi, Notification, Simulation,
 };
 use ecovisor_suite::energy_system::solar::TraceSolarSource;
 use ecovisor_suite::simkit::time::{SimDuration, SimTime};
@@ -127,7 +127,7 @@ fn notify_upcalls_fire() {
                 Notification::SolarChange { .. } => c.solar_changes += 1,
                 Notification::CarbonChange { .. } => c.carbon_changes += 1,
                 Notification::BatteryEmpty => c.battery_empty += 1,
-                Notification::BatteryFull => {}
+                Notification::BatteryFull | Notification::BudgetExhausted { .. } => {}
             }
         }
     }

@@ -1,0 +1,380 @@
+//! Compact binary wire codec for [`Value`](crate::Value).
+//!
+//! The JSON codec ([`crate::json`]) is self-describing but pays for it:
+//! floats render through shortest-round-trip formatting and parse back
+//! through `str::parse`, strings are escaped, and every number is
+//! re-tokenized byte by byte. This codec encodes the *same* [`Value`]
+//! data model — so anything that serializes also binary-encodes, with no
+//! second wire schema — in a length-delimited tag-byte format:
+//!
+//! | tag  | variant        | payload                                    |
+//! |------|----------------|--------------------------------------------|
+//! | 0x00 | `Null`         | —                                          |
+//! | 0x01 | `Bool(false)`  | —                                          |
+//! | 0x02 | `Bool(true)`   | —                                          |
+//! | 0x03 | `Int`          | zigzag LEB128 varint                       |
+//! | 0x04 | `UInt`         | LEB128 varint                              |
+//! | 0x05 | `Float`        | 8 bytes, f64 little-endian bit pattern     |
+//! | 0x06 | `Str`          | varint byte length + UTF-8 bytes           |
+//! | 0x07 | `Seq`          | varint element count + encoded elements    |
+//! | 0x08 | `Map`          | varint entry count + (key, value) pairs; a |
+//! |      |                | key is varint byte length + UTF-8 bytes    |
+//!
+//! Non-finite floats need no special casing: the f64 bit pattern
+//! round-trips NaN and ±inf exactly. Like the JSON parser, the decoder
+//! treats hostile input as data, not a crash: nesting is bounded by
+//! [`MAX_DEPTH`], truncated or over-long payloads are error values, and
+//! claimed collection sizes never pre-allocate more than the remaining
+//! input could hold.
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+/// Maximum container nesting accepted by the decoder (mirrors the JSON
+/// parser's bound, so both wire codecs fail hostile nesting identically).
+const MAX_DEPTH: u32 = 128;
+
+/// Serializes any value to its binary wire form.
+pub fn to_bytes<T: Serialize + ?Sized>(t: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode(&t.to_value(), &mut out);
+    out
+}
+
+/// Parses a value from its binary wire form.
+///
+/// # Errors
+///
+/// On malformed input, trailing bytes, or a tree that does not match `T`.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    T::from_value(&decode(bytes)?)
+}
+
+/// Appends the binary encoding of a [`Value`] tree to `out`.
+pub fn encode(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0x00),
+        Value::Bool(false) => out.push(0x01),
+        Value::Bool(true) => out.push(0x02),
+        Value::Int(i) => {
+            out.push(0x03);
+            write_varint(zigzag(*i), out);
+        }
+        Value::UInt(u) => {
+            out.push(0x04);
+            write_varint(*u, out);
+        }
+        Value::Float(f) => {
+            out.push(0x05);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(0x06);
+            write_bytes(s.as_bytes(), out);
+        }
+        Value::Seq(items) => {
+            out.push(0x07);
+            write_varint(items.len() as u64, out);
+            for item in items {
+                encode(item, out);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(0x08);
+            write_varint(entries.len() as u64, out);
+            for (k, item) in entries {
+                write_bytes(k.as_bytes(), out);
+                encode(item, out);
+            }
+        }
+    }
+}
+
+/// Decodes a [`Value`] tree from its binary encoding.
+///
+/// # Errors
+///
+/// On an unknown tag, truncated input, invalid UTF-8, nesting deeper than
+/// [`MAX_DEPTH`], or trailing bytes after the root value.
+pub fn decode(bytes: &[u8]) -> Result<Value, Error> {
+    let mut pos = 0;
+    let v = decode_value(bytes, &mut pos, 0)?;
+    if pos != bytes.len() {
+        return Err(Error::custom(format!("trailing input at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn decode_value(bytes: &[u8], pos: &mut usize, depth: u32) -> Result<Value, Error> {
+    if depth > MAX_DEPTH {
+        return Err(Error::custom("nesting deeper than MAX_DEPTH"));
+    }
+    let tag = *bytes
+        .get(*pos)
+        .ok_or_else(|| Error::custom("unexpected end of input"))?;
+    *pos += 1;
+    match tag {
+        0x00 => Ok(Value::Null),
+        0x01 => Ok(Value::Bool(false)),
+        0x02 => Ok(Value::Bool(true)),
+        0x03 => Ok(Value::Int(unzigzag(read_varint(bytes, pos)?))),
+        0x04 => Ok(Value::UInt(read_varint(bytes, pos)?)),
+        0x05 => {
+            let raw = bytes
+                .get(*pos..*pos + 8)
+                .ok_or_else(|| Error::custom("truncated float"))?;
+            *pos += 8;
+            Ok(Value::Float(f64::from_le_bytes(
+                raw.try_into().expect("8-byte slice"),
+            )))
+        }
+        0x06 => Ok(Value::Str(read_string(bytes, pos)?)),
+        0x07 => {
+            let count = read_count(bytes, pos)?;
+            let mut items = Vec::with_capacity(count.min(bytes.len() - *pos + 1));
+            for _ in 0..count {
+                items.push(decode_value(bytes, pos, depth + 1)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        0x08 => {
+            let count = read_count(bytes, pos)?;
+            let mut entries = Vec::with_capacity(count.min(bytes.len() - *pos + 1));
+            for _ in 0..count {
+                let key = read_string(bytes, pos)?;
+                let value = decode_value(bytes, pos, depth + 1)?;
+                entries.push((key, value));
+            }
+            Ok(Value::Map(entries))
+        }
+        other => Err(Error::custom(format!(
+            "unknown tag byte 0x{other:02x} at {}",
+            *pos - 1
+        ))),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Primitives
+// ----------------------------------------------------------------------
+
+fn zigzag(i: i64) -> u64 {
+    ((i << 1) ^ (i >> 63)) as u64
+}
+
+fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+fn write_varint(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, Error> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| Error::custom("truncated varint"))?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(Error::custom("varint overflows u64"));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(Error::custom("varint longer than 10 bytes"));
+        }
+    }
+}
+
+fn write_bytes(b: &[u8], out: &mut Vec<u8>) {
+    write_varint(b.len() as u64, out);
+    out.extend_from_slice(b);
+}
+
+/// Reads a collection count, rejecting counts that could not possibly fit
+/// in the remaining input (each element costs at least one byte).
+fn read_count(bytes: &[u8], pos: &mut usize) -> Result<usize, Error> {
+    let count = read_varint(bytes, pos)?;
+    let remaining = (bytes.len() - *pos) as u64;
+    if count > remaining {
+        return Err(Error::custom(format!(
+            "claimed count {count} exceeds remaining {remaining} bytes"
+        )));
+    }
+    Ok(count as usize)
+}
+
+fn read_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    let len = read_varint(bytes, pos)?;
+    // Bounds-check against the remaining input *before* any usize
+    // arithmetic: a hostile length near u64::MAX must be an error value,
+    // not an overflow panic (and must never truncate on 32-bit).
+    let remaining = (bytes.len() - *pos) as u64;
+    if len > remaining {
+        return Err(Error::custom("truncated string"));
+    }
+    let len = len as usize;
+    let raw = &bytes[*pos..*pos + len];
+    *pos += len;
+    String::from_utf8(raw.to_vec()).map_err(|_| Error::custom("invalid utf-8 in string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) {
+        let mut out = Vec::new();
+        encode(v, &mut out);
+        assert_eq!(&decode(&out).expect("decodes"), v, "bytes {out:?}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-1),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::UInt(u64::MAX),
+            Value::Float(0.1 + 0.2),
+            Value::Str(String::new()),
+            Value::Str("héllo \"wire\"\n".into()),
+        ] {
+            round_trip(&v);
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_natively() {
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0] {
+            let wire = to_bytes(&f);
+            let back: f64 = from_bytes(&wire).expect("decodes");
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} -> {wire:?} -> {back}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        round_trip(&Value::Map(vec![
+            (
+                "a".into(),
+                Value::Seq(vec![
+                    Value::Int(1),
+                    Value::Map(vec![("b".into(), Value::Str("x\n".into()))]),
+                ]),
+            ),
+            ("c".into(), Value::Null),
+        ]));
+        round_trip(&Value::Seq(vec![]));
+        round_trip(&Value::Map(vec![]));
+    }
+
+    #[test]
+    fn varints_use_minimal_space() {
+        let mut out = Vec::new();
+        encode(&Value::UInt(0x7f), &mut out);
+        assert_eq!(out.len(), 2, "tag + 1 varint byte");
+        out.clear();
+        encode(&Value::UInt(0x80), &mut out);
+        assert_eq!(out.len(), 3, "tag + 2 varint bytes");
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut out = Vec::new();
+        encode(&Value::Str("hello".into()), &mut out);
+        for cut in 0..out.len() {
+            assert!(decode(&out[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut float = Vec::new();
+        encode(&Value::Float(1.5), &mut float);
+        assert!(decode(&float[..5]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut out = Vec::new();
+        encode(&Value::Null, &mut out);
+        out.push(0x00);
+        assert!(decode(&out).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_and_bad_utf8_are_errors() {
+        assert!(decode(&[0xff]).is_err());
+        // Str of length 1 whose byte is not valid UTF-8.
+        assert!(decode(&[0x06, 0x01, 0xff]).is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        // A Seq-of-one chain deeper than MAX_DEPTH.
+        let mut bomb = Vec::new();
+        for _ in 0..(1 << 16) {
+            bomb.extend_from_slice(&[0x07, 0x01]);
+        }
+        bomb.push(0x00);
+        assert!(decode(&bomb).is_err());
+        // Normal nesting stays accepted.
+        let mut ok = Vec::new();
+        for _ in 0..64 {
+            ok.extend_from_slice(&[0x07, 0x01]);
+        }
+        ok.push(0x00);
+        assert!(decode(&ok).is_ok());
+    }
+
+    #[test]
+    fn hostile_string_lengths_are_errors_not_overflows() {
+        // Str tag + varint length u64::MAX with no payload behind it:
+        // must come back as an error value, not an arithmetic panic.
+        let mut bytes = vec![0x06];
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+        assert!(decode(&bytes).is_err());
+        // Same attack through a map key.
+        let mut map = vec![0x08, 0x01];
+        map.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+        assert!(decode(&map).is_err());
+    }
+
+    #[test]
+    fn hostile_counts_do_not_preallocate() {
+        // Claims u64::MAX elements with no payload behind it.
+        let mut bytes = vec![0x07];
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn overlong_varints_are_errors() {
+        // 11 continuation bytes.
+        let bytes = [
+            0x04, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01,
+        ];
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn zigzag_is_an_involution() {
+        for i in [0, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(i)), i);
+        }
+    }
+}

@@ -8,8 +8,11 @@
 //! * [`Value`] is a self-describing tree (the serde data model collapsed
 //!   to the variants this workspace needs).
 //! * [`Serialize`]/[`Deserialize`] convert to/from [`Value`].
-//! * [`json`] renders a [`Value`] to a JSON string and parses it back,
-//!   which is the wire format of the ecovisor protocol.
+//! * [`json`] renders a [`Value`] to a JSON string and parses it back —
+//!   the ecovisor protocol's readable wire format.
+//! * [`binary`] encodes the same [`Value`] tree in a compact tag-byte +
+//!   varint format — the protocol's fast wire format, negotiated per
+//!   connection by the transport layer.
 //!
 //! Derive semantics mirror serde's defaults: structs become maps keyed by
 //! field name, newtype structs are transparent, enums are externally
@@ -23,6 +26,7 @@ use std::fmt;
 
 pub use serde_derive::{Deserialize, Serialize};
 
+pub mod binary;
 pub mod json;
 
 /// A self-describing serialized tree.
