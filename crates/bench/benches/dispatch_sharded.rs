@@ -1,0 +1,249 @@
+//! Multi-tenant dispatch throughput: N tenant threads hammering query
+//! batches during a simulated day, against (a) the pre-shard deployment
+//! shape — one global `Mutex<Ecovisor>` every connection serializes on —
+//! and (b) the sharded [`ShardedEcovisor`], where query batches take
+//! only shard-local read locks and settlement is the sole barrier.
+//!
+//! One iteration = `TICKS` simulated ticks; in each tick every tenant
+//! thread dispatches `BATCHES_PER_TICK` query batches of
+//! `QUERIES_PER_BATCH` requests against its own app, then the driver
+//! settles the tick. Both harnesses do identical work, so
+//! `ns/iter(mutex) / ns/iter(sharded)` at equal thread count is the
+//! aggregate-throughput speedup. `BENCH_dispatch_sharded.json` in the
+//! crate root holds the committed baseline (≥2× at 4 tenant threads is
+//! the acceptance bar).
+//!
+//! The bench also asserts, once per run, that both harnesses settle
+//! bit-identical [`VesTotals`] for the same traffic — the sharded path
+//! must change only the clock time, never the physics.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use carbon_intel::service::TraceCarbonService;
+use container_cop::{AppId, ContainerId, ContainerSpec, CopConfig};
+use ecovisor::proto::{EnergyRequest, RequestBatch};
+use ecovisor::{Ecovisor, EcovisorBuilder, EnergyClient, EnergyShare, ShardedEcovisor, VesTotals};
+use simkit::time::SimTime;
+use simkit::trace::Trace;
+use simkit::units::WattHours;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const TICKS: usize = 4;
+const BATCHES_PER_TICK: usize = 100;
+const QUERIES_PER_BATCH: usize = 32;
+
+/// An ecovisor with one registered (busy) app per tenant thread.
+fn fixture(tenants: usize) -> (Ecovisor, Vec<(AppId, ContainerId)>) {
+    let mut eco = EcovisorBuilder::new()
+        .cluster(CopConfig::microserver_cluster(16))
+        .carbon(Box::new(TraceCarbonService::new(
+            "flat",
+            Trace::constant(250.0),
+        )))
+        .build();
+    let apps = (0..tenants)
+        .map(|i| {
+            let app = eco
+                .register_app(
+                    format!("tenant-{i}"),
+                    EnergyShare::grid_only()
+                        .with_solar_fraction(1.0 / tenants as f64)
+                        .with_battery(WattHours::new(1440.0 / tenants as f64)),
+                )
+                .expect("register");
+            let mut client = eco.client(app).expect("client");
+            let c = client
+                .launch_container(ContainerSpec::quad_core())
+                .expect("launch");
+            client.set_container_demand(c, 1.0).expect("demand");
+            drop(client);
+            (app, c)
+        })
+        .collect();
+    (eco, apps)
+}
+
+/// The same read-mostly batch shape as the `protocol` bench: telemetry
+/// polling a policy loop would issue every tick.
+fn query_batch(app: AppId, container: ContainerId) -> RequestBatch {
+    use EnergyRequest::*;
+    let pattern = [
+        GetSolarPower,
+        GetGridPower,
+        GetGridCarbon,
+        GetBatteryChargeLevel,
+        GetAppPower,
+        GetEffectiveCores,
+        GetContainerPower { container },
+        GetAppCarbonBetween {
+            from: SimTime::EPOCH,
+            to: SimTime::from_secs(600),
+        },
+    ];
+    RequestBatch::new(
+        app,
+        pattern
+            .iter()
+            .cloned()
+            .cycle()
+            .take(QUERIES_PER_BATCH)
+            .collect(),
+    )
+}
+
+/// Runs one simulated day: tenant threads hammer `dispatch` between the
+/// barrier-fenced ticks, the caller's `settle` runs at each boundary.
+/// Generic over the deployment shape so both harnesses share the exact
+/// same structure (thread spawns, barriers, batch mix).
+fn run_day<D, S>(tenants: &[(AppId, ContainerId)], dispatch: D, settle: S)
+where
+    D: Fn(&RequestBatch) + Send + Sync,
+    S: Fn(),
+{
+    let n = tenants.len();
+    let gate = Barrier::new(n + 1);
+    std::thread::scope(|scope| {
+        for &(app, container) in tenants {
+            let gate = &gate;
+            let dispatch = &dispatch;
+            scope.spawn(move || {
+                let batch = query_batch(app, container);
+                for _ in 0..TICKS {
+                    gate.wait(); // tick open
+                    for _ in 0..BATCHES_PER_TICK {
+                        dispatch(std::hint::black_box(&batch));
+                    }
+                    gate.wait(); // tick closed
+                }
+            });
+        }
+        for _ in 0..TICKS {
+            gate.wait();
+            gate.wait();
+            settle();
+        }
+    });
+}
+
+fn bench_mutex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_mutex_day");
+    for &n in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            // Fresh state per iteration (setup untimed): settlement
+            // telemetry accumulates across ticks, so reusing one
+            // ecovisor would make later iterations integrate ever-longer
+            // series and drown the locking cost being measured.
+            b.iter_batched(
+                || {
+                    let (eco, tenants) = fixture(n);
+                    (Arc::new(Mutex::new(eco)), tenants)
+                },
+                |(shared, tenants)| {
+                    run_day(
+                        &tenants,
+                        |batch| {
+                            let resp = shared.lock().expect("lock").dispatch_batch(batch);
+                            std::hint::black_box(resp);
+                        },
+                        || {
+                            let mut eco = shared.lock().expect("lock");
+                            eco.begin_tick();
+                            eco.settle_tick();
+                            eco.advance_clock();
+                        },
+                    )
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_sharded_day");
+    for &n in &THREAD_COUNTS {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let (eco, tenants) = fixture(n);
+                    (Arc::new(ShardedEcovisor::new(eco)), tenants)
+                },
+                |(shared, tenants)| {
+                    run_day(
+                        &tenants,
+                        |batch| {
+                            std::hint::black_box(shared.dispatch_batch(batch));
+                        },
+                        || {
+                            shared.tick();
+                        },
+                    )
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Not a measurement: proves the two harnesses settle identical state
+/// for identical traffic, so the speedup comparison is apples-to-apples.
+fn check_equivalence(_c: &mut Criterion) {
+    let (eco, tenants) = fixture(4);
+    let shared = Arc::new(Mutex::new(eco));
+    run_day(
+        &tenants,
+        |batch| {
+            shared.lock().expect("lock").dispatch_batch(batch);
+        },
+        || {
+            let mut eco = shared.lock().expect("lock");
+            eco.begin_tick();
+            eco.settle_tick();
+            eco.advance_clock();
+        },
+    );
+    let mutex_totals: Vec<VesTotals> = {
+        let eco = shared.lock().expect("lock");
+        tenants
+            .iter()
+            .map(|&(app, _)| eco.app_totals(app).expect("totals"))
+            .collect()
+    };
+
+    let (eco, tenants) = fixture(4);
+    let shared = Arc::new(ShardedEcovisor::new(eco));
+    run_day(
+        &tenants,
+        |batch| {
+            shared.dispatch_batch(batch);
+        },
+        || {
+            shared.tick();
+        },
+    );
+    let sharded_totals: Vec<VesTotals> = shared.read(|eco| {
+        tenants
+            .iter()
+            .map(|&(app, _)| eco.app_totals(app).expect("totals"))
+            .collect()
+    });
+
+    assert_eq!(
+        serde::binary::to_bytes(&mutex_totals),
+        serde::binary::to_bytes(&sharded_totals),
+        "sharded and mutex harnesses must settle bit-identical totals"
+    );
+    println!("bench: dispatch_sharded equivalence check                 ok (totals bit-identical)");
+}
+
+criterion_group!(
+    dispatch_sharded,
+    check_equivalence,
+    bench_mutex,
+    bench_sharded,
+);
+criterion_main!(dispatch_sharded);

@@ -94,7 +94,7 @@ fn command_batch(app: AppId, container: ContainerId, n: usize) -> RequestBatch {
 fn bench_query_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_query_batch");
     for &n in &BATCH_SIZES {
-        let (mut eco, app, container) = dispatch_fixture();
+        let (eco, app, container) = dispatch_fixture();
         let batch = query_batch(app, container, n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| std::hint::black_box(eco.dispatch_batch(&batch)))
@@ -106,7 +106,7 @@ fn bench_query_dispatch(c: &mut Criterion) {
 fn bench_command_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_command_batch");
     for &n in &BATCH_SIZES {
-        let (mut eco, app, container) = dispatch_fixture();
+        let (eco, app, container) = dispatch_fixture();
         let batch = command_batch(app, container, n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| std::hint::black_box(eco.dispatch_batch(&batch)))
@@ -121,7 +121,7 @@ fn bench_command_dispatch(c: &mut Criterion) {
 fn bench_wire_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_wire_batch");
     for &n in &BATCH_SIZES {
-        let (mut eco, app, container) = dispatch_fixture();
+        let (eco, app, container) = dispatch_fixture();
         let wire = serde::json::to_string(&query_batch(app, container, n));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
@@ -140,7 +140,7 @@ fn bench_wire_dispatch(c: &mut Criterion) {
 fn bench_wire_binary(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_wire_binary");
     for &n in &BATCH_SIZES {
-        let (mut eco, app, container) = dispatch_fixture();
+        let (eco, app, container) = dispatch_fixture();
         let wire = serde::binary::to_bytes(&query_batch(app, container, n));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {

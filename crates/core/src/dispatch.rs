@@ -19,11 +19,36 @@
 //!    every raw batch — but not calls made through the legacy
 //!    [`ScopedApi`](crate::ecovisor::ScopedApi) façade, which dispatches
 //!    single requests without an envelope.
+//!
+//! ## Locking
+//!
+//! Dispatch takes `&self` and locks only what a batch touches, so
+//! traffic from different tenants executes in parallel (the transport
+//! spawns a thread per connection; see [`crate::shard`]):
+//!
+//! * a **query-only batch** holds its app's shard *read* lock for the
+//!   whole batch — concurrent queries, even to the same app, never
+//!   block each other, and a multi-request batch observes one
+//!   consistent shard snapshot;
+//! * a batch containing **commands** holds the shard *write* lock for
+//!   the whole batch, so its effects become visible atomically to
+//!   readers of that shard;
+//! * container operations additionally take the shared COP lock
+//!   (read for queries, write for commands), and telemetry integrals
+//!   take the TSDB read lock — always *after* the shard lock, which
+//!   makes the lock order (shard → COP → TSDB) acyclic.
+//!
+//! Settlement needs `&mut self` and is thereby the only cross-app
+//! barrier.
 
-use container_cop::{AppId, ContainerId};
+use std::sync::atomic::Ordering;
+
+use container_cop::{AppId, ContainerId, Cop};
+use power_telemetry::Tsdb;
 use simkit::units::{Co2Grams, WattHours};
 
-use crate::ecovisor::Ecovisor;
+use crate::ecovisor::{AppState, Ecovisor};
+use crate::lock;
 use crate::proto::{
     EnergyRequest, EnergyResponse, ProtoError, RequestBatch, ResponseBatch, PROTOCOL_VERSION,
 };
@@ -44,7 +69,12 @@ pub struct TraceEntry {
 /// applications through the client when capturing a replayable run.)
 ///
 /// Serializable, so a trace taken from one process can be
-/// [`replayed`](Ecovisor::replay) against another ecovisor.
+/// [`replayed`](Ecovisor::replay) against another ecovisor. Under
+/// concurrent dispatch, batches are recorded while their shard guard is
+/// held, so per app the trace order is the execution order (even with
+/// several connections speaking for one app); across apps, any recorded
+/// interleaving replays to the same settlement totals because batches
+/// from different apps touch disjoint shards between settlements.
 #[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct ProtocolTrace {
     /// Entries in dispatch order.
@@ -62,14 +92,13 @@ impl Ecovisor {
     /// Executes a request batch: validates the envelope, then answers
     /// each request in order. One response per request, always — errors
     /// are [`EnergyResponse::Err`] values and never abort the batch.
-    pub fn dispatch_batch(&mut self, batch: &RequestBatch) -> ResponseBatch {
-        if let Some(trace) = self.proto_trace.as_mut() {
-            trace.entries.push(TraceEntry {
-                tick: self.clock.tick_index(),
-                batch: batch.clone(),
-            });
-        }
+    ///
+    /// Takes `&self`: the batch locks only the shard it addresses (read
+    /// for query-only batches, write otherwise), so batches from
+    /// different applications dispatch in parallel.
+    pub fn dispatch_batch(&self, batch: &RequestBatch) -> ResponseBatch {
         let responses = if batch.version != PROTOCOL_VERSION {
+            self.record_trace(batch);
             vec![
                 EnergyResponse::Err(ProtoError::Version {
                     expected: PROTOCOL_VERSION,
@@ -77,14 +106,71 @@ impl Ecovisor {
                 });
                 batch.requests.len()
             ]
-        } else if !self.apps.contains_key(&batch.app) {
-            vec![EnergyResponse::Err(ProtoError::UnknownApp(batch.app)); batch.requests.len()]
         } else {
-            batch
-                .requests
-                .iter()
-                .map(|req| self.dispatch(batch.app, req))
-                .collect()
+            match self.apps.get(&batch.app) {
+                None => {
+                    self.record_trace(batch);
+                    vec![
+                        EnergyResponse::Err(ProtoError::UnknownApp(batch.app));
+                        batch.requests.len()
+                    ]
+                }
+                Some(shard) if batch.requests.iter().all(EnergyRequest::is_query) => {
+                    // One guard per lock for the whole batch (shard →
+                    // COP → TSDB): a consistent snapshot, zero
+                    // contention with other readers, and no per-request
+                    // re-acquisition. COP/TSDB guards are only taken
+                    // when some request actually reads them, so a
+                    // pure-shard batch never delays container commands.
+                    let state = lock::read(shard);
+                    let cop = batch
+                        .requests
+                        .iter()
+                        .any(EnergyRequest::reads_containers)
+                        .then(|| lock::read(&self.cop));
+                    let tsdb = batch
+                        .requests
+                        .iter()
+                        .any(EnergyRequest::reads_telemetry)
+                        .then(|| lock::read(&self.tsdb));
+                    self.record_trace(batch);
+                    batch
+                        .requests
+                        .iter()
+                        .map(|req| {
+                            self.query_locked(
+                                &state,
+                                cop.as_deref(),
+                                tsdb.as_deref(),
+                                batch.app,
+                                req,
+                            )
+                        })
+                        .collect()
+                }
+                Some(shard) => {
+                    let mut state = lock::write(shard);
+                    // A batch that mutates the container platform holds
+                    // the COP write lock for its whole duration and
+                    // records its trace entry under it: cross-app
+                    // container-id allocation and placement order is
+                    // thereby fixed at the batch's trace position, so
+                    // replaying the trace reassigns identical ids.
+                    let mut cop = batch
+                        .requests
+                        .iter()
+                        .any(EnergyRequest::mutates_containers)
+                        .then(|| lock::write(&self.cop));
+                    self.record_trace(batch);
+                    batch
+                        .requests
+                        .iter()
+                        .map(|req| {
+                            self.request_locked(&mut state, cop.as_deref_mut(), batch.app, req)
+                        })
+                        .collect()
+                }
+            }
         };
         ResponseBatch {
             version: PROTOCOL_VERSION,
@@ -93,66 +179,147 @@ impl Ecovisor {
         }
     }
 
+    /// Appends `batch` to the protocol trace, if tracing is on.
+    ///
+    /// Called while holding the batch's shard guard, so for any one app
+    /// the trace order **is** the execution order even when several
+    /// connections speak for the same app concurrently — a command
+    /// batch's trace position is fixed under the same write guard its
+    /// effects land under. (Envelope-rejected batches record without a
+    /// shard guard; they have no effects to order.)
+    fn record_trace(&self, batch: &RequestBatch) {
+        if self.tracing.load(Ordering::Relaxed) {
+            if let Some(trace) = lock::lock(&self.proto_trace).as_mut() {
+                trace.entries.push(TraceEntry {
+                    tick: self.clock.tick_index(),
+                    batch: batch.clone(),
+                });
+            }
+        }
+    }
+
     /// Executes one request under `app`'s scope. Commands and queries
     /// both route here; this is the single entry point all API surfaces
     /// share.
-    pub fn dispatch(&mut self, app: AppId, request: &EnergyRequest) -> EnergyResponse {
-        use EnergyRequest::*;
+    pub fn dispatch(&self, app: AppId, request: &EnergyRequest) -> EnergyResponse {
         if request.is_query() {
             return self.dispatch_query(app, request);
         }
-        if !self.apps.contains_key(&app) {
+        let Some(shard) = self.apps.get(&app) else {
             return EnergyResponse::Err(ProtoError::UnknownApp(app));
+        };
+        let mut state = lock::write(shard);
+        let mut cop = request.mutates_containers().then(|| lock::write(&self.cop));
+        self.command_locked(&mut state, cop.as_deref_mut(), app, request)
+    }
+
+    /// Executes one read-only request under `app`'s scope against
+    /// `&self`. Commands are rejected with [`ProtoError::NotAQuery`].
+    pub fn dispatch_query(&self, app: AppId, request: &EnergyRequest) -> EnergyResponse {
+        if !request.is_query() {
+            return EnergyResponse::Err(ProtoError::NotAQuery);
+        }
+        let Some(shard) = self.apps.get(&app) else {
+            return EnergyResponse::Err(ProtoError::UnknownApp(app));
+        };
+        let state = lock::read(shard);
+        let cop = request.reads_containers().then(|| lock::read(&self.cop));
+        let tsdb = request.reads_telemetry().then(|| lock::read(&self.tsdb));
+        self.query_locked(&state, cop.as_deref(), tsdb.as_deref(), app, request)
+    }
+
+    /// Dispatches one request of a write-locked batch. `cop` is the
+    /// batch-wide COP write guard, present iff the batch mutates the
+    /// container platform; queries reborrow it (or take a fresh read
+    /// guard when the batch holds none).
+    fn request_locked(
+        &self,
+        state: &mut AppState,
+        cop: Option<&mut Cop>,
+        app: AppId,
+        req: &EnergyRequest,
+    ) -> EnergyResponse {
+        if req.is_query() {
+            let fresh_cop =
+                (cop.is_none() && req.reads_containers()).then(|| lock::read(&self.cop));
+            let tsdb = req.reads_telemetry().then(|| lock::read(&self.tsdb));
+            let cop_ro = cop.as_deref().or(fresh_cop.as_deref());
+            self.query_locked(state, cop_ro, tsdb.as_deref(), app, req)
+        } else {
+            self.command_locked(state, cop, app, req)
+        }
+    }
+
+    /// Executes one command against a write-locked shard. Container
+    /// commands use the caller's batch-wide COP write guard (`cop`,
+    /// guaranteed present by [`EnergyRequest::mutates_containers`]).
+    fn command_locked(
+        &self,
+        state: &mut AppState,
+        cop: Option<&mut Cop>,
+        app: AppId,
+        request: &EnergyRequest,
+    ) -> EnergyResponse {
+        use EnergyRequest::*;
+        /// The COP guard, which the dispatch entry points acquire for
+        /// every batch that `mutates_containers`.
+        fn held(cop: Option<&mut Cop>) -> &mut Cop {
+            cop.expect("container command dispatched without the COP guard")
         }
         match request {
             SetContainerPowercap { container, cap } => {
-                self.with_owned(app, *container, |eco, c| {
-                    eco.cop
-                        .set_power_cap(c, Some(*cap))
-                        .map_err(ProtoError::from)?;
+                Self::with_owned(held(cop), app, *container, |cop, c| {
+                    cop.set_power_cap(c, Some(*cap)).map_err(ProtoError::from)?;
                     Ok(EnergyResponse::Ok)
                 })
             }
-            ClearContainerPowercap { container } => self.with_owned(app, *container, |eco, c| {
-                eco.cop.set_power_cap(c, None).map_err(ProtoError::from)?;
-                Ok(EnergyResponse::Ok)
-            }),
+            ClearContainerPowercap { container } => {
+                Self::with_owned(held(cop), app, *container, |cop, c| {
+                    cop.set_power_cap(c, None).map_err(ProtoError::from)?;
+                    Ok(EnergyResponse::Ok)
+                })
+            }
             SetBatteryChargeRate { rate } => {
-                self.app_state_mut(app).ves.set_charge_rate(*rate);
+                state.ves.set_charge_rate(*rate);
                 EnergyResponse::Ok
             }
             SetBatteryMaxDischarge { rate } => {
-                self.app_state_mut(app).ves.set_max_discharge(*rate);
+                state.ves.set_max_discharge(*rate);
                 EnergyResponse::Ok
             }
-            LaunchContainer { spec } => match self.cop.launch(app, *spec) {
+            LaunchContainer { spec } => match held(cop).launch(app, *spec) {
                 Ok(id) => EnergyResponse::Container(id),
                 Err(e) => EnergyResponse::Err(e.into()),
             },
-            StopContainer { container } => self.with_owned(app, *container, |eco, c| {
-                eco.cop.stop(c).map_err(ProtoError::from)?;
-                Ok(EnergyResponse::Ok)
-            }),
-            SuspendContainer { container } => self.with_owned(app, *container, |eco, c| {
-                eco.cop.suspend(c).map_err(ProtoError::from)?;
-                Ok(EnergyResponse::Ok)
-            }),
-            ResumeContainer { container } => self.with_owned(app, *container, |eco, c| {
-                eco.cop.resume(c).map_err(ProtoError::from)?;
-                Ok(EnergyResponse::Ok)
-            }),
+            StopContainer { container } => {
+                Self::with_owned(held(cop), app, *container, |cop, c| {
+                    cop.stop(c).map_err(ProtoError::from)?;
+                    Ok(EnergyResponse::Ok)
+                })
+            }
+            SuspendContainer { container } => {
+                Self::with_owned(held(cop), app, *container, |cop, c| {
+                    cop.suspend(c).map_err(ProtoError::from)?;
+                    Ok(EnergyResponse::Ok)
+                })
+            }
+            ResumeContainer { container } => {
+                Self::with_owned(held(cop), app, *container, |cop, c| {
+                    cop.resume(c).map_err(ProtoError::from)?;
+                    Ok(EnergyResponse::Ok)
+                })
+            }
             SetContainerDemand { container, demand } => {
-                self.with_owned(app, *container, |eco, c| {
-                    eco.cop.set_demand(c, *demand).map_err(ProtoError::from)?;
+                Self::with_owned(held(cop), app, *container, |cop, c| {
+                    cop.set_demand(c, *demand).map_err(ProtoError::from)?;
                     Ok(EnergyResponse::Ok)
                 })
             }
             SetCarbonRate { rate } => {
-                self.app_state_mut(app).carbon_rate_limit = *rate;
+                state.carbon_rate_limit = *rate;
                 EnergyResponse::Ok
             }
             SetCarbonBudget { budget } => {
-                let state = self.app_state_mut(app);
                 state.carbon_budget = *budget;
                 // Clearing the budget or raising it above the carbon
                 // already attributed lifts the grid clamp and re-arms
@@ -172,50 +339,69 @@ impl Ecovisor {
         }
     }
 
-    /// Executes one read-only request under `app`'s scope against
-    /// `&self`. Commands are rejected with [`ProtoError::NotAQuery`].
-    pub fn dispatch_query(&self, app: AppId, request: &EnergyRequest) -> EnergyResponse {
+    /// Executes one query against a read-locked shard, with the shared
+    /// substrates locked by the caller (one COP + TSDB guard per batch,
+    /// acquired after the shard lock, present iff some request
+    /// [`reads_containers`](EnergyRequest::reads_containers) /
+    /// [`reads_telemetry`](EnergyRequest::reads_telemetry)).
+    fn query_locked(
+        &self,
+        state: &AppState,
+        cop: Option<&Cop>,
+        tsdb: Option<&Tsdb>,
+        app: AppId,
+        request: &EnergyRequest,
+    ) -> EnergyResponse {
         use EnergyRequest::*;
-        if !request.is_query() {
-            return EnergyResponse::Err(ProtoError::NotAQuery);
+        /// The COP guard, which callers acquire for every batch with a
+        /// `reads_containers` request.
+        fn cop_held(cop: Option<&Cop>) -> &Cop {
+            cop.expect("container query dispatched without the COP guard")
         }
-        let Some(state) = self.apps.get(&app) else {
-            return EnergyResponse::Err(ProtoError::UnknownApp(app));
-        };
+        /// The TSDB guard, which callers acquire for every batch with a
+        /// `reads_telemetry` request.
+        fn tsdb_held(tsdb: Option<&Tsdb>) -> &Tsdb {
+            tsdb.expect("telemetry query dispatched without the TSDB guard")
+        }
         match request {
             GetSolarPower => EnergyResponse::Power(state.ves.solar_available()),
             GetGridPower => EnergyResponse::Power(state.ves.grid_power()),
             GetGridCarbon => EnergyResponse::Intensity(self.intensity),
             GetBatteryDischargeRate => EnergyResponse::Power(state.ves.battery_discharge_rate()),
             GetBatteryChargeLevel => EnergyResponse::Energy(state.ves.battery_charge_level()),
-            GetContainerPowercap { container } => match self.check_scope(app, *container) {
-                Err(e) => EnergyResponse::Err(e),
-                Ok(()) => EnergyResponse::PowerCap(
-                    self.cop
-                        .container(*container)
-                        .expect("verified")
-                        .power_cap(),
-                ),
-            },
-            GetContainerPower { container } => match self.check_scope(app, *container) {
-                Err(e) => EnergyResponse::Err(e),
-                Ok(()) => match self.cop.container_power(*container) {
-                    Ok(p) => EnergyResponse::Power(p),
-                    Err(e) => EnergyResponse::Err(e.into()),
-                },
-            },
-            ListContainers => EnergyResponse::Containers(self.cop.container_ids_of(app)),
-            CountRunningContainers => EnergyResponse::Count(self.cop.running_count(app)),
-            GetEffectiveCores => EnergyResponse::Cores(self.cop.app_effective_cores(app)),
-            GetContainerEffectiveCores { container } => match self.check_scope(app, *container) {
-                Err(e) => EnergyResponse::Err(e),
-                Ok(()) => EnergyResponse::Cores(
-                    self.cop
-                        .container(*container)
-                        .expect("verified")
-                        .effective_cores(),
-                ),
-            },
+            GetContainerPowercap { container } => {
+                let cop = cop_held(cop);
+                match Self::scope_in(cop, app, *container) {
+                    Err(e) => EnergyResponse::Err(e),
+                    Ok(()) => EnergyResponse::PowerCap(
+                        cop.container(*container).expect("verified").power_cap(),
+                    ),
+                }
+            }
+            GetContainerPower { container } => {
+                let cop = cop_held(cop);
+                match Self::scope_in(cop, app, *container) {
+                    Err(e) => EnergyResponse::Err(e),
+                    Ok(()) => match cop.container_power(*container) {
+                        Ok(p) => EnergyResponse::Power(p),
+                        Err(e) => EnergyResponse::Err(e.into()),
+                    },
+                }
+            }
+            ListContainers => EnergyResponse::Containers(cop_held(cop).container_ids_of(app)),
+            CountRunningContainers => EnergyResponse::Count(cop_held(cop).running_count(app)),
+            GetEffectiveCores => EnergyResponse::Cores(cop_held(cop).app_effective_cores(app)),
+            GetContainerEffectiveCores { container } => {
+                let cop = cop_held(cop);
+                match Self::scope_in(cop, app, *container) {
+                    Err(e) => EnergyResponse::Err(e),
+                    Ok(()) => EnergyResponse::Cores(
+                        cop.container(*container)
+                            .expect("verified")
+                            .effective_cores(),
+                    ),
+                }
+            }
             GetTime => EnergyResponse::Time(self.clock.now()),
             GetTickInterval => EnergyResponse::Interval(self.clock.interval()),
             GetAppId => EnergyResponse::App(app),
@@ -223,10 +409,10 @@ impl Ecovisor {
                 container,
                 from,
                 to,
-            } => match self.check_scope(app, *container) {
+            } => match Self::scope_in(cop_held(cop), app, *container) {
                 Err(e) => EnergyResponse::Err(e),
                 Ok(()) => {
-                    let ws = self.tsdb.integrate(
+                    let ws = tsdb_held(tsdb).integrate(
                         power_telemetry::metrics::CONTAINER_POWER,
                         &container.to_string(),
                         *from,
@@ -239,10 +425,10 @@ impl Ecovisor {
                 container,
                 from,
                 to,
-            } => match self.check_scope(app, *container) {
+            } => match Self::scope_in(cop_held(cop), app, *container) {
                 Err(e) => EnergyResponse::Err(e),
                 Ok(()) => {
-                    let grams = self.tsdb.integrate(
+                    let grams = tsdb_held(tsdb).integrate(
                         power_telemetry::metrics::CARBON_RATE,
                         &container.to_string(),
                         *from,
@@ -256,9 +442,9 @@ impl Ecovisor {
             // can be lower — energy/carbon integrals (GetAppEnergy,
             // VesTotals) count served power, so integrate those rather
             // than sampling this reading.
-            GetAppPower => EnergyResponse::Power(self.cop.app_power(app)),
+            GetAppPower => EnergyResponse::Power(cop_held(cop).app_power(app)),
             GetAppEnergy { from, to } => {
-                let ws = self.tsdb.integrate(
+                let ws = tsdb_held(tsdb).integrate(
                     power_telemetry::metrics::APP_POWER,
                     &app.to_string(),
                     *from,
@@ -268,7 +454,7 @@ impl Ecovisor {
             }
             GetAppCarbon => EnergyResponse::Carbon(state.ves.totals().carbon),
             GetAppCarbonBetween { from, to } => {
-                let grams = self.tsdb.integrate(
+                let grams = tsdb_held(tsdb).integrate(
                     power_telemetry::metrics::CARBON_RATE,
                     &app.to_string(),
                     *from,
@@ -291,34 +477,40 @@ impl Ecovisor {
     /// Replays recorded batches through the dispatcher (no re-recording
     /// happens: recording only captures live traffic).
     pub fn replay(&mut self, batches: &[RequestBatch]) -> Vec<ResponseBatch> {
-        let recording = self.proto_trace.take();
+        let was_tracing = self.tracing.swap(false, Ordering::Relaxed);
         let out = batches.iter().map(|b| self.dispatch_batch(b)).collect();
-        self.proto_trace = recording;
+        self.tracing.store(was_tracing, Ordering::Relaxed);
         out
     }
 
     /// Starts recording all dispatched batches into a protocol trace
     /// (batch traffic only — see [`ProtocolTrace`] for the scope).
     pub fn enable_protocol_trace(&mut self) {
-        if self.proto_trace.is_none() {
-            self.proto_trace = Some(ProtocolTrace::default());
+        let mut trace = lock::lock(&self.proto_trace);
+        if trace.is_none() {
+            *trace = Some(ProtocolTrace::default());
         }
+        drop(trace);
+        *self.tracing.get_mut() = true;
     }
 
     /// Stops recording and returns the trace captured so far, if any.
     pub fn take_protocol_trace(&mut self) -> Option<ProtocolTrace> {
-        self.proto_trace.take()
+        *self.tracing.get_mut() = false;
+        lock::lock(&self.proto_trace).take()
     }
 
     // ------------------------------------------------------------------
     // Scope enforcement
     // ------------------------------------------------------------------
 
-    /// Scope check as a value: `Err(ProtoError::Scope)` when `container`
-    /// belongs to another application, `Err(UnknownContainer)` when it
-    /// does not exist.
-    pub(crate) fn check_scope(&self, app: AppId, container: ContainerId) -> Result<(), ProtoError> {
-        match self.cop.container(container) {
+    /// Scope check as a value, against an already-locked COP: callers
+    /// act on the result under the same guard, so there is no window for
+    /// the container to change hands between check and use.
+    /// `Err(ProtoError::Scope)` when `container` belongs to another
+    /// application, `Err(UnknownContainer)` when it does not exist.
+    fn scope_in(cop: &Cop, app: AppId, container: ContainerId) -> Result<(), ProtoError> {
+        match cop.container(container) {
             Some(c) if c.owner() == app => Ok(()),
             Some(_) => Err(ProtoError::Scope { container, app }),
             None => Err(ProtoError::UnknownContainer(container)),
@@ -326,23 +518,20 @@ impl Ecovisor {
     }
 
     /// Runs `op` only if `container` is owned by `app`, folding scope
-    /// denials and operation failures into an error response.
+    /// denials and operation failures into an error response. Scope is
+    /// checked against the same COP guard `op` runs under.
     fn with_owned(
-        &mut self,
+        cop: &mut Cop,
         app: AppId,
         container: ContainerId,
-        op: impl FnOnce(&mut Self, ContainerId) -> Result<EnergyResponse, ProtoError>,
+        op: impl FnOnce(&mut Cop, ContainerId) -> Result<EnergyResponse, ProtoError>,
     ) -> EnergyResponse {
-        match self.check_scope(app, container) {
-            Ok(()) => match op(self, container) {
+        match Self::scope_in(cop, app, container) {
+            Ok(()) => match op(cop, container) {
                 Ok(resp) => resp,
                 Err(e) => EnergyResponse::Err(e),
             },
             Err(e) => EnergyResponse::Err(e),
         }
-    }
-
-    fn app_state_mut(&mut self, app: AppId) -> &mut crate::ecovisor::AppState {
-        self.apps.get_mut(&app).expect("validated before dispatch")
     }
 }

@@ -15,8 +15,24 @@
 //! every app, computes per-direction throttle factors against the
 //! physical battery's limits, commits the scaled flows, and mirrors the
 //! aggregate onto the physical bank, the grid meter, and the PSU.
+//!
+//! ## Sharded state
+//!
+//! Per-application state (`AppState`) lives in its own **shard** — a
+//! `RwLock<AppState>` keyed by [`AppId`] — while the container platform
+//! and telemetry store sit behind their own locks. Dispatch
+//! ([`Ecovisor::dispatch_batch`]) therefore needs only `&self`: queries
+//! take shard-local *read* locks, so concurrent queries from different
+//! tenants (and even from the same tenant) never contend; commands take
+//! the owning shard's *write* lock plus the container-platform lock when
+//! they touch containers. Settlement keeps `&mut self` — exclusive
+//! access is the stop-the-world barrier, and the only cross-app one (see
+//! [`crate::shard::ShardedEcovisor`] for the multi-threaded deployment
+//! shape).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Mutex, RwLock, RwLockReadGuard};
 
 use carbon_intel::service::CarbonService;
 use container_cop::{AppId, ContainerId, ContainerSpec, ContainerState, Cop};
@@ -32,9 +48,14 @@ use crate::api::{EcovisorApi, LibraryApi};
 use crate::config::{EcovisorBuilder, ExcessPolicy};
 use crate::error::{EcovisorError, Result};
 use crate::event::{Notification, NotifyConfig};
+use crate::lock;
 use crate::proto::{EnergyRequest, EnergyResponse};
 use crate::share::EnergyShare;
 use crate::ves::{VesFlows, VesTotals, VirtualEnergySystem};
+
+/// One application's shard: its state behind its own lock, so traffic
+/// from different tenants executes in parallel.
+pub(crate) type Shard = RwLock<AppState>;
 
 /// Per-application state held by the ecovisor.
 pub(crate) struct AppState {
@@ -72,24 +93,38 @@ pub struct SystemFlows {
 }
 
 /// The ecovisor.
+///
+/// Fields fall into three locking domains (the invariants are spelled
+/// out in `docs/ARCHITECTURE.md`):
+///
+/// * **per-app shards** (`apps`) — one `RwLock<AppState>` per tenant;
+/// * **shared substrates** (`cop`, `tsdb`, `proto_trace`) — their own
+///   locks, read-mostly on the dispatch path;
+/// * **settlement-only state** (clock, physical components, intensity) —
+///   plain fields, read freely from `&self` dispatch and mutated only
+///   under `&mut self`, which the deployment wrapper
+///   ([`crate::shard::ShardedEcovisor`]) grants exclusively.
 pub struct Ecovisor {
     pub(crate) clock: TickClock,
-    pub(crate) cop: Cop,
+    pub(crate) cop: RwLock<Cop>,
     solar: Box<dyn SolarSource>,
     physical_battery: Battery,
     grid: GridConnection,
     psu: ProgrammablePsu,
     carbon: Box<dyn CarbonService>,
     excess: ExcessPolicy,
-    pub(crate) tsdb: Tsdb,
-    pub(crate) apps: BTreeMap<AppId, AppState>,
+    pub(crate) tsdb: RwLock<Tsdb>,
+    pub(crate) apps: BTreeMap<AppId, Shard>,
     next_app: u32,
     pub(crate) intensity: CarbonIntensity,
     prev_intensity: CarbonIntensity,
     last_system_flows: SystemFlows,
+    /// Fast-path flag mirroring `proto_trace.is_some()`, so untraced
+    /// dispatch never touches the trace mutex.
+    pub(crate) tracing: AtomicBool,
     /// Recorded protocol traffic, when tracing is enabled (see
     /// [`Ecovisor::enable_protocol_trace`]).
-    pub(crate) proto_trace: Option<crate::dispatch::ProtocolTrace>,
+    pub(crate) proto_trace: Mutex<Option<crate::dispatch::ProtocolTrace>>,
 }
 
 impl std::fmt::Debug for Ecovisor {
@@ -110,20 +145,21 @@ impl Ecovisor {
         let psu = b.psu_or_default();
         Self {
             clock,
-            cop: Cop::new(b.cop),
+            cop: RwLock::new(Cop::new(b.cop)),
             solar: b.solar,
             physical_battery: b.battery,
             grid: b.grid,
             psu,
             carbon: b.carbon,
             excess: b.excess,
-            tsdb: Tsdb::new(),
+            tsdb: RwLock::new(Tsdb::new()),
             apps: BTreeMap::new(),
             next_app: 1,
             intensity,
             prev_intensity: intensity,
             last_system_flows: SystemFlows::default(),
-            proto_trace: None,
+            tracing: AtomicBool::new(false),
+            proto_trace: Mutex::new(None),
         }
     }
 
@@ -143,8 +179,8 @@ impl Ecovisor {
 
         let solar_total: f64 = self
             .apps
-            .values()
-            .map(|a| a.ves.share().solar_fraction)
+            .values_mut()
+            .map(|a| lock::get_mut(a).ves.share().solar_fraction)
             .sum::<f64>()
             + share.solar_fraction;
         if solar_total > 1.0 + 1e-9 {
@@ -154,8 +190,8 @@ impl Ecovisor {
         }
         let battery_total: WattHours = self
             .apps
-            .values()
-            .map(|a| a.ves.share().battery_capacity)
+            .values_mut()
+            .map(|a| lock::get_mut(a).ves.share().battery_capacity)
             .sum::<WattHours>()
             + share.battery_capacity;
         if battery_total > self.physical_battery.spec().capacity {
@@ -168,7 +204,7 @@ impl Ecovisor {
         self.next_app += 1;
         self.apps.insert(
             id,
-            AppState {
+            RwLock::new(AppState {
                 name: name.into(),
                 ves: VirtualEnergySystem::new(share),
                 notify: NotifyConfig::default(),
@@ -177,7 +213,7 @@ impl Ecovisor {
                 carbon_budget: None,
                 carbon_capped: Vec::new(),
                 budget_exhausted: false,
-            },
+            }),
         );
         Ok(id)
     }
@@ -192,8 +228,8 @@ impl Ecovisor {
     /// # Errors
     ///
     /// [`EcovisorError::UnknownApp`] when not registered.
-    pub fn app_name(&self, app: AppId) -> Result<&str> {
-        Ok(self.state(app)?.name.as_str())
+    pub fn app_name(&self, app: AppId) -> Result<String> {
+        Ok(lock::read(self.shard(app)?).name.clone())
     }
 
     /// Overrides an application's notification thresholds.
@@ -249,7 +285,7 @@ impl Ecovisor {
     pub fn drain_events(&mut self, app: AppId) -> Vec<Notification> {
         self.apps
             .get_mut(&app)
-            .map(|s| std::mem::take(&mut s.pending_events))
+            .map(|s| std::mem::take(&mut lock::get_mut(s).pending_events))
             .unwrap_or_default()
     }
 
@@ -257,6 +293,10 @@ impl Ecovisor {
     /// two-phase virtual settlement, multiplexes the battery, handles
     /// excess solar, mirrors aggregates onto the physical components,
     /// records telemetry, and buffers next-tick solar.
+    ///
+    /// Settlement is the **sole cross-app barrier**: it takes `&mut
+    /// self`, so no dispatch (which needs `&self`) can overlap it, and
+    /// the per-shard locks cost nothing here (`RwLock::get_mut`).
     pub fn settle_tick(&mut self) -> SystemFlows {
         let now = self.clock.now();
         let dt = self.clock.interval();
@@ -270,10 +310,12 @@ impl Ecovisor {
         // 2. Desired flows per app, from post-cap container power.
         let ids: Vec<AppId> = self.apps.keys().copied().collect();
         let mut desired = BTreeMap::new();
-        for &id in &ids {
-            let demand = self.cop.app_power(id);
-            let state = self.apps.get(&id).expect("registered");
-            desired.insert(id, state.ves.desired_flows(demand, dt));
+        {
+            let cop = lock::get_mut(&mut self.cop);
+            for (&id, shard) in self.apps.iter_mut() {
+                let state = lock::get_mut(shard);
+                desired.insert(id, state.ves.desired_flows(cop.app_power(id), dt));
+            }
         }
 
         // 3. Aggregate throttle factors against the physical bank's rate
@@ -305,7 +347,7 @@ impl Ecovisor {
         let mut grid_total = Watts::ZERO;
         for &id in &ids {
             let d = desired.get(&id).expect("computed");
-            let state = self.apps.get_mut(&id).expect("registered");
+            let state = lock::get_mut(self.apps.get_mut(&id).expect("registered"));
             let (f, events) =
                 state
                     .ves
@@ -341,7 +383,7 @@ impl Ecovisor {
                 if remaining_pool <= Watts::ZERO || headroom <= Watts::ZERO {
                     break;
                 }
-                let state = self.apps.get_mut(&id).expect("registered");
+                let state = lock::get_mut(self.apps.get_mut(&id).expect("registered"));
                 let offer = remaining_pool.min(headroom);
                 let accepted = state.ves.accept_redistribution(offer, dt);
                 remaining_pool -= accepted;
@@ -368,7 +410,7 @@ impl Ecovisor {
         //    solar-change notifications compare old vs new availability.
         let physical_solar = self.solar.mean_power_over(now, now + dt);
         for &id in &ids {
-            let state = self.apps.get_mut(&id).expect("registered");
+            let state = lock::get_mut(self.apps.get_mut(&id).expect("registered"));
             let share = state.ves.share().solar_fraction;
             let new_buffer = physical_solar * share;
             let old_buffer = state.ves.solar_available();
@@ -383,7 +425,7 @@ impl Ecovisor {
 
         // 8. Carbon-change notifications (this tick vs previous tick).
         for &id in &ids {
-            let state = self.apps.get_mut(&id).expect("registered");
+            let state = lock::get_mut(self.apps.get_mut(&id).expect("registered"));
             if state
                 .notify
                 .carbon_significant(self.prev_intensity, intensity)
@@ -442,14 +484,16 @@ impl Ecovisor {
         self.intensity
     }
 
-    /// The historical telemetry store.
-    pub fn tsdb(&self) -> &Tsdb {
-        &self.tsdb
+    /// The historical telemetry store (shared read guard — hold briefly;
+    /// settlement writes telemetry under exclusive access).
+    pub fn tsdb(&self) -> RwLockReadGuard<'_, Tsdb> {
+        lock::read(&self.tsdb)
     }
 
-    /// The container orchestration platform (read-only).
-    pub fn cop(&self) -> &Cop {
-        &self.cop
+    /// The container orchestration platform (shared read guard — hold
+    /// briefly; container commands take the write side).
+    pub fn cop(&self) -> RwLockReadGuard<'_, Cop> {
+        lock::read(&self.cop)
     }
 
     /// The validation PSU (read-only).
@@ -494,8 +538,8 @@ impl Ecovisor {
     /// # Errors
     ///
     /// [`EcovisorError::UnknownApp`] when not registered.
-    pub fn app_flows(&self, app: AppId) -> Result<&VesFlows> {
-        Ok(self.state(app)?.ves.last_flows())
+    pub fn app_flows(&self, app: AppId) -> Result<VesFlows> {
+        Ok(*lock::read(self.shard(app)?).ves.last_flows())
     }
 
     /// An app's cumulative energy/carbon totals.
@@ -503,24 +547,24 @@ impl Ecovisor {
     /// # Errors
     ///
     /// [`EcovisorError::UnknownApp`] when not registered.
-    pub fn app_totals(&self, app: AppId) -> Result<&VesTotals> {
-        Ok(self.state(app)?.ves.totals())
+    pub fn app_totals(&self, app: AppId) -> Result<VesTotals> {
+        Ok(*lock::read(self.shard(app)?).ves.totals())
     }
 
-    /// An app's virtual energy system (read-only).
+    /// A snapshot of an app's virtual energy system.
     ///
     /// # Errors
     ///
     /// [`EcovisorError::UnknownApp`] when not registered.
-    pub fn app_ves(&self, app: AppId) -> Result<&VirtualEnergySystem> {
-        Ok(&self.state(app)?.ves)
+    pub fn app_ves(&self, app: AppId) -> Result<VirtualEnergySystem> {
+        Ok(lock::read(self.shard(app)?).ves.clone())
     }
 
     /// Sum of all apps' virtual battery charge levels (invariant checks).
     pub fn virtual_battery_total(&self) -> WattHours {
         self.apps
             .values()
-            .map(|s| s.ves.battery_charge_level())
+            .map(|s| lock::read(s).ves.battery_charge_level())
             .sum()
     }
 
@@ -528,13 +572,14 @@ impl Ecovisor {
     // Internals
     // ------------------------------------------------------------------
 
-    fn state(&self, app: AppId) -> Result<&AppState> {
+    pub(crate) fn shard(&self, app: AppId) -> Result<&Shard> {
         self.apps.get(&app).ok_or(EcovisorError::UnknownApp(app))
     }
 
     fn state_mut(&mut self, app: AppId) -> Result<&mut AppState> {
         self.apps
             .get_mut(&app)
+            .map(lock::get_mut)
             .ok_or(EcovisorError::UnknownApp(app))
     }
 
@@ -550,33 +595,28 @@ impl Ecovisor {
     /// spread tracks the live container set.
     fn enforce_carbon_rates(&mut self, dt: SimDuration) {
         let intensity = self.intensity.grams_per_kwh().max(1e-9);
-        let ids: Vec<AppId> = self.apps.keys().copied().collect();
-        for id in ids {
+        let cop = lock::get_mut(&mut self.cop);
+        for (&id, shard) in self.apps.iter_mut() {
+            let state = lock::get_mut(shard);
             // Clear last tick's installation (containers may have
             // stopped; the rate limit may be gone; intensity changed).
-            let previous =
-                std::mem::take(&mut self.apps.get_mut(&id).expect("registered").carbon_capped);
-            for c in previous {
-                let _ = self.cop.set_carbon_cap(c, None);
+            for c in std::mem::take(&mut state.carbon_capped) {
+                let _ = cop.set_carbon_cap(c, None);
             }
-            let (rate, zero_carbon) = {
-                let state = self.apps.get(&id).expect("registered");
-                let Some(rate) = state.carbon_rate_limit else {
-                    continue;
-                };
-                let battery_ok = state
-                    .ves
-                    .battery()
-                    .map(|b| b.max_discharge_power(dt).min(state.ves.max_discharge()))
-                    .unwrap_or(Watts::ZERO);
-                (rate, state.ves.solar_available() + battery_ok)
+            let Some(rate) = state.carbon_rate_limit else {
+                continue;
             };
+            let battery_ok = state
+                .ves
+                .battery()
+                .map(|b| b.max_discharge_power(dt).min(state.ves.max_discharge()))
+                .unwrap_or(Watts::ZERO);
+            let zero_carbon = state.ves.solar_available() + battery_ok;
             // rate (g/s) allows P watts of grid power where
             // P × intensity / 3.6e6 = rate  =>  P = rate × 3.6e6 / intensity.
             let grid_allowance = Watts::new(rate.grams_per_sec() * 3.6e6 / intensity);
             let total_allowed = zero_carbon + grid_allowance;
-            let running: Vec<ContainerId> = self
-                .cop
+            let running: Vec<ContainerId> = cop
                 .containers_of(id)
                 .iter()
                 .filter(|c| c.state() == ContainerState::Running)
@@ -587,9 +627,9 @@ impl Ecovisor {
             }
             let per_container = total_allowed / running.len() as f64;
             for &c in &running {
-                let _ = self.cop.set_carbon_cap(c, Some(per_container));
+                let _ = cop.set_carbon_cap(c, Some(per_container));
             }
-            self.apps.get_mut(&id).expect("registered").carbon_capped = running;
+            state.carbon_capped = running;
         }
     }
 
@@ -599,39 +639,44 @@ impl Ecovisor {
         flows: &BTreeMap<AppId, VesFlows>,
         system: &SystemFlows,
     ) {
+        let battery_total = self.virtual_battery_total();
+        let phys_capacity = self.physical_battery.spec().capacity;
+        let intensity = self.intensity;
+        let tsdb = lock::get_mut(&mut self.tsdb);
+        let cop = lock::get_mut(&mut self.cop);
+
         // System-wide series.
-        self.tsdb.record(
+        tsdb.record(
             metrics::GRID_CARBON_INTENSITY,
             metrics::SYSTEM,
             now,
-            self.intensity.grams_per_kwh(),
+            intensity.grams_per_kwh(),
         );
-        self.tsdb.record(
+        tsdb.record(
             metrics::SOLAR_POWER,
             metrics::SYSTEM,
             now,
             system.physical_solar.watts(),
         );
-        self.tsdb.record(
+        tsdb.record(
             metrics::GRID_POWER,
             metrics::SYSTEM,
             now,
             system.grid_import.watts(),
         );
-        self.tsdb.record(
+        tsdb.record(
             metrics::APP_POWER,
             metrics::SYSTEM,
             now,
-            self.cop.total_power().watts(),
+            cop.total_power().watts(),
         );
-        let phys_capacity = self.physical_battery.spec().capacity;
-        self.tsdb.record(
+        tsdb.record(
             metrics::BATTERY_SOC,
             metrics::SYSTEM,
             now,
-            self.virtual_battery_total() / phys_capacity,
+            battery_total / phys_capacity,
         );
-        self.tsdb.record(
+        tsdb.record(
             metrics::SOLAR_CURTAILED,
             metrics::SYSTEM,
             now,
@@ -641,7 +686,7 @@ impl Ecovisor {
         // Per-app and per-container series.
         for (&id, f) in flows {
             let subject = id.to_string();
-            let state = self.apps.get(&id).expect("registered");
+            let state = lock::read(self.apps.get(&id).expect("registered"));
             let app_power = f.demand;
             // APP_POWER records *served* power (demand minus load shed by
             // the grid cap), so its TSDB integral — get_app_energy —
@@ -649,68 +694,64 @@ impl Ecovisor {
             // power. Demand stays the denominator for the proportional
             // carbon attribution below (container powers sum to demand).
             let served = (f.demand - f.unmet_demand).max_zero();
-            self.tsdb
-                .record(metrics::APP_POWER, &subject, now, served.watts());
-            self.tsdb
-                .record(metrics::GRID_POWER, &subject, now, f.grid_import().watts());
-            self.tsdb.record(
+            tsdb.record(metrics::APP_POWER, &subject, now, served.watts());
+            tsdb.record(metrics::GRID_POWER, &subject, now, f.grid_import().watts());
+            tsdb.record(
                 metrics::SOLAR_POWER,
                 &subject,
                 now,
                 f.solar_available.watts(),
             );
-            self.tsdb.record(
+            tsdb.record(
                 metrics::BATTERY_DISCHARGE,
                 &subject,
                 now,
                 f.battery_to_load.watts(),
             );
-            self.tsdb.record(
+            tsdb.record(
                 metrics::BATTERY_CHARGE,
                 &subject,
                 now,
                 (f.solar_to_battery + f.grid_to_battery + f.redistributed_in).watts(),
             );
-            self.tsdb.record(
+            tsdb.record(
                 metrics::BATTERY_LEVEL,
                 &subject,
                 now,
                 state.ves.battery_charge_level().watt_hours(),
             );
-            self.tsdb
-                .record(metrics::BATTERY_SOC, &subject, now, state.ves.battery_soc());
-            self.tsdb.record(
+            tsdb.record(metrics::BATTERY_SOC, &subject, now, state.ves.battery_soc());
+            tsdb.record(
                 metrics::CARBON_RATE,
                 &subject,
                 now,
                 f.carbon_rate.grams_per_sec(),
             );
-            self.tsdb.record(
+            tsdb.record(
                 metrics::CARBON_TOTAL,
                 &subject,
                 now,
                 state.ves.totals().carbon.grams(),
             );
-            self.tsdb.record(
+            tsdb.record(
                 metrics::CONTAINER_COUNT,
                 &subject,
                 now,
-                self.cop.running_count(id) as f64,
+                cop.running_count(id) as f64,
             );
 
             // Containers: power + proportional carbon attribution.
-            let containers = self.cop.container_ids_of(id);
+            let containers = cop.container_ids_of(id);
             for c in containers {
-                let power = self.cop.container_power(c).unwrap_or(Watts::ZERO);
+                let power = cop.container_power(c).unwrap_or(Watts::ZERO);
                 let c_subject = c.to_string();
-                self.tsdb
-                    .record(metrics::CONTAINER_POWER, &c_subject, now, power.watts());
+                tsdb.record(metrics::CONTAINER_POWER, &c_subject, now, power.watts());
                 let share = if app_power > Watts::ZERO {
                     power / app_power
                 } else {
                     0.0
                 };
-                self.tsdb.record(
+                tsdb.record(
                     metrics::CARBON_RATE,
                     &c_subject,
                     now,

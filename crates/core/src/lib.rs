@@ -37,10 +37,19 @@
 //!
 //! ## Architecture
 //!
+//! (The full picture — crate map, data-flow diagram, locking
+//! invariants — is in `docs/ARCHITECTURE.md`; the wire format is in
+//! `docs/PROTOCOL.md`.)
+//!
 //! * [`Ecovisor`] owns the physical components (from `energy_system`),
 //!   the container orchestration platform (from `container_cop`), the
 //!   carbon information service (from `carbon_intel`), and the telemetry
-//!   store (from `power_telemetry`).
+//!   store (from `power_telemetry`). Per-app state is **sharded** behind
+//!   per-app locks, so dispatch takes `&self` and tenants execute in
+//!   parallel; [`ShardedEcovisor`] ([`shard`]) is the concurrent
+//!   deployment wrapper, with tick settlement as the sole cross-app
+//!   barrier. The TCP transport ([`transport`]) serves every connection
+//!   against one shared [`ShardedEcovisor`].
 //! * Each registered application receives a [`VirtualEnergySystem`] —
 //!   virtual grid + virtual battery + virtual solar share — settled every
 //!   tick with the paper's supply priority (solar → battery → grid) and
@@ -88,7 +97,9 @@ pub mod dispatch;
 pub mod ecovisor;
 pub mod error;
 pub mod event;
+mod lock;
 pub mod proto;
+pub mod shard;
 pub mod share;
 pub mod sim;
 pub mod transport;
@@ -105,6 +116,7 @@ pub use event::{Notification, NotifyConfig};
 pub use proto::{
     EnergyRequest, EnergyResponse, ProtoError, RequestBatch, ResponseBatch, PROTOCOL_VERSION,
 };
+pub use shard::ShardedEcovisor;
 pub use share::EnergyShare;
 pub use sim::Simulation;
 pub use transport::{

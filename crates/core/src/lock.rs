@@ -1,0 +1,35 @@
+//! Poison-tolerant lock helpers shared by the sharded dispatch paths.
+//!
+//! The ecovisor's concurrency model (see [`crate::shard`]) never holds a
+//! lock across application code that can panic on another tenant's
+//! behalf, but a panicking connection thread must still not wedge every
+//! other tenant: all lock acquisitions in this crate recover from
+//! poisoning by taking the guard anyway. Per-shard state is settled (and
+//! therefore re-validated) at every tick boundary under the exclusive
+//! settlement barrier, so a half-applied batch from a panicked thread
+//! cannot corrupt cross-tenant invariants.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Acquires a shared read guard, recovering from poisoning.
+pub(crate) fn read<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Acquires an exclusive write guard, recovering from poisoning.
+pub(crate) fn write<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Borrows the protected value through `&mut` — no locking cost; the
+/// exclusive borrow is the proof no other thread holds the lock. The
+/// settlement path uses this so the stop-the-world barrier pays nothing
+/// per shard.
+pub(crate) fn get_mut<T>(lock: &mut RwLock<T>) -> &mut T {
+    lock.get_mut().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Locks a mutex, recovering from poisoning.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|p| p.into_inner())
+}

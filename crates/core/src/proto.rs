@@ -27,6 +27,44 @@
 //! The old [`crate::api::EcovisorApi`]/[`crate::api::LibraryApi`] traits
 //! survive as a compatibility façade: [`crate::ecovisor::ScopedApi`]
 //! translates each trait call into exactly one of these requests.
+//!
+//! The wire format is specified in `docs/PROTOCOL.md`.
+//!
+//! ## Example
+//!
+//! Speak the protocol directly — build a batch, dispatch it, match on
+//! the typed responses:
+//!
+//! ```
+//! use ecovisor::proto::{EnergyRequest, EnergyResponse, ProtoError, RequestBatch};
+//! use ecovisor::{EcovisorBuilder, EnergyShare};
+//! use simkit::units::Watts;
+//!
+//! let mut eco = EcovisorBuilder::new().build();
+//! let app = eco.register_app("tenant", EnergyShare::grid_only()).unwrap();
+//!
+//! let batch = RequestBatch::new(
+//!     app,
+//!     vec![
+//!         EnergyRequest::SetBatteryChargeRate { rate: Watts::new(50.0) },
+//!         EnergyRequest::GetGridPower,
+//!     ],
+//! );
+//! let reply = eco.dispatch_batch(&batch);
+//!
+//! // One response per request, in order; failures would be Err values.
+//! assert_eq!(reply.responses.len(), 2);
+//! assert_eq!(reply.responses[0], EnergyResponse::Ok);
+//! assert!(matches!(reply.responses[1], EnergyResponse::Power(_)));
+//!
+//! // Scope is enforced in the dispatcher: an unknown app's batch is
+//! // answered, not panicked on.
+//! let foreign = RequestBatch::new(ecovisor::AppId::new(99), vec![EnergyRequest::GetGridPower]);
+//! assert!(matches!(
+//!     eco.dispatch_batch(&foreign).responses[0],
+//!     EnergyResponse::Err(ProtoError::UnknownApp(_))
+//! ));
+//! ```
 
 use container_cop::{AppId, ContainerId, ContainerSpec};
 use serde::{Deserialize, Serialize};
@@ -231,6 +269,55 @@ impl EnergyRequest {
     /// `true` for state-mutating requests (the *command* half).
     pub fn is_command(&self) -> bool {
         !self.is_query()
+    }
+
+    /// `true` for commands that mutate the shared container platform.
+    /// The dispatcher holds the COP write lock for the whole batch when
+    /// any request matches, so cross-app container-id allocation and
+    /// placement order is fixed at the batch's trace position.
+    pub(crate) fn mutates_containers(&self) -> bool {
+        use EnergyRequest::*;
+        matches!(
+            self,
+            SetContainerPowercap { .. }
+                | ClearContainerPowercap { .. }
+                | LaunchContainer { .. }
+                | StopContainer { .. }
+                | SuspendContainer { .. }
+                | ResumeContainer { .. }
+                | SetContainerDemand { .. }
+        )
+    }
+
+    /// `true` for queries that read the shared container platform (the
+    /// dispatcher acquires the COP read guard only when needed).
+    pub(crate) fn reads_containers(&self) -> bool {
+        use EnergyRequest::*;
+        matches!(
+            self,
+            GetContainerPowercap { .. }
+                | GetContainerPower { .. }
+                | ListContainers
+                | CountRunningContainers
+                | GetEffectiveCores
+                | GetContainerEffectiveCores { .. }
+                | GetAppPower
+                | GetContainerEnergy { .. }
+                | GetContainerCarbon { .. }
+        )
+    }
+
+    /// `true` for queries that integrate the telemetry store (the
+    /// dispatcher acquires the TSDB read guard only when needed).
+    pub(crate) fn reads_telemetry(&self) -> bool {
+        use EnergyRequest::*;
+        matches!(
+            self,
+            GetContainerEnergy { .. }
+                | GetContainerCarbon { .. }
+                | GetAppEnergy { .. }
+                | GetAppCarbonBetween { .. }
+        )
     }
 
     /// Stable method name, for logs and benchmarks.

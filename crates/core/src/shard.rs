@@ -1,0 +1,129 @@
+//! The sharded deployment wrapper: parallel dispatch, exclusive
+//! settlement.
+//!
+//! [`ShardedEcovisor`] is the shape an [`Ecovisor`] takes when several
+//! threads drive it at once — the transport's thread-per-connection
+//! servers, multi-tenant simulations, and the multithreaded benches all
+//! share one through an `Arc`. It layers two levels of locking:
+//!
+//! 1. an **outer** `RwLock<Ecovisor>`: every dispatch holds the *read*
+//!    side (so any number of tenant batches execute concurrently), while
+//!    the driver's settlement path ([`ShardedEcovisor::with`] /
+//!    [`ShardedEcovisor::tick`]) takes the *write* side — a brief
+//!    stop-the-world quiesce that is **the only cross-app barrier**;
+//! 2. the **inner** per-app shard locks (see [`crate::ecovisor`]): under
+//!    the outer read guard, a batch locks only the shard of the app it
+//!    addresses, so traffic from different tenants never contends, and
+//!    query-only traffic takes shard *read* locks so even same-app
+//!    queries run in parallel.
+//!
+//! The resulting invariants (spelled out in `docs/ARCHITECTURE.md`):
+//!
+//! * between settlements, state from different apps is updated
+//!   independently and concurrently — no dispatch observes another
+//!   shard's lock;
+//! * a settlement observes no in-flight batches (outer write lock) and
+//!   pays nothing for the inner locks (`&mut` access);
+//! * replaying the recorded [`ProtocolTrace`](crate::dispatch::ProtocolTrace)
+//!   of a concurrent run single-threaded settles identical totals,
+//!   because batches from different apps commute between barriers.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ecovisor::proto::{EnergyRequest, RequestBatch};
+//! use ecovisor::{EcovisorBuilder, EnergyShare, ShardedEcovisor};
+//!
+//! let mut eco = EcovisorBuilder::new().build();
+//! let app = eco.register_app("tenant", EnergyShare::grid_only()).unwrap();
+//! let shared = Arc::new(ShardedEcovisor::new(eco));
+//!
+//! // Any number of threads may dispatch concurrently…
+//! let worker = {
+//!     let shared = Arc::clone(&shared);
+//!     std::thread::spawn(move || {
+//!         let batch = RequestBatch::new(app, vec![EnergyRequest::GetSolarPower]);
+//!         shared.dispatch_batch(&batch)
+//!     })
+//! };
+//! // …while the driver ticks settlement between batches.
+//! shared.tick();
+//! assert!(!worker.join().unwrap().responses.is_empty());
+//! ```
+
+use std::sync::RwLock;
+
+use container_cop::AppId;
+
+use crate::ecovisor::{Ecovisor, SystemFlows};
+use crate::lock;
+use crate::proto::{EnergyRequest, EnergyResponse, RequestBatch, ResponseBatch};
+
+/// An [`Ecovisor`] wrapped for concurrent multi-tenant dispatch.
+///
+/// Dispatch methods take `&self` and run under the outer read lock;
+/// [`with`](Self::with) grants the exclusive access settlement and
+/// registration need. Share between threads with `Arc` (the transport's
+/// [`SharedEcovisor`](crate::transport::SharedEcovisor) alias).
+pub struct ShardedEcovisor {
+    inner: RwLock<Ecovisor>,
+}
+
+impl std::fmt::Debug for ShardedEcovisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEcovisor").finish_non_exhaustive()
+    }
+}
+
+impl ShardedEcovisor {
+    /// Wraps an ecovisor for shared use.
+    pub fn new(eco: Ecovisor) -> Self {
+        Self {
+            inner: RwLock::new(eco),
+        }
+    }
+
+    /// Executes a request batch under the outer read lock: concurrent
+    /// with every other dispatch, excluded only by settlement. See
+    /// [`Ecovisor::dispatch_batch`] for the per-shard locking.
+    pub fn dispatch_batch(&self, batch: &RequestBatch) -> ResponseBatch {
+        lock::read(&self.inner).dispatch_batch(batch)
+    }
+
+    /// Executes one read-only request under the outer read lock.
+    pub fn dispatch_query(&self, app: AppId, request: &EnergyRequest) -> EnergyResponse {
+        lock::read(&self.inner).dispatch_query(app, request)
+    }
+
+    /// Runs `f` with exclusive access — the **settlement barrier**. The
+    /// driver loop uses this for `begin_tick`/`settle_tick`/
+    /// `advance_clock`, registration, and trace extraction; all dispatch
+    /// quiesces for the duration.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Ecovisor) -> R) -> R {
+        f(&mut lock::write(&self.inner))
+    }
+
+    /// Runs `f` with shared access, concurrent with dispatch (e.g. for
+    /// telemetry reads mid-run).
+    pub fn read<R>(&self, f: impl FnOnce(&Ecovisor) -> R) -> R {
+        f(&lock::read(&self.inner))
+    }
+
+    /// Advances one full tick — `begin_tick`, `settle_tick`,
+    /// `advance_clock` — under the settlement barrier, returning the
+    /// settled system flows.
+    pub fn tick(&self) -> SystemFlows {
+        self.with(|eco| {
+            eco.begin_tick();
+            let flows = eco.settle_tick();
+            eco.advance_clock();
+            flows
+        })
+    }
+
+    /// Unwraps the inner ecovisor.
+    pub fn into_inner(self) -> Ecovisor {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}

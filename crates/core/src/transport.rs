@@ -58,15 +58,54 @@
 //!
 //! The server accepts connections on a background thread and serves each
 //! connection on its own thread; all of them dispatch into one shared
-//! `Arc<Mutex<Ecovisor>>`. The driver loop (whoever ticks the
-//! simulation) locks the same handle between batches — settlement is the
-//! only cross-tenant barrier, which matches the in-process semantics.
+//! [`ShardedEcovisor`] (an `Arc<ShardedEcovisor>` — the
+//! [`SharedEcovisor`] alias). Per-app state is sharded behind its own
+//! lock, so batches from different tenants — and query-only batches from
+//! the *same* tenant — execute in parallel rather than serializing on a
+//! global mutex. The driver loop (whoever ticks the simulation) calls
+//! [`ShardedEcovisor::with`] / [`ShardedEcovisor::tick`] between
+//! batches; that settlement barrier is the only cross-tenant
+//! synchronization, which matches the in-process semantics (see
+//! [`crate::shard`]).
+//!
+//! A connection that fails mid-frame (peer crash, network drop) is
+//! logged to stderr and its serving thread exits; the accept loop and
+//! [`ServerHandle::active_connections`] reap finished threads, so a
+//! long-lived server never accumulates dead connections.
+//!
+//! ## Example
+//!
+//! Serve an ecovisor on loopback and drive it remotely — the client
+//! speaks the same [`EnergyClient`] methods as the in-process handle:
+//!
+//! ```
+//! use ecovisor::{EcovisorBuilder, EcovisorServer, EnergyClient, EnergyShare,
+//!                RemoteEcovisorClient, WireCodec};
+//! use simkit::units::Watts;
+//!
+//! let mut eco = EcovisorBuilder::new().build();
+//! let app = eco.register_app("tenant", EnergyShare::grid_only()).unwrap();
+//!
+//! let server = EcovisorServer::bind("127.0.0.1:0", eco).unwrap();
+//! let handle = server.spawn().unwrap();
+//!
+//! let mut api = RemoteEcovisorClient::connect(handle.addr(), app).unwrap();
+//! assert_eq!(api.codec(), WireCodec::Binary); // negotiated in the hello
+//! assert_eq!(api.get_grid_power(), Watts::ZERO);
+//!
+//! // The driver ticks settlement between batches; queries from live
+//! // connections run in parallel against the shared sharded ecovisor.
+//! handle.ecovisor().tick();
+//!
+//! drop(api);
+//! handle.shutdown();
+//! ```
 //!
 //! [`ProtocolTrace`]: crate::dispatch::ProtocolTrace
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -78,6 +117,7 @@ use crate::ecovisor::Ecovisor;
 use crate::proto::{
     EnergyRequest, EnergyResponse, ProtoError, RequestBatch, ResponseBatch, PROTOCOL_VERSION,
 };
+use crate::shard::ShardedEcovisor;
 
 /// Upper bound on a single frame's payload, so a hostile peer cannot make
 /// the read side allocate unboundedly.
@@ -206,16 +246,10 @@ fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
 // Server
 // ----------------------------------------------------------------------
 
-/// An ecovisor shared between the transport threads and the driver loop.
-pub type SharedEcovisor = Arc<Mutex<Ecovisor>>;
-
-/// Locks a shared ecovisor, recovering from a poisoned mutex (a panicked
-/// connection thread must not wedge every other tenant).
-fn lock(shared: &SharedEcovisor) -> std::sync::MutexGuard<'_, Ecovisor> {
-    shared
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+/// An ecovisor shared between the transport threads and the driver loop:
+/// per-app shards dispatch in parallel, settlement quiesces them (see
+/// [`ShardedEcovisor`]).
+pub type SharedEcovisor = Arc<ShardedEcovisor>;
 
 /// A TCP server answering protocol batches against one shared ecovisor.
 ///
@@ -245,7 +279,7 @@ impl EcovisorServer {
     pub fn bind(addr: impl ToSocketAddrs, eco: Ecovisor) -> io::Result<Self> {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
-            shared: Arc::new(Mutex::new(eco)),
+            shared: Arc::new(ShardedEcovisor::new(eco)),
         })
     }
 
@@ -274,10 +308,12 @@ impl EcovisorServer {
         let shared = Arc::clone(&self.shared);
         let stop = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<Vec<Connection>>> = Arc::new(Mutex::new(Vec::new()));
+        let active = Arc::new(AtomicUsize::new(0));
         let accept = {
             let shared = Arc::clone(&self.shared);
             let stop = Arc::clone(&stop);
             let connections = Arc::clone(&connections);
+            let active = Arc::clone(&active);
             std::thread::spawn(move || {
                 for stream in self.listener.incoming() {
                     if stop.load(Ordering::SeqCst) {
@@ -287,11 +323,31 @@ impl EcovisorServer {
                     // Keep a second handle to the socket so shutdown can
                     // unblock a thread parked in read_frame.
                     let socket = stream.try_clone().ok();
+                    let peer = stream.peer_addr().ok();
                     let shared = Arc::clone(&shared);
+                    let active_in = Arc::clone(&active);
+                    active.fetch_add(1, Ordering::SeqCst);
                     let thread = std::thread::spawn(move || {
-                        let _ = EcovisorServer::serve_connection(stream, &shared);
+                        // Decrement on every exit path, panics included,
+                        // so `active_connections` always drains to zero.
+                        struct Departure(Arc<AtomicUsize>);
+                        impl Drop for Departure {
+                            fn drop(&mut self) {
+                                self.0.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                        let _departure = Departure(active_in);
+                        if let Err(e) = EcovisorServer::serve_connection(stream, &shared) {
+                            // A peer that vanishes mid-frame is routine
+                            // on a long-lived server: log it and let the
+                            // thread exit so the handle can be reaped.
+                            let peer = peer
+                                .map(|p| p.to_string())
+                                .unwrap_or_else(|| "<unknown>".into());
+                            eprintln!("ecovisor transport: connection from {peer} failed: {e}");
+                        }
                     });
-                    let mut conns = connections.lock().unwrap_or_else(|p| p.into_inner());
+                    let mut conns = crate::lock::lock(&connections);
                     // Reap finished connections so a long-lived server
                     // does not accumulate one fd + join handle per
                     // short-lived client (dropping a finished thread's
@@ -307,6 +363,7 @@ impl EcovisorServer {
             stop,
             accept: Some(accept),
             connections,
+            active,
         })
     }
 
@@ -386,7 +443,10 @@ impl EcovisorServer {
                         batch.requests.len()
                     ],
                 },
-                Ok(batch) => lock(shared).dispatch_batch(&batch),
+                // Sharded dispatch: no global lock — this thread
+                // contends only with traffic to the same app's shard
+                // (and with the driver's settlement barrier).
+                Ok(batch) => shared.dispatch_batch(&batch),
                 // An undecodable frame means framing may be out of
                 // sync; the server cannot know how many requests the
                 // batch held, so any reply would break the
@@ -416,6 +476,7 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<Connection>>>,
+    active: Arc<AtomicUsize>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -437,6 +498,17 @@ impl ServerHandle {
         Arc::clone(&self.shared)
     }
 
+    /// Number of connections currently being served. A client that
+    /// disconnects (cleanly or mid-frame) drops off this count as soon
+    /// as its serving thread exits; calling this also reaps finished
+    /// join handles from the connection registry.
+    pub fn active_connections(&self) -> usize {
+        let mut conns = crate::lock::lock(&self.connections);
+        conns.retain(|c| !c.thread.is_finished());
+        drop(conns);
+        self.active.load(Ordering::SeqCst)
+    }
+
     /// Stops accepting, disconnects any live clients, joins all server
     /// threads, and returns the shared ecovisor (sole ownership can be
     /// reclaimed with `Arc::try_unwrap` once all clients are dropped).
@@ -447,8 +519,7 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        let connections =
-            std::mem::take(&mut *self.connections.lock().unwrap_or_else(|p| p.into_inner()));
+        let connections = std::mem::take(&mut *crate::lock::lock(&self.connections));
         for conn in connections {
             // Close the socket first so a thread parked in read_frame
             // observes EOF instead of blocking the join forever.

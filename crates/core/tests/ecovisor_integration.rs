@@ -488,7 +488,7 @@ fn aggregate_discharge_throttled_to_physical_limit() {
     // Each app draws 3.65 W from its battery; aggregate 7.3 W < 100 W
     // limit, so no throttling: demand is fully battery-served (no grid).
     for id in sim.app_ids() {
-        let flows = *sim.eco().app_flows(id).unwrap();
+        let flows = sim.eco().app_flows(id).unwrap();
         assert_eq!(flows.grid_to_load, Watts::ZERO, "app {id}: {flows:?}");
         assert!((flows.battery_to_load.watts() - 3.65).abs() < 1e-9);
     }

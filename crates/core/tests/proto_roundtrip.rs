@@ -288,7 +288,7 @@ fn recorded_traffic_replays_onto_a_twin() {
     let share = EnergyShare::grid_only().with_battery(WattHours::new(360.0));
     let app = sim.add_app("busy", share, Box::new(Busy)).unwrap();
     sim.run_ticks(8);
-    let live_totals = *sim.eco().app_totals(app).unwrap();
+    let live_totals = sim.eco().app_totals(app).unwrap();
     let trace = sim.eco_mut().take_protocol_trace().expect("recording");
     assert!(trace.request_count() > 0);
 
@@ -317,7 +317,7 @@ fn recorded_traffic_replays_onto_a_twin() {
     }
     // Registration-time traffic (tick 0) plus per-tick batches all landed:
     assert!(entries.next().is_none(), "all recorded batches consumed");
-    assert_eq!(twin.app_totals(app).unwrap(), &live_totals);
+    assert_eq!(twin.app_totals(app).unwrap(), live_totals);
 }
 
 // ----------------------------------------------------------------------
@@ -436,21 +436,20 @@ mod transport {
                 let _ = client_b.get_app_power();
                 client_a.flush();
                 client_b.flush();
-                // The driver loop ticks settlement between batches.
-                let mut eco = shared.lock().expect("lock");
-                eco.begin_tick();
-                eco.settle_tick();
-                eco.advance_clock();
+                // The driver loop ticks settlement between batches
+                // (the settlement barrier quiesces both connections).
+                shared.tick();
             }
             // Clients drop here, flushing anything queued.
         }
 
         let shared = handle.shutdown();
-        let mut eco = shared.lock().expect("lock");
-        let ta = *eco.app_totals(a).expect("totals a");
-        let tb = *eco.app_totals(b).expect("totals b");
-        let trace = eco.take_protocol_trace().expect("recording");
-        (ta, tb, trace)
+        shared.with(|eco| {
+            let ta = eco.app_totals(a).expect("totals a");
+            let tb = eco.app_totals(b).expect("totals b");
+            let trace = eco.take_protocol_trace().expect("recording");
+            (ta, tb, trace)
+        })
     }
 
     #[test]
@@ -486,8 +485,8 @@ mod transport {
                 twin.advance_clock();
             }
             assert!(entries.next().is_none(), "all recorded batches consumed");
-            assert_eq!(twin.app_totals(a).expect("twin a"), &ta, "{codec:?}");
-            assert_eq!(twin.app_totals(b).expect("twin b"), &tb, "{codec:?}");
+            assert_eq!(twin.app_totals(a).expect("twin a"), ta, "{codec:?}");
+            assert_eq!(twin.app_totals(b).expect("twin b"), tb, "{codec:?}");
         }
     }
 
@@ -566,8 +565,9 @@ mod transport {
 
         // The victim's container is untouched.
         let shared = handle.shutdown();
-        let eco = shared.lock().expect("lock");
-        assert_eq!(eco.cop().running_count(a), 1, "victim container survives");
+        shared.read(|eco| {
+            assert_eq!(eco.cop().running_count(a), 1, "victim container survives");
+        });
     }
 
     #[test]

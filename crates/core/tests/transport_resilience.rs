@@ -1,0 +1,94 @@
+//! Transport error-path regressions: clients that vanish mid-frame must
+//! be logged and reaped, never left parking a server thread.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use ecovisor::proto::PROTOCOL_VERSION;
+use ecovisor::{
+    ClientHello, EcovisorBuilder, EcovisorServer, EnergyClient, EnergyShare, RemoteEcovisorClient,
+    WireCodec,
+};
+use simkit::units::Watts;
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+/// A client that promises a 64-byte frame, sends 10 bytes, and drops the
+/// connection: the serving thread must observe the I/O error, exit, and
+/// be reaped — and the server must keep serving everyone else.
+#[test]
+fn disconnect_mid_frame_reaps_the_connection_thread() {
+    let mut eco = EcovisorBuilder::new().build();
+    let app = eco
+        .register_app("tenant", EnergyShare::grid_only())
+        .expect("register");
+    let server = EcovisorServer::bind("127.0.0.1:0", eco).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.spawn().expect("spawn");
+
+    // A healthy client, connected for the whole test.
+    let mut healthy = RemoteEcovisorClient::connect(addr, app).expect("connect healthy");
+    assert_eq!(healthy.get_grid_power(), Watts::ZERO);
+    assert!(
+        wait_until(Duration::from_secs(2), || handle.active_connections() == 1),
+        "healthy connection counted"
+    );
+
+    // The vanishing client: valid hello, then a truncated frame.
+    let stream = {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect raw");
+        let hello = ClientHello {
+            version: PROTOCOL_VERSION,
+            app,
+            codecs: vec![WireCodec::Json],
+        };
+        let payload = WireCodec::Json.encode(&hello);
+        stream
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .expect("hello len");
+        stream.write_all(&payload).expect("hello payload");
+        // Promise 64 bytes, deliver 10, vanish.
+        stream.write_all(&64u32.to_le_bytes()).expect("frame len");
+        stream.write_all(&[0u8; 10]).expect("partial payload");
+        stream
+    };
+    // Prove the connection was accepted and counted *before* asserting
+    // it drains — otherwise the drain assertion could pass vacuously if
+    // the accept loop had not even seen the socket yet.
+    assert!(
+        wait_until(Duration::from_secs(5), || handle.active_connections() == 2),
+        "vanishing connection must be counted while still alive"
+    );
+    drop(stream); // closes the socket mid-frame
+
+    // The dead connection's thread exits and is reaped; only the healthy
+    // connection remains.
+    assert!(
+        wait_until(Duration::from_secs(5), || handle.active_connections() == 1),
+        "mid-frame disconnect must drain from the active-connection count, got {}",
+        handle.active_connections()
+    );
+
+    // The server is still fully serviceable: the surviving client and a
+    // brand-new one both round-trip.
+    assert_eq!(healthy.get_grid_power(), Watts::ZERO);
+    let mut late = RemoteEcovisorClient::connect(addr, app).expect("connect after the crash");
+    assert_eq!(late.get_grid_power(), Watts::ZERO);
+
+    drop(healthy);
+    drop(late);
+    assert!(
+        wait_until(Duration::from_secs(5), || handle.active_connections() == 0),
+        "clean disconnects drain to zero"
+    );
+    handle.shutdown();
+}

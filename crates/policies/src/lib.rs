@@ -21,7 +21,7 @@
 //! * [`arbitrage`] — a carbon-arbitrage battery policy (charge when the
 //!   grid is clean, discharge when dirty), the §3.1 use-case the paper
 //!   describes but never evaluates; used by the ablation benches.
-//! * [`shared`] — interior-mutable stat handles experiments use to pull
+//! * [`mod@shared`] — interior-mutable stat handles experiments use to pull
 //!   per-app results (runtime, SLO violations) out of the simulation.
 
 #![forbid(unsafe_code)]

@@ -2,7 +2,7 @@
 //! caps, and replica-based straggler mitigation.
 //!
 //! The job runs on solar power alone ("without any battery capacity");
-//! the application "explicitly allocate[s] their limited solar power
+//! the application "explicitly allocate\[s\] their limited solar power
 //! across a set of containers, e.g., such that the sum of containers'
 //! power caps does not exceed the supply of solar power". The system
 //! policy splits the budget evenly; the dynamic policy gives each node

@@ -7,8 +7,8 @@
 //!
 //! Dimensional arithmetic is enforced by the type system:
 //!
-//! * [`Watts`] × [`SimDuration`](crate::time::SimDuration) → [`WattHours`]
-//! * [`WattHours`] ÷ [`SimDuration`](crate::time::SimDuration) → [`Watts`]
+//! * [`Watts`] × [`SimDuration`] → [`WattHours`]
+//! * [`WattHours`] ÷ [`SimDuration`] → [`Watts`]
 //! * [`WattHours`] × [`CarbonIntensity`] → [`Co2Grams`]
 
 use std::fmt;

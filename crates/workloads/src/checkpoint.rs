@@ -1,6 +1,6 @@
 //! Durable checkpoint store (HDFS stand-in).
 //!
-//! The §5.3 Spark job "checkpoint[s] completed operations in the Hadoop
+//! The §5.3 Spark job "checkpoint\[s\] completed operations in the Hadoop
 //! Distributed File System (HDFS)" so that overnight shutdowns only lose
 //! uncommitted in-memory work. [`CheckpointStore`] models the durable
 //! side: append-only snapshots of committed progress.

@@ -1,6 +1,6 @@
 //! The §5.1 machine-learning training application.
 //!
-//! Stands in for "PyTorch ... train[ing] a Resnet34 model on the CIFAR100
+//! Stands in for "PyTorch ... train\[ing\] a Resnet34 model on the CIFAR100
 //! dataset for five epochs". What Fig. 4a depends on is the job's scaling
 //! behaviour: synchronization delays make scaling past 2× barely
 //! worthwhile ("Wait&Scale (3×) increases carbon emissions by 14.94% ...

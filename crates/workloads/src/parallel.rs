@@ -1,9 +1,9 @@
 //! Synthetic parallel job with barrier phases, I/O idleness, and
 //! stragglers (§5.4).
 //!
-//! The paper's last case study deploys "a synthetic parallel job [that]
+//! The paper's last case study deploys "a synthetic parallel job \[that\]
 //! periodically synchronizes across tasks and performs I/O", plus a
-//! configuration that "perform[s] straggler mitigation by tracking the
+//! configuration that "perform\[s\] straggler mitigation by tracking the
 //! progress of each task, issuing a new replica for any slow task" with
 //! stragglers injected randomly. This model captures the structure those
 //! experiments depend on:

@@ -109,20 +109,16 @@ fn main() {
     // hanging the driver) ---
     let shared = handle.ecovisor();
     while !done.load(std::sync::atomic::Ordering::SeqCst) && !app_thread.is_finished() {
-        {
-            let mut eco = shared.lock().expect("lock");
-            eco.begin_tick();
-            eco.settle_tick();
-            eco.advance_clock();
-        }
+        // The settlement barrier: dispatch from the application's
+        // connection quiesces for exactly this call.
+        shared.tick();
         // Give the application's round trips time to interleave.
         thread::sleep(std::time::Duration::from_micros(200));
     }
 
     app_thread.join().expect("application thread");
     let shared = handle.shutdown();
-    let eco = shared.lock().expect("lock");
-    let totals = eco.app_totals(app).expect("totals");
+    let totals = shared.read(|eco| eco.app_totals(app).expect("totals"));
     // Slightly ahead of the application's last query: the free-running
     // driver settles a few more ticks before shutdown.
     println!(

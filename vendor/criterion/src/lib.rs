@@ -7,6 +7,14 @@
 //! criterion's statistical machinery. Each benchmark runs a short warm-up
 //! then measures enough iterations to fill the measurement budget, and
 //! prints mean ns/iter to stdout.
+//!
+//! ## Smoke mode
+//!
+//! Setting `CRITERION_SMOKE=1` in the environment zeroes the warm-up and
+//! measurement budgets, so every benchmark executes exactly one
+//! iteration. CI runs the whole bench suite this way to catch bit-rot
+//! (a bench that no longer compiles or panics) without paying for real
+//! measurements; the printed timings are meaningless in this mode.
 
 #![forbid(unsafe_code)]
 
@@ -64,12 +72,25 @@ struct Settings {
 
 impl Default for Settings {
     fn default() -> Self {
+        if smoke_mode() {
+            return Self {
+                warm_up: Duration::ZERO,
+                measurement: Duration::ZERO,
+                sample_size: 1,
+            };
+        }
         Self {
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_secs(2),
             sample_size: 50,
         }
     }
+}
+
+/// `true` when `CRITERION_SMOKE=1`: run each bench for a single
+/// iteration (CI bit-rot check), not a real measurement.
+fn smoke_mode() -> bool {
+    std::env::var("CRITERION_SMOKE").is_ok_and(|v| v == "1")
 }
 
 /// The benchmark driver.
@@ -105,21 +126,27 @@ pub struct BenchmarkGroup<'a> {
 
 impl BenchmarkGroup<'_> {
     /// Sets the target number of samples (compatibility; used as an upper
-    /// bound on measured iterations).
+    /// bound on measured iterations). Ignored in smoke mode.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.settings.sample_size = n;
+        if !smoke_mode() {
+            self.settings.sample_size = n;
+        }
         self
     }
 
-    /// Sets the warm-up duration.
+    /// Sets the warm-up duration. Ignored in smoke mode.
     pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
-        self.settings.warm_up = d;
+        if !smoke_mode() {
+            self.settings.warm_up = d;
+        }
         self
     }
 
-    /// Sets the measurement budget.
+    /// Sets the measurement budget. Ignored in smoke mode.
     pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
-        self.settings.measurement = d;
+        if !smoke_mode() {
+            self.settings.measurement = d;
+        }
         self
     }
 

@@ -1,4 +1,4 @@
-//! Compact binary wire codec for [`Value`](crate::Value).
+//! Compact binary wire codec for [`Value`].
 //!
 //! The JSON codec ([`crate::json`]) is self-describing but pays for it:
 //! floats render through shortest-round-trip formatting and parse back
@@ -26,12 +26,44 @@
 //! [`MAX_DEPTH`], truncated or over-long payloads are error values, and
 //! claimed collection sizes never pre-allocate more than the remaining
 //! input could hold.
+//!
+//! A worked byte-level example of a full protocol batch in this format
+//! lives in the ecovisor repo's `docs/PROTOCOL.md` (§5.2).
+//!
+//! ## Example
+//!
+//! ```
+//! use serde::Value;
+//!
+//! // Derived types round-trip through the same Value tree both codecs
+//! // share; here we encode a Value directly to see the bytes.
+//! let v = Value::Map(vec![("power".into(), Value::Float(80.0))]);
+//! let mut bytes = Vec::new();
+//! serde::binary::encode(&v, &mut bytes);
+//! assert_eq!(
+//!     bytes,
+//!     [
+//!         0x08, 0x01,                          // Map, 1 entry
+//!         0x05, b'p', b'o', b'w', b'e', b'r',  // key: varint len 5 + UTF-8
+//!         0x05,                                // Float tag
+//!         0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x54, 0x40, // 80.0 as LE f64
+//!     ]
+//! );
+//! assert_eq!(serde::binary::decode(&bytes).unwrap(), v);
+//!
+//! // Or end to end through any Serialize/Deserialize type (integers
+//! // travel as zigzag varints: 1 → 2, 128 → 256 → bytes 0x80 0x02):
+//! let wire = serde::binary::to_bytes(&vec![1u64, 128]);
+//! assert_eq!(wire, [0x07, 0x02, 0x03, 0x02, 0x03, 0x80, 0x02]);
+//! let back: Vec<u64> = serde::binary::from_bytes(&wire).unwrap();
+//! assert_eq!(back, [1, 128]);
+//! ```
 
 use crate::{Deserialize, Error, Serialize, Value};
 
 /// Maximum container nesting accepted by the decoder (mirrors the JSON
 /// parser's bound, so both wire codecs fail hostile nesting identically).
-const MAX_DEPTH: u32 = 128;
+pub const MAX_DEPTH: u32 = 128;
 
 /// Serializes any value to its binary wire form.
 pub fn to_bytes<T: Serialize + ?Sized>(t: &T) -> Vec<u8> {

@@ -1,7 +1,7 @@
-//! JSON wire codec for [`Value`](crate::Value).
+//! JSON wire codec for [`Value`].
 //!
 //! This is the concrete byte format of the ecovisor protocol: every
-//! [`Serialize`](crate::Serialize) type renders to a JSON string via
+//! [`Serialize`] type renders to a JSON string via
 //! [`to_string`] and parses back via [`from_str`]. Integers keep full
 //! `u64`/`i64` precision; floats are rendered with Rust's shortest
 //! round-trip formatting. JSON has no encoding for non-finite floats, so
@@ -32,7 +32,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
 /// `"[".repeat(1 << 20)`) returns an error value instead of overflowing
 /// the stack — the protocol's failures-are-values promise extends to
 /// the codec.
-const MAX_DEPTH: u32 = 128;
+pub const MAX_DEPTH: u32 = 128;
 
 /// Parses JSON text into a [`Value`] tree.
 ///
