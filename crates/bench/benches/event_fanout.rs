@@ -1,0 +1,81 @@
+//! Event push fan-out: the cost one settlement pays to broadcast its
+//! event frames to subscribed remote connections.
+//!
+//! A real loopback [`EcovisorServer`] with 1 / 4 / 16 subscribed v2
+//! connections; the carbon trace alternates clean/dirty every tick, so
+//! **every settlement generates a `CarbonChange` upcall** and the
+//! broadcast hook encodes + writes one event frame per subscriber per
+//! tick. The measured routine is `ShardedEcovisor::tick()` — settlement
+//! plus broadcast — so the per-subscriber marginal cost is the gap
+//! between the rows. Each client runs a drainer thread (`recv_event`)
+//! so socket buffers never fill and the numbers measure the push path,
+//! not kernel backpressure.
+//!
+//! Committed baseline: `BENCH_event_fanout.json` in the crate root.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use carbon_intel::service::TraceCarbonService;
+use ecovisor::{
+    EcovisorBuilder, EcovisorServer, EnergyClient, EnergyShare, EventFilter, RemoteEcovisorClient,
+};
+use simkit::time::SimDuration;
+use simkit::trace::{Extend, Trace};
+use simkit::units::WattHours;
+
+const SUBSCRIBERS: [usize; 3] = [1, 4, 16];
+
+fn bench_event_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_fanout");
+    for &n in &SUBSCRIBERS {
+        let dt = SimDuration::from_minutes(1);
+        // Clean/dirty alternation each tick: the default 15 % carbon
+        // threshold fires on every settlement.
+        let carbon = Trace::from_samples(vec![100.0, 400.0], dt).with_extend(Extend::Cycle);
+        let mut eco = EcovisorBuilder::new()
+            .tick_interval(dt)
+            .carbon(Box::new(TraceCarbonService::new("alternating", carbon)))
+            .build();
+        let app = eco
+            .register_app(
+                "fanout",
+                EnergyShare::grid_only().with_battery(WattHours::new(60.0)),
+            )
+            .expect("register");
+        let server = EcovisorServer::bind("127.0.0.1:0", eco).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.spawn().expect("spawn");
+        let shared = handle.ecovisor();
+
+        let drainers: Vec<_> = (0..n)
+            .map(|_| {
+                let mut client = RemoteEcovisorClient::connect(addr, app).expect("connect");
+                client
+                    .subscribe_events(EventFilter::all())
+                    .expect("subscribe");
+                std::thread::spawn(move || {
+                    // Drain pushed frames until the server closes the
+                    // connection at shutdown.
+                    while client.recv_event().is_ok() {}
+                })
+            })
+            .collect();
+        // Let every subscription land before measuring.
+        std::thread::sleep(Duration::from_millis(10));
+
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(shared.tick()))
+        });
+
+        handle.shutdown();
+        for d in drainers {
+            let _ = d.join();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(event_fanout, bench_event_fanout);
+criterion_main!(event_fanout);

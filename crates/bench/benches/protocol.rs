@@ -2,15 +2,18 @@
 //! [`Ecovisor::dispatch_batch`] at batch sizes 1, 32, and 256, for a
 //! query-only workload, a command-heavy workload, and the serialized
 //! wire paths — JSON (`dispatch_wire_batch`) and the binary codec the
-//! transport negotiates by default (`dispatch_wire_binary`). Future perf
-//! PRs regress against these numbers; `BENCH_protocol.json` in the crate
-//! root holds the committed baseline.
+//! transport negotiates by default (`dispatch_wire_binary`). The wire
+//! paths measure the **v2 duplex framing**: decode a `Frame::Request`,
+//! dispatch, encode a `Frame::Response` — exactly what the server pays
+//! per round trip on a v2 connection. Future perf PRs regress against
+//! these numbers; `BENCH_protocol.json` in the crate root holds the
+//! committed baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use carbon_intel::service::TraceCarbonService;
 use container_cop::{AppId, ContainerId, ContainerSpec, CopConfig};
-use ecovisor::proto::{EnergyRequest, RequestBatch};
+use ecovisor::proto::{EnergyRequest, Frame, RequestBatch};
 use ecovisor::{Ecovisor, EcovisorBuilder, EnergyClient, EnergyShare};
 use simkit::time::SimTime;
 use simkit::trace::Trace;
@@ -115,38 +118,44 @@ fn bench_command_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
-/// The full JSON wire path: parse the request batch, dispatch, serialize
-/// the response batch — what a remote transport pays per round trip on
-/// the fallback codec.
+/// The full JSON wire path under v2 framing: parse the `Frame::Request`,
+/// dispatch, serialize the `Frame::Response` — what a remote transport
+/// pays per round trip on the fallback codec.
 fn bench_wire_dispatch(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_wire_batch");
     for &n in &BATCH_SIZES {
         let (eco, app, container) = dispatch_fixture();
-        let wire = serde::json::to_string(&query_batch(app, container, n));
+        let wire = serde::json::to_string(&Frame::Request(query_batch(app, container, n)));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let batch: RequestBatch = serde::json::from_str(&wire).expect("parse");
+                let frame: Frame = serde::json::from_str(&wire).expect("parse");
+                let Frame::Request(batch) = frame else {
+                    unreachable!("encoded a request frame")
+                };
                 let resp = eco.dispatch_batch(&batch);
-                std::hint::black_box(serde::json::to_string(&resp))
+                std::hint::black_box(serde::json::to_string(&Frame::Response(resp)))
             })
         });
     }
     group.finish();
 }
 
-/// The full binary wire path over the same batches — the codec the
-/// transport negotiates by default. The gap against `dispatch_wire_batch`
-/// is the win codec negotiation buys.
+/// The full binary wire path over the same framed batches — the codec
+/// the transport negotiates by default. The gap against
+/// `dispatch_wire_batch` is the win codec negotiation buys.
 fn bench_wire_binary(c: &mut Criterion) {
     let mut group = c.benchmark_group("dispatch_wire_binary");
     for &n in &BATCH_SIZES {
         let (eco, app, container) = dispatch_fixture();
-        let wire = serde::binary::to_bytes(&query_batch(app, container, n));
+        let wire = serde::binary::to_bytes(&Frame::Request(query_batch(app, container, n)));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let batch: RequestBatch = serde::binary::from_bytes(&wire).expect("parse");
+                let frame: Frame = serde::binary::from_bytes(&wire).expect("parse");
+                let Frame::Request(batch) = frame else {
+                    unreachable!("encoded a request frame")
+                };
                 let resp = eco.dispatch_batch(&batch);
-                std::hint::black_box(serde::binary::to_bytes(&resp))
+                std::hint::black_box(serde::binary::to_bytes(&Frame::Response(resp)))
             })
         });
     }

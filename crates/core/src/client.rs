@@ -36,7 +36,15 @@ use simkit::units::{CarbonIntensity, CarbonRate, Co2Grams, WattHours, Watts};
 
 use crate::ecovisor::Ecovisor;
 use crate::error::Result;
-use crate::proto::{EnergyRequest, EnergyResponse, RequestBatch, ResponseBatch};
+use crate::event::{EventFilter, Notification};
+use crate::proto::{EnergyRequest, EnergyResponse, EventFrame, RequestBatch, ResponseBatch};
+
+/// Callback invoked for each delivered [`EventFrame`] — the *push* half
+/// of the event surface. Both the in-process and the remote client
+/// accept one (`set_event_handler`); the remote client fires it as
+/// pushed frames arrive off the wire, the in-process client as drains
+/// deliver.
+pub type EventHandler = Box<dyn FnMut(&EventFrame) + Send>;
 
 /// The shared Table 1 / Table 2 method surface over any batch transport.
 ///
@@ -64,6 +72,25 @@ pub trait EnergyClient {
     #[doc(hidden)]
     fn transport(&mut self, batch: RequestBatch) -> ResponseBatch;
 
+    /// The protocol version this client stamps on its batches. The
+    /// in-process client always speaks the current version; the remote
+    /// client speaks whatever its connection negotiated, so a
+    /// v1-negotiated client emits v1 envelopes and v2-only requests come
+    /// back as per-request version errors.
+    fn protocol_version(&self) -> u16 {
+        crate::proto::PROTOCOL_VERSION
+    }
+
+    /// Builds the envelope for a batch of requests.
+    #[doc(hidden)]
+    fn envelope(&self, requests: Vec<EnergyRequest>) -> RequestBatch {
+        RequestBatch {
+            version: self.protocol_version(),
+            app: self.app_id(),
+            requests,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Batch plumbing
     // ------------------------------------------------------------------
@@ -78,7 +105,7 @@ pub trait EnergyClient {
     /// protocol directly.
     fn send(&mut self, requests: Vec<EnergyRequest>) -> Vec<EnergyResponse> {
         self.flush();
-        let batch = RequestBatch::new(self.app_id(), requests);
+        let batch = self.envelope(requests);
         self.transport(batch).responses
     }
 
@@ -95,7 +122,7 @@ pub trait EnergyClient {
         }
         let requests = std::mem::take(self.pending_mut());
         let n = requests.len();
-        let batch = RequestBatch::new(self.app_id(), requests);
+        let batch = self.envelope(requests);
         let _ = self.transport(batch);
         n
     }
@@ -113,7 +140,7 @@ pub trait EnergyClient {
     fn exec(&mut self, request: EnergyRequest) -> EnergyResponse {
         self.pending_mut().push(request);
         let requests = std::mem::take(self.pending_mut());
-        let batch = RequestBatch::new(self.app_id(), requests);
+        let batch = self.envelope(requests);
         let mut responses = self.transport(batch).responses;
         responses.pop().expect("one response per request")
     }
@@ -391,6 +418,46 @@ pub trait EnergyClient {
         self.exec(EnergyRequest::GetRemainingCarbonBudget)
             .expect_budget()
     }
+
+    // ------------------------------------------------------------------
+    // Table 2 asynchronous notifications
+    // ------------------------------------------------------------------
+
+    /// Drains the app's pending notifications through the protocol
+    /// (`PollEvents`). The pull half of the event surface, available on
+    /// every transport and protocol version.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces transport failures (a dead remote connection) as error
+    /// values, like every other protocol call.
+    fn poll_events(&mut self) -> Result<Vec<Notification>> {
+        self.exec(EnergyRequest::PollEvents).events()
+    }
+
+    /// Subscribes this client's *connection* to server-push event frames
+    /// filtered by `filter` (protocol v2). Over the in-process transport
+    /// this is acknowledged but delivery stays pull-based — call
+    /// [`events`](Self::events) each tick on either transport and the
+    /// observed notification sequence is identical.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::EcovisorError::Protocol`] when the connection negotiated
+    /// protocol v1 (push needs the v2 duplex wire); transport failures
+    /// as error values.
+    fn subscribe_events(&mut self, filter: EventFilter) -> Result<()> {
+        self.exec(EnergyRequest::SubscribeEvents { filter }).unit()
+    }
+
+    /// Drains every notification delivered or deliverable so far:
+    /// pushed frames already received (remote, subscribed) followed by a
+    /// poll of the server-side outbox. Infallible by design — on a dead
+    /// transport it returns what was already delivered — so policy loops
+    /// can call it unconditionally each tick.
+    fn events(&mut self) -> Vec<Notification> {
+        self.poll_events().unwrap_or_default()
+    }
 }
 
 /// The in-process batching protocol handle scoped to one application.
@@ -402,6 +469,7 @@ pub struct EcovisorClient<'a> {
     eco: &'a mut Ecovisor,
     app: AppId,
     queue: Vec<EnergyRequest>,
+    handler: Option<EventHandler>,
 }
 
 impl std::fmt::Debug for EcovisorClient<'_> {
@@ -419,7 +487,15 @@ impl<'a> EcovisorClient<'a> {
             eco,
             app,
             queue: Vec::new(),
+            handler: None,
         }
+    }
+
+    /// Installs a callback fired for each event frame this client
+    /// delivers (during [`EnergyClient::events`] drains). Mirrors the
+    /// remote client's handler, which fires on pushed frames.
+    pub fn set_event_handler(&mut self, handler: impl FnMut(&EventFrame) + Send + 'static) {
+        self.handler = Some(Box::new(handler));
     }
 }
 
@@ -438,6 +514,25 @@ impl EnergyClient for EcovisorClient<'_> {
 
     fn transport(&mut self, batch: RequestBatch) -> ResponseBatch {
         self.eco.dispatch_batch(&batch)
+    }
+
+    fn events(&mut self) -> Vec<Notification> {
+        let events = self.poll_events().unwrap_or_default();
+        if !events.is_empty() {
+            if let Some(handler) = self.handler.as_mut() {
+                // A drain-side frame, stamped with the tick the events
+                // are delivered in (push frames carry the settlement
+                // tick instead — delivery and settlement coincide there).
+                let frame = EventFrame {
+                    version: crate::proto::PROTOCOL_VERSION,
+                    app: self.app,
+                    tick: self.eco.tick_index(),
+                    events: events.clone(),
+                };
+                handler(&frame);
+            }
+        }
+        events
     }
 }
 

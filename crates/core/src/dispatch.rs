@@ -50,7 +50,8 @@ use simkit::units::{Co2Grams, WattHours};
 use crate::ecovisor::{AppState, Ecovisor};
 use crate::lock;
 use crate::proto::{
-    EnergyRequest, EnergyResponse, ProtoError, RequestBatch, ResponseBatch, PROTOCOL_VERSION,
+    EnergyRequest, EnergyResponse, EventFrame, ProtoError, RequestBatch, ResponseBatch,
+    PROTOCOL_VERSION, SUPPORTED_VERSIONS,
 };
 
 /// One recorded dispatch, stamped with the tick it executed in.
@@ -79,12 +80,24 @@ pub struct TraceEntry {
 pub struct ProtocolTrace {
     /// Entries in dispatch order.
     pub entries: Vec<TraceEntry>,
+    /// Event frames taken for push delivery
+    /// ([`Ecovisor::take_event_frame`]), in settlement order — the
+    /// *output* side of the duplex wire. Replay re-executes `entries`
+    /// only; a replaying driver that takes event frames at the same tick
+    /// cadence regenerates this sequence, so recorded push traffic is
+    /// reproducible (tested in `crates/core/tests/protocol_v2.rs`).
+    pub events: Vec<EventFrame>,
 }
 
 impl ProtocolTrace {
     /// Total number of requests across all entries.
     pub fn request_count(&self) -> usize {
         self.entries.iter().map(|e| e.batch.requests.len()).sum()
+    }
+
+    /// Total number of notifications across all recorded event frames.
+    pub fn event_count(&self) -> usize {
+        self.events.iter().map(|f| f.events.len()).sum()
     }
 }
 
@@ -97,7 +110,7 @@ impl Ecovisor {
     /// for query-only batches, write otherwise), so batches from
     /// different applications dispatch in parallel.
     pub fn dispatch_batch(&self, batch: &RequestBatch) -> ResponseBatch {
-        let responses = if batch.version != PROTOCOL_VERSION {
+        let responses = if !SUPPORTED_VERSIONS.contains(&batch.version) {
             self.record_trace(batch);
             vec![
                 EnergyResponse::Err(ProtoError::Version {
@@ -137,14 +150,15 @@ impl Ecovisor {
                     batch
                         .requests
                         .iter()
-                        .map(|req| {
-                            self.query_locked(
+                        .map(|req| match Self::version_gate(batch.version, req) {
+                            Some(err) => err,
+                            None => self.query_locked(
                                 &state,
                                 cop.as_deref(),
                                 tsdb.as_deref(),
                                 batch.app,
                                 req,
-                            )
+                            ),
                         })
                         .collect()
                 }
@@ -165,18 +179,42 @@ impl Ecovisor {
                     batch
                         .requests
                         .iter()
-                        .map(|req| {
-                            self.request_locked(&mut state, cop.as_deref_mut(), batch.app, req)
+                        .map(|req| match Self::version_gate(batch.version, req) {
+                            Some(err) => err,
+                            None => {
+                                self.request_locked(&mut state, cop.as_deref_mut(), batch.app, req)
+                            }
                         })
                         .collect()
                 }
             }
         };
         ResponseBatch {
-            version: PROTOCOL_VERSION,
+            // Echo a supported batch's version so a v1 peer gets v1
+            // envelopes back, byte-identical to the v1-only dispatcher.
+            // Unsupported versions are answered in the server's own
+            // version (the error payload names both).
+            version: if SUPPORTED_VERSIONS.contains(&batch.version) {
+                batch.version
+            } else {
+                PROTOCOL_VERSION
+            },
             app: batch.app,
             responses,
         }
+    }
+
+    /// A request that did not exist in the batch's (older, still
+    /// supported) protocol version is answered with a per-request
+    /// version error: the rest of the batch executes, so a mixed v1
+    /// batch degrades gracefully instead of failing wholesale.
+    fn version_gate(batch_version: u16, req: &EnergyRequest) -> Option<EnergyResponse> {
+        (batch_version < req.min_version()).then(|| {
+            EnergyResponse::Err(ProtoError::Version {
+                expected: req.min_version(),
+                got: batch_version,
+            })
+        })
     }
 
     /// Appends `batch` to the protocol trace, if tracing is on.
@@ -319,6 +357,15 @@ impl Ecovisor {
                 state.carbon_rate_limit = *rate;
                 EnergyResponse::Ok
             }
+            // The pull half of the Table 2 notification surface: drain
+            // the app's outbox under the shard write guard the batch
+            // already holds. Works in every protocol version.
+            PollEvents => EnergyResponse::Events(std::mem::take(&mut state.pending_events)),
+            // Subscription is a *connection* property: the transport
+            // layer interprets this request for the connection that sent
+            // it (see `crate::transport`); dispatch just acknowledges,
+            // so in-process and replayed batches stay arity-correct.
+            SubscribeEvents { .. } => EnergyResponse::Ok,
             SetCarbonBudget { budget } => {
                 state.carbon_budget = *budget;
                 // Clearing the budget or raising it above the carbon

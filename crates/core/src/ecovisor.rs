@@ -282,11 +282,69 @@ impl Ecovisor {
 
     /// Drains the notifications queued for an application (delivered at
     /// the start of its tick, before `on_tick`).
-    pub fn drain_events(&mut self, app: AppId) -> Vec<Notification> {
+    ///
+    /// Takes `&self`: the outbox lives in the app's shard, so draining
+    /// joins the dispatch surface — any holder of a shared ecovisor
+    /// (including the wire, via `PollEvents`) can consume events, not
+    /// just the exclusive driver. Delivery is destructive and
+    /// exactly-once: concurrent drains split the stream, they never
+    /// duplicate it.
+    pub fn drain_events(&self, app: AppId) -> Vec<Notification> {
         self.apps
-            .get_mut(&app)
-            .map(|s| std::mem::take(&mut lock::get_mut(s).pending_events))
+            .get(&app)
+            .map(|s| std::mem::take(&mut lock::write(s).pending_events))
             .unwrap_or_default()
+    }
+
+    /// Drains an application's outbox into a push-ready
+    /// [`EventFrame`](crate::proto::EventFrame), stamped with the
+    /// current (settlement) tick. `None` when no events are pending, so
+    /// subscribers only ever receive non-empty frames.
+    ///
+    /// When protocol tracing is enabled the frame is recorded into
+    /// [`ProtocolTrace::events`](crate::dispatch::ProtocolTrace), making
+    /// push traffic part of the replayable record of a run. The
+    /// transport's post-settlement broadcast hook is the canonical
+    /// caller (see [`crate::shard::ShardedEcovisor::on_settlement`]).
+    pub fn take_event_frame(&self, app: AppId) -> Option<crate::proto::EventFrame> {
+        self.take_event_frame_matching(app, &crate::event::EventFilter::all())
+    }
+
+    /// Like [`take_event_frame`](Self::take_event_frame), but consumes
+    /// **only** the events `filter` selects — the rest stay pending for
+    /// other consumers (`drain_events` / `PollEvents`). The broadcast
+    /// path calls this with the *union* of an app's subscriber filters,
+    /// so an event no subscriber wants is never destroyed undelivered.
+    pub fn take_event_frame_matching(
+        &self,
+        app: AppId,
+        filter: &crate::event::EventFilter,
+    ) -> Option<crate::proto::EventFrame> {
+        let shard = self.apps.get(&app)?;
+        let events = {
+            let mut state = lock::write(shard);
+            let (taken, kept): (Vec<Notification>, Vec<Notification>) = state
+                .pending_events
+                .drain(..)
+                .partition(|e| filter.matches(e));
+            state.pending_events = kept;
+            taken
+        };
+        if events.is_empty() {
+            return None;
+        }
+        let frame = crate::proto::EventFrame {
+            version: crate::proto::PROTOCOL_VERSION,
+            app,
+            tick: self.clock.tick_index(),
+            events,
+        };
+        if self.tracing.load(std::sync::atomic::Ordering::Relaxed) {
+            if let Some(trace) = lock::lock(&self.proto_trace).as_mut() {
+                trace.events.push(frame.clone());
+            }
+        }
+        Some(frame)
     }
 
     /// Settles the current tick: enforces carbon-rate caps, runs the

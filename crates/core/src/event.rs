@@ -49,6 +49,90 @@ pub enum Notification {
     },
 }
 
+impl Notification {
+    /// The event category this notification belongs to, as a stable
+    /// lowercase name — the vocabulary [`EventFilter`] selects over.
+    pub fn category(&self) -> &'static str {
+        match self {
+            Notification::SolarChange { .. } => "solar",
+            Notification::CarbonChange { .. } => "carbon",
+            Notification::BatteryFull | Notification::BatteryEmpty => "battery",
+            Notification::BudgetExhausted { .. } => "budget",
+        }
+    }
+}
+
+/// A delivery filter over [`Notification`] categories, carried by
+/// `SubscribeEvents` (protocol v2) to say which upcalls a subscriber
+/// wants pushed. The default subscribes to everything.
+///
+/// A filter selects *delivery*, not *generation*: events are produced by
+/// settlement regardless (gated only by [`NotifyConfig`]); a category a
+/// subscriber opted out of is simply not sent to that subscriber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventFilter {
+    /// Deliver [`Notification::SolarChange`].
+    pub solar: bool,
+    /// Deliver [`Notification::CarbonChange`].
+    pub carbon: bool,
+    /// Deliver [`Notification::BatteryFull`] / [`Notification::BatteryEmpty`].
+    pub battery: bool,
+    /// Deliver [`Notification::BudgetExhausted`].
+    pub budget: bool,
+}
+
+impl Default for EventFilter {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+impl EventFilter {
+    /// Subscribes to every event category.
+    pub fn all() -> Self {
+        Self {
+            solar: true,
+            carbon: true,
+            battery: true,
+            budget: true,
+        }
+    }
+
+    /// Subscribes to nothing (useful as a base for builder-style opt-in).
+    pub fn none() -> Self {
+        Self {
+            solar: false,
+            carbon: false,
+            battery: false,
+            budget: false,
+        }
+    }
+
+    /// The union of two filters: a category is delivered if either side
+    /// wants it. The broadcast path drains an app's outbox under the
+    /// union of its subscribers' filters, so an event no subscriber
+    /// wants is never consumed — it stays pending for polling/draining.
+    #[must_use]
+    pub fn union(&self, other: &EventFilter) -> EventFilter {
+        EventFilter {
+            solar: self.solar || other.solar,
+            carbon: self.carbon || other.carbon,
+            battery: self.battery || other.battery,
+            budget: self.budget || other.budget,
+        }
+    }
+
+    /// Whether `event` passes this filter.
+    pub fn matches(&self, event: &Notification) -> bool {
+        match event {
+            Notification::SolarChange { .. } => self.solar,
+            Notification::CarbonChange { .. } => self.carbon,
+            Notification::BatteryFull | Notification::BatteryEmpty => self.battery,
+            Notification::BudgetExhausted { .. } => self.budget,
+        }
+    }
+}
+
 /// Per-application thresholds controlling event generation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NotifyConfig {
@@ -116,5 +200,22 @@ mod tests {
     fn notifications_compare() {
         assert_eq!(Notification::BatteryFull, Notification::BatteryFull);
         assert_ne!(Notification::BatteryFull, Notification::BatteryEmpty);
+    }
+
+    #[test]
+    fn filter_selects_by_category() {
+        let solar = Notification::SolarChange {
+            previous: Watts::new(10.0),
+            current: Watts::new(50.0),
+        };
+        assert!(EventFilter::all().matches(&solar));
+        assert!(!EventFilter::none().matches(&solar));
+        let mut battery_only = EventFilter::none();
+        battery_only.battery = true;
+        assert!(battery_only.matches(&Notification::BatteryFull));
+        assert!(battery_only.matches(&Notification::BatteryEmpty));
+        assert!(!battery_only.matches(&solar));
+        assert_eq!(solar.category(), "solar");
+        assert_eq!(Notification::BatteryEmpty.category(), "battery");
     }
 }

@@ -107,21 +107,22 @@ pub mod ves;
 
 pub use api::{EcovisorApi, LibraryApi};
 pub use app::Application;
-pub use client::{EcovisorClient, EnergyClient};
+pub use client::{EcovisorClient, EnergyClient, EventHandler};
 pub use config::{EcovisorBuilder, ExcessPolicy};
 pub use dispatch::{ProtocolTrace, TraceEntry};
 pub use ecovisor::{Ecovisor, ScopedApi, SystemFlows};
 pub use error::{EcovisorError, Result};
-pub use event::{Notification, NotifyConfig};
+pub use event::{EventFilter, Notification, NotifyConfig};
 pub use proto::{
-    EnergyRequest, EnergyResponse, ProtoError, RequestBatch, ResponseBatch, PROTOCOL_VERSION,
+    ControlFrame, EnergyRequest, EnergyResponse, EventFrame, Frame, ProtoError, RequestBatch,
+    ResponseBatch, PROTOCOL_V1, PROTOCOL_VERSION, SUPPORTED_VERSIONS,
 };
 pub use shard::ShardedEcovisor;
 pub use share::EnergyShare;
 pub use sim::Simulation;
 pub use transport::{
-    ClientHello, EcovisorServer, RemoteEcovisorClient, ServerHandle, ServerHello, SharedEcovisor,
-    WireCodec,
+    ClientHello, ClientHelloV2, CredentialRegistry, EcovisorServer, RemoteEcovisorClient,
+    ServerHandle, ServerHello, SharedEcovisor, WireCodec,
 };
 pub use ves::{VesFlows, VesTotals, VirtualEnergySystem};
 

@@ -72,11 +72,26 @@ use simkit::time::{SimDuration, SimTime};
 use simkit::units::{CarbonIntensity, CarbonRate, Co2Grams, WattHours, Watts};
 
 use crate::error::EcovisorError;
+use crate::event::{EventFilter, Notification};
 
-/// Current protocol version. Bump on any wire-visible change to
-/// [`EnergyRequest`]/[`EnergyResponse`]; the dispatcher rejects batches
-/// from other versions with [`ProtoError::Version`].
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The original request/response-only protocol. Still served: a v1
+/// batch dispatches byte-identically to how the v1 dispatcher answered
+/// it, and the transport keeps a raw (unframed) wire loop for v1
+/// connections.
+pub const PROTOCOL_V1: u16 = 1;
+
+/// Current protocol version. v2 adds the duplex [`Frame`] layer,
+/// server-push [`EventFrame`]s, `SubscribeEvents`, and per-app
+/// credentials in the transport hello. Bump on any wire-visible change
+/// to [`EnergyRequest`]/[`EnergyResponse`]; the dispatcher rejects
+/// batches from unsupported versions with [`ProtoError::Version`].
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Every version this dispatcher serves, lowest first. The transport
+/// hello negotiates the **highest shared** entry; the dispatcher accepts
+/// batches carrying any of them (gating v2-only requests per request via
+/// [`EnergyRequest::min_version`]).
+pub const SUPPORTED_VERSIONS: &[u16] = &[PROTOCOL_V1, PROTOCOL_VERSION];
 
 /// One application-issued command or query.
 ///
@@ -231,6 +246,21 @@ pub enum EnergyRequest {
     GetCarbonBudget,
     /// Budget remaining (budget − cumulative carbon), if set.
     GetRemainingCarbonBudget,
+
+    // -- Table 2 asynchronous notifications ------------------------------
+    /// Drains the app's pending [`Notification`]s (Table 2 `notify_*`
+    /// upcalls as pull). Available since v1: a remote client on the old
+    /// protocol gets event parity by polling each tick, exactly what a
+    /// local `drain_events` call observes.
+    PollEvents,
+    /// Subscribes this *connection* to server-push [`EventFrame`]s after
+    /// every settlement, delivery-filtered by `filter` (v2 only: push
+    /// needs the duplex frame layer). In-process dispatch acknowledges it
+    /// as a no-op — the in-process client drains via `PollEvents`.
+    SubscribeEvents {
+        /// Which event categories to deliver.
+        filter: EventFilter,
+    },
 }
 
 impl EnergyRequest {
@@ -267,8 +297,26 @@ impl EnergyRequest {
     }
 
     /// `true` for state-mutating requests (the *command* half).
+    /// `PollEvents` counts as a command: draining the outbox mutates the
+    /// shard, so it takes the write path and two pollers never see the
+    /// same event twice.
     pub fn is_command(&self) -> bool {
         !self.is_query()
+    }
+
+    /// The lowest protocol version whose wire includes this request.
+    /// The dispatcher answers a request arriving in an older batch with
+    /// [`ProtoError::Version`] — per request, without failing the batch.
+    ///
+    /// `PollEvents` is deliberately v1: it back-fills the v1 event gap
+    /// (remote Table 2 parity by polling) without any frame-layer
+    /// machinery. `SubscribeEvents` needs server push, which only the v2
+    /// duplex wire carries.
+    pub fn min_version(&self) -> u16 {
+        match self {
+            EnergyRequest::SubscribeEvents { .. } => PROTOCOL_VERSION,
+            _ => PROTOCOL_V1,
+        }
     }
 
     /// `true` for commands that mutate the shared container platform.
@@ -358,6 +406,8 @@ impl EnergyRequest {
             SetCarbonBudget { .. } => "set_carbon_budget",
             GetCarbonBudget => "carbon_budget",
             GetRemainingCarbonBudget => "remaining_carbon_budget",
+            PollEvents => "poll_events",
+            SubscribeEvents { .. } => "subscribe_events",
         }
     }
 }
@@ -399,6 +449,8 @@ pub enum EnergyResponse {
     Interval(SimDuration),
     /// An application id.
     App(AppId),
+    /// Drained notifications, in generation order (`PollEvents`).
+    Events(Vec<Notification>),
     /// The request failed; the error is data.
     Err(ProtoError),
 }
@@ -557,6 +609,81 @@ pub struct ResponseBatch {
 }
 
 // ----------------------------------------------------------------------
+// The v2 frame layer: a duplex wire.
+// ----------------------------------------------------------------------
+
+/// A batch of asynchronous notifications pushed (or recorded) for one
+/// application, stamped with the settlement tick that produced them.
+///
+/// This is the paper's Table 2 `notify_*` upcall surface made
+/// wire-visible: on a v2 connection the server pushes one `EventFrame`
+/// per app per settlement (when events fired), so a remote application
+/// observes solar/carbon swings and battery edges without polling.
+/// Pushed frames are recorded in
+/// [`ProtocolTrace`](crate::dispatch::ProtocolTrace), so a replayed run
+/// reproduces its push traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventFrame {
+    /// Protocol version of the frame layer that carried this.
+    pub version: u16,
+    /// The application the notifications belong to.
+    pub app: AppId,
+    /// Index of the settlement tick that generated the events.
+    pub tick: u64,
+    /// The notifications, in generation order.
+    pub events: Vec<Notification>,
+}
+
+impl EventFrame {
+    /// A copy containing only the events `filter` selects (delivery
+    /// filtering for one subscriber; other subscribers keep their own
+    /// view of the same frame).
+    pub fn filtered(&self, filter: &EventFilter) -> EventFrame {
+        EventFrame {
+            version: self.version,
+            app: self.app,
+            tick: self.tick,
+            events: self
+                .events
+                .iter()
+                .filter(|e| filter.matches(e))
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+/// Connection-level control traffic on the v2 wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlFrame {
+    /// Liveness probe; the peer answers [`ControlFrame::Pong`].
+    Ping,
+    /// Answer to a [`ControlFrame::Ping`].
+    Pong,
+}
+
+/// One message on the v2 duplex wire.
+///
+/// Protocol v1 put bare [`RequestBatch`]/[`ResponseBatch`] payloads in
+/// its transport frames, which fixes the direction of every message:
+/// the client speaks, the server answers. v2 wraps every payload in this
+/// enum, so the *kind* travels with the message and the server gains the
+/// right to speak first — pushing [`Frame::Event`] to subscribed
+/// connections after each settlement. A v1 connection never sees this
+/// type; its wire stays byte-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Frame {
+    /// Client → server: a request batch to dispatch.
+    Request(RequestBatch),
+    /// Server → client: the answer to exactly one [`Frame::Request`].
+    Response(ResponseBatch),
+    /// Server → client: pushed notifications (requires `SubscribeEvents`).
+    Event(EventFrame),
+    /// Either direction: connection-level control traffic.
+    Control(ControlFrame),
+}
+
+// ----------------------------------------------------------------------
 // Typed extractors: the compatibility façade and the client handle use
 // these to turn a wire response back into the old method signatures.
 // ----------------------------------------------------------------------
@@ -636,6 +763,8 @@ extractors! {
     interval / expect_interval => Interval(SimDuration),
     /// Extracts an application id.
     app / expect_app => App(AppId),
+    /// Extracts drained notifications.
+    events / expect_events => Events(Vec<Notification>),
 }
 
 impl EnergyResponse {

@@ -52,13 +52,17 @@
 //! assert!(!worker.join().unwrap().responses.is_empty());
 //! ```
 
-use std::sync::RwLock;
+use std::sync::{Mutex, RwLock};
 
 use container_cop::AppId;
 
 use crate::ecovisor::{Ecovisor, SystemFlows};
 use crate::lock;
 use crate::proto::{EnergyRequest, EnergyResponse, RequestBatch, ResponseBatch};
+
+/// A post-settlement broadcast hook (see
+/// [`ShardedEcovisor::on_settlement`]).
+type SettlementHook = Box<dyn Fn(&Ecovisor) + Send + Sync>;
 
 /// An [`Ecovisor`] wrapped for concurrent multi-tenant dispatch.
 ///
@@ -68,6 +72,9 @@ use crate::proto::{EnergyRequest, EnergyResponse, RequestBatch, ResponseBatch};
 /// [`SharedEcovisor`](crate::transport::SharedEcovisor) alias).
 pub struct ShardedEcovisor {
     inner: RwLock<Ecovisor>,
+    /// Hooks run by [`tick`](Self::tick) after settlement, still inside
+    /// the barrier — the server-push fan-out point.
+    hooks: Mutex<Vec<SettlementHook>>,
 }
 
 impl std::fmt::Debug for ShardedEcovisor {
@@ -81,7 +88,28 @@ impl ShardedEcovisor {
     pub fn new(eco: Ecovisor) -> Self {
         Self {
             inner: RwLock::new(eco),
+            hooks: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers a **post-settlement broadcast hook**: [`tick`](Self::tick)
+    /// runs every hook after `settle_tick`, *before* the clock advances
+    /// and while still holding the settlement barrier. That placement is
+    /// the push-path contract:
+    ///
+    /// * events a hook takes ([`Ecovisor::take_event_frame`]) are
+    ///   stamped with the settlement tick that produced them, and
+    /// * no dispatch (e.g. a racing `PollEvents`) can drain an outbox
+    ///   between settlement and broadcast, so a subscriber observes the
+    ///   exact per-settlement event sequence.
+    ///
+    /// Hooks must confine themselves to the `&Ecovisor` they are given —
+    /// calling back into this wrapper's dispatch surface from a hook
+    /// would self-deadlock on the outer lock. The TCP transport installs
+    /// one hook per server to fan event frames out to subscribed
+    /// connections (see [`crate::transport`]).
+    pub fn on_settlement(&self, hook: impl Fn(&Ecovisor) + Send + Sync + 'static) {
+        lock::lock(&self.hooks).push(Box::new(hook));
     }
 
     /// Executes a request batch under the outer read lock: concurrent
@@ -110,13 +138,16 @@ impl ShardedEcovisor {
         f(&lock::read(&self.inner))
     }
 
-    /// Advances one full tick — `begin_tick`, `settle_tick`,
-    /// `advance_clock` — under the settlement barrier, returning the
-    /// settled system flows.
+    /// Advances one full tick — `begin_tick`, `settle_tick`, broadcast
+    /// hooks, `advance_clock` — under the settlement barrier, returning
+    /// the settled system flows.
     pub fn tick(&self) -> SystemFlows {
         self.with(|eco| {
             eco.begin_tick();
             let flows = eco.settle_tick();
+            for hook in lock::lock(&self.hooks).iter() {
+                hook(eco);
+            }
             eco.advance_clock();
             flows
         })

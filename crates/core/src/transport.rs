@@ -1,4 +1,4 @@
-//! Remote transport: the ecovisor protocol over TCP.
+//! Remote transport: the ecovisor protocol over TCP — duplex since v2.
 //!
 //! PR 1 made every API call a wire-serializable message; this module puts
 //! those messages on an actual wire, so an application binary can drive
@@ -9,9 +9,16 @@
 //! [`EnergyClient`] method surface as the in-process handle, so
 //! application code is transport-agnostic.
 //!
+//! Since protocol **v2** the wire is *duplex*: the server does not only
+//! answer, it also **pushes** — after every settlement, subscribed
+//! connections receive the [`EventFrame`]s carrying the paper's Table 2
+//! asynchronous upcalls (`notify_solar_change`, `notify_carbon_change`,
+//! `notify_battery_full/empty`, budget exhaustion), so a remote
+//! application reacts to energy variability without polling.
+//!
 //! ## Wire format
 //!
-//! Every message travels as a **frame**:
+//! Every message travels as a **transport frame**:
 //!
 //! ```text
 //! +----------------+---------------------+
@@ -22,37 +29,51 @@
 //! Frames longer than [`MAX_FRAME_LEN`] are rejected (the read side never
 //! allocates more than the peer has actually earned the right to send).
 //!
-//! ## Hello / codec negotiation
+//! What a payload *is* depends on the negotiated protocol version:
+//!
+//! * **v1** — exactly the old request/response wire: one [`RequestBatch`]
+//!   (client → server) or [`ResponseBatch`] (server → client) per frame,
+//!   byte-identical to how a v1-only server served it;
+//! * **v2** — one [`Frame`] (`Request` | `Response` | `Event` |
+//!   `Control`), the kind travelling with the message so the server may
+//!   speak first.
+//!
+//! ## Hello: versions, codec, credential
 //!
 //! The first frame in each direction is a **hello**, always encoded as
-//! JSON so negotiation itself is codec-independent:
-//!
-//! 1. client → server: [`ClientHello`] carrying the client's
-//!    [`PROTOCOL_VERSION`], the [`AppId`] the connection acts for, and
-//!    its supported codecs in preference order (by default
-//!    `[Binary, Json]` — binary preferred, JSON fallback);
-//! 2. server → client: [`ServerHello::Accept`] naming the one codec the
-//!    connection will use (the client's first codec the server also
-//!    speaks), or [`ServerHello::Reject`] with a reason (version
-//!    mismatch, no common codec), after which the server closes the
-//!    connection.
+//! JSON so negotiation itself is codec-independent. A v2 client sends a
+//! [`ClientHelloV2`] advertising a **version list**, its codec
+//! preference, and (optionally) a per-app **credential token**; a legacy
+//! client sends the v1 [`ClientHello`] with its single version. The
+//! server answers [`ServerHello::Accept`] naming the **highest shared
+//! version** and the negotiated codec, or [`ServerHello::Reject`] with a
+//! reason, after which it closes the connection.
 //!
 //! The server **pins the connection to the hello's `AppId`**: any later
 //! batch claiming a different app scope is denied with error values
-//! without touching the dispatcher. Pinning is an *integrity* measure —
-//! one connection speaks for exactly one scope — not authentication:
-//! the hello's `AppId` is client-asserted, so on a network where peers
-//! are untrusted the listener must sit behind an authenticating layer
-//! (per-app credentials in the hello are the natural v2 extension).
+//! without touching the dispatcher. When the server is built
+//! [`with_credentials`](EcovisorServer::with_credentials), pinning
+//! upgrades from integrity to **authentication**: a v2 hello must carry
+//! the app's credential token (verified in constant time against the
+//! server-side [`CredentialRegistry`]) before any batch is served, and
+//! credential-less v1 hellos are rejected outright. Without a registry
+//! the listener stays open (trusted-network mode), exactly as in v1.
 //!
-//! After an accept, every frame payload in both directions is one
-//! [`RequestBatch`] (client → server) or [`ResponseBatch`] (server →
-//! client) in the negotiated [`WireCodec`] — [`serde::json`] text or the
-//! [`serde::binary`] tag-byte format. Batches stay version-gated by the
-//! dispatcher exactly as in-process traffic, and a [`ProtocolTrace`]
-//! recorded on the server replays identically whichever encoding carried
-//! the batches, because both codecs serialize the same `serde::Value`
-//! data model.
+//! ## Event push
+//!
+//! A v2 connection subscribes by sending
+//! [`EnergyRequest::SubscribeEvents`] (the transport interprets it for
+//! the connection that sent it; the dispatcher just acknowledges). From
+//! then on, the server's post-settlement broadcast hook (registered on
+//! the [`ShardedEcovisor`] at bind time, run inside the settlement
+//! barrier — see [`ShardedEcovisor::on_settlement`]) drains each
+//! subscribed app's outbox into an [`EventFrame`] stamped with the
+//! settlement tick and writes it, delivery-filtered per subscriber, to
+//! every subscribed connection of that app. Each connection is split
+//! into a **reader half** (the serving thread, which parks in
+//! `read_frame`) and a **writer half** (a cloned stream behind a mutex),
+//! so response writes and broadcast pushes interleave at frame
+//! granularity, never mid-frame.
 //!
 //! ## Concurrency model
 //!
@@ -63,24 +84,30 @@
 //! lock, so batches from different tenants — and query-only batches from
 //! the *same* tenant — execute in parallel rather than serializing on a
 //! global mutex. The driver loop (whoever ticks the simulation) calls
-//! [`ShardedEcovisor::with`] / [`ShardedEcovisor::tick`] between
-//! batches; that settlement barrier is the only cross-tenant
-//! synchronization, which matches the in-process semantics (see
-//! [`crate::shard`]).
+//! [`ShardedEcovisor::tick`] between batches; that settlement barrier is
+//! the only cross-tenant synchronization, and it is where event frames
+//! are pushed.
 //!
 //! A connection that fails mid-frame (peer crash, network drop) is
-//! logged to stderr and its serving thread exits; the accept loop and
+//! logged to stderr, deregistered from the push registry, and its
+//! serving thread exits; the accept loop and
 //! [`ServerHandle::active_connections`] reap finished threads, so a
-//! long-lived server never accumulates dead connections.
+//! long-lived server never accumulates dead connections. A server built
+//! [`with_read_timeout`](EcovisorServer::with_read_timeout) additionally
+//! reaps **idle** connections: a dead subscriber that holds a push
+//! stream without ever sending another frame trips the timeout and is
+//! collected the same way (the timeout also bounds writes, so a wedged
+//! subscriber cannot hold the settlement barrier hostage).
 //!
 //! ## Example
 //!
 //! Serve an ecovisor on loopback and drive it remotely — the client
-//! speaks the same [`EnergyClient`] methods as the in-process handle:
+//! speaks the same [`EnergyClient`] methods as the in-process handle,
+//! and (on v2) receives pushed events:
 //!
 //! ```
 //! use ecovisor::{EcovisorBuilder, EcovisorServer, EnergyClient, EnergyShare,
-//!                RemoteEcovisorClient, WireCodec};
+//!                EventFilter, RemoteEcovisorClient, WireCodec, PROTOCOL_VERSION};
 //! use simkit::units::Watts;
 //!
 //! let mut eco = EcovisorBuilder::new().build();
@@ -90,12 +117,15 @@
 //! let handle = server.spawn().unwrap();
 //!
 //! let mut api = RemoteEcovisorClient::connect(handle.addr(), app).unwrap();
-//! assert_eq!(api.codec(), WireCodec::Binary); // negotiated in the hello
+//! assert_eq!(api.codec(), WireCodec::Binary);       // negotiated in the hello
+//! assert_eq!(api.version(), PROTOCOL_VERSION);      // highest shared version
+//! api.subscribe_events(EventFilter::all()).unwrap();
 //! assert_eq!(api.get_grid_power(), Watts::ZERO);
 //!
-//! // The driver ticks settlement between batches; queries from live
-//! // connections run in parallel against the shared sharded ecovisor.
+//! // The driver ticks settlement between batches; pushed event frames
+//! // (if any fired) surface through `api.events()`.
 //! handle.ecovisor().tick();
+//! let _events = api.events();
 //!
 //! drop(api);
 //! handle.shutdown();
@@ -103,19 +133,23 @@
 //!
 //! [`ProtocolTrace`]: crate::dispatch::ProtocolTrace
 
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use container_cop::AppId;
 use serde::{Deserialize, Serialize};
 
-use crate::client::EnergyClient;
+use crate::client::{EnergyClient, EventHandler};
 use crate::ecovisor::Ecovisor;
+use crate::event::{EventFilter, Notification};
 use crate::proto::{
-    EnergyRequest, EnergyResponse, ProtoError, RequestBatch, ResponseBatch, PROTOCOL_VERSION,
+    ControlFrame, EnergyRequest, EnergyResponse, EventFrame, Frame, ProtoError, RequestBatch,
+    ResponseBatch, PROTOCOL_V1, PROTOCOL_VERSION, SUPPORTED_VERSIONS,
 };
 use crate::shard::ShardedEcovisor;
 
@@ -164,27 +198,62 @@ impl WireCodec {
     }
 }
 
-/// First frame of a connection, client → server (always JSON).
+/// The legacy (v1) hello, first frame of a connection, client → server
+/// (always JSON). A v1-only client still sends exactly this and is
+/// served exactly as before; new clients send [`ClientHelloV2`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClientHello {
-    /// Protocol version the client speaks.
+    /// The single protocol version the client speaks.
     pub version: u16,
     /// The tenant this connection acts for. The server **pins** the
     /// connection to this scope: every subsequent batch must carry the
     /// same `app`. Client-asserted — see the module docs for why this
-    /// is integrity, not authentication.
+    /// is integrity, not authentication (and how a
+    /// [`CredentialRegistry`] upgrades it).
     pub app: AppId,
     /// Codecs the client accepts, in preference order.
     pub codecs: Vec<WireCodec>,
 }
 
 impl ClientHello {
-    /// A current-version hello for `app` with the given codec preference.
+    /// A v1 hello for `app` with the given codec preference — what a
+    /// legacy client on the original protocol sends.
     pub fn new(app: AppId, codecs: Vec<WireCodec>) -> Self {
         Self {
-            version: PROTOCOL_VERSION,
+            version: PROTOCOL_V1,
             app,
             codecs,
+        }
+    }
+}
+
+/// The v2 hello: advertises every version the client speaks (the server
+/// picks the highest shared one), and optionally carries the per-app
+/// credential token a hardened server requires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientHelloV2 {
+    /// Every protocol version the client speaks. The server answers
+    /// with the highest version both sides share.
+    pub versions: Vec<u16>,
+    /// The tenant this connection acts for (pinned, as in v1 — but a
+    /// credentialed server verifies the claim before serving).
+    pub app: AppId,
+    /// Codecs the client accepts, in preference order.
+    pub codecs: Vec<WireCodec>,
+    /// Per-app credential token, when the server demands one. Verified
+    /// constant-time against the server's [`CredentialRegistry`] before
+    /// any batch is dispatched.
+    pub credential: Option<String>,
+}
+
+impl ClientHelloV2 {
+    /// A hello advertising every version this build speaks.
+    pub fn new(app: AppId, codecs: Vec<WireCodec>, credential: Option<String>) -> Self {
+        Self {
+            versions: SUPPORTED_VERSIONS.to_vec(),
+            app,
+            codecs,
+            credential,
         }
     }
 }
@@ -192,9 +261,10 @@ impl ClientHello {
 /// Second frame of a connection, server → client (always JSON).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ServerHello {
-    /// The connection is open; all further frames use `codec`.
+    /// The connection is open; all further frames use `codec` and the
+    /// wire speaks `version` (the highest version both sides share).
     Accept {
-        /// Protocol version the server speaks.
+        /// The negotiated protocol version for this connection.
         version: u16,
         /// The negotiated codec.
         codec: WireCodec,
@@ -204,6 +274,67 @@ pub enum ServerHello {
         /// Why the hello was not acceptable.
         reason: String,
     },
+}
+
+// ----------------------------------------------------------------------
+// Credentials
+// ----------------------------------------------------------------------
+
+/// Constant-time byte-string equality: the comparison cost depends only
+/// on the *lengths*, never on where the first mismatch sits, so a remote
+/// peer cannot binary-search a token byte by byte from timing.
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
+/// The server-side table of per-app credential tokens.
+///
+/// Installed with [`EcovisorServer::with_credentials`]; once present,
+/// every connection must prove its claimed [`AppId`] with the matching
+/// token in a [`ClientHelloV2`] **before any batch is served** —
+/// rejections happen at hello time, so an unauthenticated peer never
+/// reaches the dispatcher. Token comparison is constant-time.
+#[derive(Debug, Clone, Default)]
+pub struct CredentialRegistry {
+    tokens: BTreeMap<AppId, Vec<u8>>,
+}
+
+impl CredentialRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) an app's credential token.
+    pub fn insert(&mut self, app: AppId, token: impl Into<Vec<u8>>) {
+        self.tokens.insert(app, token.into());
+    }
+
+    /// Builder-style [`insert`](Self::insert).
+    #[must_use]
+    pub fn with(mut self, app: AppId, token: impl Into<Vec<u8>>) -> Self {
+        self.insert(app, token);
+        self
+    }
+
+    /// Verifies a presented token against `app`'s registered one in
+    /// constant time. A missing registration, a missing presentation,
+    /// and a wrong token are all plain `false` — the caller's rejection
+    /// message never distinguishes them.
+    pub fn verify(&self, app: AppId, presented: Option<&str>) -> bool {
+        // Compare against an empty token when either side is absent so
+        // the call always performs a comparison.
+        let stored: &[u8] = self.tokens.get(&app).map(Vec::as_slice).unwrap_or(&[]);
+        let given: &[u8] = presented.map(str::as_bytes).unwrap_or(&[]);
+        let shape_ok = self.tokens.contains_key(&app) && presented.is_some();
+        constant_time_eq(stored, given) && shape_ok
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -251,36 +382,161 @@ fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
 /// [`ShardedEcovisor`]).
 pub type SharedEcovisor = Arc<ShardedEcovisor>;
 
-/// A TCP server answering protocol batches against one shared ecovisor.
+/// The writer half of one served connection: a cloned stream behind a
+/// mutex, shared by the response path (serving thread) and the
+/// post-settlement broadcast (driver thread), so the two interleave at
+/// frame granularity.
+struct ConnShared {
+    app: AppId,
+    codec: WireCodec,
+    writer: Mutex<TcpStream>,
+    /// `Some(filter)` once the connection subscribed to event push.
+    filter: Mutex<Option<EventFilter>>,
+}
+
+/// Everything a serving thread needs beyond its own socket.
+struct ServeCtx {
+    shared: SharedEcovisor,
+    creds: Option<CredentialRegistry>,
+    read_timeout: Option<Duration>,
+    /// Writer halves of live v2 connections, walked by the broadcast
+    /// hook. Entries deregister themselves when their serving thread
+    /// exits (or when a push write fails).
+    registry: Arc<Mutex<Vec<Arc<ConnShared>>>>,
+}
+
+/// Removes a connection from the push registry when its serving thread
+/// exits — on every path, panics included.
+struct Deregister {
+    registry: Arc<Mutex<Vec<Arc<ConnShared>>>>,
+    conn: Arc<ConnShared>,
+}
+
+impl Drop for Deregister {
+    fn drop(&mut self) {
+        crate::lock::lock(&self.registry).retain(|c| !Arc::ptr_eq(c, &self.conn));
+    }
+}
+
+/// Drains subscribed apps' outboxes and pushes the resulting
+/// [`EventFrame`]s to every subscribed connection. Runs inside the
+/// settlement barrier (see [`ShardedEcovisor::on_settlement`]), so the
+/// pushed sequence is exactly the per-settlement event sequence.
+fn broadcast_events(eco: &Ecovisor, registry: &Mutex<Vec<Arc<ConnShared>>>) {
+    // Snapshot the registry, then group subscribers by app: the app's
+    // outbox is drained once and every subscriber gets its own filtered
+    // copy of the same frame.
+    let snapshot: Vec<Arc<ConnShared>> = crate::lock::lock(registry).clone();
+    let mut by_app: BTreeMap<AppId, Vec<(Arc<ConnShared>, EventFilter)>> = BTreeMap::new();
+    for conn in snapshot {
+        let filter = *crate::lock::lock(&conn.filter);
+        if let Some(filter) = filter {
+            by_app.entry(conn.app).or_default().push((conn, filter));
+        }
+    }
+    for (app, subscribers) in by_app {
+        // Drain only what some subscriber actually wants: events outside
+        // the union of filters stay pending for polling/draining.
+        let union = subscribers
+            .iter()
+            .fold(EventFilter::none(), |acc, (_, f)| acc.union(f));
+        let Some(frame) = eco.take_event_frame_matching(app, &union) else {
+            continue;
+        };
+        for (conn, filter) in subscribers {
+            let filtered = frame.filtered(&filter);
+            if filtered.events.is_empty() {
+                continue;
+            }
+            let payload = conn.codec.encode(&Frame::Event(filtered));
+            let mut writer = crate::lock::lock(&conn.writer);
+            if write_frame(&mut *writer, &payload).is_err() {
+                // A dead subscriber: shut the socket so the reader half
+                // observes the failure, exits, and deregisters.
+                let _ = writer.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// A TCP server answering protocol batches against one shared ecovisor
+/// and pushing event frames to subscribed v2 connections.
 ///
-/// Bind, then either [`spawn`](Self::spawn) the accept loop onto a
-/// background thread (keeping a [`ServerHandle`] for the driver side) or
-/// embed [`EcovisorServer::serve_connection`] in a custom loop.
+/// Bind, optionally harden with
+/// [`with_credentials`](Self::with_credentials) /
+/// [`with_read_timeout`](Self::with_read_timeout), then either
+/// [`spawn`](Self::spawn) the accept loop onto a background thread
+/// (keeping a [`ServerHandle`] for the driver side) or embed
+/// [`serve_connection`](Self::serve_connection) in a custom accept loop.
 pub struct EcovisorServer {
     listener: TcpListener,
-    shared: SharedEcovisor,
+    ctx: Arc<ServeCtx>,
 }
 
 impl std::fmt::Debug for EcovisorServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EcovisorServer")
             .field("addr", &self.listener.local_addr().ok())
+            .field("credentialed", &self.ctx.creds.is_some())
+            .field("read_timeout", &self.ctx.read_timeout)
             .finish_non_exhaustive()
     }
 }
 
 impl EcovisorServer {
-    /// Binds a listener and takes ownership of the ecovisor. Use port 0
-    /// for an ephemeral port (tests).
+    /// Binds a listener, takes ownership of the ecovisor, and registers
+    /// the post-settlement broadcast hook that fans event frames out to
+    /// subscribed connections. Use port 0 for an ephemeral port (tests).
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
     pub fn bind(addr: impl ToSocketAddrs, eco: Ecovisor) -> io::Result<Self> {
+        let shared = Arc::new(ShardedEcovisor::new(eco));
+        let registry: Arc<Mutex<Vec<Arc<ConnShared>>>> = Arc::new(Mutex::new(Vec::new()));
+        let hook_registry = Arc::clone(&registry);
+        shared.on_settlement(move |eco| broadcast_events(eco, &hook_registry));
         Ok(Self {
             listener: TcpListener::bind(addr)?,
-            shared: Arc::new(ShardedEcovisor::new(eco)),
+            ctx: Arc::new(ServeCtx {
+                shared,
+                creds: None,
+                read_timeout: None,
+                registry,
+            }),
         })
+    }
+
+    /// Requires every connection to authenticate its claimed [`AppId`]
+    /// with the matching token from `creds` (v2 hello, verified
+    /// constant-time, rejected before any batch is served). v1 hellos
+    /// carry no credential and are rejected while a registry is
+    /// installed.
+    ///
+    /// # Panics
+    ///
+    /// If called after [`spawn`](Self::spawn) handed out clones of the
+    /// serving context (cannot happen through this API: `spawn` consumes
+    /// the server).
+    #[must_use]
+    pub fn with_credentials(mut self, creds: CredentialRegistry) -> Self {
+        Arc::get_mut(&mut self.ctx)
+            .expect("server context not yet shared")
+            .creds = Some(creds);
+        self
+    }
+
+    /// Arms a per-connection read/idle timeout: a connection that sends
+    /// nothing for `timeout` — including a dead subscriber holding a
+    /// push stream — is treated as failed, logged, and reaped. The same
+    /// bound applies to writes, so a peer that stops draining its socket
+    /// cannot wedge the broadcast path.
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        Arc::get_mut(&mut self.ctx)
+            .expect("server context not yet shared")
+            .read_timeout = Some(timeout);
+        self
     }
 
     /// The bound address (reports the ephemeral port after a `:0` bind).
@@ -294,7 +550,22 @@ impl EcovisorServer {
 
     /// The shared ecovisor, for the driver loop that ticks settlement.
     pub fn ecovisor(&self) -> SharedEcovisor {
-        Arc::clone(&self.shared)
+        Arc::clone(&self.ctx.shared)
+    }
+
+    /// Serves one accepted connection to completion on the calling
+    /// thread: hello handshake (version + codec negotiation, credential
+    /// check), then the version-matched frame loop until the peer
+    /// disconnects. For embedding in a custom accept loop;
+    /// [`spawn`](Self::spawn) does this on one thread per connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; protocol-level problems (bad hello,
+    /// undecodable batch) are answered on the wire and end the
+    /// connection cleanly.
+    pub fn serve_connection(&self, stream: TcpStream) -> io::Result<()> {
+        serve_connection(stream, &self.ctx)
     }
 
     /// Moves the accept loop onto a background thread; each accepted
@@ -305,12 +576,12 @@ impl EcovisorServer {
     /// Propagates address-lookup failures.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
-        let shared = Arc::clone(&self.shared);
+        let shared = Arc::clone(&self.ctx.shared);
         let stop = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<Vec<Connection>>> = Arc::new(Mutex::new(Vec::new()));
         let active = Arc::new(AtomicUsize::new(0));
         let accept = {
-            let shared = Arc::clone(&self.shared);
+            let ctx = Arc::clone(&self.ctx);
             let stop = Arc::clone(&stop);
             let connections = Arc::clone(&connections);
             let active = Arc::clone(&active);
@@ -324,7 +595,7 @@ impl EcovisorServer {
                     // unblock a thread parked in read_frame.
                     let socket = stream.try_clone().ok();
                     let peer = stream.peer_addr().ok();
-                    let shared = Arc::clone(&shared);
+                    let ctx = Arc::clone(&ctx);
                     let active_in = Arc::clone(&active);
                     active.fetch_add(1, Ordering::SeqCst);
                     let thread = std::thread::spawn(move || {
@@ -337,9 +608,10 @@ impl EcovisorServer {
                             }
                         }
                         let _departure = Departure(active_in);
-                        if let Err(e) = EcovisorServer::serve_connection(stream, &shared) {
-                            // A peer that vanishes mid-frame is routine
-                            // on a long-lived server: log it and let the
+                        if let Err(e) = serve_connection(stream, &ctx) {
+                            // A peer that vanishes mid-frame (or idles
+                            // past the timeout) is routine on a
+                            // long-lived server: log it and let the
                             // thread exit so the handle can be reaped.
                             let peer = peer
                                 .map(|p| p.to_string())
@@ -366,99 +638,224 @@ impl EcovisorServer {
             active,
         })
     }
+}
 
-    /// Serves one connection to completion: hello handshake, then a
-    /// batch/response loop until the peer disconnects.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O failures; protocol-level problems (bad hello,
-    /// undecodable batch) are answered on the wire and end the
-    /// connection cleanly.
-    pub fn serve_connection(mut stream: TcpStream, shared: &SharedEcovisor) -> io::Result<()> {
-        let result = Self::serve_frames(&mut stream, shared);
-        // Shut the socket down explicitly: the spawn path keeps a cloned
-        // fd in the shutdown registry, and shutdown(2) (unlike dropping
-        // this handle) closes the connection for every clone, so the
-        // peer sees EOF as soon as serving ends.
-        let _ = stream.shutdown(std::net::Shutdown::Both);
-        result
-    }
+/// Serves one connection: handshake, then the version-matched loop.
+fn serve_connection(mut stream: TcpStream, ctx: &ServeCtx) -> io::Result<()> {
+    let result = serve_frames(&mut stream, ctx);
+    // Shut the socket down explicitly: the spawn path keeps a cloned
+    // fd in the shutdown registry, and shutdown(2) (unlike dropping
+    // this handle) closes the connection for every clone, so the
+    // peer sees EOF as soon as serving ends.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    result
+}
 
-    fn serve_frames(mut stream: &mut TcpStream, shared: &SharedEcovisor) -> io::Result<()> {
-        // --- Hello ---
-        let Some(hello_bytes) = read_frame(&mut stream)? else {
-            return Ok(());
-        };
-        let hello: Result<ClientHello, _> = WireCodec::Json.decode(&hello_bytes);
-        let (codec, pinned_app) = match hello {
-            Ok(h) if h.version != PROTOCOL_VERSION => {
-                let reject = ServerHello::Reject {
-                    reason: format!(
-                        "protocol version mismatch: server speaks v{PROTOCOL_VERSION}, client v{}",
-                        h.version
-                    ),
-                };
-                write_frame(&mut stream, &WireCodec::Json.encode(&reject))?;
-                return Ok(());
-            }
-            Ok(h) => match h.codecs.iter().find(|c| WireCodec::preferred().contains(c)) {
-                Some(&codec) => (codec, h.app),
-                None => {
-                    let reject = ServerHello::Reject {
-                        reason: "no common codec".into(),
-                    };
-                    write_frame(&mut stream, &WireCodec::Json.encode(&reject))?;
-                    return Ok(());
-                }
-            },
-            Err(e) => {
-                let reject = ServerHello::Reject {
-                    reason: format!("malformed hello: {e}"),
-                };
-                write_frame(&mut stream, &WireCodec::Json.encode(&reject))?;
-                return Ok(());
-            }
-        };
-        let accept = ServerHello::Accept {
-            version: PROTOCOL_VERSION,
-            codec,
-        };
-        write_frame(&mut stream, &WireCodec::Json.encode(&accept))?;
+/// The hello, parsed version-agnostically.
+enum ParsedHello {
+    V2(ClientHelloV2),
+    V1(ClientHello),
+}
 
-        // --- Batch loop ---
-        while let Some(frame) = read_frame(&mut stream)? {
-            let response = match codec.decode::<RequestBatch>(&frame) {
-                // Scope pinning: a remote peer is untrusted, so a batch
-                // claiming a different app than the hello pinned is a
-                // spoof attempt — denied as a value, per request.
-                Ok(batch) if batch.app != pinned_app => ResponseBatch {
-                    version: PROTOCOL_VERSION,
-                    app: batch.app,
-                    responses: vec![
-                        EnergyResponse::Err(ProtoError::Other(format!(
-                            "connection is pinned to {pinned_app}, batch claims {}",
-                            batch.app
-                        )));
-                        batch.requests.len()
-                    ],
-                },
-                // Sharded dispatch: no global lock — this thread
-                // contends only with traffic to the same app's shard
-                // (and with the driver's settlement barrier).
-                Ok(batch) => shared.dispatch_batch(&batch),
-                // An undecodable frame means framing may be out of
-                // sync; the server cannot know how many requests the
-                // batch held, so any reply would break the
-                // one-response-per-request contract. Close instead —
-                // the client surfaces the dropped connection as
-                // transport-failure values with the right arity.
-                Err(_) => break,
-            };
-            write_frame(&mut stream, &codec.encode(&response))?;
+/// Negotiation outcome for one connection.
+struct Negotiated {
+    version: u16,
+    codec: WireCodec,
+    app: AppId,
+}
+
+/// Runs the hello exchange. `Ok(None)` means the hello was answered with
+/// a reject (or the peer closed) and the connection is done.
+fn negotiate(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<Option<Negotiated>> {
+    let reject = |stream: &mut TcpStream, reason: String| -> io::Result<Option<Negotiated>> {
+        let reply = ServerHello::Reject { reason };
+        write_frame(stream, &WireCodec::Json.encode(&reply))?;
+        Ok(None)
+    };
+
+    let Some(hello_bytes) = read_frame(stream)? else {
+        return Ok(None);
+    };
+    // The v2 hello is tried first (its `versions` field is absent from
+    // v1 hellos, so the two shapes never ambiguate).
+    let hello = match WireCodec::Json.decode::<ClientHelloV2>(&hello_bytes) {
+        Ok(h) => ParsedHello::V2(h),
+        Err(_) => match WireCodec::Json.decode::<ClientHello>(&hello_bytes) {
+            Ok(h) => ParsedHello::V1(h),
+            Err(e) => return reject(stream, format!("malformed hello: {e}")),
+        },
+    };
+
+    let (versions, app, codecs, credential) = match &hello {
+        ParsedHello::V2(h) => (
+            h.versions.clone(),
+            h.app,
+            h.codecs.clone(),
+            h.credential.as_deref(),
+        ),
+        ParsedHello::V1(h) => (vec![h.version], h.app, h.codecs.clone(), None),
+    };
+
+    // Highest shared version. A v1 hello's single version must itself be
+    // supported; rejecting here keeps mismatched clients away from the
+    // dispatcher entirely.
+    let Some(version) = versions
+        .iter()
+        .filter(|v| SUPPORTED_VERSIONS.contains(v))
+        .max()
+        .copied()
+    else {
+        return reject(
+            stream,
+            format!(
+                "protocol version mismatch: server speaks {SUPPORTED_VERSIONS:?}, client offered {versions:?}"
+            ),
+        );
+    };
+
+    // Credential gate: when the server carries a registry, the hello
+    // must prove its claimed app before anything else is served. The
+    // reason string deliberately does not say *what* failed.
+    if let Some(creds) = &ctx.creds {
+        if !creds.verify(app, credential) {
+            return reject(stream, format!("credential rejected for {app}"));
         }
-        Ok(())
     }
+
+    let Some(codec) = codecs
+        .iter()
+        .find(|c| WireCodec::preferred().contains(c))
+        .copied()
+    else {
+        return reject(stream, "no common codec".into());
+    };
+
+    let accept = ServerHello::Accept { version, codec };
+    write_frame(stream, &WireCodec::Json.encode(&accept))?;
+    Ok(Some(Negotiated {
+        version,
+        codec,
+        app,
+    }))
+}
+
+/// One pinned-scope denial batch (the spoofed-envelope answer).
+fn pinned_denial(batch: &RequestBatch, pinned: AppId) -> ResponseBatch {
+    ResponseBatch {
+        version: batch.version,
+        app: batch.app,
+        responses: vec![
+            EnergyResponse::Err(ProtoError::Other(format!(
+                "connection is pinned to {pinned}, batch claims {}",
+                batch.app
+            )));
+            batch.requests.len()
+        ],
+    }
+}
+
+fn serve_frames(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<()> {
+    // The read/idle timeout applies from the hello on; the write bound
+    // protects the broadcast path (options live on the underlying
+    // socket, so the cloned writer half inherits them).
+    stream.set_read_timeout(ctx.read_timeout)?;
+    stream.set_write_timeout(ctx.read_timeout)?;
+    let Some(neg) = negotiate(stream, ctx)? else {
+        return Ok(());
+    };
+    if neg.version >= PROTOCOL_VERSION {
+        serve_v2(stream, ctx, &neg)
+    } else {
+        serve_v1(stream, ctx, &neg)
+    }
+}
+
+/// The v1 loop: bare `RequestBatch` in, bare `ResponseBatch` out —
+/// byte-identical to the original request/response-only server, so a
+/// v1-only client round-trips unmodified. (`PollEvents` flows through
+/// like any other request, which is how v1 clients get Table 2 event
+/// parity.)
+fn serve_v1(stream: &mut TcpStream, ctx: &ServeCtx, neg: &Negotiated) -> io::Result<()> {
+    while let Some(frame) = read_frame(stream)? {
+        let response = match neg.codec.decode::<RequestBatch>(&frame) {
+            // Scope pinning: a remote peer is untrusted, so a batch
+            // claiming a different app than the hello pinned is a
+            // spoof attempt — denied as a value, per request.
+            Ok(batch) if batch.app != neg.app => pinned_denial(&batch, neg.app),
+            // Sharded dispatch: no global lock — this thread contends
+            // only with traffic to the same app's shard (and with the
+            // driver's settlement barrier).
+            Ok(batch) => ctx.shared.dispatch_batch(&batch),
+            // An undecodable frame means framing may be out of sync;
+            // the server cannot know how many requests the batch held,
+            // so any reply would break the one-response-per-request
+            // contract. Close instead — the client surfaces the dropped
+            // connection as transport-failure values with the right
+            // arity.
+            Err(_) => break,
+        };
+        write_frame(stream, &neg.codec.encode(&response))?;
+    }
+    Ok(())
+}
+
+/// The v2 loop: every payload is a [`Frame`]. The connection is split —
+/// this function keeps the reader half; the writer half (a cloned
+/// stream) goes into the push registry so the broadcast hook can push
+/// [`Frame::Event`]s between this thread's responses.
+fn serve_v2(stream: &mut TcpStream, ctx: &ServeCtx, neg: &Negotiated) -> io::Result<()> {
+    let writer = stream.try_clone()?;
+    let conn = Arc::new(ConnShared {
+        app: neg.app,
+        codec: neg.codec,
+        writer: Mutex::new(writer),
+        filter: Mutex::new(None),
+    });
+    crate::lock::lock(&ctx.registry).push(Arc::clone(&conn));
+    let _deregister = Deregister {
+        registry: Arc::clone(&ctx.registry),
+        conn: Arc::clone(&conn),
+    };
+
+    while let Some(frame) = read_frame(stream)? {
+        match neg.codec.decode::<Frame>(&frame) {
+            Ok(Frame::Request(batch)) => {
+                let response = if batch.app != neg.app {
+                    pinned_denial(&batch, neg.app)
+                } else {
+                    // Connection-level interpretation of subscriptions:
+                    // the dispatcher acknowledges `SubscribeEvents`, the
+                    // transport gives it meaning for *this* connection —
+                    // under exactly the dispatcher's version gate
+                    // (supported envelope AND new enough for the
+                    // request), so the two never disagree about whether
+                    // a subscription took effect.
+                    for req in &batch.requests {
+                        if let EnergyRequest::SubscribeEvents { filter } = req {
+                            if SUPPORTED_VERSIONS.contains(&batch.version)
+                                && batch.version >= req.min_version()
+                            {
+                                *crate::lock::lock(&conn.filter) = Some(*filter);
+                            }
+                        }
+                    }
+                    ctx.shared.dispatch_batch(&batch)
+                };
+                let payload = neg.codec.encode(&Frame::Response(response));
+                write_frame(&mut *crate::lock::lock(&conn.writer), &payload)?;
+            }
+            Ok(Frame::Control(ControlFrame::Ping)) => {
+                let payload = neg.codec.encode(&Frame::Control(ControlFrame::Pong));
+                write_frame(&mut *crate::lock::lock(&conn.writer), &payload)?;
+            }
+            Ok(Frame::Control(ControlFrame::Pong)) => {}
+            // Response/Event are server-direction frames; a client
+            // sending one is out of protocol. Same rule as an
+            // undecodable frame: close, never guess.
+            Ok(Frame::Response(_)) | Ok(Frame::Event(_)) | Err(_) => break,
+        }
+    }
+    Ok(())
 }
 
 /// One accepted connection: its serving thread plus a socket handle the
@@ -499,9 +896,10 @@ impl ServerHandle {
     }
 
     /// Number of connections currently being served. A client that
-    /// disconnects (cleanly or mid-frame) drops off this count as soon
-    /// as its serving thread exits; calling this also reaps finished
-    /// join handles from the connection registry.
+    /// disconnects (cleanly, mid-frame, or by tripping the idle
+    /// timeout) drops off this count as soon as its serving thread
+    /// exits; calling this also reaps finished join handles from the
+    /// connection registry.
     pub fn active_connections(&self) -> usize {
         let mut conns = crate::lock::lock(&self.connections);
         conns.retain(|c| !c.thread.is_finished());
@@ -550,6 +948,15 @@ impl Drop for ServerHandle {
 /// [`crate::client::EcovisorClient`], transported over a framed TCP
 /// connection.
 ///
+/// On a v2-negotiated connection the client also *receives*: event
+/// frames the server pushes (after
+/// [`subscribe_events`](EnergyClient::subscribe_events)) are collected
+/// into an inbox while
+/// responses are awaited — drain them with [`EnergyClient::events`] /
+/// [`take_event_frames`](Self::take_event_frames), wait for the next one
+/// with [`recv_event`](Self::recv_event), or install a callback with
+/// [`set_event_handler`](Self::set_event_handler).
+///
 /// Transport failures surface as [`EnergyResponse::Err`] values carrying
 /// [`ProtoError::Other`] — the failures-are-values contract extends over
 /// the network, so a policy loop sees a dead server the same way it sees
@@ -557,9 +964,12 @@ impl Drop for ServerHandle {
 pub struct RemoteEcovisorClient {
     stream: TcpStream,
     codec: WireCodec,
+    version: u16,
     app: AppId,
     queue: Vec<EnergyRequest>,
     broken: bool,
+    inbox: Vec<EventFrame>,
+    handler: Option<EventHandler>,
 }
 
 impl std::fmt::Debug for RemoteEcovisorClient {
@@ -567,20 +977,23 @@ impl std::fmt::Debug for RemoteEcovisorClient {
         f.debug_struct("RemoteEcovisorClient")
             .field("app", &self.app)
             .field("codec", &self.codec)
+            .field("version", &self.version)
             .field("queued", &self.queue.len())
+            .field("inbox", &self.inbox.len())
             .finish_non_exhaustive()
     }
 }
 
 impl RemoteEcovisorClient {
-    /// Connects and negotiates a codec, preferring binary with JSON
-    /// fallback.
+    /// Connects and negotiates: offers every supported protocol version
+    /// (the server picks the highest shared) and prefers the binary
+    /// codec with JSON fallback.
     ///
     /// # Errors
     ///
     /// On connection failure or a rejected hello.
     pub fn connect(addr: impl ToSocketAddrs, app: AppId) -> io::Result<Self> {
-        Self::connect_with(addr, app, WireCodec::preferred())
+        Self::connect_full(addr, app, WireCodec::preferred(), None)
     }
 
     /// Connects offering an explicit codec preference list.
@@ -593,10 +1006,109 @@ impl RemoteEcovisorClient {
         app: AppId,
         codecs: Vec<WireCodec>,
     ) -> io::Result<Self> {
+        Self::connect_full(addr, app, codecs, None)
+    }
+
+    /// Connects presenting `credential` as the app's token — required
+    /// against a server built with a [`CredentialRegistry`].
+    ///
+    /// # Errors
+    ///
+    /// On connection failure or a rejected hello (including a wrong
+    /// token).
+    pub fn connect_with_credential(
+        addr: impl ToSocketAddrs,
+        app: AppId,
+        credential: impl Into<String>,
+    ) -> io::Result<Self> {
+        Self::connect_full(addr, app, WireCodec::preferred(), Some(credential.into()))
+    }
+
+    /// The full-control connect: explicit codec list and optional
+    /// credential.
+    ///
+    /// Negotiation is symmetric across releases: a server too old to
+    /// parse the v2 hello rejects it as malformed, and this client then
+    /// retries once with the legacy v1 [`ClientHello`] — so a new
+    /// client downgrades against an old server just as an old client is
+    /// served by a new one. The retry is skipped when a credential was
+    /// supplied: a v1 hello cannot carry it, and silently connecting
+    /// unauthenticated would defeat the point.
+    ///
+    /// # Errors
+    ///
+    /// On connection failure, a rejected hello, or a server that
+    /// accepted a version this client never offered.
+    pub fn connect_full(
+        addr: impl ToSocketAddrs,
+        app: AppId,
+        codecs: Vec<WireCodec>,
+        credential: Option<String>,
+    ) -> io::Result<Self> {
+        // Resolve once so the legacy retry can reconnect.
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let has_credential = credential.is_some();
+        let hello = ClientHelloV2::new(app, codecs.clone(), credential);
+        let versions = hello.versions.clone();
+        match Self::handshake(&addrs[..], &WireCodec::Json.encode(&hello)) {
+            Ok((stream, version, codec)) => {
+                if !versions.contains(&version) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("server accepted v{version}, which this client never offered"),
+                    ));
+                }
+                Ok(Self::assemble(stream, codec, version, app))
+            }
+            // A pre-v2 server cannot parse the v2 hello shape and
+            // rejects it as malformed; fall back to the v1 hello.
+            Err(e)
+                if !has_credential
+                    && e.kind() == io::ErrorKind::ConnectionRefused
+                    && e.to_string().contains("malformed hello") =>
+            {
+                Self::connect_v1_with(&addrs[..], app, codecs)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Connects as a **v1-only legacy client**: sends the original
+    /// [`ClientHello`] and speaks the bare request/response wire, with
+    /// no frame layer and no push. Exists so the old protocol's
+    /// compatibility is a tested behavior, not an assumption.
+    ///
+    /// # Errors
+    ///
+    /// On connection failure or a rejected hello (e.g. a credentialed
+    /// server, which refuses credential-less v1 hellos).
+    pub fn connect_v1(addr: impl ToSocketAddrs, app: AppId) -> io::Result<Self> {
+        Self::connect_v1_with(addr, app, WireCodec::preferred())
+    }
+
+    fn connect_v1_with(
+        addr: impl ToSocketAddrs,
+        app: AppId,
+        codecs: Vec<WireCodec>,
+    ) -> io::Result<Self> {
+        let hello = ClientHello::new(app, codecs);
+        let (stream, version, codec) = Self::handshake(addr, &WireCodec::Json.encode(&hello))?;
+        if version != PROTOCOL_V1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server accepted v{version} against a v1-only hello"),
+            ));
+        }
+        Ok(Self::assemble(stream, codec, PROTOCOL_V1, app))
+    }
+
+    fn handshake(
+        addr: impl ToSocketAddrs,
+        hello_payload: &[u8],
+    ) -> io::Result<(TcpStream, u16, WireCodec)> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let hello = ClientHello::new(app, codecs);
-        write_frame(&mut stream, &WireCodec::Json.encode(&hello))?;
+        write_frame(&mut stream, hello_payload)?;
         let reply = read_frame(&mut stream)?.ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::ConnectionAborted,
@@ -607,16 +1119,23 @@ impl RemoteEcovisorClient {
             .decode(&reply)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad hello: {e}")))?;
         match reply {
-            ServerHello::Accept { codec, .. } => Ok(Self {
-                stream,
-                codec,
-                app,
-                queue: Vec::new(),
-                broken: false,
-            }),
+            ServerHello::Accept { version, codec } => Ok((stream, version, codec)),
             ServerHello::Reject { reason } => {
                 Err(io::Error::new(io::ErrorKind::ConnectionRefused, reason))
             }
+        }
+    }
+
+    fn assemble(stream: TcpStream, codec: WireCodec, version: u16, app: AppId) -> Self {
+        Self {
+            stream,
+            codec,
+            version,
+            app,
+            queue: Vec::new(),
+            broken: false,
+            inbox: Vec::new(),
+            handler: None,
         }
     }
 
@@ -625,27 +1144,143 @@ impl RemoteEcovisorClient {
         self.codec
     }
 
+    /// The protocol version this connection negotiated (the highest one
+    /// both sides speak).
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
     /// `true` once the transport has failed; subsequent requests answer
     /// with error values without touching the socket.
     pub fn is_broken(&self) -> bool {
         self.broken
     }
 
+    /// Installs a callback fired once per received [`EventFrame`], in
+    /// arrival order — whether the frame arrived interleaved with a
+    /// response or via [`recv_event`](Self::recv_event). Frames that
+    /// arrive interleaved with responses are queued in the inbox after
+    /// the callback; a frame [`recv_event`](Self::recv_event) returns
+    /// goes to its caller instead and is **not** queued — the callback
+    /// is the only surface that observes every frame exactly once.
+    pub fn set_event_handler(&mut self, handler: impl FnMut(&EventFrame) + Send + 'static) {
+        self.handler = Some(Box::new(handler));
+    }
+
+    /// Drains the pushed event frames received so far (settlement-tick
+    /// stamps included). [`EnergyClient::events`] is the flattened,
+    /// poll-merged form of this.
+    pub fn take_event_frames(&mut self) -> Vec<EventFrame> {
+        std::mem::take(&mut self.inbox)
+    }
+
+    /// Blocks until the server pushes the next event frame (or returns
+    /// one already queued). Requires a v2 connection and an active
+    /// subscription to ever return; a read timeout configured on the
+    /// socket surfaces as the corresponding I/O error.
+    ///
+    /// # Errors
+    ///
+    /// On a v1 connection (no push on that wire), a broken transport, or
+    /// any I/O/decode failure.
+    pub fn recv_event(&mut self) -> io::Result<EventFrame> {
+        if !self.inbox.is_empty() {
+            return Ok(self.inbox.remove(0));
+        }
+        if self.version < PROTOCOL_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "event push requires protocol v2",
+            ));
+        }
+        if self.broken {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection already failed",
+            ));
+        }
+        loop {
+            match self.read_v2_frame()? {
+                Frame::Event(frame) => {
+                    if let Some(handler) = self.handler.as_mut() {
+                        handler(&frame);
+                    }
+                    return Ok(frame);
+                }
+                Frame::Control(_) => {}
+                Frame::Response(_) | Frame::Request(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "unsolicited non-event frame",
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Reads and decodes one v2 frame, answering pings inline.
+    fn read_v2_frame(&mut self) -> io::Result<Frame> {
+        loop {
+            let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::ConnectionAborted, "server closed connection")
+            })?;
+            let frame: Frame = self
+                .codec
+                .decode(&frame)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if let Frame::Control(ControlFrame::Ping) = frame {
+                let payload = self.codec.encode(&Frame::Control(ControlFrame::Pong));
+                write_frame(&mut self.stream, &payload)?;
+                continue;
+            }
+            return Ok(frame);
+        }
+    }
+
+    /// Buffers a pushed frame (handler first, inbox second).
+    fn deliver(&mut self, frame: EventFrame) {
+        if let Some(handler) = self.handler.as_mut() {
+            handler(&frame);
+        }
+        self.inbox.push(frame);
+    }
+
     fn round_trip(&mut self, batch: &RequestBatch) -> io::Result<ResponseBatch> {
-        write_frame(&mut self.stream, &self.codec.encode(batch))?;
-        let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::ConnectionAborted, "server closed mid-batch")
-        })?;
-        self.codec
-            .decode(&frame)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        if self.version >= PROTOCOL_VERSION {
+            // v2: framed request, then read until our response arrives —
+            // pushed event frames interleave and are buffered in order.
+            let payload = self.codec.encode(&Frame::Request(batch.clone()));
+            write_frame(&mut self.stream, &payload)?;
+            loop {
+                match self.read_v2_frame()? {
+                    Frame::Response(resp) => return Ok(resp),
+                    Frame::Event(frame) => self.deliver(frame),
+                    Frame::Control(_) => {}
+                    Frame::Request(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "server sent a request frame",
+                        ));
+                    }
+                }
+            }
+        } else {
+            // v1: the bare request/response wire, unchanged.
+            write_frame(&mut self.stream, &self.codec.encode(batch))?;
+            let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::ConnectionAborted, "server closed mid-batch")
+            })?;
+            self.codec
+                .decode(&frame)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        }
     }
 
     /// One transport-failure response per request, so batch arithmetic
     /// (one response per request, in order) holds even when the wire dies.
     fn failure_batch(&self, batch: &RequestBatch, err: &io::Error) -> ResponseBatch {
         ResponseBatch {
-            version: PROTOCOL_VERSION,
+            version: self.version,
             app: batch.app,
             responses: vec![
                 EnergyResponse::Err(ProtoError::Other(format!("transport: {err}")));
@@ -668,6 +1303,13 @@ impl EnergyClient for RemoteEcovisorClient {
         &mut self.queue
     }
 
+    /// Batches are stamped with the *negotiated* version: a v1
+    /// connection emits v1 envelopes, so the dispatcher's per-request
+    /// version gate (not the transport) answers v2-only requests.
+    fn protocol_version(&self) -> u16 {
+        self.version
+    }
+
     fn transport(&mut self, batch: RequestBatch) -> ResponseBatch {
         if self.broken {
             let err = io::Error::new(io::ErrorKind::NotConnected, "connection already failed");
@@ -680,6 +1322,22 @@ impl EnergyClient for RemoteEcovisorClient {
                 self.failure_batch(&batch, &e)
             }
         }
+    }
+
+    /// Pushed-then-polled drain: event frames already received off the
+    /// wire come first (in arrival order), then whatever the server-side
+    /// outbox still holds. With an active subscription the poll is
+    /// empty — push drained the outbox at settlement — so the sequence
+    /// is exactly the pushed one.
+    fn events(&mut self) -> Vec<Notification> {
+        let polled = self.poll_events().unwrap_or_default();
+        let mut out: Vec<Notification> = self
+            .inbox
+            .drain(..)
+            .flat_map(|frame| frame.events)
+            .collect();
+        out.extend(polled);
+        out
     }
 }
 
@@ -728,10 +1386,21 @@ mod tests {
     #[test]
     fn hello_types_round_trip_in_json() {
         let hello = ClientHello::new(AppId::new(3), WireCodec::preferred());
+        assert_eq!(hello.version, PROTOCOL_V1, "legacy hello speaks v1");
         let back: ClientHello = WireCodec::Json
             .decode(&WireCodec::Json.encode(&hello))
             .expect("decode");
         assert_eq!(back, hello);
+        let hello2 = ClientHelloV2::new(
+            AppId::new(3),
+            WireCodec::preferred(),
+            Some("tenant-token".into()),
+        );
+        assert_eq!(hello2.versions, SUPPORTED_VERSIONS.to_vec());
+        let back2: ClientHelloV2 = WireCodec::Json
+            .decode(&WireCodec::Json.encode(&hello2))
+            .expect("decode");
+        assert_eq!(back2, hello2);
         for reply in [
             ServerHello::Accept {
                 version: PROTOCOL_VERSION,
@@ -749,6 +1418,20 @@ mod tests {
     }
 
     #[test]
+    fn hello_shapes_never_ambiguate() {
+        // A v2 hello must not parse as a v1 hello and vice versa: the
+        // server's try-v2-then-v1 order depends on it.
+        let v2 = WireCodec::Json.encode(&ClientHelloV2::new(
+            AppId::new(1),
+            WireCodec::preferred(),
+            None,
+        ));
+        assert!(WireCodec::Json.decode::<ClientHello>(&v2).is_err());
+        let v1 = WireCodec::Json.encode(&ClientHello::new(AppId::new(1), WireCodec::preferred()));
+        assert!(WireCodec::Json.decode::<ClientHelloV2>(&v1).is_err());
+    }
+
+    #[test]
     fn codecs_agree_on_payloads() {
         let batch = RequestBatch::new(
             AppId::new(1),
@@ -763,5 +1446,37 @@ mod tests {
             let back: RequestBatch = codec.decode(&codec.encode(&batch)).expect("decode");
             assert_eq!(back, batch, "{codec:?}");
         }
+        // The v2 frame wrapper round-trips in both codecs too.
+        let frame = Frame::Event(EventFrame {
+            version: PROTOCOL_VERSION,
+            app: AppId::new(1),
+            tick: 42,
+            events: vec![Notification::BatteryFull],
+        });
+        for codec in WireCodec::preferred() {
+            let back: Frame = codec.decode(&codec.encode(&frame)).expect("decode");
+            assert_eq!(back, frame, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn constant_time_eq_is_correct() {
+        assert!(constant_time_eq(b"secret", b"secret"));
+        assert!(!constant_time_eq(b"secret", b"secreT"));
+        assert!(!constant_time_eq(b"secret", b"secret2"));
+        assert!(!constant_time_eq(b"", b"x"));
+        assert!(constant_time_eq(b"", b""));
+    }
+
+    #[test]
+    fn credential_registry_verifies() {
+        let creds = CredentialRegistry::new().with(AppId::new(1), "alpha-token");
+        assert!(creds.verify(AppId::new(1), Some("alpha-token")));
+        assert!(!creds.verify(AppId::new(1), Some("beta-token")));
+        assert!(!creds.verify(AppId::new(1), None));
+        assert!(!creds.verify(AppId::new(2), Some("alpha-token")));
+        // An empty presented token against an unregistered app must not
+        // accidentally compare equal to the absent-entry placeholder.
+        assert!(!creds.verify(AppId::new(2), Some("")));
     }
 }

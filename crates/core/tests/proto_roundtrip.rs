@@ -5,9 +5,10 @@
 
 use container_cop::{AppId, ContainerId, ContainerSpec};
 use ecovisor::proto::{
-    EnergyRequest, EnergyResponse, ProtoError, RequestBatch, ResponseBatch, PROTOCOL_VERSION,
+    EnergyRequest, EnergyResponse, EventFrame, ProtoError, RequestBatch, ResponseBatch,
+    PROTOCOL_VERSION,
 };
-use ecovisor::{ProtocolTrace, TraceEntry};
+use ecovisor::{EventFilter, Notification, ProtocolTrace, TraceEntry};
 use simkit::time::{SimDuration, SimTime};
 use simkit::units::{CarbonIntensity, CarbonRate, Co2Grams, WattHours, Watts};
 
@@ -91,6 +92,10 @@ fn all_requests() -> Vec<EnergyRequest> {
         EnergyRequest::SetCarbonBudget { budget: None },
         EnergyRequest::GetCarbonBudget,
         EnergyRequest::GetRemainingCarbonBudget,
+        EnergyRequest::PollEvents,
+        EnergyRequest::SubscribeEvents {
+            filter: EventFilter::all(),
+        },
     ]
 }
 
@@ -114,6 +119,18 @@ fn all_responses() -> Vec<EnergyResponse> {
         EnergyResponse::Time(SimTime::from_secs(7200)),
         EnergyResponse::Interval(SimDuration::from_secs(60)),
         EnergyResponse::App(AppId::new(3)),
+        EnergyResponse::Events(vec![
+            Notification::BatteryFull,
+            Notification::SolarChange {
+                previous: Watts::new(120.0),
+                current: Watts::new(40.0),
+            },
+            Notification::BudgetExhausted {
+                budget: Co2Grams::new(100.0),
+                carbon: Co2Grams::new(101.5),
+            },
+        ]),
+        EnergyResponse::Events(vec![]),
         EnergyResponse::Err(ProtoError::Version {
             expected: PROTOCOL_VERSION,
             got: 99,
@@ -178,14 +195,16 @@ fn every_request_variant_round_trips() {
             | GetCarbonRateLimit
             | SetCarbonBudget { .. }
             | GetCarbonBudget
-            | GetRemainingCarbonBudget => {}
+            | GetRemainingCarbonBudget
+            | PollEvents
+            | SubscribeEvents { .. } => {}
         }
         round_trip_request(r);
     }
     // Every variant name appears exactly once in the exemplar list
     // (modulo the deliberate Some/None doubles).
     let names: std::collections::BTreeSet<&str> = requests.iter().map(|r| r.name()).collect();
-    assert_eq!(names.len(), 34);
+    assert_eq!(names.len(), 36);
 }
 
 #[test]
@@ -195,7 +214,7 @@ fn every_response_variant_round_trips() {
         match resp {
             Ok | Power(_) | PowerCap(_) | Energy(_) | Carbon(_) | Intensity(_) | RateLimit(_)
             | Budget(_) | Cores(_) | Count(_) | Container(_) | Containers(_) | Time(_)
-            | Interval(_) | App(_) | Err(_) => {}
+            | Interval(_) | App(_) | Events(_) | Err(_) => {}
         }
         round_trip_response(resp);
     }
@@ -232,9 +251,22 @@ fn protocol_traces_round_trip() {
                 batch: RequestBatch::new(AppId::new(2), vec![EnergyRequest::GetAppPower]),
             },
         ],
+        events: vec![EventFrame {
+            version: PROTOCOL_VERSION,
+            app: AppId::new(1),
+            tick: 1,
+            events: vec![
+                Notification::BatteryEmpty,
+                Notification::CarbonChange {
+                    previous: CarbonIntensity::new(210.0),
+                    current: CarbonIntensity::new(420.0),
+                },
+            ],
+        }],
     };
-    // 36 exemplar requests (34 variants + the two `None` doubles) + 1.
-    assert_eq!(trace.request_count(), 37);
+    // 38 exemplar requests (36 variants + the two `None` doubles) + 1.
+    assert_eq!(trace.request_count(), 39);
+    assert_eq!(trace.event_count(), 2);
     let wire = serde::json::to_string(&trace);
     let back: ProtocolTrace = serde::json::from_str(&wire).expect("parse back");
     assert_eq!(back, trace);
@@ -345,6 +377,12 @@ fn traces_round_trip_identically_in_both_codecs() {
         entries: vec![TraceEntry {
             tick: 3,
             batch: RequestBatch::new(AppId::new(1), all_requests()),
+        }],
+        events: vec![EventFrame {
+            version: PROTOCOL_VERSION,
+            app: AppId::new(1),
+            tick: 3,
+            events: vec![Notification::BatteryFull],
         }],
     };
     let json: ProtocolTrace = serde::json::from_str(&serde::json::to_string(&trace)).expect("json");

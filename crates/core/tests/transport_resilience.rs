@@ -6,8 +6,8 @@ use std::time::{Duration, Instant};
 
 use ecovisor::proto::PROTOCOL_VERSION;
 use ecovisor::{
-    ClientHello, EcovisorBuilder, EcovisorServer, EnergyClient, EnergyShare, RemoteEcovisorClient,
-    WireCodec,
+    ClientHello, EcovisorBuilder, EcovisorServer, EnergyClient, EnergyShare, EventFilter,
+    RemoteEcovisorClient, WireCodec,
 };
 use simkit::units::Watts;
 
@@ -90,5 +90,55 @@ fn disconnect_mid_frame_reaps_the_connection_thread() {
         wait_until(Duration::from_secs(5), || handle.active_connections() == 0),
         "clean disconnects drain to zero"
     );
+    handle.shutdown();
+}
+
+/// A subscriber that goes silent must not hold its push stream forever:
+/// with a read/idle timeout armed, the serving thread times out, the
+/// connection is reaped (deregistering it from the push registry), and
+/// settlement keeps broadcasting to everyone else without blocking.
+#[test]
+fn hung_subscriber_is_reaped_by_the_idle_timeout() {
+    let mut eco = EcovisorBuilder::new().build();
+    let app = eco
+        .register_app("tenant", EnergyShare::grid_only())
+        .expect("register");
+    let server = EcovisorServer::bind("127.0.0.1:0", eco)
+        .expect("bind")
+        .with_read_timeout(Duration::from_millis(200));
+    let addr = server.local_addr().expect("addr");
+    let handle = server.spawn().expect("spawn");
+    let shared = handle.ecovisor();
+
+    // The hung subscriber: a real v2 client that subscribes to push and
+    // then never touches the socket again.
+    let hung = {
+        let mut client = RemoteEcovisorClient::connect(addr, app).expect("connect");
+        client
+            .subscribe_events(EventFilter::all())
+            .expect("subscribe");
+        client
+    };
+    assert!(
+        wait_until(Duration::from_secs(2), || handle.active_connections() == 1),
+        "subscriber counted while alive"
+    );
+
+    // It sends nothing further: the idle timeout trips and the server
+    // reaps the connection — no client-side action at all.
+    assert!(
+        wait_until(Duration::from_secs(5), || handle.active_connections() == 0),
+        "hung subscriber must be reaped by the idle timeout, got {}",
+        handle.active_connections()
+    );
+
+    // The settlement/broadcast path is unaffected by the dead stream
+    // (the reaped connection deregistered from the push registry), and
+    // fresh clients — polling within the timeout — are served normally.
+    shared.tick();
+    let mut fresh = RemoteEcovisorClient::connect(addr, app).expect("connect after reap");
+    assert_eq!(fresh.get_grid_power(), Watts::ZERO);
+    drop(fresh);
+    drop(hung);
     handle.shutdown();
 }

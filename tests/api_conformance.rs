@@ -247,6 +247,13 @@ fn via_facade(api: &mut ScopedApi<'_>, req: &EnergyRequest) -> EnergyResponse {
         EnergyRequest::GetRemainingCarbonBudget => {
             EnergyResponse::Budget(api.remaining_carbon_budget())
         }
+        // The event surface never belonged to the legacy trait façade —
+        // it is a protocol-native addition, conformance-tested between
+        // the in-process and remote *clients* in
+        // crates/core/tests/protocol_v2.rs.
+        EnergyRequest::PollEvents | EnergyRequest::SubscribeEvents { .. } => {
+            unreachable!("event requests are not part of the façade conformance sequence")
+        }
     }
 }
 
