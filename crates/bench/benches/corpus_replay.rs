@@ -1,0 +1,125 @@
+//! Corpus-driven replay throughput: the regression benchmark every perf
+//! PR (async dispatch, borrowed decode, …) measures itself against.
+//!
+//! One iteration = one full recorded multi-tenant day replayed at its
+//! recorded tick cadence: dispatch every recorded batch into the tick
+//! it was recorded in, settle, regenerate event frames. Two rows per
+//! scenario:
+//!
+//! * `replay_plain/<scenario>` — [`Ecovisor::replay_trace`], the raw
+//!   dispatch + settlement path;
+//! * `replay_sharded/<scenario>` — [`ShardedEcovisor::replay_trace`],
+//!   the deployment shape with outer read-lock dispatch and the
+//!   settlement barrier.
+//!
+//! The harness asserts once per scenario that both paths settle the
+//! recorded totals digest — a bench run on a build that broke
+//! bit-identical replay panics instead of publishing a number.
+//! `BENCH_corpus_replay.json` in the crate root holds the committed
+//! baseline (with machine-readable `host` metadata).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use ecoharness::artifact::artifacts_in_dir;
+use ecoharness::{build_ecovisor, ScenarioArtifact};
+use ecovisor::{digest, ShardedEcovisor};
+
+fn corpus() -> Vec<ScenarioArtifact> {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    artifacts_in_dir(&dir)
+        .expect("corpus directory exists")
+        .iter()
+        .map(|p| {
+            ScenarioArtifact::load(p)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.display()))
+                .0
+        })
+        .collect()
+}
+
+/// Replays on the plain path, returning the totals digest.
+fn replay_plain(artifact: &ScenarioArtifact) -> u64 {
+    let (mut eco, ids) = build_ecovisor(&artifact.spec).expect("build");
+    eco.replay_trace(&artifact.trace, artifact.spec.ticks);
+    digest_of(&eco, &artifact.expected, &ids)
+}
+
+/// Replays on the sharded path, returning the totals digest.
+fn replay_sharded(artifact: &ScenarioArtifact) -> u64 {
+    let (eco, ids) = build_ecovisor(&artifact.spec).expect("build");
+    let wrapper = ShardedEcovisor::new(eco);
+    wrapper.replay_trace(&artifact.trace, artifact.spec.ticks);
+    let eco = wrapper.into_inner();
+    digest_of(&eco, &artifact.expected, &ids)
+}
+
+fn digest_of(
+    eco: &ecovisor::Ecovisor,
+    expected: &ecoharness::ExpectedOutcome,
+    ids: &[ecovisor::AppId],
+) -> u64 {
+    let apps: Vec<ecoharness::AppOutcome> = expected
+        .apps
+        .iter()
+        .zip(ids)
+        .map(|(o, &app)| ecoharness::AppOutcome {
+            app,
+            name: o.name.clone(),
+            totals: eco.app_totals(app).expect("registered"),
+        })
+        .collect();
+    digest(&apps)
+}
+
+fn bench_corpus_replay(c: &mut Criterion) {
+    ecovisor_bench::host::print_banner("corpus_replay");
+    let artifacts = corpus();
+    assert!(
+        artifacts.len() >= 6,
+        "committed corpus missing scenarios ({})",
+        artifacts.len()
+    );
+
+    // Replay must still be bit-identical before any number is recorded.
+    for artifact in &artifacts {
+        let expected = artifact.expected.totals_digest;
+        assert_eq!(
+            replay_plain(artifact),
+            expected,
+            "{}: plain replay diverged — fix correctness before benching",
+            artifact.spec.name
+        );
+        assert_eq!(
+            replay_sharded(artifact),
+            expected,
+            "{}: sharded replay diverged — fix correctness before benching",
+            artifact.spec.name
+        );
+    }
+
+    let mut group = c.benchmark_group("corpus_replay");
+    for artifact in &artifacts {
+        group.bench_with_input(
+            BenchmarkId::new("replay_plain", &artifact.spec.name),
+            artifact,
+            |b, artifact| {
+                b.iter_batched(|| (), |()| replay_plain(artifact), BatchSize::PerIteration);
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("replay_sharded", &artifact.spec.name),
+            artifact,
+            |b, artifact| {
+                b.iter_batched(
+                    || (),
+                    |()| replay_sharded(artifact),
+                    BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus_replay);
+criterion_main!(benches);

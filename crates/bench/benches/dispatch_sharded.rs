@@ -128,6 +128,7 @@ where
 }
 
 fn bench_mutex(c: &mut Criterion) {
+    ecovisor_bench::host::print_banner("dispatch_sharded");
     let mut group = c.benchmark_group("dispatch_mutex_day");
     for &n in &THREAD_COUNTS {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

@@ -28,6 +28,7 @@ use simkit::units::WattHours;
 const SUBSCRIBERS: [usize; 3] = [1, 4, 16];
 
 fn bench_event_fanout(c: &mut Criterion) {
+    ecovisor_bench::host::print_banner("event_fanout");
     let mut group = c.benchmark_group("event_fanout");
     for &n in &SUBSCRIBERS {
         let dt = SimDuration::from_minutes(1);

@@ -95,6 +95,7 @@ fn command_batch(app: AppId, container: ContainerId, n: usize) -> RequestBatch {
 }
 
 fn bench_query_dispatch(c: &mut Criterion) {
+    ecovisor_bench::host::print_banner("protocol");
     let mut group = c.benchmark_group("dispatch_query_batch");
     for &n in &BATCH_SIZES {
         let (eco, app, container) = dispatch_fixture();

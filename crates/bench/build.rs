@@ -1,0 +1,11 @@
+//! Forwards the build-time target triple into the crate, so committed
+//! `BENCH_*.json` baselines can carry machine-readable host metadata
+//! (`ecovisor_bench::host`). Cargo only exposes `TARGET` to build
+//! scripts, not to the crate itself.
+
+fn main() {
+    println!(
+        "cargo:rustc-env=ECOVISOR_BENCH_TARGET={}",
+        std::env::var("TARGET").unwrap_or_else(|_| "unknown".into())
+    );
+}

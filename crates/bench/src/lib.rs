@@ -56,3 +56,54 @@ pub mod quick {
         }
     }
 }
+
+/// Machine-readable host metadata for committed `BENCH_*.json`
+/// baselines.
+///
+/// PR 3/4 recorded their baselines on a 1-core container and had to
+/// carry that caveat as a prose footnote; every baseline now embeds a
+/// `host` object so tooling (and reviewers) can tell at a glance
+/// whether a number was measured on representative hardware and
+/// whether `CRITERION_SMOKE` gutted the measurement.
+pub mod host {
+    /// The recording host's relevant facts.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct HostMeta {
+        /// Available hardware parallelism (`nproc`). Aggregate-throughput
+        /// ratios (e.g. mutex vs. sharded) are compute-bound ~1.0× when
+        /// this is 1.
+        pub nproc: usize,
+        /// The build's target triple.
+        pub target: String,
+        /// Whether `CRITERION_SMOKE=1` was set (one iteration per bench:
+        /// timings are bit-rot checks, not measurements).
+        pub criterion_smoke: bool,
+    }
+
+    impl HostMeta {
+        /// Captures the current process's host facts.
+        pub fn current() -> Self {
+            Self {
+                nproc: std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(0),
+                target: env!("ECOVISOR_BENCH_TARGET").to_string(),
+                criterion_smoke: std::env::var("CRITERION_SMOKE").is_ok_and(|v| v == "1"),
+            }
+        }
+
+        /// The JSON object committed baselines embed under `"host"`.
+        pub fn to_json(&self) -> String {
+            format!(
+                "{{\"nproc\": {}, \"target\": \"{}\", \"criterion_smoke\": {}}}",
+                self.nproc, self.target, self.criterion_smoke
+            )
+        }
+    }
+
+    /// Prints the host block benches emit at startup, so a re-recorded
+    /// baseline's `host` object can be copied verbatim from the run log.
+    pub fn print_banner(bench: &str) {
+        println!("# {bench} host = {}", HostMeta::current().to_json());
+    }
+}

@@ -35,7 +35,7 @@ pub const DEFAULT_STEP: SimDuration = SimDuration::from_secs(300);
 ///     .build();
 /// assert_eq!(trace.len(), 288); // one day of 5-minute samples
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CarbonTraceBuilder {
     profile: RegionProfile,
     days: u64,

@@ -40,6 +40,6 @@ pub mod service;
 pub mod threshold;
 
 pub use generator::CarbonTraceBuilder;
-pub use regions::RegionProfile;
+pub use regions::{RegionKind, RegionProfile};
 pub use service::{CarbonService, TraceCarbonService};
 pub use threshold::percentile_threshold;

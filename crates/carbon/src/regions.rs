@@ -10,6 +10,63 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A serializable *name* for one of the built-in regional profiles, so
+/// a scenario spec can say "California" instead of embedding (and
+/// possibly drifting from) the full parameter set. Use
+/// [`RegionKind::profile`] to materialize the parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Nuclear-dominated, low and flat (~25-45 g/kWh).
+    Ontario,
+    /// Hydro with wind swings (~40-110 g/kWh).
+    Uruguay,
+    /// CAISO: fossil base, deep solar duck curve, evening peaks
+    /// (~90-350 g/kWh) -- the paper's Section 5 signal.
+    California,
+}
+
+impl RegionKind {
+    /// The built-in profile this name denotes.
+    pub fn profile(self) -> RegionProfile {
+        match self {
+            RegionKind::Ontario => ontario(),
+            RegionKind::Uruguay => uruguay(),
+            RegionKind::California => california(),
+        }
+    }
+
+    /// Stable lowercase name (CLI vocabulary).
+    pub fn name(self) -> &'static str {
+        match self {
+            RegionKind::Ontario => "ontario",
+            RegionKind::Uruguay => "uruguay",
+            RegionKind::California => "california",
+        }
+    }
+
+    /// Every built-in region, in Figure 1 order.
+    pub fn all() -> [RegionKind; 3] {
+        [
+            RegionKind::Ontario,
+            RegionKind::Uruguay,
+            RegionKind::California,
+        ]
+    }
+}
+
+impl std::str::FromStr for RegionKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ontario" => Ok(RegionKind::Ontario),
+            "uruguay" => Ok(RegionKind::Uruguay),
+            "california" | "caiso" => Ok(RegionKind::California),
+            other => Err(format!("unknown region `{other}`")),
+        }
+    }
+}
+
 /// Parameter set describing one grid region's carbon-intensity behaviour.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegionProfile {

@@ -12,7 +12,7 @@ use simkit::units::CarbonIntensity;
 /// What happens to excess virtual solar power once an application's
 /// battery is full (§3.1: "Determining how to handle excess solar power
 /// is a policy decision").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum ExcessPolicy {
     /// Rely on the charge controller to curtail it (the paper's
     /// prototype default, which does not net-meter).

@@ -47,7 +47,7 @@ use simkit::units::{CarbonIntensity, CarbonRate, Co2Grams, WattHours, Watts};
 use crate::api::{EcovisorApi, LibraryApi};
 use crate::config::{EcovisorBuilder, ExcessPolicy};
 use crate::error::{EcovisorError, Result};
-use crate::event::{Notification, NotifyConfig};
+use crate::event::{Notification, NotifyConfig, OutboxPolicy};
 use crate::lock;
 use crate::proto::{EnergyRequest, EnergyResponse};
 use crate::share::EnergyShare;
@@ -62,6 +62,7 @@ pub(crate) struct AppState {
     pub(crate) name: String,
     pub(crate) ves: VirtualEnergySystem,
     pub(crate) notify: NotifyConfig,
+    pub(crate) outbox: OutboxPolicy,
     pub(crate) pending_events: Vec<Notification>,
     pub(crate) carbon_rate_limit: Option<CarbonRate>,
     pub(crate) carbon_budget: Option<Co2Grams>,
@@ -208,6 +209,7 @@ impl Ecovisor {
                 name: name.into(),
                 ves: VirtualEnergySystem::new(share),
                 notify: NotifyConfig::default(),
+                outbox: OutboxPolicy::default(),
                 pending_events: Vec::new(),
                 carbon_rate_limit: None,
                 carbon_budget: None,
@@ -240,6 +242,26 @@ impl Ecovisor {
     pub fn set_notify_config(&mut self, app: AppId, cfg: NotifyConfig) -> Result<()> {
         self.state_mut(app)?.notify = cfg;
         Ok(())
+    }
+
+    /// Overrides an application's bounded-outbox policy (see
+    /// [`OutboxPolicy`] for the coalescing/eviction semantics).
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn set_outbox_policy(&mut self, app: AppId, policy: OutboxPolicy) -> Result<()> {
+        self.state_mut(app)?.outbox = policy;
+        Ok(())
+    }
+
+    /// An application's bounded-outbox policy.
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn outbox_policy(&self, app: AppId) -> Result<OutboxPolicy> {
+        Ok(lock::read(self.shard(app)?).outbox)
     }
 
     /// A scoped API handle for one application — the *compatibility
@@ -410,7 +432,10 @@ impl Ecovisor {
                 state
                     .ves
                     .apply_flows(d, charge_scale, discharge_scale, intensity, dt);
-            state.pending_events.extend(events);
+            let outbox = state.outbox;
+            for event in events {
+                outbox.push(&mut state.pending_events, event);
+            }
             // Carbon-budget enforcement (Table 2 set_carbon_budget):
             // edge-triggered like battery full/empty — notify once at
             // the crossing and clamp grid allowance to zero until the
@@ -420,9 +445,11 @@ impl Ecovisor {
                 if carbon >= budget && !state.budget_exhausted {
                     state.budget_exhausted = true;
                     state.ves.set_grid_clamp(true);
-                    state
-                        .pending_events
-                        .push(Notification::BudgetExhausted { budget, carbon });
+                    let outbox = state.outbox;
+                    outbox.push(
+                        &mut state.pending_events,
+                        Notification::BudgetExhausted { budget, carbon },
+                    );
                 }
             }
             surplus_pool += f.solar_surplus;
@@ -473,10 +500,14 @@ impl Ecovisor {
             let new_buffer = physical_solar * share;
             let old_buffer = state.ves.solar_available();
             if state.notify.solar_significant(old_buffer, new_buffer) {
-                state.pending_events.push(Notification::SolarChange {
-                    previous: old_buffer,
-                    current: new_buffer,
-                });
+                let outbox = state.outbox;
+                outbox.push(
+                    &mut state.pending_events,
+                    Notification::SolarChange {
+                        previous: old_buffer,
+                        current: new_buffer,
+                    },
+                );
             }
             state.ves.buffer_solar(new_buffer);
         }
@@ -488,10 +519,14 @@ impl Ecovisor {
                 .notify
                 .carbon_significant(self.prev_intensity, intensity)
             {
-                state.pending_events.push(Notification::CarbonChange {
-                    previous: self.prev_intensity,
-                    current: intensity,
-                });
+                let outbox = state.outbox;
+                outbox.push(
+                    &mut state.pending_events,
+                    Notification::CarbonChange {
+                        previous: self.prev_intensity,
+                        current: intensity,
+                    },
+                );
             }
         }
         self.prev_intensity = intensity;

@@ -60,6 +60,135 @@ impl Notification {
             Notification::BudgetExhausted { .. } => "budget",
         }
     }
+
+    /// `true` for **edge-triggered** notifications: battery full/empty
+    /// and budget exhaustion fire once per crossing, so dropping or
+    /// coalescing one would lose a semantic transition an application
+    /// can never re-observe. Solar/carbon changes are **level**
+    /// observations — a newer one supersedes a stale one — and are the
+    /// only categories [`OutboxPolicy`] will coalesce.
+    pub fn is_edge_triggered(&self) -> bool {
+        matches!(
+            self,
+            Notification::BatteryFull
+                | Notification::BatteryEmpty
+                | Notification::BudgetExhausted { .. }
+        )
+    }
+
+    /// Coalesces a newer level-triggered observation of the same
+    /// category into `self` (keep-latest: `self` keeps its original
+    /// `previous`, adopts `newer`'s `current`). Returns `false` — and
+    /// leaves `self` untouched — when the two are not the same
+    /// level-triggered category.
+    fn coalesce_from(&mut self, newer: &Notification) -> bool {
+        match (self, newer) {
+            (
+                Notification::SolarChange { current, .. },
+                Notification::SolarChange {
+                    current: newest, ..
+                },
+            ) => {
+                *current = *newest;
+                true
+            }
+            (
+                Notification::CarbonChange { current, .. },
+                Notification::CarbonChange {
+                    current: newest, ..
+                },
+            ) => {
+                *current = *newest;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Bounded-outbox push policy: the first slice of event backpressure.
+///
+/// Every notification an application has not yet drained sits in its
+/// per-app outbox. A tenant that stops draining (a wedged remote poller,
+/// an application that ignores events for days) must not grow that
+/// queue without bound — but the two notification *kinds* tolerate
+/// different loss policies:
+///
+/// * **Level** events ([`Notification::SolarChange`] /
+///   [`Notification::CarbonChange`]) report an observable that the next
+///   event of the same category supersedes. They are bounded by `cap`:
+///   once `cap` level events are pending, a new one **coalesces** into
+///   the most recent pending event of its category (which keeps its
+///   original `previous` and adopts the new `current` — keep-latest,
+///   with the full swing still visible across the pair), or, when no
+///   same-category event is pending, **evicts the oldest pending level
+///   event** to make room.
+/// * **Edge** events (battery full/empty, budget exhausted) fire once
+///   per crossing and are never coalesced, evicted, or dropped; they do
+///   not count against `cap`. Their rate is bounded by physics — one
+///   per threshold crossing — so they cannot grow the queue unboundedly
+///   on their own.
+///
+/// The default cap (64) is far above anything a draining consumer ever
+/// observes (settlement produces at most a handful of events per tick
+/// and every consumer drains per tick), so enabling the bound does not
+/// change behaviour for live applications — it only caps abandonment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutboxPolicy {
+    /// Maximum number of *level-triggered* notifications kept pending.
+    /// `0` means level events are not queued at all (edge events still
+    /// are).
+    pub cap: usize,
+}
+
+impl Default for OutboxPolicy {
+    fn default() -> Self {
+        Self { cap: 64 }
+    }
+}
+
+impl OutboxPolicy {
+    /// A policy with the given level-event cap.
+    pub fn with_cap(cap: usize) -> Self {
+        Self { cap }
+    }
+
+    /// An effectively unbounded policy (the pre-backpressure behaviour).
+    pub fn unbounded() -> Self {
+        Self { cap: usize::MAX }
+    }
+
+    /// Pushes `event` into `pending` under this policy. See the type
+    /// docs for the exact coalescing/eviction semantics.
+    pub fn push(&self, pending: &mut Vec<Notification>, event: Notification) {
+        if event.is_edge_triggered() {
+            pending.push(event);
+            return;
+        }
+        let level_pending = pending.iter().filter(|e| !e.is_edge_triggered()).count();
+        if level_pending < self.cap {
+            pending.push(event);
+            return;
+        }
+        // At capacity: coalesce into the most recent same-category
+        // entry if one exists …
+        if let Some(slot) = pending
+            .iter_mut()
+            .rev()
+            .find(|e| e.category() == event.category())
+        {
+            if slot.coalesce_from(&event) {
+                return;
+            }
+        }
+        // … otherwise evict the oldest level event to make room. (With
+        // `cap == 0` there is nothing to evict and the level event is
+        // simply not queued.)
+        if let Some(oldest) = pending.iter().position(|e| !e.is_edge_triggered()) {
+            pending.remove(oldest);
+            pending.push(event);
+        }
+    }
 }
 
 /// A delivery filter over [`Notification`] categories, carried by

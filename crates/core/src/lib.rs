@@ -99,6 +99,7 @@ pub mod error;
 pub mod event;
 mod lock;
 pub mod proto;
+pub mod replay;
 pub mod shard;
 pub mod share;
 pub mod sim;
@@ -112,11 +113,12 @@ pub use config::{EcovisorBuilder, ExcessPolicy};
 pub use dispatch::{ProtocolTrace, TraceEntry};
 pub use ecovisor::{Ecovisor, ScopedApi, SystemFlows};
 pub use error::{EcovisorError, Result};
-pub use event::{EventFilter, Notification, NotifyConfig};
+pub use event::{EventFilter, Notification, NotifyConfig, OutboxPolicy};
 pub use proto::{
     ControlFrame, EnergyRequest, EnergyResponse, EventFrame, Frame, ProtoError, RequestBatch,
     ResponseBatch, PROTOCOL_V1, PROTOCOL_VERSION, SUPPORTED_VERSIONS,
 };
+pub use replay::{digest, ReplayReport};
 pub use shard::ShardedEcovisor;
 pub use share::EnergyShare;
 pub use sim::Simulation;

@@ -96,7 +96,7 @@ impl Weather {
 /// assert!(noon.watts() > 300.0);
 /// assert_eq!(midnight.watts(), 0.0);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolarArrayBuilder {
     rated_watts: f64,
     days: u64,

@@ -1,0 +1,11 @@
+//! Forwards the build-time target triple into the crate (cargo exposes
+//! `TARGET` only to build scripts), so `ecoharness bench --json` emits
+//! the same machine-readable host metadata the committed `BENCH_*.json`
+//! baselines carry.
+
+fn main() {
+    println!(
+        "cargo:rustc-env=ECOHARNESS_TARGET={}",
+        std::env::var("TARGET").unwrap_or_else(|_| "unknown".into())
+    );
+}

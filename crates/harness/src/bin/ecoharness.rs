@@ -1,0 +1,347 @@
+//! `ecoharness` — record, verify, benchmark, and diff scenario
+//! artifacts.
+//!
+//! ```text
+//! ecoharness list
+//! ecoharness record [--out DIR] [--codec json|binary] [NAME ...]
+//! ecoharness verify PATH [PATH ...]
+//! ecoharness bench [--iters N] [--json] PATH [PATH ...]
+//! ecoharness diff A B
+//! ```
+//!
+//! `PATH` arguments may be artifact files (`*.scn.json` / `*.scn.bin`)
+//! or directories containing them. Exit code 0 = success / all green,
+//! 1 = verification failure, 2 = usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ecoharness::artifact::{artifacts_in_dir, codec_name, is_artifact_path};
+use ecoharness::{corpus, record, verify, ScenarioArtifact};
+use ecovisor::{ShardedEcovisor, WireCodec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest.to_vec()),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "list" => cmd_list(),
+        "record" => cmd_record(rest),
+        "verify" => cmd_verify(rest),
+        "bench" => cmd_bench(rest),
+        "diff" => cmd_diff(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            Ok(ExitCode::from(2))
+        }
+    };
+    result.unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        ExitCode::from(2)
+    })
+}
+
+const USAGE: &str = "ecoharness — scenario corpus tooling
+
+USAGE:
+    ecoharness list
+    ecoharness record [--out DIR] [--codec json|binary] [NAME ...]
+    ecoharness verify PATH [PATH ...]
+    ecoharness bench [--iters N] [--json] PATH [PATH ...]
+    ecoharness diff A B
+
+Paths may be artifact files (*.scn.json / *.scn.bin) or directories.
+`record` with no names records the whole builtin corpus, committing
+some scenarios in each codec (override with --codec).";
+
+/// `list`: the builtin catalogue.
+fn cmd_list() -> Result<ExitCode, String> {
+    println!("builtin scenarios:");
+    for spec in corpus::all() {
+        println!(
+            "  {:18} {:3} ticks × {:2} min, {} tenant(s) — {}",
+            spec.name,
+            spec.ticks,
+            spec.tick_minutes,
+            spec.tenants.len(),
+            spec.description
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Default codec per builtin: mixed, so both loaders stay covered by
+/// the committed corpus.
+fn default_codec(name: &str) -> WireCodec {
+    match name {
+        "cloudy-web" | "batch-checkpoint" | "mixed-tenants" | "web-autoscale" => WireCodec::Binary,
+        _ => WireCodec::Json,
+    }
+}
+
+/// `record`: run builtins and write artifacts.
+fn cmd_record(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut out = PathBuf::from("corpus");
+    let mut forced_codec: Option<WireCodec> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a directory")?),
+            "--codec" => {
+                forced_codec = Some(parse_codec(&it.next().ok_or("--codec needs a value")?)?)
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names = corpus::names().iter().map(|s| s.to_string()).collect();
+    }
+    for name in &names {
+        let spec = corpus::builtin(name)
+            .ok_or_else(|| format!("unknown builtin `{name}` (see `ecoharness list`)"))?;
+        let artifact = record(&spec).map_err(|e| format!("record {name}: {e}"))?;
+        let codec = forced_codec.unwrap_or_else(|| default_codec(name));
+        let path = artifact
+            .write_to_dir(&out, codec)
+            .map_err(|e| format!("write {name}: {e}"))?;
+        println!(
+            "recorded {name}: {} ticks, {} batches / {} requests, {} event frames → {}",
+            spec.ticks,
+            artifact.trace.entries.len(),
+            artifact.expected.request_count,
+            artifact.trace.events.len(),
+            path.display()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `verify`: replay every artifact on both paths in both codecs.
+fn cmd_verify(args: Vec<String>) -> Result<ExitCode, String> {
+    let paths = collect_artifacts(&args)?;
+    let mut failed = 0_usize;
+    for path in &paths {
+        let (artifact, codec) =
+            ScenarioArtifact::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let report = verify(&artifact).map_err(|e| format!("{}: {e}", path.display()))?;
+        let status = if report.passed() { "PASS" } else { "FAIL" };
+        println!(
+            "{status} {} ({} codec, {} checks)",
+            path.display(),
+            codec_name(codec),
+            report.checks.len()
+        );
+        if !report.passed() {
+            failed += 1;
+            for check in report.failures() {
+                println!("     ✗ {}: {}", check.label, check.detail);
+            }
+        }
+    }
+    println!("{} artifact(s) verified, {} failed", paths.len(), failed);
+    Ok(if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// `bench`: time trace replay per artifact (plain + sharded paths).
+fn cmd_bench(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut iters: u32 = 5;
+    let mut as_json = false;
+    let mut paths_args: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--iters" => {
+                iters = it
+                    .next()
+                    .ok_or("--iters needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--json" => as_json = true,
+            p => paths_args.push(p.to_string()),
+        }
+    }
+    let paths = collect_artifacts(&paths_args)?;
+    let mut rows: Vec<(String, usize, f64, f64)> = Vec::new();
+    for path in &paths {
+        let (artifact, _) =
+            ScenarioArtifact::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let plain = time_replay(&artifact, false, iters)?;
+        let sharded = time_replay(&artifact, true, iters)?;
+        rows.push((
+            artifact.spec.name.clone(),
+            artifact.expected.request_count,
+            plain,
+            sharded,
+        ));
+    }
+    if as_json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"host\": {},\n  \"results\": [\n", host_json()));
+        for (i, (name, requests, plain, sharded)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"scenario\": \"{name}\", \"requests\": {requests}, \
+                 \"replay_plain_ms\": {plain:.3}, \"replay_sharded_ms\": {sharded:.3}}}{}\n",
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}");
+        println!("{out}");
+    } else {
+        println!(
+            "{:18} {:>9} {:>16} {:>18}",
+            "scenario", "requests", "plain ms/replay", "sharded ms/replay"
+        );
+        for (name, requests, plain, sharded) in &rows {
+            println!("{name:18} {requests:>9} {plain:>16.3} {sharded:>18.3}");
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn time_replay(artifact: &ScenarioArtifact, sharded: bool, iters: u32) -> Result<f64, String> {
+    let mut total = 0.0_f64;
+    for _ in 0..iters.max(1) {
+        let (eco, _) = ecoharness::build_ecovisor(&artifact.spec).map_err(|e| e.to_string())?;
+        let start = std::time::Instant::now();
+        if sharded {
+            let wrapper = ShardedEcovisor::new(eco);
+            wrapper.replay_trace(&artifact.trace, artifact.spec.ticks);
+        } else {
+            let mut eco = eco;
+            eco.replay_trace(&artifact.trace, artifact.spec.ticks);
+        }
+        total += start.elapsed().as_secs_f64() * 1e3;
+    }
+    Ok(total / f64::from(iters.max(1)))
+}
+
+fn host_json() -> String {
+    let nproc = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    let smoke = std::env::var("CRITERION_SMOKE").is_ok_and(|v| v == "1");
+    format!(
+        "{{\"nproc\": {nproc}, \"target\": \"{}\", \"criterion_smoke\": {smoke}}}",
+        env!("ECOHARNESS_TARGET")
+    )
+}
+
+/// `diff`: structural comparison of two artifacts.
+fn cmd_diff(args: Vec<String>) -> Result<ExitCode, String> {
+    let [a_path, b_path] = args.as_slice() else {
+        return Err("diff needs exactly two artifact paths".into());
+    };
+    let (a, _) = ScenarioArtifact::load(Path::new(a_path)).map_err(|e| format!("{a_path}: {e}"))?;
+    let (b, _) = ScenarioArtifact::load(Path::new(b_path)).map_err(|e| format!("{b_path}: {e}"))?;
+    let mut differences = 0_usize;
+    let mut diff = |label: &str, left: String, right: String| {
+        if left != right {
+            differences += 1;
+            println!("  {label}:\n    a: {left}\n    b: {right}");
+        }
+    };
+    println!("diff {a_path} {b_path}");
+    diff("scenario", a.spec.name.clone(), b.spec.name.clone());
+    diff("seed", a.spec.seed.to_string(), b.spec.seed.to_string());
+    diff("ticks", a.spec.ticks.to_string(), b.spec.ticks.to_string());
+    diff(
+        "tenants",
+        a.spec.tenants.len().to_string(),
+        b.spec.tenants.len().to_string(),
+    );
+    diff(
+        "spec (full)",
+        serde::json::to_string(&a.spec),
+        serde::json::to_string(&b.spec),
+    );
+    diff(
+        "trace digest (recorded traffic)",
+        format!("{:016x}", ecovisor::digest(&a.trace)),
+        format!("{:016x}", ecovisor::digest(&b.trace)),
+    );
+    diff(
+        "request count",
+        a.expected.request_count.to_string(),
+        b.expected.request_count.to_string(),
+    );
+    diff(
+        "event count",
+        a.expected.event_count.to_string(),
+        b.expected.event_count.to_string(),
+    );
+    diff(
+        "totals digest",
+        format!("{:016x}", a.expected.totals_digest),
+        format!("{:016x}", b.expected.totals_digest),
+    );
+    diff(
+        "events digest",
+        format!("{:016x}", a.expected.events_digest),
+        format!("{:016x}", b.expected.events_digest),
+    );
+    for (oa, ob) in a.expected.apps.iter().zip(b.expected.apps.iter()) {
+        diff(
+            &format!("totals[{}]", oa.name),
+            format!("{:?}", oa.totals),
+            format!("{:?}", ob.totals),
+        );
+    }
+    if differences == 0 {
+        println!("  identical (specs, traffic shape, digests, totals)");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ----------------------------------------------------------------------
+// Shared plumbing
+// ----------------------------------------------------------------------
+
+fn parse_codec(s: &str) -> Result<WireCodec, String> {
+    match s {
+        "json" => Ok(WireCodec::Json),
+        "binary" | "bin" => Ok(WireCodec::Binary),
+        other => Err(format!("unknown codec `{other}` (json|binary)")),
+    }
+}
+
+/// Expands file/directory arguments into a sorted artifact list.
+fn collect_artifacts(args: &[String]) -> Result<Vec<PathBuf>, String> {
+    if args.is_empty() {
+        return Err("no artifact paths given".into());
+    }
+    let mut paths = Vec::new();
+    for arg in args {
+        let path = PathBuf::from(arg);
+        if path.is_dir() {
+            let mut found =
+                artifacts_in_dir(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            if found.is_empty() {
+                return Err(format!("{}: no artifacts in directory", path.display()));
+            }
+            paths.append(&mut found);
+        } else if is_artifact_path(&path) {
+            paths.push(path);
+        } else {
+            return Err(format!(
+                "{}: not an artifact (*.scn.json / *.scn.bin) or directory",
+                path.display()
+            ));
+        }
+    }
+    Ok(paths)
+}

@@ -1,0 +1,527 @@
+//! The builtin scenario corpus: ~seven diverse recorded days.
+//!
+//! Each builtin is a deterministic [`ScenarioSpec`] chosen to exercise a
+//! distinct slice of the system — solar regimes (clear vs. overcast),
+//! carbon regions (flat Ontario vs. volatile CAISO), the §5 policy
+//! families (batch suspend/scale, web autoscaling, checkpointing,
+//! arbitrage), genuinely mixed multi-tenant days, and the
+//! budget-exhaustion enforcement edge. `ecoharness record` serializes
+//! them into the committed `corpus/` directory; `ecoharness verify`
+//! replays those artifacts on every CI push.
+//!
+//! Builtins are parameterized by a master seed (the committed corpus
+//! uses each scenario's default), with per-builder seeds derived from
+//! it, so tests can re-roll a whole scenario from one knob.
+
+use carbon_intel::RegionKind;
+use carbon_policies::{BatchMode, SparkMode, WebPolicy};
+use ecovisor::{EnergyShare, ExcessPolicy, NotifyConfig};
+use energy_system::solar::{SolarArrayBuilder, Weather};
+use simkit::units::{CarbonIntensity, CarbonRate, WattHours, Watts};
+use workloads::traces::WorkloadTraceBuilder;
+
+use crate::spec::{
+    CarbonSpec, DriverSpec, JobSpec, ScenarioSpec, ScriptPhase, SolarSpec, TenantSpec, SPEC_FORMAT,
+};
+
+/// Names of every builtin scenario, in catalogue order.
+pub fn names() -> Vec<&'static str> {
+    vec![
+        "sunny-batch",
+        "cloudy-web",
+        "caiso-arbitrage",
+        "batch-checkpoint",
+        "web-autoscale",
+        "mixed-tenants",
+        "budget-exhaustion",
+    ]
+}
+
+/// Every builtin scenario at its default seed, in catalogue order.
+pub fn all() -> Vec<ScenarioSpec> {
+    names()
+        .into_iter()
+        .map(|n| builtin(n).expect("names() entries are buildable"))
+        .collect()
+}
+
+/// A builtin scenario by name, at its default seed.
+pub fn builtin(name: &str) -> Option<ScenarioSpec> {
+    builtin_with_seed(name, default_seed(name)?)
+}
+
+/// The default (committed-corpus) master seed of a builtin.
+pub fn default_seed(name: &str) -> Option<u64> {
+    Some(match name {
+        "sunny-batch" => 0x5EED_0001,
+        "cloudy-web" => 0x5EED_0002,
+        "caiso-arbitrage" => 0x5EED_0003,
+        "batch-checkpoint" => 0x5EED_0004,
+        "web-autoscale" => 0x5EED_0005,
+        "mixed-tenants" => 0x5EED_0006,
+        "budget-exhaustion" => 0x5EED_0007,
+        _ => return None,
+    })
+}
+
+/// A builtin scenario re-rolled from an explicit master seed (tests use
+/// this to cover many seeds of the same shape).
+pub fn builtin_with_seed(name: &str, seed: u64) -> Option<ScenarioSpec> {
+    Some(match name {
+        "sunny-batch" => sunny_batch(seed),
+        "cloudy-web" => cloudy_web(seed),
+        "caiso-arbitrage" => caiso_arbitrage(seed),
+        "batch-checkpoint" => batch_checkpoint(seed),
+        "web-autoscale" => web_autoscale(seed),
+        "mixed-tenants" => mixed_tenants(seed),
+        "budget-exhaustion" => budget_exhaustion(seed),
+        _ => return None,
+    })
+}
+
+/// Derives a sub-seed for one component from the master seed
+/// (SplitMix64 step keyed by a component index).
+fn sub_seed(master: u64, index: u64) -> u64 {
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn base(name: &str, description: &str, seed: u64, ticks: u64) -> ScenarioSpec {
+    ScenarioSpec {
+        format: SPEC_FORMAT,
+        name: name.into(),
+        description: description.into(),
+        seed,
+        ticks,
+        tick_minutes: 30,
+        servers: 8,
+        excess: ExcessPolicy::Curtail,
+        carbon: CarbonSpec::Constant {
+            grams_per_kwh: 200.0,
+        },
+        solar: SolarSpec::None,
+        battery_capacity_wh: None,
+        tenants: Vec::new(),
+    }
+}
+
+/// Clear-sky solar over a flat low-carbon grid (Ontario): two batch
+/// tenants, Wait&Scale vs. carbon-agnostic, splitting the array.
+fn sunny_batch(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "sunny-batch",
+        "Clear-sky solar day over the flat Ontario grid: Wait&Scale vs. carbon-agnostic \
+         batch tenants splitting one array",
+        seed,
+        48,
+    );
+    spec.carbon = CarbonSpec::Region {
+        region: RegionKind::Ontario,
+        days: 2,
+        seed: sub_seed(seed, 0),
+    };
+    spec.solar = SolarSpec::Array(
+        SolarArrayBuilder::new(120.0)
+            .days(2)
+            .weather(Weather::Clear)
+            .seed(sub_seed(seed, 1)),
+    );
+    spec.tenants = vec![
+        TenantSpec::new(
+            "waitscale",
+            EnergyShare::grid_only()
+                .with_solar_fraction(0.5)
+                .with_battery(WattHours::new(12.0))
+                .with_initial_soc(0.5),
+            DriverSpec::Batch {
+                // Sized to fill most of the day at the baseline
+                // allocation (the paper's ML/BLAST jobs finish in 0.3-2.5
+                // baseline-hours -- too short to pin a whole day).
+                job: JobSpec::Linear {
+                    total_core_hours: 56.0,
+                },
+                mode: BatchMode::WaitAndScale {
+                    threshold: CarbonIntensity::new(36.0),
+                    scale: 2,
+                },
+                baseline_containers: 1,
+                container_cores: 4,
+                arrival_hours: 1.0,
+            },
+        ),
+        TenantSpec::new(
+            "agnostic",
+            EnergyShare::grid_only().with_solar_fraction(0.3),
+            DriverSpec::Batch {
+                job: JobSpec::Linear {
+                    total_core_hours: 120.0,
+                },
+                mode: BatchMode::CarbonAgnostic,
+                baseline_containers: 2,
+                container_cores: 4,
+                arrival_hours: 0.5,
+            },
+        ),
+    ];
+    spec
+}
+
+/// Overcast solar over the hydro/wind Uruguay grid: one web service on
+/// a dynamic carbon budget, riding a small battery through cloud cover.
+fn cloudy_web(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "cloudy-web",
+        "Heavily overcast solar over the Uruguay grid: a diurnal web service on a \
+         dynamic carbon budget with a small battery",
+        seed,
+        48,
+    );
+    spec.carbon = CarbonSpec::Region {
+        region: RegionKind::Uruguay,
+        days: 2,
+        seed: sub_seed(seed, 0),
+    };
+    spec.solar = SolarSpec::Array(
+        SolarArrayBuilder::new(200.0)
+            .days(2)
+            .weather(Weather::Overcast)
+            .seed(sub_seed(seed, 1)),
+    );
+    let mut tenant = TenantSpec::new(
+        "webshop",
+        EnergyShare::grid_only()
+            .with_solar_fraction(0.6)
+            .with_battery(WattHours::new(20.0))
+            .with_initial_soc(0.6),
+        DriverSpec::Web {
+            service_rate: 40.0,
+            workload: WorkloadTraceBuilder::new(20.0, 120.0)
+                .days(2)
+                .seed(sub_seed(seed, 2))
+                .spikes(0.05, 0.6),
+            policy: WebPolicy::DynamicBudget {
+                target_rate: CarbonRate::new(0.0008),
+                slo_ms: 250.0,
+            },
+            slo_ms: 250.0,
+            min_workers: 1,
+            max_workers: 8,
+        },
+    );
+    // Low thresholds: overcast scatter should generate plenty of solar
+    // events for the replay to reproduce.
+    tenant.notify = Some(NotifyConfig {
+        solar_change_fraction: 0.10,
+        solar_change_floor: Watts::new(0.5),
+        carbon_change_fraction: 0.10,
+    });
+    spec.tenants = vec![tenant];
+    spec
+}
+
+/// No solar, the volatile CAISO signal: a carbon-arbitrage battery
+/// tenant against a scripted steady tenant.
+fn caiso_arbitrage(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "caiso-arbitrage",
+        "Volatile CAISO carbon, no solar: battery arbitrage (charge clean, discharge \
+         dirty) next to a steady scripted tenant",
+        seed,
+        64,
+    );
+    spec.carbon = CarbonSpec::Region {
+        region: RegionKind::California,
+        days: 2,
+        seed: sub_seed(seed, 0),
+    };
+    spec.tenants = vec![
+        TenantSpec::new(
+            "arbitrage",
+            EnergyShare::grid_only()
+                .with_battery(WattHours::new(60.0))
+                .with_initial_soc(0.35),
+            DriverSpec::Arbitrage {
+                containers: 3,
+                low_g_per_kwh: 140.0,
+                high_g_per_kwh: 240.0,
+                charge_watts: 40.0,
+            },
+        ),
+        TenantSpec::new(
+            "steady",
+            EnergyShare::grid_only(),
+            DriverSpec::Scripted {
+                containers: 2,
+                phases: vec![ScriptPhase {
+                    ticks: 1,
+                    demand: 0.7,
+                    charge_watts: 0.0,
+                    max_discharge_watts: 0.0,
+                }],
+                budget_grams: None,
+                budget_at_tick: 0,
+            },
+        ),
+    ];
+    spec
+}
+
+/// Two mixed-weather days: a delay-tolerant Spark job with HDFS-style
+/// checkpointing scaling into excess solar (§5.3).
+fn batch_checkpoint(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "batch-checkpoint",
+        "Two mixed-weather days: a checkpointing Spark job on dynamic solar scale-up, \
+         riding its battery overnight",
+        seed,
+        96,
+    );
+    spec.carbon = CarbonSpec::Constant {
+        grams_per_kwh: 250.0,
+    };
+    spec.solar = SolarSpec::Array(
+        SolarArrayBuilder::new(90.0)
+            .days(3)
+            .weather(Weather::Mixed)
+            .seed(sub_seed(seed, 1)),
+    );
+    spec.tenants = vec![TenantSpec::new(
+        "spark",
+        EnergyShare::grid_only()
+            .with_solar_fraction(0.8)
+            .with_battery(WattHours::new(40.0))
+            .with_initial_soc(0.5),
+        DriverSpec::Spark {
+            work_core_hours: 300.0,
+            checkpoint_minutes: 60,
+            mode: SparkMode::DynamicSolar {
+                base_workers: 1,
+                max_workers: 6,
+            },
+            guaranteed_watts: 8.0,
+        },
+    )];
+    spec
+}
+
+/// The §5.2 comparison day: static rate-limiting vs. dynamic budgeting
+/// web tenants over the same diurnal workload shape on CAISO carbon.
+fn web_autoscale(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "web-autoscale",
+        "CAISO carbon, no solar: static carbon-rate-limited web service vs. the \
+         SLO-driven dynamic-budget autoscaler over one diurnal workload day",
+        seed,
+        48,
+    );
+    spec.servers = 12;
+    spec.carbon = CarbonSpec::Region {
+        region: RegionKind::California,
+        days: 2,
+        seed: sub_seed(seed, 0),
+    };
+    let workload = |s: u64| {
+        WorkloadTraceBuilder::new(30.0, 150.0)
+            .days(2)
+            .seed(s)
+            .peak_hour(13.0)
+    };
+    spec.tenants = vec![
+        TenantSpec::new(
+            "static-rate",
+            EnergyShare::grid_only(),
+            DriverSpec::Web {
+                service_rate: 40.0,
+                workload: workload(sub_seed(seed, 2)),
+                policy: WebPolicy::StaticRateLimit {
+                    rate: CarbonRate::new(0.0010),
+                },
+                slo_ms: 300.0,
+                min_workers: 1,
+                max_workers: 10,
+            },
+        ),
+        TenantSpec::new(
+            "dynamic-budget",
+            EnergyShare::grid_only(),
+            DriverSpec::Web {
+                service_rate: 40.0,
+                workload: workload(sub_seed(seed, 3)),
+                policy: WebPolicy::DynamicBudget {
+                    target_rate: CarbonRate::new(0.0010),
+                    slo_ms: 300.0,
+                },
+                slo_ms: 300.0,
+                min_workers: 1,
+                max_workers: 10,
+            },
+        ),
+    ];
+    spec
+}
+
+/// The kitchen-sink day: four tenants across all policy families on a
+/// mixed-weather array and CAISO carbon — the closest thing in the
+/// corpus to a production multi-tenant deployment.
+fn mixed_tenants(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "mixed-tenants",
+        "Four tenants (suspend/resume batch, dynamic web, arbitrage, scripted with a \
+         tiny bounded outbox) sharing mixed-weather solar on CAISO carbon",
+        seed,
+        48,
+    );
+    spec.servers = 12;
+    spec.excess = ExcessPolicy::Redistribute;
+    spec.carbon = CarbonSpec::Region {
+        region: RegionKind::California,
+        days: 2,
+        seed: sub_seed(seed, 0),
+    };
+    spec.solar = SolarSpec::Array(
+        SolarArrayBuilder::new(150.0)
+            .days(2)
+            .weather(Weather::Mixed)
+            .seed(sub_seed(seed, 1)),
+    );
+    let mut scripted = TenantSpec::new(
+        "scripted",
+        EnergyShare::grid_only()
+            .with_solar_fraction(0.2)
+            .with_battery(WattHours::new(10.0))
+            .with_initial_soc(0.4),
+        DriverSpec::Scripted {
+            containers: 2,
+            phases: vec![
+                ScriptPhase {
+                    ticks: 6,
+                    demand: 0.1,
+                    charge_watts: 50.0,
+                    max_discharge_watts: 0.0,
+                },
+                ScriptPhase {
+                    ticks: 6,
+                    demand: 1.0,
+                    charge_watts: 0.0,
+                    max_discharge_watts: 40.0,
+                },
+            ],
+            budget_grams: None,
+            budget_at_tick: 0,
+        },
+    );
+    // Exercise the bounded outbox inside the corpus: a tiny cap with
+    // low notify thresholds, so coalescing actually fires and replay
+    // must reproduce the coalesced stream.
+    scripted.notify = Some(NotifyConfig {
+        solar_change_fraction: 0.05,
+        solar_change_floor: Watts::new(0.2),
+        carbon_change_fraction: 0.05,
+    });
+    scripted.outbox_cap = Some(2);
+    spec.tenants = vec![
+        TenantSpec::new(
+            "suspend-batch",
+            EnergyShare::grid_only().with_solar_fraction(0.3),
+            DriverSpec::Batch {
+                job: JobSpec::Linear {
+                    total_core_hours: 90.0,
+                },
+                mode: BatchMode::SuspendResume {
+                    threshold: CarbonIntensity::new(180.0),
+                },
+                baseline_containers: 2,
+                container_cores: 4,
+                arrival_hours: 0.0,
+            },
+        ),
+        TenantSpec::new(
+            "web",
+            EnergyShare::grid_only().with_solar_fraction(0.2),
+            DriverSpec::Web {
+                service_rate: 35.0,
+                workload: WorkloadTraceBuilder::new(15.0, 90.0)
+                    .days(2)
+                    .seed(sub_seed(seed, 2)),
+                policy: WebPolicy::DynamicBudget {
+                    target_rate: CarbonRate::new(0.0008),
+                    slo_ms: 300.0,
+                },
+                slo_ms: 300.0,
+                min_workers: 1,
+                max_workers: 6,
+            },
+        ),
+        TenantSpec::new(
+            "arbitrage",
+            EnergyShare::grid_only()
+                .with_battery(WattHours::new(40.0))
+                .with_initial_soc(0.35),
+            DriverSpec::Arbitrage {
+                containers: 2,
+                low_g_per_kwh: 150.0,
+                high_g_per_kwh: 260.0,
+                charge_watts: 30.0,
+            },
+        ),
+        scripted,
+    ];
+    spec
+}
+
+/// The enforcement-edge day: a scripted tenant arms a carbon budget
+/// sized to exhaust mid-run, so the artifact pins the
+/// `BudgetExhausted` edge, the grid clamp, and post-clamp accounting.
+fn budget_exhaustion(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "budget-exhaustion",
+        "A scripted tenant arms a mid-day carbon budget sized to exhaust: pins the \
+         BudgetExhausted edge, the grid clamp, and post-clamp solar-only accounting",
+        seed,
+        36,
+    );
+    spec.carbon = CarbonSpec::Constant {
+        grams_per_kwh: 300.0,
+    };
+    spec.solar = SolarSpec::Array(
+        SolarArrayBuilder::new(60.0)
+            .days(2)
+            .weather(Weather::Clear)
+            .seed(sub_seed(seed, 1)),
+    );
+    spec.tenants = vec![
+        TenantSpec::new(
+            "budgeted",
+            EnergyShare::grid_only().with_solar_fraction(0.5),
+            DriverSpec::Scripted {
+                containers: 4,
+                phases: vec![ScriptPhase {
+                    ticks: 1,
+                    demand: 1.0,
+                    charge_watts: 0.0,
+                    max_discharge_watts: 0.0,
+                }],
+                budget_grams: Some(20.0),
+                budget_at_tick: 6,
+            },
+        ),
+        TenantSpec::new(
+            "bystander",
+            EnergyShare::grid_only().with_solar_fraction(0.3),
+            DriverSpec::Scripted {
+                containers: 1,
+                phases: vec![ScriptPhase {
+                    ticks: 1,
+                    demand: 0.5,
+                    charge_watts: 0.0,
+                    max_discharge_watts: 0.0,
+                }],
+                budget_grams: None,
+                budget_at_tick: 0,
+            },
+        ),
+    ];
+    spec
+}

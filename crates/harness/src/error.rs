@@ -1,0 +1,43 @@
+//! Harness failures as values.
+
+use std::fmt;
+
+/// Anything that can go wrong recording, loading, or verifying a
+/// scenario.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// The spec violates an invariant (named in the message).
+    Spec(String),
+    /// The ecovisor rejected part of the scenario (registration,
+    /// dispatch plumbing).
+    Ecovisor(ecovisor::EcovisorError),
+    /// An artifact failed to decode.
+    Decode(String),
+    /// File I/O around artifacts.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Spec(msg) => write!(f, "invalid scenario spec: {msg}"),
+            HarnessError::Ecovisor(e) => write!(f, "ecovisor: {e}"),
+            HarnessError::Decode(msg) => write!(f, "artifact decode: {msg}"),
+            HarnessError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+impl From<ecovisor::EcovisorError> for HarnessError {
+    fn from(e: ecovisor::EcovisorError) -> Self {
+        HarnessError::Ecovisor(e)
+    }
+}
+
+impl From<std::io::Error> for HarnessError {
+    fn from(e: std::io::Error) -> Self {
+        HarnessError::Io(e)
+    }
+}

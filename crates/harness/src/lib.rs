@@ -1,0 +1,63 @@
+//! # ecoharness — the scenario harness
+//!
+//! Turns simulated multi-tenant days into **first-class, versioned
+//! artifacts**: a [`ScenarioSpec`] describes a seeded day (physical
+//! world + carbon signal + N workload/policy tenants), [`record()`](record()) runs
+//! it through a [`ShardedEcovisor`](ecovisor::ShardedEcovisor) with
+//! protocol tracing on and packages the result as a
+//! [`ScenarioArtifact`] (spec + complete wire trace + expected
+//! totals/digests), and [`verify()`](verify()) proves a build still replays the
+//! artifact **bit-identically** — on both the plain and sharded
+//! dispatch paths, through both wire codecs.
+//!
+//! The committed `corpus/` directory holds ~seven recorded days
+//! ([`corpus`] has the catalogue); `ecoharness verify corpus/` is the
+//! standing regression net run by CI, and `cargo bench -p
+//! ecovisor-bench --bench corpus_replay` turns the same corpus into a
+//! replay-throughput benchmark for future perf work.
+//!
+//! ## Layers
+//!
+//! 1. **Spec** ([`spec`]): the serializable scenario vocabulary,
+//!    composing existing pieces — [`carbon_intel`] regions,
+//!    [`energy_system`] solar/battery, [`workloads`] generators,
+//!    [`carbon_policies`] controllers.
+//! 2. **Recorder/verifier** ([`record()`](record())/[`verify()`](verify())): deterministic
+//!    record → replay → compare, built on
+//!    [`Ecovisor::replay_trace`](ecovisor::Ecovisor::replay_trace) and
+//!    [`ecovisor::digest`].
+//! 3. **CLI** (`ecoharness`): `record` / `verify` / `bench` / `diff`
+//!    over artifact files (see `docs/HARNESS.md`).
+//!
+//! ## Example
+//!
+//! ```
+//! use ecoharness::{corpus, record, verify};
+//!
+//! // Shrink a builtin for a quick in-process round trip.
+//! let mut spec = corpus::builtin("budget-exhaustion").unwrap();
+//! spec.ticks = 8;
+//! let artifact = record(&spec).unwrap();
+//! let report = verify(&artifact).unwrap();
+//! assert!(report.passed(), "{:?}", report.failures());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod corpus;
+pub mod error;
+pub mod record;
+pub mod scenario;
+pub mod spec;
+pub mod verify;
+
+pub use artifact::{AppOutcome, ExpectedOutcome, ScenarioArtifact, ARTIFACT_FORMAT};
+pub use error::HarnessError;
+pub use record::record;
+pub use scenario::{build_drivers, build_ecovisor};
+pub use spec::{
+    CarbonSpec, DriverSpec, JobSpec, ScenarioSpec, ScriptPhase, SolarSpec, TenantSpec, SPEC_FORMAT,
+};
+pub use verify::{verify, Check, VerifyReport};

@@ -1,0 +1,108 @@
+//! Recording a scenario into a replayable artifact.
+//!
+//! The recorder materializes a [`ScenarioSpec`], wraps the ecovisor in
+//! the deployment-shaped [`ShardedEcovisor`], and drives the tenants
+//! lock-step for the spec's tick count with protocol tracing enabled.
+//! The loop mirrors the transport's push path: after every settlement —
+//! still inside the barrier, exactly where the broadcast hook runs —
+//! each app's event frame is taken (recording it into the trace), and
+//! its notifications are delivered to the tenant's driver at the start
+//! of the next tick, before `on_tick`. Every request the drivers issue
+//! travels through their batching clients into `dispatch_batch`, so the
+//! trace captures the day's complete wire traffic.
+//!
+//! Determinism contract: a spec is a pure function of its seeds, so
+//! recording the same spec twice yields byte-identical artifacts, and
+//! replaying the trace against a freshly built ecovisor reproduces the
+//! recorded totals and event frames bit-for-bit (that second half is
+//! [`crate::verify()`](crate::verify())'s job).
+
+use ecovisor::proto::EventFrame;
+use ecovisor::{digest, Notification, ShardedEcovisor};
+
+use crate::artifact::{AppOutcome, ExpectedOutcome, ScenarioArtifact, ARTIFACT_FORMAT};
+use crate::error::HarnessError;
+use crate::scenario::{build_drivers, build_ecovisor};
+use crate::spec::ScenarioSpec;
+
+/// Records `spec` into an artifact: runs the full day through a
+/// [`ShardedEcovisor`] with tracing on, then packages the trace with
+/// the expected outcome.
+///
+/// # Errors
+///
+/// [`HarnessError::Spec`] / [`HarnessError::Ecovisor`] when the spec
+/// cannot be materialized.
+pub fn record(spec: &ScenarioSpec) -> Result<ScenarioArtifact, HarnessError> {
+    let (mut eco, ids) = build_ecovisor(spec)?;
+    let mut drivers = build_drivers(spec)?;
+    eco.enable_protocol_trace();
+
+    // on_start before the first tick (launch the initial fleets); this
+    // traffic records at tick 0, ahead of the first settlement.
+    for (id, driver) in ids.iter().zip(drivers.iter_mut()) {
+        let mut client = eco.client(*id)?;
+        driver.on_start(&mut client);
+    }
+
+    let sharded = ShardedEcovisor::new(eco);
+    // Frames taken at the previous settlement, awaiting delivery.
+    let mut held: Vec<EventFrame> = Vec::new();
+    for _tick in 0..spec.ticks {
+        for (id, driver) in ids.iter().zip(drivers.iter_mut()) {
+            let events: Vec<Notification> = held
+                .iter()
+                .filter(|f| f.app == *id)
+                .flat_map(|f| f.events.iter().copied())
+                .collect();
+            sharded.with(|eco| {
+                let mut client = eco.client(*id).expect("registered tenant");
+                for event in &events {
+                    driver.on_event(event, &mut client);
+                }
+                driver.on_tick(&mut client);
+                // Client drops here, flushing the tick's queued commands
+                // as one recorded batch.
+            });
+        }
+        held = sharded.with(|eco| {
+            eco.begin_tick();
+            eco.settle_tick();
+            let frames: Vec<EventFrame> = ids
+                .iter()
+                .filter_map(|&app| eco.take_event_frame(app))
+                .collect();
+            eco.advance_clock();
+            frames
+        });
+    }
+
+    let mut eco = sharded.into_inner();
+    let trace = eco
+        .take_protocol_trace()
+        .expect("tracing was enabled for the whole run");
+    let apps: Vec<AppOutcome> = ids
+        .iter()
+        .map(|&app| {
+            Ok(AppOutcome {
+                app,
+                name: eco.app_name(app)?,
+                totals: eco.app_totals(app)?,
+            })
+        })
+        .collect::<Result<_, ecovisor::EcovisorError>>()?;
+
+    let expected = ExpectedOutcome {
+        totals_digest: digest(&apps),
+        events_digest: digest(&trace.events),
+        request_count: trace.request_count(),
+        event_count: trace.event_count(),
+        apps,
+    };
+    Ok(ScenarioArtifact {
+        format: ARTIFACT_FORMAT,
+        spec: spec.clone(),
+        trace,
+        expected,
+    })
+}

@@ -1,0 +1,236 @@
+//! Verifying that an artifact still replays bit-identically.
+//!
+//! For each artifact the verifier runs a 2×2 matrix — the trace
+//! round-tripped through **both wire codecs**, replayed on **both
+//! dispatch paths** (plain [`Ecovisor`] and the deployment-shaped
+//! [`ShardedEcovisor`]) — and asserts, for every cell:
+//!
+//! * per-app [`VesTotals`] equal the recorded expectations exactly
+//!   (f64 bit-equality, not tolerance),
+//! * the regenerated event-frame sequence equals the recorded push
+//!   traffic,
+//! * the [`ecovisor::digest`] fingerprints match the stored ones.
+//!
+//! Any code change that perturbs settlement arithmetic, dispatch
+//! semantics, codec encoding, or event generation for a recorded day
+//! turns at least one check red — that is the regression net the
+//! corpus exists to provide.
+
+use ecovisor::{digest, Ecovisor, ProtocolTrace, ShardedEcovisor, VesTotals, WireCodec};
+
+use crate::artifact::{codec_name, ScenarioArtifact, ARTIFACT_FORMAT};
+use crate::error::HarnessError;
+use crate::scenario::build_ecovisor;
+
+/// One verification check's outcome.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// What was checked, e.g. `replay[binary/sharded] totals`.
+    pub label: String,
+    /// Whether it held.
+    pub ok: bool,
+    /// Failure detail (empty when `ok`).
+    pub detail: String,
+}
+
+/// The verification outcome for one artifact.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// The artifact's scenario name.
+    pub scenario: String,
+    /// Every check performed, in order.
+    pub checks: Vec<Check>,
+}
+
+impl VerifyReport {
+    /// `true` when every check held.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// The failing checks.
+    pub fn failures(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| !c.ok).collect()
+    }
+
+    fn push(&mut self, label: impl Into<String>, ok: bool, detail: impl Into<String>) {
+        self.checks.push(Check {
+            label: label.into(),
+            ok,
+            detail: if ok { String::new() } else { detail.into() },
+        });
+    }
+}
+
+/// The two dispatch paths a trace must replay identically on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchPath {
+    Plain,
+    Sharded,
+}
+
+impl DispatchPath {
+    fn name(self) -> &'static str {
+        match self {
+            DispatchPath::Plain => "plain",
+            DispatchPath::Sharded => "sharded",
+        }
+    }
+}
+
+/// Round-trips a trace through a codec (encode, then decode), proving
+/// the codec itself is lossless for this trace before replaying the
+/// decoded copy.
+fn reencode(trace: &ProtocolTrace, codec: WireCodec) -> Result<ProtocolTrace, String> {
+    codec
+        .decode(&codec.encode(trace))
+        .map_err(|e| format!("{} round-trip: {e}", codec_name(codec)))
+}
+
+/// Verifies one artifact: structural integrity, then the full
+/// codec × dispatch-path replay matrix.
+///
+/// # Errors
+///
+/// [`HarnessError`] only for *environmental* failures (the spec no
+/// longer builds). Determinism violations are reported as failed
+/// [`Check`]s, not errors.
+pub fn verify(artifact: &ScenarioArtifact) -> Result<VerifyReport, HarnessError> {
+    let mut report = VerifyReport {
+        scenario: artifact.spec.name.clone(),
+        checks: Vec::new(),
+    };
+
+    // -- Structural integrity -------------------------------------------
+    report.push(
+        "artifact format",
+        artifact.format == ARTIFACT_FORMAT,
+        format!("format {} ≠ {ARTIFACT_FORMAT}", artifact.format),
+    );
+    report.push(
+        "request count",
+        artifact.trace.request_count() == artifact.expected.request_count,
+        format!(
+            "trace carries {} requests, artifact claims {}",
+            artifact.trace.request_count(),
+            artifact.expected.request_count
+        ),
+    );
+    report.push(
+        "event count",
+        artifact.trace.event_count() == artifact.expected.event_count,
+        format!(
+            "trace carries {} events, artifact claims {}",
+            artifact.trace.event_count(),
+            artifact.expected.event_count
+        ),
+    );
+    report.push(
+        "totals digest consistency",
+        digest(&artifact.expected.apps) == artifact.expected.totals_digest,
+        "stored per-app totals do not hash to the stored totals_digest".to_string(),
+    );
+    report.push(
+        "events digest consistency",
+        digest(&artifact.trace.events) == artifact.expected.events_digest,
+        "recorded event frames do not hash to the stored events_digest".to_string(),
+    );
+
+    // -- Replay matrix: codec × dispatch path ---------------------------
+    for codec in [WireCodec::Json, WireCodec::Binary] {
+        let trace = match reencode(&artifact.trace, codec) {
+            Ok(t) => t,
+            Err(e) => {
+                report.push(format!("codec[{}] round-trip", codec_name(codec)), false, e);
+                continue;
+            }
+        };
+        report.push(
+            format!("codec[{}] round-trip", codec_name(codec)),
+            trace == artifact.trace,
+            "decoded trace differs from the recorded one",
+        );
+        for path in [DispatchPath::Plain, DispatchPath::Sharded] {
+            replay_cell(artifact, &trace, codec, path, &mut report)?;
+        }
+    }
+    Ok(report)
+}
+
+fn replay_cell(
+    artifact: &ScenarioArtifact,
+    trace: &ProtocolTrace,
+    codec: WireCodec,
+    path: DispatchPath,
+    report: &mut VerifyReport,
+) -> Result<(), HarnessError> {
+    let cell = format!("replay[{}/{}]", codec_name(codec), path.name());
+    let (eco, ids) = build_ecovisor(&artifact.spec)?;
+    let (frames, totals): (Vec<ecovisor::EventFrame>, Vec<VesTotals>) = match path {
+        DispatchPath::Plain => {
+            let mut eco = eco;
+            let rep = eco.replay_trace(trace, artifact.spec.ticks);
+            let totals = ids
+                .iter()
+                .map(|&a| eco.app_totals(a))
+                .collect::<Result<_, _>>()?;
+            (rep.frames, totals)
+        }
+        DispatchPath::Sharded => {
+            let sharded = ShardedEcovisor::new(eco);
+            let rep = sharded.replay_trace(trace, artifact.spec.ticks);
+            let eco: Ecovisor = sharded.into_inner();
+            let totals = ids
+                .iter()
+                .map(|&a| eco.app_totals(a))
+                .collect::<Result<_, _>>()?;
+            (rep.frames, totals)
+        }
+    };
+
+    // Totals: bit-identical per app.
+    for (outcome, got) in artifact.expected.apps.iter().zip(totals.iter()) {
+        report.push(
+            format!("{cell} totals[{}]", outcome.name),
+            *got == outcome.totals,
+            format!("expected {:?}, replayed {:?}", outcome.totals, got),
+        );
+    }
+    let replayed_apps: Vec<crate::artifact::AppOutcome> = artifact
+        .expected
+        .apps
+        .iter()
+        .zip(totals.iter())
+        .map(|(o, &t)| crate::artifact::AppOutcome {
+            app: o.app,
+            name: o.name.clone(),
+            totals: t,
+        })
+        .collect();
+    report.push(
+        format!("{cell} totals digest"),
+        digest(&replayed_apps) == artifact.expected.totals_digest,
+        "replayed totals hash differs from the recorded totals_digest",
+    );
+
+    // Event frames: the regenerated push traffic equals the recording.
+    let frames_match = frames == artifact.trace.events;
+    let detail = if frames_match {
+        String::new()
+    } else {
+        format!(
+            "replayed {} frames ({} events), recorded {} frames ({} events)",
+            frames.len(),
+            frames.iter().map(|f| f.events.len()).sum::<usize>(),
+            artifact.trace.events.len(),
+            artifact.expected.event_count
+        )
+    };
+    report.push(format!("{cell} event frames"), frames_match, detail);
+    report.push(
+        format!("{cell} events digest"),
+        digest(&frames) == artifact.expected.events_digest,
+        "replayed event frames hash differs from the recorded events_digest",
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! The committed corpus is the regression net: every artifact under
+//! `corpus/` must load, carry a catalogued scenario, and verify green —
+//! bit-identical replay on both dispatch paths in both codecs. Any
+//! change to settlement arithmetic, dispatch semantics, event
+//! generation, or either codec that perturbs a recorded day fails here
+//! (and in the CI `ecoharness verify corpus/` job, which runs the same
+//! checks through the CLI).
+
+use std::path::PathBuf;
+
+use ecoharness::artifact::artifacts_in_dir;
+use ecoharness::{corpus, verify, ScenarioArtifact};
+use ecovisor::WireCodec;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+#[test]
+fn committed_corpus_replays_bit_identically() {
+    let paths = artifacts_in_dir(&corpus_dir()).expect("corpus directory exists");
+    assert!(
+        paths.len() >= 6,
+        "corpus should hold the full catalogue, found {}",
+        paths.len()
+    );
+    let mut seen_json = false;
+    let mut seen_binary = false;
+    for path in &paths {
+        let (artifact, codec) =
+            ScenarioArtifact::load(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        match codec {
+            WireCodec::Json => seen_json = true,
+            WireCodec::Binary => seen_binary = true,
+        }
+        assert!(
+            corpus::names().contains(&artifact.spec.name.as_str()),
+            "{}: scenario `{}` is not in the catalogue",
+            path.display(),
+            artifact.spec.name
+        );
+        let report = verify(&artifact).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            report.passed(),
+            "{} failed verification: {:#?}",
+            path.display(),
+            report.failures()
+        );
+    }
+    assert!(
+        seen_json && seen_binary,
+        "corpus should keep both codecs' loaders regression-covered"
+    );
+}
+
+/// The committed artifacts are exactly what their specs record today:
+/// re-recording each spec in-process reproduces the stored expected
+/// outcome (totals digests), so the corpus can't silently drift from
+/// the builtins that generated it.
+#[test]
+fn committed_corpus_matches_reseeded_builtins() {
+    for path in artifacts_in_dir(&corpus_dir()).expect("corpus directory exists") {
+        let (artifact, _) =
+            ScenarioArtifact::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let spec = corpus::builtin(&artifact.spec.name)
+            .unwrap_or_else(|| panic!("{}: unknown builtin", path.display()));
+        assert_eq!(
+            artifact.spec,
+            spec,
+            "{}: stored spec drifted from the builtin",
+            path.display()
+        );
+        let fresh = ecoharness::record(&spec)
+            .unwrap_or_else(|e| panic!("{}: re-record: {e}", path.display()));
+        assert_eq!(
+            fresh.expected.totals_digest,
+            artifact.expected.totals_digest,
+            "{}: re-recording the builtin no longer reproduces the committed totals",
+            path.display()
+        );
+        assert_eq!(
+            fresh.expected.events_digest,
+            artifact.expected.events_digest,
+            "{}: re-recording the builtin no longer reproduces the committed events",
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Record → verify round trip, and the verifier's teeth.
+//!
+//! A verifier that cannot fail is decoration. These tests prove the
+//! pipeline passes on faithful artifacts and — just as important —
+//! *fails* on every kind of corruption it exists to catch: dropped
+//! event frames, mutated request traffic, and tampered expectations.
+
+use ecoharness::{corpus, record, verify};
+use ecovisor::proto::EnergyRequest;
+use simkit::units::Watts;
+
+/// A shrunk builtin: small enough for test time, eventful enough to
+/// carry event frames worth corrupting.
+fn small_artifact() -> ecoharness::ScenarioArtifact {
+    let mut spec = corpus::builtin("mixed-tenants").expect("builtin");
+    spec.ticks = 12;
+    record(&spec).expect("record")
+}
+
+#[test]
+fn faithful_artifact_verifies_green() {
+    let artifact = small_artifact();
+    assert!(artifact.trace.request_count() > 0, "day generated traffic");
+    assert!(
+        !artifact.trace.events.is_empty(),
+        "day generated event frames"
+    );
+    let report = verify(&artifact).expect("verify");
+    assert!(report.passed(), "failures: {:#?}", report.failures());
+    // The matrix ran: 2 codecs × 2 paths × (totals per app + digests +
+    // frames) plus structural checks.
+    assert!(report.checks.len() > 20, "got {}", report.checks.len());
+}
+
+#[test]
+fn dropped_event_frame_fails_verification() {
+    let mut artifact = small_artifact();
+    let removed = artifact.trace.events.pop().expect("has frames");
+    // Keep the counts self-consistent so only the replay comparison can
+    // catch it — the strictest possible test of the event-frame check.
+    artifact.expected.event_count -= removed.events.len();
+    artifact.expected.events_digest = ecovisor::digest(&artifact.trace.events);
+    let report = verify(&artifact).expect("verify");
+    assert!(!report.passed(), "dropped frame must fail");
+    assert!(
+        report
+            .failures()
+            .iter()
+            .any(|c| c.label.contains("event frames")),
+        "the frame comparison specifically must catch it: {:#?}",
+        report.failures()
+    );
+}
+
+#[test]
+fn mutated_request_traffic_fails_verification() {
+    let mut artifact = small_artifact();
+    // Find a command batch and perturb one request: replaying different
+    // traffic must not settle to the recorded totals.
+    let entry = artifact
+        .trace
+        .entries
+        .iter_mut()
+        .find(|e| {
+            e.batch
+                .requests
+                .iter()
+                .any(|r| matches!(r, EnergyRequest::SetBatteryChargeRate { .. }))
+        })
+        .expect("a charge-rate command exists in the mixed day");
+    for req in &mut entry.batch.requests {
+        if let EnergyRequest::SetBatteryChargeRate { rate } = req {
+            *rate += Watts::new(500.0);
+        }
+    }
+    let report = verify(&artifact).expect("verify");
+    assert!(!report.passed(), "mutated traffic must fail");
+}
+
+#[test]
+fn tampered_expected_totals_fail_verification() {
+    let mut artifact = small_artifact();
+    artifact.expected.apps[0].totals.carbon += simkit::units::Co2Grams::new(1.0);
+    let report = verify(&artifact).expect("verify");
+    assert!(!report.passed(), "tampered totals must fail");
+    assert!(
+        report.failures().iter().any(|c| c.label.contains("totals")),
+        "{:#?}",
+        report.failures()
+    );
+}
+
+#[test]
+fn recording_is_deterministic() {
+    let mut spec = corpus::builtin("budget-exhaustion").expect("builtin");
+    spec.ticks = 10;
+    let a = record(&spec).expect("record a");
+    let b = record(&spec).expect("record b");
+    assert_eq!(a, b, "same spec must record identical artifacts");
+    // And the serialized forms are byte-identical in both codecs.
+    assert_eq!(
+        a.to_bytes(ecovisor::WireCodec::Json),
+        b.to_bytes(ecovisor::WireCodec::Json)
+    );
+    assert_eq!(
+        a.to_bytes(ecovisor::WireCodec::Binary),
+        b.to_bytes(ecovisor::WireCodec::Binary)
+    );
+}
+
+#[test]
+fn every_builtin_records_and_verifies_when_shrunk() {
+    for name in corpus::names() {
+        let mut spec = corpus::builtin(name).expect("builtin");
+        spec.ticks = spec.ticks.min(8);
+        let artifact = record(&spec).unwrap_or_else(|e| panic!("record {name}: {e}"));
+        let report = verify(&artifact).unwrap_or_else(|e| panic!("verify {name}: {e}"));
+        assert!(report.passed(), "{name} failed: {:#?}", report.failures());
+    }
+}

@@ -17,7 +17,7 @@ use workloads::batch::BatchJob;
 use crate::shared::{shared, Shared};
 
 /// Which §5.1 policy drives the job.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum BatchMode {
     /// Run at the baseline allocation regardless of carbon intensity.
     CarbonAgnostic,

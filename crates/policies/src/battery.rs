@@ -23,7 +23,7 @@ use crate::shared::{shared, Shared};
 const WORKER_MAX_POWER_W: f64 = 3.65;
 
 /// §5.3 Spark policy variants.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum SparkMode {
     /// System-level: a fixed worker pool sized to the battery-smoothed
     /// minimum guaranteed power, "conservative and avoids losing

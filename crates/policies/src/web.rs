@@ -19,7 +19,7 @@ use workloads::web::{response_quantile, WebService};
 use crate::shared::{shared, Shared};
 
 /// Which §5.2 policy drives the service.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum WebPolicy {
     /// System-level: a fixed carbon rate enforced at all times; the
     /// worker pool always uses the full power the rate allows.

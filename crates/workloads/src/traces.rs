@@ -13,7 +13,7 @@ use simkit::time::{SimDuration, SimTime};
 use simkit::trace::{Extend, Sampling, Trace};
 
 /// Builder for diurnal request-rate traces (requests/second).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct WorkloadTraceBuilder {
     base_rate: f64,
     peak_rate: f64,
