@@ -368,6 +368,95 @@ impl Cop {
             .find(|s| s.id() == id)
             .expect("server ids are stable")
     }
+
+    /// Captures the COP's dynamic state for checkpointing.
+    ///
+    /// The placement policy and power models are *not* captured: placement
+    /// is a pure function of the restored server occupancy, and the power
+    /// models are rebuilt deterministically from the server specs.
+    pub fn snapshot(&self) -> CopSnapshot {
+        CopSnapshot {
+            servers: self.servers.clone(),
+            containers: self.containers.values().cloned().collect(),
+            next_id: self.next_id,
+        }
+    }
+
+    /// Restores dynamic state captured by [`Cop::snapshot`].
+    ///
+    /// The receiving COP must have been built over the *same cluster
+    /// composition* (server count and specs). The scheduler is kept;
+    /// power models are rebuilt from the restored specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch: server
+    /// count or spec divergence, a container referencing an out-of-range
+    /// server, a duplicate container id, or an id at or above `next_id`.
+    pub fn restore(&mut self, snap: &CopSnapshot) -> Result<(), String> {
+        if snap.servers.len() != self.servers.len() {
+            return Err(format!(
+                "snapshot has {} servers, cluster has {}",
+                snap.servers.len(),
+                self.servers.len()
+            ));
+        }
+        for (have, want) in self.servers.iter().zip(&snap.servers) {
+            if have.id() != want.id() {
+                return Err(format!(
+                    "snapshot server id {} does not match cluster server id {}",
+                    want.id(),
+                    have.id()
+                ));
+            }
+            if have.spec() != want.spec() {
+                return Err(format!("server {} spec differs from snapshot", have.id()));
+            }
+        }
+        let mut containers = BTreeMap::new();
+        for c in &snap.containers {
+            if c.server().value() as usize >= snap.servers.len() {
+                return Err(format!(
+                    "container {} references unknown server {}",
+                    c.id(),
+                    c.server()
+                ));
+            }
+            if c.id().value() >= snap.next_id {
+                return Err(format!(
+                    "container id {} is at or above next_id {}",
+                    c.id(),
+                    snap.next_id
+                ));
+            }
+            if containers.insert(c.id(), c.clone()).is_some() {
+                return Err(format!("duplicate container id {} in snapshot", c.id()));
+            }
+        }
+        self.servers = snap.servers.clone();
+        self.models = snap
+            .servers
+            .iter()
+            .map(|s| PowerModel::new(*s.spec()))
+            .collect();
+        self.containers = containers;
+        self.next_id = snap.next_id;
+        Ok(())
+    }
+}
+
+/// Serializable dynamic state of a [`Cop`], captured by [`Cop::snapshot`]
+/// and reinstated by [`Cop::restore`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CopSnapshot {
+    /// Per-server occupancy bookkeeping, in id order (specs included so
+    /// restore can verify the cluster composition matches).
+    pub servers: Vec<Server>,
+    /// Every container ever launched — stopped ones included, since they
+    /// are retained for accounting history — in id order.
+    pub containers: Vec<Container>,
+    /// Next container id to allocate.
+    pub next_id: u64,
 }
 
 #[cfg(test)]

@@ -43,8 +43,8 @@ pub mod scheduler;
 pub mod server;
 
 pub use container::{AppId, Container, ContainerId, ContainerSpec, ContainerState};
-pub use cop::{Cop, CopConfig};
+pub use cop::{Cop, CopConfig, CopSnapshot};
 pub use error::CopError;
 pub use power::PowerModel;
 pub use scheduler::{FewestContainers, Placement};
-pub use server::{ServerId, ServerSpec};
+pub use server::{Server, ServerId, ServerSpec};

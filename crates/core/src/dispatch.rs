@@ -366,6 +366,12 @@ impl Ecovisor {
             // it (see `crate::transport`); dispatch just acknowledges,
             // so in-process and replayed batches stay arity-correct.
             SubscribeEvents { .. } => EnergyResponse::Ok,
+            // The admin checkpoint surface works the same way: the
+            // transport intercepts these per-connection (chunk caching
+            // and assembly live there, behind the credential gate);
+            // dispatch just acknowledges, so recorded traces replay
+            // arity-correct without re-running a restore.
+            Snapshot { .. } | Restore { .. } => EnergyResponse::Ok,
             SetCarbonBudget { budget } => {
                 state.carbon_budget = *budget;
                 // Clearing the budget or raising it above the carbon

@@ -75,7 +75,7 @@ pub(crate) struct AppState {
 }
 
 /// System-wide flows settled in one tick (diagnostics/telemetry).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct SystemFlows {
     /// Physical solar output during the tick (buffered for next tick).
     pub physical_solar: Watts,
@@ -109,17 +109,17 @@ pub struct Ecovisor {
     pub(crate) clock: TickClock,
     pub(crate) cop: RwLock<Cop>,
     solar: Box<dyn SolarSource>,
-    physical_battery: Battery,
-    grid: GridConnection,
-    psu: ProgrammablePsu,
+    pub(crate) physical_battery: Battery,
+    pub(crate) grid: GridConnection,
+    pub(crate) psu: ProgrammablePsu,
     carbon: Box<dyn CarbonService>,
-    excess: ExcessPolicy,
+    pub(crate) excess: ExcessPolicy,
     pub(crate) tsdb: RwLock<Tsdb>,
     pub(crate) apps: BTreeMap<AppId, Shard>,
-    next_app: u32,
+    pub(crate) next_app: u32,
     pub(crate) intensity: CarbonIntensity,
-    prev_intensity: CarbonIntensity,
-    last_system_flows: SystemFlows,
+    pub(crate) prev_intensity: CarbonIntensity,
+    pub(crate) last_system_flows: SystemFlows,
     /// Fast-path flag mirroring `proto_trace.is_some()`, so untraced
     /// dispatch never touches the trace mutex.
     pub(crate) tracing: AtomicBool,

@@ -103,6 +103,7 @@ pub mod replay;
 pub mod shard;
 pub mod share;
 pub mod sim;
+pub mod snapshot;
 pub mod transport;
 pub mod ves;
 
@@ -122,6 +123,7 @@ pub use replay::{digest, ReplayReport};
 pub use shard::ShardedEcovisor;
 pub use share::EnergyShare;
 pub use sim::Simulation;
+pub use snapshot::{AppSnapshot, Snapshot, SnapshotError, SNAPSHOT_FORMAT};
 pub use transport::{
     ClientHello, ClientHelloV2, CredentialRegistry, EcovisorServer, RemoteEcovisorClient,
     ServerHandle, ServerHello, SharedEcovisor, WireCodec,

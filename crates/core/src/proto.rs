@@ -261,6 +261,33 @@ pub enum EnergyRequest {
         /// Which event categories to deliver.
         filter: EventFilter,
     },
+
+    // -- v2 admin surface (operator checkpointing) -----------------------
+    /// Requests one chunk of a whole-ecovisor checkpoint (v2 only,
+    /// credential-gated). `chunk: 0` captures a fresh
+    /// [`Snapshot`](crate::snapshot::Snapshot) under the settlement
+    /// barrier and caches its binary encoding on the *connection*; every
+    /// chunk (including 0) is answered with
+    /// [`EnergyResponse::SnapshotChunk`]. In-process dispatch
+    /// acknowledges it as a no-op — in process you call
+    /// [`Ecovisor::snapshot`](crate::Ecovisor::snapshot) directly.
+    Snapshot {
+        /// 0-based index of the chunk to fetch.
+        chunk: u32,
+    },
+    /// Delivers one chunk of a serialized snapshot to restore (v2 only,
+    /// credential-gated). Chunks accumulate per-connection, in order;
+    /// the final chunk (`index == total - 1`) decodes the assembly and
+    /// applies it under the settlement barrier. In-process dispatch
+    /// acknowledges it as a no-op.
+    Restore {
+        /// 0-based index of this chunk.
+        index: u32,
+        /// Total number of chunks in the transfer.
+        total: u32,
+        /// This chunk's bytes (a slice of [`Snapshot::to_bytes`](crate::snapshot::Snapshot::to_bytes) output).
+        data: Vec<u8>,
+    },
 }
 
 impl EnergyRequest {
@@ -314,9 +341,20 @@ impl EnergyRequest {
     /// duplex wire carries.
     pub fn min_version(&self) -> u16 {
         match self {
-            EnergyRequest::SubscribeEvents { .. } => PROTOCOL_VERSION,
+            EnergyRequest::SubscribeEvents { .. }
+            | EnergyRequest::Snapshot { .. }
+            | EnergyRequest::Restore { .. } => PROTOCOL_VERSION,
             _ => PROTOCOL_V1,
         }
+    }
+
+    /// `true` for the operator admin surface — requests a remote server
+    /// only honors on a credential-authenticated connection.
+    pub fn is_admin(&self) -> bool {
+        matches!(
+            self,
+            EnergyRequest::Snapshot { .. } | EnergyRequest::Restore { .. }
+        )
     }
 
     /// `true` for commands that mutate the shared container platform.
@@ -408,6 +446,8 @@ impl EnergyRequest {
             GetRemainingCarbonBudget => "remaining_carbon_budget",
             PollEvents => "poll_events",
             SubscribeEvents { .. } => "subscribe_events",
+            Snapshot { .. } => "snapshot",
+            Restore { .. } => "restore",
         }
     }
 }
@@ -451,6 +491,16 @@ pub enum EnergyResponse {
     App(AppId),
     /// Drained notifications, in generation order (`PollEvents`).
     Events(Vec<Notification>),
+    /// One chunk of a serialized whole-ecovisor snapshot (the answer to
+    /// [`EnergyRequest::Snapshot`] on a credentialed v2 connection).
+    SnapshotChunk {
+        /// 0-based index of this chunk.
+        index: u32,
+        /// Total number of chunks in the transfer.
+        total: u32,
+        /// This chunk's bytes (a slice of the snapshot's binary encoding).
+        data: Vec<u8>,
+    },
     /// The request failed; the error is data.
     Err(ProtoError),
 }
@@ -493,6 +543,9 @@ pub enum ProtoError {
     },
     /// A command was sent down the read-only query path.
     NotAQuery,
+    /// The connection is not authorized for the operator admin surface
+    /// (snapshot/restore require a verified per-app credential).
+    Denied(String),
     /// Any other failure, as a message.
     Other(String),
 }
@@ -519,6 +572,7 @@ impl std::fmt::Display for ProtoError {
                 write!(f, "container {container}: {reason}")
             }
             ProtoError::NotAQuery => write!(f, "command sent down the query path"),
+            ProtoError::Denied(msg) => write!(f, "admin request denied: {msg}"),
             ProtoError::Other(msg) => write!(f, "{msg}"),
         }
     }

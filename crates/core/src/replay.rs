@@ -100,11 +100,34 @@ impl Ecovisor {
     /// never re-records, and regenerated event frames are returned
     /// rather than appended to any live trace.
     pub fn replay_trace(&mut self, trace: &ProtocolTrace, ticks: u64) -> ReplayReport {
+        self.replay_trace_from(trace, 0, ticks)
+    }
+
+    /// Replays only the tail of a trace, picking up at `start_tick` —
+    /// the checkpoint-resume form of [`Ecovisor::replay_trace`].
+    ///
+    /// The ecovisor must already hold the state the original run had
+    /// entering `start_tick` (i.e. a snapshot captured after settling
+    /// tick `start_tick - 1` has been [applied](Ecovisor::apply_snapshot)).
+    /// Entries stamped before `start_tick` are skipped — their effects
+    /// are already part of the restored state — and the settlement loop
+    /// runs ticks `start_tick..ticks`. [`ReplayReport::ticks`] counts
+    /// only the ticks actually executed.
+    pub fn replay_trace_from(
+        &mut self,
+        trace: &ProtocolTrace,
+        start_tick: u64,
+        ticks: u64,
+    ) -> ReplayReport {
         let was_tracing = self.tracing.swap(false, Ordering::Relaxed);
-        let mut entries = trace.entries.iter().peekable();
+        let mut entries = trace
+            .entries
+            .iter()
+            .filter(|e| e.tick >= start_tick)
+            .peekable();
         let mut responses = Vec::with_capacity(trace.entries.len());
         let mut frames = Vec::new();
-        for tick in 0..ticks {
+        for tick in start_tick..ticks {
             while entries.peek().is_some_and(|e| e.tick <= tick) {
                 let entry = entries.next().expect("peeked");
                 responses.push(self.dispatch_batch(&entry.batch));
@@ -121,7 +144,7 @@ impl Ecovisor {
         }
         self.tracing.store(was_tracing, Ordering::Relaxed);
         ReplayReport {
-            ticks,
+            ticks: ticks.saturating_sub(start_tick),
             responses,
             frames,
         }
@@ -138,11 +161,27 @@ impl ShardedEcovisor {
     ///
     /// Semantics otherwise match [`Ecovisor::replay_trace`].
     pub fn replay_trace(&self, trace: &ProtocolTrace, ticks: u64) -> ReplayReport {
+        self.replay_trace_from(trace, 0, ticks)
+    }
+
+    /// Replays only the tail of a trace on the sharded path, picking up
+    /// at `start_tick` — semantics match
+    /// [`Ecovisor::replay_trace_from`].
+    pub fn replay_trace_from(
+        &self,
+        trace: &ProtocolTrace,
+        start_tick: u64,
+        ticks: u64,
+    ) -> ReplayReport {
         let was_tracing = self.with(|eco| eco.tracing.swap(false, Ordering::Relaxed));
-        let mut entries = trace.entries.iter().peekable();
+        let mut entries = trace
+            .entries
+            .iter()
+            .filter(|e| e.tick >= start_tick)
+            .peekable();
         let mut responses = Vec::with_capacity(trace.entries.len());
         let mut frames = Vec::new();
-        for tick in 0..ticks {
+        for tick in start_tick..ticks {
             while entries.peek().is_some_and(|e| e.tick <= tick) {
                 let entry = entries.next().expect("peeked");
                 responses.push(self.dispatch_batch(&entry.batch));
@@ -161,7 +200,7 @@ impl ShardedEcovisor {
         }
         self.with(|eco| eco.tracing.store(was_tracing, Ordering::Relaxed));
         ReplayReport {
-            ticks,
+            ticks: ticks.saturating_sub(start_tick),
             responses,
             frames,
         }

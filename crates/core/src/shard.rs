@@ -153,6 +153,27 @@ impl ShardedEcovisor {
         })
     }
 
+    /// Captures a [`Snapshot`](crate::snapshot::Snapshot) under the
+    /// settlement barrier: all dispatch quiesces, so the checkpoint can
+    /// never observe a half-settled tick or a half-applied batch.
+    pub fn snapshot(&self) -> crate::snapshot::Snapshot {
+        self.with(|eco| eco.snapshot())
+    }
+
+    /// Reinstates a snapshot under the settlement barrier (see
+    /// [`Ecovisor::apply_snapshot`] for validation and error semantics).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Ecovisor::apply_snapshot`] rejects; on error the
+    /// running state is untouched.
+    pub fn apply_snapshot(
+        &self,
+        snap: &crate::snapshot::Snapshot,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.with(|eco| eco.apply_snapshot(snap))
+    }
+
     /// Unwraps the inner ecovisor.
     pub fn into_inner(self) -> Ecovisor {
         self.inner.into_inner().unwrap_or_else(|p| p.into_inner())

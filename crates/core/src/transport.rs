@@ -133,7 +133,7 @@
 //!
 //! [`ProtocolTrace`]: crate::dispatch::ProtocolTrace
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -146,16 +146,34 @@ use serde::{Deserialize, Serialize};
 
 use crate::client::{EnergyClient, EventHandler};
 use crate::ecovisor::Ecovisor;
-use crate::event::{EventFilter, Notification};
+use crate::event::{EventFilter, Notification, OutboxPolicy};
 use crate::proto::{
     ControlFrame, EnergyRequest, EnergyResponse, EventFrame, Frame, ProtoError, RequestBatch,
     ResponseBatch, PROTOCOL_V1, PROTOCOL_VERSION, SUPPORTED_VERSIONS,
 };
 use crate::shard::ShardedEcovisor;
+use crate::snapshot::Snapshot;
 
 /// Upper bound on a single frame's payload, so a hostile peer cannot make
 /// the read side allocate unboundedly.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Payload bytes carried per [`EnergyResponse::SnapshotChunk`] /
+/// [`EnergyRequest::Restore`] chunk on the admin checkpoint surface:
+/// large enough that a realistic snapshot moves in a handful of frames,
+/// small enough that a chunk never competes with [`MAX_FRAME_LEN`].
+pub const SNAPSHOT_CHUNK_LEN: usize = 256 * 1024;
+
+/// Ceiling on a reassembling [`EnergyRequest::Restore`] payload, so even
+/// an authenticated operator connection cannot grow the assembly buffer
+/// without bound.
+const MAX_RESTORE_LEN: usize = 256 * 1024 * 1024;
+
+/// Ceiling on one connection's committed-but-unwritten wire bytes. A
+/// subscriber may hang and recover (its frames queue, see
+/// [`PendingWrites`]); one that also keeps *sending* while never reading
+/// would grow the response backlog without bound, and is cut off here.
+const MAX_PENDING_BYTES: usize = 64 * 1024 * 1024;
 
 /// A wire encoding for protocol payloads, negotiated per connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -392,6 +410,182 @@ struct ConnShared {
     writer: Mutex<TcpStream>,
     /// `Some(filter)` once the connection subscribed to event push.
     filter: Mutex<Option<EventFilter>>,
+    /// Backpressure state: what could not be written because the peer
+    /// stopped draining its socket. Lock order is `pending` before
+    /// `writer`, on every path.
+    pending: Mutex<PendingWrites>,
+}
+
+/// One connection's write backlog. A slow subscriber no longer gets its
+/// socket shut down: writes that would block are *queued* here and
+/// retried on every settlement (and on every response write), so a hung
+/// subscriber that recovers picks up where it left off.
+///
+/// Two tiers, because a length-prefixed frame that has started going out
+/// must finish byte-exact:
+///
+/// * `queue` holds frames **committed** to the wire order as encoded
+///   bytes — the head may be partially written and is resumed from
+///   `head_written`; committed frames are never reordered, coalesced, or
+///   dropped (responses and control frames always land here);
+/// * `parked` holds event notifications **displaced** by backpressure,
+///   governed by the app's [`OutboxPolicy`] — exactly the per-app outbox
+///   discipline, applied a second time at the connection: level events
+///   coalesce keep-latest / evict-oldest at the cap, edge events
+///   (battery full/empty, budget exhaustion) are never dropped. Once the
+///   socket drains, the parked set is re-framed as a single recovery
+///   [`EventFrame`] stamped with the newest contributing tick.
+#[derive(Default)]
+struct PendingWrites {
+    /// Bytes of `queue[0]` already on the wire.
+    head_written: usize,
+    /// Encoded frames awaiting the socket, in wire order.
+    queue: VecDeque<Vec<u8>>,
+    /// Total bytes across `queue`.
+    queued_bytes: usize,
+    /// Notifications parked under the app's [`OutboxPolicy`].
+    parked: Vec<Notification>,
+    /// Settlement tick of the newest parked notification.
+    parked_tick: u64,
+}
+
+/// Classifies a socket write failure: backpressure (the peer is slow —
+/// keep the connection, queue the bytes) versus fatal (the peer is gone).
+fn is_backpressure(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+/// Length-prefixes a payload into the exact bytes [`write_frame`] would
+/// put on the wire — the queued form, resumable mid-write.
+fn wire_bytes(payload: &[u8]) -> io::Result<Vec<u8>> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Writes as much of the committed queue as the socket accepts.
+/// `Ok(true)` means fully drained; `Ok(false)` means backpressure (the
+/// partially-written head resumes later); `Err` means the socket is dead.
+fn write_committed(writer: &mut TcpStream, pending: &mut PendingWrites) -> io::Result<bool> {
+    loop {
+        let Some(head) = pending.queue.front() else {
+            return Ok(true);
+        };
+        let len = head.len();
+        while pending.head_written < len {
+            match writer.write(&pending.queue[0][pending.head_written..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(io::ErrorKind::WriteZero, "peer closed"));
+                }
+                Ok(n) => pending.head_written += n,
+                Err(e) if is_backpressure(&e) => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        pending.queue.pop_front();
+        pending.queued_bytes -= len;
+        pending.head_written = 0;
+    }
+}
+
+impl ConnShared {
+    /// Drains the backlog: committed frames first, then the parked
+    /// notifications re-framed as one recovery [`EventFrame`].
+    /// `Ok(false)` = backpressure, everything unsent stays queued.
+    fn flush(&self, pending: &mut PendingWrites) -> io::Result<bool> {
+        let mut writer = crate::lock::lock(&self.writer);
+        if !write_committed(&mut writer, pending)? {
+            return Ok(false);
+        }
+        if pending.parked.is_empty() {
+            return Ok(true);
+        }
+        let frame = EventFrame {
+            version: PROTOCOL_VERSION,
+            app: self.app,
+            tick: pending.parked_tick,
+            events: std::mem::take(&mut pending.parked),
+        };
+        let bytes = wire_bytes(&self.codec.encode(&Frame::Event(frame)))?;
+        pending.queued_bytes += bytes.len();
+        pending.queue.push_back(bytes);
+        write_committed(&mut writer, pending)
+    }
+
+    /// Delivers one event frame, queueing under `policy` when the socket
+    /// is full instead of disconnecting the subscriber. Fatal errors
+    /// shut the socket down so the reader half observes the failure,
+    /// exits, and deregisters.
+    fn push_event(&self, frame: EventFrame, policy: OutboxPolicy) {
+        let mut pending = crate::lock::lock(&self.pending);
+        let result = (|| -> io::Result<()> {
+            if pending.queued_bytes > MAX_PENDING_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::OutOfMemory,
+                    "write backlog overflow",
+                ));
+            }
+            if self.flush(&mut pending)? {
+                // Backlog clear: commit this frame to the wire order.
+                let bytes = wire_bytes(&self.codec.encode(&Frame::Event(frame)))?;
+                pending.queued_bytes += bytes.len();
+                pending.queue.push_back(bytes);
+                self.flush(&mut pending)?;
+            } else {
+                // Socket still full: park the notifications under the
+                // app's outbox policy rather than queueing unbounded
+                // bytes — edges all survive, levels coalesce.
+                pending.parked_tick = frame.tick;
+                for event in frame.events {
+                    policy.push(&mut pending.parked, event);
+                }
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = crate::lock::lock(&self.writer).shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Retries the backlog without new traffic — the per-settlement
+    /// recovery path for a subscriber that drained its socket again.
+    fn retry_backlog(&self) {
+        let mut pending = crate::lock::lock(&self.pending);
+        if pending.queue.is_empty() && pending.parked.is_empty() {
+            return;
+        }
+        if self.flush(&mut pending).is_err() {
+            let _ = crate::lock::lock(&self.writer).shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Writes a response/control payload through the connection's backlog
+/// queue, so it can never interleave into a partially-written push frame.
+/// Under backpressure the payload stays committed in order and goes out
+/// on a later flush (the peer necessarily reads before it can await this
+/// response); the error return is reserved for a dead socket or an
+/// overflowing backlog, both of which end the serving loop.
+fn write_conn(conn: &ConnShared, payload: &[u8]) -> io::Result<()> {
+    let mut pending = crate::lock::lock(&conn.pending);
+    if pending.queued_bytes.saturating_add(payload.len()) > MAX_PENDING_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::OutOfMemory,
+            "write backlog overflow: peer sends but never drains",
+        ));
+    }
+    let bytes = wire_bytes(payload)?;
+    pending.queued_bytes += bytes.len();
+    pending.queue.push_back(bytes);
+    conn.flush(&mut pending).map(|_| ())
 }
 
 /// Everything a serving thread needs beyond its own socket.
@@ -422,6 +616,12 @@ impl Drop for Deregister {
 /// [`EventFrame`]s to every subscribed connection. Runs inside the
 /// settlement barrier (see [`ShardedEcovisor::on_settlement`]), so the
 /// pushed sequence is exactly the per-settlement event sequence.
+///
+/// A subscriber whose socket is full is **not** disconnected: its frame
+/// is queued/parked per [`PendingWrites`], and every settlement retries
+/// the backlog, so a hung subscriber that starts draining again catches
+/// up (edge events intact, level events coalesced keep-latest under the
+/// app's [`OutboxPolicy`]).
 fn broadcast_events(eco: &Ecovisor, registry: &Mutex<Vec<Arc<ConnShared>>>) {
     // Snapshot the registry, then group subscribers by app: the app's
     // outbox is drained once and every subscriber gets its own filtered
@@ -435,25 +635,22 @@ fn broadcast_events(eco: &Ecovisor, registry: &Mutex<Vec<Arc<ConnShared>>>) {
         }
     }
     for (app, subscribers) in by_app {
+        let policy = eco.outbox_policy(app).unwrap_or_default();
         // Drain only what some subscriber actually wants: events outside
         // the union of filters stay pending for polling/draining.
         let union = subscribers
             .iter()
             .fold(EventFilter::none(), |acc, (_, f)| acc.union(f));
-        let Some(frame) = eco.take_event_frame_matching(app, &union) else {
-            continue;
-        };
+        let frame = eco.take_event_frame_matching(app, &union);
         for (conn, filter) in subscribers {
-            let filtered = frame.filtered(&filter);
-            if filtered.events.is_empty() {
-                continue;
-            }
-            let payload = conn.codec.encode(&Frame::Event(filtered));
-            let mut writer = crate::lock::lock(&conn.writer);
-            if write_frame(&mut *writer, &payload).is_err() {
-                // A dead subscriber: shut the socket so the reader half
-                // observes the failure, exits, and deregisters.
-                let _ = writer.shutdown(std::net::Shutdown::Both);
+            let filtered = frame.as_ref().map(|f| f.filtered(&filter));
+            match filtered {
+                Some(filtered) if !filtered.events.is_empty() => {
+                    conn.push_event(filtered, policy);
+                }
+                // Nothing new for this subscriber — still a chance to
+                // drain whatever backpressure left behind.
+                _ => conn.retry_backlog(),
             }
         }
     }
@@ -636,6 +833,7 @@ impl EcovisorServer {
             accept: Some(accept),
             connections,
             active,
+            registry: Arc::clone(&self.ctx.registry),
         })
     }
 }
@@ -739,6 +937,14 @@ fn negotiate(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<Option<Negoti
     }))
 }
 
+/// Maps an admin-surface refusal to the closest I/O error kind.
+fn admin_error_kind(e: &ProtoError) -> io::ErrorKind {
+    match e {
+        ProtoError::Denied(_) => io::ErrorKind::PermissionDenied,
+        _ => io::ErrorKind::InvalidData,
+    }
+}
+
 /// One pinned-scope denial batch (the spoofed-envelope answer).
 fn pinned_denial(batch: &RequestBatch, pinned: AppId) -> ResponseBatch {
     ResponseBatch {
@@ -810,12 +1016,21 @@ fn serve_v2(stream: &mut TcpStream, ctx: &ServeCtx, neg: &Negotiated) -> io::Res
         codec: neg.codec,
         writer: Mutex::new(writer),
         filter: Mutex::new(None),
+        pending: Mutex::new(PendingWrites::default()),
     });
     crate::lock::lock(&ctx.registry).push(Arc::clone(&conn));
     let _deregister = Deregister {
         registry: Arc::clone(&ctx.registry),
         conn: Arc::clone(&conn),
     };
+
+    // Admin gate: with a credential registry installed, `negotiate` only
+    // admits connections that proved their token, so every served v2
+    // connection on a hardened server is credential-authenticated.
+    // Without a registry nothing on the wire is authenticated, and the
+    // checkpoint surface stays closed rather than trusting the network.
+    let authed = ctx.creds.is_some();
+    let mut admin = AdminState::default();
 
     while let Some(frame) = read_frame(stream)? {
         match neg.codec.decode::<Frame>(&frame) {
@@ -839,14 +1054,28 @@ fn serve_v2(stream: &mut TcpStream, ctx: &ServeCtx, neg: &Negotiated) -> io::Res
                             }
                         }
                     }
-                    ctx.shared.dispatch_batch(&batch)
+                    let mut response = ctx.shared.dispatch_batch(&batch);
+                    // Admin checkpoint surface, same shape as
+                    // subscriptions: the dispatcher acked
+                    // `Snapshot`/`Restore` (so recorded traces replay
+                    // arity-correct); the transport substitutes the real
+                    // per-connection answer, under the same version gate.
+                    for (req, resp) in batch.requests.iter().zip(response.responses.iter_mut()) {
+                        if req.is_admin()
+                            && SUPPORTED_VERSIONS.contains(&batch.version)
+                            && batch.version >= req.min_version()
+                        {
+                            *resp = serve_admin(req, ctx, authed, &mut admin);
+                        }
+                    }
+                    response
                 };
                 let payload = neg.codec.encode(&Frame::Response(response));
-                write_frame(&mut *crate::lock::lock(&conn.writer), &payload)?;
+                write_conn(&conn, &payload)?;
             }
             Ok(Frame::Control(ControlFrame::Ping)) => {
                 let payload = neg.codec.encode(&Frame::Control(ControlFrame::Pong));
-                write_frame(&mut *crate::lock::lock(&conn.writer), &payload)?;
+                write_conn(&conn, &payload)?;
             }
             Ok(Frame::Control(ControlFrame::Pong)) => {}
             // Response/Event are server-direction frames; a client
@@ -856,6 +1085,113 @@ fn serve_v2(stream: &mut TcpStream, ctx: &ServeCtx, neg: &Negotiated) -> io::Res
         }
     }
     Ok(())
+}
+
+/// Per-connection state of the admin checkpoint surface: the cached
+/// snapshot encoding chunks are paged out of, and the in-progress
+/// restore assembly.
+#[derive(Default)]
+struct AdminState {
+    /// Binary snapshot encoding captured by the last `Snapshot{chunk: 0}`
+    /// on this connection. Chunks > 0 page out of this cache, so a
+    /// multi-chunk download is a consistent point-in-time image even
+    /// while the ecovisor keeps settling.
+    snapshot: Option<Vec<u8>>,
+    /// Restore chunks received so far.
+    restore: Vec<u8>,
+    /// Next expected restore chunk index.
+    restore_next: u32,
+}
+
+/// Number of [`SNAPSHOT_CHUNK_LEN`] chunks covering `len` bytes (at
+/// least one, so even an empty payload answers a chunk).
+fn chunk_count(len: usize) -> u32 {
+    u32::try_from(len.div_ceil(SNAPSHOT_CHUNK_LEN).max(1)).unwrap_or(u32::MAX)
+}
+
+/// Executes one admin request for a connection. Runs on the serving
+/// thread with no ecovisor lock held; `Snapshot`/`Restore` take the
+/// settlement barrier themselves through the shared handle, so a
+/// checkpoint can never observe a half-settled tick. The pinned app does
+/// not need to be a registered tenant — the admin surface is
+/// connection-level, and its responses replace whatever the dispatcher
+/// answered for these requests.
+fn serve_admin(
+    req: &EnergyRequest,
+    ctx: &ServeCtx,
+    authed: bool,
+    admin: &mut AdminState,
+) -> EnergyResponse {
+    if !authed {
+        return EnergyResponse::Err(ProtoError::Denied(
+            "snapshot/restore require a credential-authenticated connection".into(),
+        ));
+    }
+    match req {
+        EnergyRequest::Snapshot { chunk } => {
+            if *chunk == 0 {
+                admin.snapshot = Some(ctx.shared.snapshot().to_bytes());
+            }
+            let Some(bytes) = admin.snapshot.as_deref() else {
+                return EnergyResponse::Err(ProtoError::Other(
+                    "no snapshot cached on this connection: request chunk 0 first".into(),
+                ));
+            };
+            let total = chunk_count(bytes.len());
+            if *chunk >= total {
+                return EnergyResponse::Err(ProtoError::Other(format!(
+                    "snapshot chunk {chunk} out of range ({total} chunks)"
+                )));
+            }
+            let start = *chunk as usize * SNAPSHOT_CHUNK_LEN;
+            let end = (start + SNAPSHOT_CHUNK_LEN).min(bytes.len());
+            EnergyResponse::SnapshotChunk {
+                index: *chunk,
+                total,
+                data: bytes[start..end].to_vec(),
+            }
+        }
+        EnergyRequest::Restore { index, total, data } => {
+            if *index == 0 {
+                admin.restore.clear();
+                admin.restore_next = 0;
+            }
+            if *total == 0 || *index >= *total || *index != admin.restore_next {
+                let expected = admin.restore_next;
+                admin.restore.clear();
+                admin.restore_next = 0;
+                return EnergyResponse::Err(ProtoError::Other(format!(
+                    "restore chunk {index}/{total} out of order (expected {expected})"
+                )));
+            }
+            if admin.restore.len().saturating_add(data.len()) > MAX_RESTORE_LEN {
+                admin.restore.clear();
+                admin.restore_next = 0;
+                return EnergyResponse::Err(ProtoError::Other(
+                    "restore payload exceeds the size ceiling".into(),
+                ));
+            }
+            admin.restore.extend_from_slice(data);
+            admin.restore_next += 1;
+            if admin.restore_next < *total {
+                return EnergyResponse::Ok;
+            }
+            let assembled = std::mem::take(&mut admin.restore);
+            admin.restore_next = 0;
+            match Snapshot::from_bytes(&assembled) {
+                Ok(snap) => match ctx.shared.apply_snapshot(&snap) {
+                    Ok(()) => EnergyResponse::Ok,
+                    Err(e) => {
+                        EnergyResponse::Err(ProtoError::Other(format!("restore rejected: {e}")))
+                    }
+                },
+                Err(e) => EnergyResponse::Err(ProtoError::Other(format!(
+                    "restore payload undecodable: {e}"
+                ))),
+            }
+        }
+        _ => EnergyResponse::Err(ProtoError::Other("not an admin request".into())),
+    }
 }
 
 /// One accepted connection: its serving thread plus a socket handle the
@@ -874,6 +1210,7 @@ pub struct ServerHandle {
     accept: Option<JoinHandle<()>>,
     connections: Arc<Mutex<Vec<Connection>>>,
     active: Arc<AtomicUsize>,
+    registry: Arc<Mutex<Vec<Arc<ConnShared>>>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -905,6 +1242,21 @@ impl ServerHandle {
         conns.retain(|c| !c.thread.is_finished());
         drop(conns);
         self.active.load(Ordering::SeqCst)
+    }
+
+    /// Backpressure diagnostic: committed-but-unwritten wire frames plus
+    /// parked notifications, summed over every live v2 connection. Zero
+    /// when all subscribers are draining; a persistently growing value
+    /// points at a hung subscriber that is being queued for (see the
+    /// backlog discussion in the module docs).
+    pub fn subscriber_backlog(&self) -> usize {
+        crate::lock::lock(&self.registry)
+            .iter()
+            .map(|conn| {
+                let pending = crate::lock::lock(&conn.pending);
+                pending.queue.len() + pending.parked.len()
+            })
+            .sum()
     }
 
     /// Stops accepting, disconnects any live clients, joins all server
@@ -1276,6 +1628,137 @@ impl RemoteEcovisorClient {
         }
     }
 
+    /// Pulls a complete [`Snapshot`] of the server's ecovisor over the
+    /// admin checkpoint surface ([`EnergyRequest::Snapshot`], chunked):
+    /// chunk 0 captures it under the settlement barrier and caches the
+    /// encoding on the server side of this connection; further chunks
+    /// page the same point-in-time image out.
+    ///
+    /// Requires a v2 connection to a server that authenticated this
+    /// connection's credential (built
+    /// [`with_credentials`](EcovisorServer::with_credentials)); a server
+    /// without a credential registry answers
+    /// [`ProtoError::Denied`], surfaced here as
+    /// [`io::ErrorKind::PermissionDenied`].
+    ///
+    /// # Errors
+    ///
+    /// On a v1 connection, a broken transport, a denied admin surface,
+    /// or an undecodable payload.
+    pub fn fetch_snapshot(&mut self) -> io::Result<Snapshot> {
+        let mut bytes = Vec::new();
+        let mut chunk = 0u32;
+        loop {
+            match self.admin_round_trip(EnergyRequest::Snapshot { chunk })? {
+                EnergyResponse::SnapshotChunk { index, total, data } => {
+                    if index != chunk || total == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("snapshot chunk {index}/{total}, expected {chunk}"),
+                        ));
+                    }
+                    bytes.extend_from_slice(&data);
+                    if index + 1 >= total {
+                        break;
+                    }
+                    chunk += 1;
+                }
+                EnergyResponse::Err(e) => {
+                    return Err(io::Error::new(
+                        admin_error_kind(&e),
+                        format!("server refused snapshot: {e}"),
+                    ));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected snapshot response: {other:?}"),
+                    ));
+                }
+            }
+        }
+        Snapshot::from_bytes(&bytes).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("snapshot payload undecodable: {e}"),
+            )
+        })
+    }
+
+    /// Seeds the server's ecovisor from `snap` over the admin checkpoint
+    /// surface ([`EnergyRequest::Restore`], chunked). On success the
+    /// remote process holds exactly the captured state and continues
+    /// bit-identically to the process the snapshot came from (given the
+    /// same subsequent traffic and the same solar/carbon traces).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`fetch_snapshot`](Self::fetch_snapshot) can fail
+    /// with, plus the server-side validation failures of
+    /// [`Ecovisor::apply_snapshot`](crate::Ecovisor::apply_snapshot),
+    /// surfaced as refusal messages.
+    pub fn push_restore(&mut self, snap: &Snapshot) -> io::Result<()> {
+        let bytes = snap.to_bytes();
+        let total = chunk_count(bytes.len());
+        for (i, piece) in bytes.chunks(SNAPSHOT_CHUNK_LEN).enumerate() {
+            let index = u32::try_from(i).unwrap_or(u32::MAX);
+            let request = EnergyRequest::Restore {
+                index,
+                total,
+                data: piece.to_vec(),
+            };
+            match self.admin_round_trip(request)? {
+                EnergyResponse::Ok => {}
+                EnergyResponse::Err(e) => {
+                    return Err(io::Error::new(
+                        admin_error_kind(&e),
+                        format!("server refused restore: {e}"),
+                    ));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected restore response: {other:?}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends one admin request as its own batch and returns its response
+    /// (queued requests are flushed first, so ordering is preserved).
+    fn admin_round_trip(&mut self, request: EnergyRequest) -> io::Result<EnergyResponse> {
+        if self.version < PROTOCOL_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the admin checkpoint surface requires protocol v2",
+            ));
+        }
+        if self.broken {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "connection already failed",
+            ));
+        }
+        self.flush();
+        let batch = RequestBatch {
+            version: self.version,
+            app: self.app,
+            requests: vec![request],
+        };
+        let mut resp = match self.round_trip(&batch) {
+            Ok(resp) => resp,
+            Err(e) => {
+                self.broken = true;
+                return Err(e);
+            }
+        };
+        resp.responses
+            .pop()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty admin response batch"))
+    }
+
     /// One transport-failure response per request, so batch arithmetic
     /// (one response per request, in order) holds even when the wire dies.
     fn failure_batch(&self, batch: &RequestBatch, err: &io::Error) -> ResponseBatch {
@@ -1457,6 +1940,130 @@ mod tests {
             let back: Frame = codec.decode(&codec.encode(&frame)).expect("decode");
             assert_eq!(back, frame, "{codec:?}");
         }
+    }
+
+    #[test]
+    fn backpressure_parks_events_and_recovers() {
+        use simkit::units::Watts;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut subscriber = TcpStream::connect(addr).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        // The write bound is what turns a hung subscriber into
+        // backpressure instead of an indefinitely parked broadcast.
+        server_side
+            .set_write_timeout(Some(Duration::from_millis(50)))
+            .expect("write timeout");
+        // Generous read bound: only a real delivery bug should trip it.
+        subscriber
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let conn = Arc::new(ConnShared {
+            app: AppId::new(1),
+            codec: WireCodec::Binary,
+            writer: Mutex::new(server_side),
+            filter: Mutex::new(Some(EventFilter::all())),
+            pending: Mutex::new(PendingWrites::default()),
+        });
+        let policy = OutboxPolicy::with_cap(2);
+        let level = |w: f64| Notification::SolarChange {
+            previous: Watts::new(0.0),
+            current: Watts::new(w),
+        };
+        let frame = |tick: u64, events: Vec<Notification>| EventFrame {
+            version: PROTOCOL_VERSION,
+            app: AppId::new(1),
+            tick,
+            events,
+        };
+
+        // Fill the socket buffers with frames the subscriber never
+        // reads, until a frame has to stay committed-but-unwritten.
+        let mut tick = 0u64;
+        let mut committed_frames = 0usize;
+        for _ in 0..10 {
+            tick += 1;
+            conn.push_event(frame(tick, vec![level(1.0); 200_000]), policy);
+            committed_frames += 1;
+            if !crate::lock::lock(&conn.pending).queue.is_empty() {
+                break;
+            }
+        }
+        assert!(
+            !crate::lock::lock(&conn.pending).queue.is_empty(),
+            "socket buffers never filled; cannot exercise backpressure"
+        );
+
+        // Further frames park under the outbox policy: every edge
+        // survives, levels coalesce at the cap — and the socket is NOT
+        // shut down.
+        let parked_edges = 4usize;
+        for _ in 0..parked_edges {
+            tick += 1;
+            conn.push_event(
+                frame(tick, vec![level(tick as f64), Notification::BatteryFull]),
+                policy,
+            );
+        }
+        {
+            let pending = crate::lock::lock(&conn.pending);
+            let edges = pending
+                .parked
+                .iter()
+                .filter(|e| e.is_edge_triggered())
+                .count();
+            let levels = pending.parked.len() - edges;
+            assert_eq!(edges, parked_edges, "no edge event may ever be dropped");
+            assert!(
+                levels <= 2,
+                "levels must respect the policy cap, got {levels}"
+            );
+        }
+
+        // The subscriber wakes up and drains; a driver thread retries
+        // the backlog the way every settlement would. Everything
+        // committed arrives intact, plus one recovery frame carrying the
+        // parked events.
+        let stop = Arc::new(AtomicBool::new(false));
+        let retrier = {
+            let conn = Arc::clone(&conn);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    conn.retry_backlog();
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let mut drained: Vec<EventFrame> = Vec::new();
+        for _ in 0..committed_frames + 1 {
+            let payload = read_frame(&mut subscriber)
+                .expect("subscriber read")
+                .expect("stream stayed open");
+            match WireCodec::Binary.decode::<Frame>(&payload).expect("frame") {
+                Frame::Event(f) => drained.push(f),
+                other => panic!("unexpected frame: {other:?}"),
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        retrier.join().expect("retrier");
+        assert_eq!(
+            drained.len(),
+            committed_frames + 1,
+            "committed frames plus exactly one recovery frame"
+        );
+        let recovered = drained.last().expect("recovery frame");
+        assert_eq!(recovered.tick, tick, "stamped with the newest parked tick");
+        let edge_count = drained
+            .iter()
+            .flat_map(|f| f.events.iter())
+            .filter(|e| e.is_edge_triggered())
+            .count();
+        assert_eq!(edge_count, parked_edges, "each edge delivered exactly once");
+        let pending = crate::lock::lock(&conn.pending);
+        assert!(pending.queue.is_empty() && pending.parked.is_empty());
+        assert_eq!(pending.queued_bytes, 0);
     }
 
     #[test]

@@ -96,6 +96,12 @@ fn all_requests() -> Vec<EnergyRequest> {
         EnergyRequest::SubscribeEvents {
             filter: EventFilter::all(),
         },
+        EnergyRequest::Snapshot { chunk: 1 },
+        EnergyRequest::Restore {
+            index: 0,
+            total: 2,
+            data: vec![0x13, 0x37, 0x00],
+        },
     ]
 }
 
@@ -131,6 +137,17 @@ fn all_responses() -> Vec<EnergyResponse> {
             },
         ]),
         EnergyResponse::Events(vec![]),
+        EnergyResponse::SnapshotChunk {
+            index: 2,
+            total: 5,
+            data: vec![0xAB, 0xCD],
+        },
+        EnergyResponse::SnapshotChunk {
+            index: 0,
+            total: 1,
+            data: vec![],
+        },
+        EnergyResponse::Err(ProtoError::Denied("admin surface is closed".into())),
         EnergyResponse::Err(ProtoError::Version {
             expected: PROTOCOL_VERSION,
             got: 99,
@@ -197,14 +214,16 @@ fn every_request_variant_round_trips() {
             | GetCarbonBudget
             | GetRemainingCarbonBudget
             | PollEvents
-            | SubscribeEvents { .. } => {}
+            | SubscribeEvents { .. }
+            | Snapshot { .. }
+            | Restore { .. } => {}
         }
         round_trip_request(r);
     }
     // Every variant name appears exactly once in the exemplar list
     // (modulo the deliberate Some/None doubles).
     let names: std::collections::BTreeSet<&str> = requests.iter().map(|r| r.name()).collect();
-    assert_eq!(names.len(), 36);
+    assert_eq!(names.len(), 38);
 }
 
 #[test]
@@ -212,9 +231,24 @@ fn every_response_variant_round_trips() {
     for resp in &all_responses() {
         use EnergyResponse::*;
         match resp {
-            Ok | Power(_) | PowerCap(_) | Energy(_) | Carbon(_) | Intensity(_) | RateLimit(_)
-            | Budget(_) | Cores(_) | Count(_) | Container(_) | Containers(_) | Time(_)
-            | Interval(_) | App(_) | Events(_) | Err(_) => {}
+            Ok
+            | Power(_)
+            | PowerCap(_)
+            | Energy(_)
+            | Carbon(_)
+            | Intensity(_)
+            | RateLimit(_)
+            | Budget(_)
+            | Cores(_)
+            | Count(_)
+            | Container(_)
+            | Containers(_)
+            | Time(_)
+            | Interval(_)
+            | App(_)
+            | Events(_)
+            | SnapshotChunk { .. }
+            | Err(_) => {}
         }
         round_trip_response(resp);
     }
@@ -264,8 +298,8 @@ fn protocol_traces_round_trip() {
             ],
         }],
     };
-    // 38 exemplar requests (36 variants + the two `None` doubles) + 1.
-    assert_eq!(trace.request_count(), 39);
+    // 40 exemplar requests (38 variants + the two `None` doubles) + 1.
+    assert_eq!(trace.request_count(), 41);
     assert_eq!(trace.event_count(), 2);
     let wire = serde::json::to_string(&trace);
     let back: ProtocolTrace = serde::json::from_str(&wire).expect("parse back");

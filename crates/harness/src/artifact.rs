@@ -18,13 +18,20 @@
 //! codec's Map tag (0x08). The committed corpus deliberately mixes both
 //! so each loader stays regression-covered.
 
-use ecovisor::{AppId, ProtocolTrace, VesTotals, WireCodec};
+use ecovisor::{AppId, ProtocolTrace, Snapshot, VesTotals, WireCodec};
 use serde::{Deserialize, Serialize};
 
 use crate::error::HarnessError;
 use crate::spec::ScenarioSpec;
 
 /// Version of the artifact container format.
+///
+/// Format 1 artifacts may additionally carry `checkpoints` (embedded
+/// mid-day state captures) and `base` (the starting state of a resumed
+/// recording); both fields are optional on the wire — absent in
+/// pre-checkpoint artifacts, omitted when empty — so every committed
+/// format-1 file keeps loading and checkpoint-free recordings stay
+/// byte-identical to what older builds wrote.
 pub const ARTIFACT_FORMAT: u32 = 1;
 
 /// File extension of a JSON-encoded artifact.
@@ -59,8 +66,66 @@ pub struct ExpectedOutcome {
     pub event_count: usize,
 }
 
-/// A recorded scenario: spec + trace + expected outcome.
+/// A mid-run state capture embedded in an artifact: the ecovisor's
+/// complete dynamic state after `tick` fully settled ticks, as a
+/// binary-encoded [`Snapshot`].
+///
+/// The snapshot travels as bytes (its canonical at-rest form) rather
+/// than as a decoded structure, so artifact equality stays structural
+/// and the stored [`Checkpoint::digest`] doubles as an integrity check
+/// the verifier can apply before restoring anything.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Fully settled ticks at capture time ([`Snapshot::tick`]).
+    pub tick: u64,
+    /// The binary-encoded [`Snapshot`].
+    pub snapshot: Vec<u8>,
+    /// [`Snapshot::digest`] of the encoded snapshot.
+    pub digest: u64,
+}
+
+impl Checkpoint {
+    /// Packages a snapshot as an embeddable checkpoint.
+    pub fn new(snap: &Snapshot) -> Self {
+        Checkpoint {
+            tick: snap.tick,
+            snapshot: snap.to_bytes(),
+            digest: snap.digest(),
+        }
+    }
+
+    /// Decodes the embedded snapshot, verifying the stored digest and
+    /// the declared tick.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Decode`] when the bytes do not decode, hash to a
+    /// different digest, or disagree with [`Checkpoint::tick`].
+    pub fn decode(&self) -> Result<Snapshot, HarnessError> {
+        let snap = Snapshot::from_bytes(&self.snapshot)
+            .map_err(|e| HarnessError::Decode(format!("checkpoint@{}: {e}", self.tick)))?;
+        if snap.digest() != self.digest {
+            return Err(HarnessError::Decode(format!(
+                "checkpoint@{}: snapshot digest {:016x} ≠ stored {:016x}",
+                self.tick,
+                snap.digest(),
+                self.digest
+            )));
+        }
+        if snap.tick != self.tick {
+            return Err(HarnessError::Decode(format!(
+                "checkpoint@{}: embedded snapshot settled {} ticks",
+                self.tick, snap.tick
+            )));
+        }
+        Ok(snap)
+    }
+}
+
+/// A recorded scenario: spec + trace + expected outcome, optionally
+/// carrying embedded mid-day [`Checkpoint`]s and/or the `base`
+/// checkpoint a resumed recording started from.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioArtifact {
     /// Artifact container version ([`ARTIFACT_FORMAT`]).
     pub format: u32,
@@ -70,6 +135,56 @@ pub struct ScenarioArtifact {
     pub trace: ProtocolTrace,
     /// What replaying `trace` against `spec` must reproduce.
     pub expected: ExpectedOutcome,
+    /// Embedded mid-day state captures, ascending by tick. The verifier
+    /// restores each one and replays the remainder of the trace against
+    /// it, in both codecs on both dispatch paths.
+    pub checkpoints: Vec<Checkpoint>,
+    /// For a resumed recording (`ecoharness record --from`): the
+    /// checkpoint the run started from. Replay restores this state
+    /// first and begins at its tick instead of tick 0.
+    pub base: Option<Checkpoint>,
+}
+
+// Hand-written (rather than derived) so the two optional fields are
+// *tolerated* when absent: the vendored serde derive hard-errors on
+// missing fields, which would orphan every committed pre-checkpoint
+// artifact. Symmetrically, empty fields are omitted on encode, keeping
+// checkpoint-free recordings byte-identical across builds.
+impl Serialize for ScenarioArtifact {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("format".to_string(), self.format.to_value()),
+            ("spec".to_string(), self.spec.to_value()),
+            ("trace".to_string(), self.trace.to_value()),
+            ("expected".to_string(), self.expected.to_value()),
+        ];
+        if !self.checkpoints.is_empty() {
+            entries.push(("checkpoints".to_string(), self.checkpoints.to_value()));
+        }
+        if let Some(base) = &self.base {
+            entries.push(("base".to_string(), base.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for ScenarioArtifact {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ScenarioArtifact {
+            format: Deserialize::from_value(serde::__field(v, "format")?)?,
+            spec: Deserialize::from_value(serde::__field(v, "spec")?)?,
+            trace: Deserialize::from_value(serde::__field(v, "trace")?)?,
+            expected: Deserialize::from_value(serde::__field(v, "expected")?)?,
+            checkpoints: match v.get("checkpoints") {
+                Some(c) => Deserialize::from_value(c)?,
+                None => Vec::new(),
+            },
+            base: match v.get("base") {
+                Some(b) => Deserialize::from_value(b)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl ScenarioArtifact {

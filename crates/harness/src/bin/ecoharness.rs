@@ -3,7 +3,9 @@
 //!
 //! ```text
 //! ecoharness list
-//! ecoharness record [--out DIR] [--codec json|binary] [NAME ...]
+//! ecoharness record [--out DIR] [--codec json|binary]
+//!                   [--checkpoint-every HOURS] [NAME ...]
+//! ecoharness record --from ARTIFACT@TICK [--out DIR] [--codec json|binary]
 //! ecoharness verify PATH [PATH ...]
 //! ecoharness bench [--iters N] [--json] PATH [PATH ...]
 //! ecoharness diff A B
@@ -17,7 +19,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use ecoharness::artifact::{artifacts_in_dir, codec_name, is_artifact_path};
-use ecoharness::{corpus, record, verify, ScenarioArtifact};
+use ecoharness::{corpus, record_with_checkpoints, verify, ScenarioArtifact};
 use ecovisor::{ShardedEcovisor, WireCodec};
 
 fn main() -> ExitCode {
@@ -54,14 +56,22 @@ const USAGE: &str = "ecoharness — scenario corpus tooling
 
 USAGE:
     ecoharness list
-    ecoharness record [--out DIR] [--codec json|binary] [NAME ...]
+    ecoharness record [--out DIR] [--codec json|binary]
+                      [--checkpoint-every HOURS] [NAME ...]
+    ecoharness record --from ARTIFACT@TICK [--out DIR] [--codec json|binary]
     ecoharness verify PATH [PATH ...]
     ecoharness bench [--iters N] [--json] PATH [PATH ...]
     ecoharness diff A B
 
 Paths may be artifact files (*.scn.json / *.scn.bin) or directories.
 `record` with no names records the whole builtin corpus, committing
-some scenarios in each codec (override with --codec).";
+some scenarios in each codec (override with --codec).
+`--checkpoint-every HOURS` embeds a full state snapshot every HOURS
+simulated hours; `verify` restores each one and replays the rest of
+the day against it. `--from ARTIFACT@TICK` starts a *new* recording
+from the checkpoint the artifact embeds at TICK (a mid-day harness
+start): fresh drivers against the restored warm state, written as
+`NAME-resumed` in the parent artifact's codec unless --codec is given.";
 
 /// `list`: the builtin catalogue.
 fn cmd_list() -> Result<ExitCode, String> {
@@ -88,10 +98,13 @@ fn default_codec(name: &str) -> WireCodec {
     }
 }
 
-/// `record`: run builtins and write artifacts.
+/// `record`: run builtins and write artifacts, or resume one from an
+/// embedded checkpoint (`--from ARTIFACT@TICK`).
 fn cmd_record(args: Vec<String>) -> Result<ExitCode, String> {
     let mut out = PathBuf::from("corpus");
     let mut forced_codec: Option<WireCodec> = None;
+    let mut checkpoint_hours: Option<u64> = None;
+    let mut from: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -100,29 +113,98 @@ fn cmd_record(args: Vec<String>) -> Result<ExitCode, String> {
             "--codec" => {
                 forced_codec = Some(parse_codec(&it.next().ok_or("--codec needs a value")?)?)
             }
+            "--checkpoint-every" => {
+                let hours: u64 = it
+                    .next()
+                    .ok_or("--checkpoint-every needs a value in hours")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+                if hours == 0 {
+                    return Err("--checkpoint-every must be at least one hour".into());
+                }
+                checkpoint_hours = Some(hours);
+            }
+            "--from" => from = Some(it.next().ok_or("--from needs ARTIFACT@TICK")?),
             name => names.push(name.to_string()),
         }
     }
+
+    if let Some(from) = from {
+        if checkpoint_hours.is_some() || !names.is_empty() {
+            return Err("--from does not combine with names or --checkpoint-every".into());
+        }
+        return cmd_record_resumed(&from, &out, forced_codec);
+    }
+
     if names.is_empty() {
         names = corpus::names().iter().map(|s| s.to_string()).collect();
     }
     for name in &names {
         let spec = corpus::builtin(name)
             .ok_or_else(|| format!("unknown builtin `{name}` (see `ecoharness list`)"))?;
-        let artifact = record(&spec).map_err(|e| format!("record {name}: {e}"))?;
+        let every = match checkpoint_hours {
+            None => None,
+            Some(hours) => {
+                let minutes = hours * 60;
+                if !minutes.is_multiple_of(spec.tick_minutes) {
+                    return Err(format!(
+                        "--checkpoint-every {hours}h is not a whole number of \
+                         {}-minute ticks ({name})",
+                        spec.tick_minutes
+                    ));
+                }
+                Some(minutes / spec.tick_minutes)
+            }
+        };
+        let artifact =
+            record_with_checkpoints(&spec, every).map_err(|e| format!("record {name}: {e}"))?;
         let codec = forced_codec.unwrap_or_else(|| default_codec(name));
         let path = artifact
             .write_to_dir(&out, codec)
             .map_err(|e| format!("write {name}: {e}"))?;
         println!(
-            "recorded {name}: {} ticks, {} batches / {} requests, {} event frames → {}",
+            "recorded {name}: {} ticks, {} batches / {} requests, {} event frames, \
+             {} checkpoint(s) → {}",
             spec.ticks,
             artifact.trace.entries.len(),
             artifact.expected.request_count,
             artifact.trace.events.len(),
+            artifact.checkpoints.len(),
             path.display()
         );
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `record --from ARTIFACT@TICK`: the mid-day harness start.
+fn cmd_record_resumed(
+    from: &str,
+    out: &Path,
+    forced_codec: Option<WireCodec>,
+) -> Result<ExitCode, String> {
+    let (path, tick) = from
+        .rsplit_once('@')
+        .ok_or("--from needs ARTIFACT@TICK (e.g. corpus/batch-checkpoint.scn.bin@24)")?;
+    let tick: u64 = tick
+        .parse()
+        .map_err(|e| format!("--from tick `{tick}`: {e}"))?;
+    let (parent, parent_codec) =
+        ScenarioArtifact::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let artifact = ecoharness::resume(&parent, tick).map_err(|e| format!("resume {path}: {e}"))?;
+    let codec = forced_codec.unwrap_or(parent_codec);
+    let written = artifact
+        .write_to_dir(out, codec)
+        .map_err(|e| format!("write {}: {e}", artifact.spec.name))?;
+    println!(
+        "resumed {} from tick {tick}: {} remaining ticks, {} batches / {} requests, \
+         {} event frames → {}",
+        parent.spec.name,
+        artifact.spec.ticks - tick,
+        artifact.trace.entries.len(),
+        artifact.expected.request_count,
+        artifact.trace.events.len(),
+        written.display()
+    );
     Ok(ExitCode::SUCCESS)
 }
 

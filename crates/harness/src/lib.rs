@@ -16,6 +16,14 @@
 //! ecovisor-bench --bench corpus_replay` turns the same corpus into a
 //! replay-throughput benchmark for future perf work.
 //!
+//! Artifacts can additionally embed **checkpoints** — full
+//! [`ecovisor::Snapshot`] captures taken mid-run
+//! ([`record_with_checkpoints`], `ecoharness record --checkpoint-every
+//! N`). The verifier restores every checkpoint and replays the rest of
+//! the trace against it, and [`resume`] (`ecoharness record --from
+//! ARTIFACT@TICK`) starts a *new* recording from a checkpoint: fresh
+//! drivers against the restored warm state — a mid-day harness start.
+//!
 //! ## Layers
 //!
 //! 1. **Spec** ([`spec`]): the serializable scenario vocabulary,
@@ -53,9 +61,9 @@ pub mod scenario;
 pub mod spec;
 pub mod verify;
 
-pub use artifact::{AppOutcome, ExpectedOutcome, ScenarioArtifact, ARTIFACT_FORMAT};
+pub use artifact::{AppOutcome, Checkpoint, ExpectedOutcome, ScenarioArtifact, ARTIFACT_FORMAT};
 pub use error::HarnessError;
-pub use record::record;
+pub use record::{record, record_resumed, record_with_checkpoints, resume, resumed_spec};
 pub use scenario::{build_drivers, build_ecovisor};
 pub use spec::{
     CarbonSpec, DriverSpec, JobSpec, ScenarioSpec, ScriptPhase, SolarSpec, TenantSpec, SPEC_FORMAT,

@@ -11,14 +11,22 @@
 //!   traffic,
 //! * the [`ecovisor::digest`] fingerprints match the stored ones.
 //!
+//! Artifacts carrying embedded [`Checkpoint`]s get a second matrix: for
+//! **every checkpoint × codec × dispatch path**, the checkpointed
+//! snapshot is restored into a freshly built ecovisor and the *rest* of
+//! the trace is replayed from its tick — totals, remaining event
+//! frames, and digests must all land exactly where the uninterrupted
+//! replay does. A resumed artifact (non-empty `base`) replays from its
+//! base checkpoint instead of from a fresh build.
+//!
 //! Any code change that perturbs settlement arithmetic, dispatch
-//! semantics, codec encoding, or event generation for a recorded day
-//! turns at least one check red — that is the regression net the
-//! corpus exists to provide.
+//! semantics, codec encoding, event generation, or snapshot/restore
+//! for a recorded day turns at least one check red — that is the
+//! regression net the corpus exists to provide.
 
 use ecovisor::{digest, Ecovisor, ProtocolTrace, ShardedEcovisor, VesTotals, WireCodec};
 
-use crate::artifact::{codec_name, ScenarioArtifact, ARTIFACT_FORMAT};
+use crate::artifact::{codec_name, Checkpoint, ScenarioArtifact, ARTIFACT_FORMAT};
 use crate::error::HarnessError;
 use crate::scenario::build_ecovisor;
 
@@ -136,7 +144,37 @@ pub fn verify(artifact: &ScenarioArtifact) -> Result<VerifyReport, HarnessError>
         "recorded event frames do not hash to the stored events_digest".to_string(),
     );
 
-    // -- Replay matrix: codec × dispatch path ---------------------------
+    // -- Checkpoint integrity -------------------------------------------
+    let mut prev_tick = artifact.base.as_ref().map_or(0, |b| b.tick);
+    for cp in &artifact.checkpoints {
+        report.push(
+            format!("checkpoint@{} integrity", cp.tick),
+            cp.decode().is_ok() && cp.tick > prev_tick && cp.tick < artifact.spec.ticks,
+            match cp.decode() {
+                Err(e) => e.to_string(),
+                Ok(_) => format!(
+                    "tick {} out of order or outside the {}-tick horizon",
+                    cp.tick, artifact.spec.ticks
+                ),
+            },
+        );
+        prev_tick = cp.tick;
+    }
+    if let Some(base) = &artifact.base {
+        report.push(
+            "base checkpoint integrity",
+            base.decode().is_ok() && base.tick < artifact.spec.ticks,
+            match base.decode() {
+                Err(e) => e.to_string(),
+                Ok(_) => format!(
+                    "base tick {} leaves no remainder of the {}-tick horizon",
+                    base.tick, artifact.spec.ticks
+                ),
+            },
+        );
+    }
+
+    // -- Replay matrix: (base + every checkpoint) × codec × path --------
     for codec in [WireCodec::Json, WireCodec::Binary] {
         let trace = match reencode(&artifact.trace, codec) {
             Ok(t) => t,
@@ -151,25 +189,58 @@ pub fn verify(artifact: &ScenarioArtifact) -> Result<VerifyReport, HarnessError>
             "decoded trace differs from the recorded one",
         );
         for path in [DispatchPath::Plain, DispatchPath::Sharded] {
-            replay_cell(artifact, &trace, codec, path, &mut report)?;
+            let cell = format!("replay[{}/{}]", codec_name(codec), path.name());
+            replay_cell(
+                artifact,
+                &trace,
+                artifact.base.as_ref(),
+                cell,
+                path,
+                &mut report,
+            )?;
+            for cp in &artifact.checkpoints {
+                let cell = format!("restore@{}[{}/{}]", cp.tick, codec_name(codec), path.name());
+                replay_cell(artifact, &trace, Some(cp), cell, path, &mut report)?;
+            }
         }
     }
     Ok(report)
 }
 
+/// Replays one cell of the matrix. When `restore_from` is `Some`, the
+/// freshly built ecovisor is seeded with that checkpoint's snapshot and
+/// the trace replays from its tick; expected event frames are the
+/// recorded frames at or after that tick (the earlier ones were pushed
+/// before the capture and cannot regenerate).
 fn replay_cell(
     artifact: &ScenarioArtifact,
     trace: &ProtocolTrace,
-    codec: WireCodec,
+    restore_from: Option<&Checkpoint>,
+    cell: String,
     path: DispatchPath,
     report: &mut VerifyReport,
 ) -> Result<(), HarnessError> {
-    let cell = format!("replay[{}/{}]", codec_name(codec), path.name());
-    let (eco, ids) = build_ecovisor(&artifact.spec)?;
+    let (mut eco, ids) = build_ecovisor(&artifact.spec)?;
+    let start = match restore_from {
+        None => 0,
+        Some(cp) => {
+            let snap = match cp.decode() {
+                Ok(s) => s,
+                Err(e) => {
+                    report.push(format!("{cell} restore"), false, e.to_string());
+                    return Ok(());
+                }
+            };
+            if let Err(e) = eco.apply_snapshot(&snap) {
+                report.push(format!("{cell} restore"), false, e.to_string());
+                return Ok(());
+            }
+            cp.tick
+        }
+    };
     let (frames, totals): (Vec<ecovisor::EventFrame>, Vec<VesTotals>) = match path {
         DispatchPath::Plain => {
-            let mut eco = eco;
-            let rep = eco.replay_trace(trace, artifact.spec.ticks);
+            let rep = eco.replay_trace_from(trace, start, artifact.spec.ticks);
             let totals = ids
                 .iter()
                 .map(|&a| eco.app_totals(a))
@@ -178,7 +249,7 @@ fn replay_cell(
         }
         DispatchPath::Sharded => {
             let sharded = ShardedEcovisor::new(eco);
-            let rep = sharded.replay_trace(trace, artifact.spec.ticks);
+            let rep = sharded.replay_trace_from(trace, start, artifact.spec.ticks);
             let eco: Ecovisor = sharded.into_inner();
             let totals = ids
                 .iter()
@@ -213,23 +284,38 @@ fn replay_cell(
         "replayed totals hash differs from the recorded totals_digest",
     );
 
-    // Event frames: the regenerated push traffic equals the recording.
-    let frames_match = frames == artifact.trace.events;
+    // Event frames: the regenerated push traffic equals the recording
+    // from the replay's start tick onward.
+    let expected_frames: Vec<&ecovisor::EventFrame> = artifact
+        .trace
+        .events
+        .iter()
+        .filter(|f| f.tick >= start)
+        .collect();
+    let frame_refs: Vec<&ecovisor::EventFrame> = frames.iter().collect();
+    let frames_match = frame_refs == expected_frames;
     let detail = if frames_match {
         String::new()
     } else {
         format!(
-            "replayed {} frames ({} events), recorded {} frames ({} events)",
+            "replayed {} frames ({} events), recorded {} frames from tick {start}",
             frames.len(),
             frames.iter().map(|f| f.events.len()).sum::<usize>(),
-            artifact.trace.events.len(),
-            artifact.expected.event_count
+            expected_frames.len(),
         )
     };
     report.push(format!("{cell} event frames"), frames_match, detail);
+    // Digest of Vec<&T> equals digest of Vec<T> (references serialize
+    // transparently), so a full-horizon replay checks against the
+    // stored events_digest itself.
+    let expected_digest = if expected_frames.len() == artifact.trace.events.len() {
+        artifact.expected.events_digest
+    } else {
+        digest(&expected_frames)
+    };
     report.push(
         format!("{cell} events digest"),
-        digest(&frames) == artifact.expected.events_digest,
+        digest(&frame_refs) == expected_digest,
         "replayed event frames hash differs from the recorded events_digest",
     );
     Ok(())

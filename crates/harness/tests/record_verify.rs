@@ -109,6 +109,88 @@ fn recording_is_deterministic() {
 }
 
 #[test]
+fn checkpointed_recording_verifies_and_does_not_perturb_the_run() {
+    let mut spec = corpus::builtin("mixed-tenants").expect("builtin");
+    spec.ticks = 12;
+    let plain = record(&spec).expect("record");
+    let checkpointed =
+        ecoharness::record_with_checkpoints(&spec, Some(4)).expect("record with checkpoints");
+    // Captures at ticks 4 and 8 — never at the horizon (no remainder).
+    assert_eq!(
+        checkpointed
+            .checkpoints
+            .iter()
+            .map(|c| c.tick)
+            .collect::<Vec<_>>(),
+        vec![4, 8]
+    );
+    // Capturing is invisible to the run itself.
+    assert_eq!(plain.trace, checkpointed.trace);
+    assert_eq!(plain.expected, checkpointed.expected);
+    // And the verifier's restore-replay matrix passes for every cell:
+    // 2 codecs × 2 paths × (full replay + 2 checkpoint restores).
+    let report = verify(&checkpointed).expect("verify");
+    assert!(report.passed(), "failures: {:#?}", report.failures());
+    assert!(
+        report
+            .checks
+            .iter()
+            .filter(|c| c.label.starts_with("restore@"))
+            .count()
+            > report
+                .checks
+                .iter()
+                .filter(|c| c.label.starts_with("replay["))
+                .count(),
+        "the checkpoint matrix should dominate the check list"
+    );
+}
+
+#[test]
+fn tampered_checkpoint_fails_verification() {
+    let mut spec = corpus::builtin("mixed-tenants").expect("builtin");
+    spec.ticks = 12;
+    let mut artifact =
+        ecoharness::record_with_checkpoints(&spec, Some(4)).expect("record with checkpoints");
+    // Flip one byte of the embedded snapshot; the stored digest no
+    // longer matches, so integrity (and restore) must go red.
+    artifact.checkpoints[0].snapshot[10] ^= 0xFF;
+    let report = verify(&artifact).expect("verify");
+    assert!(!report.passed(), "tampered checkpoint must fail");
+    assert!(
+        report
+            .failures()
+            .iter()
+            .any(|c| c.label.contains("checkpoint@4")),
+        "{:#?}",
+        report.failures()
+    );
+}
+
+#[test]
+fn resumed_recording_is_deterministic_and_verifies() {
+    let mut spec = corpus::builtin("mixed-tenants").expect("builtin");
+    spec.ticks = 12;
+    let parent =
+        ecoharness::record_with_checkpoints(&spec, Some(4)).expect("record with checkpoints");
+    let a = ecoharness::resume(&parent, 8).expect("resume a");
+    let b = ecoharness::resume(&parent, 8).expect("resume b");
+    assert_eq!(a, b, "resume must be deterministic in (spec, base)");
+    assert_eq!(a.spec.name, "mixed-tenants-resumed");
+    assert_eq!(a.base.as_ref().map(|c| c.tick), Some(8));
+    // The resumed trace starts at the base tick — nothing earlier.
+    assert!(a.trace.entries.iter().all(|e| e.tick >= 8));
+    assert!(a.trace.events.iter().all(|f| f.tick >= 8));
+    // And it verifies: replay restores the base, then runs tick 8..12.
+    let report = verify(&a).expect("verify");
+    assert!(report.passed(), "failures: {:#?}", report.failures());
+    // Resuming from a tick with no checkpoint is a spec error naming
+    // what *is* available.
+    let err = ecoharness::resume(&parent, 5).expect_err("no checkpoint at 5");
+    assert!(err.to_string().contains("[4, 8]"), "{err}");
+}
+
+#[test]
 fn every_builtin_records_and_verifies_when_shrunk() {
     for name in corpus::names() {
         let mut spec = corpus::builtin(name).expect("builtin");

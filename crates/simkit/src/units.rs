@@ -56,9 +56,20 @@ macro_rules! unit_common {
             }
 
             /// Clamps negative values (e.g. from floating-point residue) to zero.
+            ///
+            /// Implemented with a comparison rather than `f64::max`
+            /// because `fmax(-0.0, 0.0)` may return either zero
+            /// depending on how the compiler lowers it — an opt-level
+            /// nondeterminism that leaks into serialized state (the
+            /// two zeros encode differently). Non-positive inputs,
+            /// including `-0.0`, always yield `+0.0` here.
             #[inline]
             pub fn max_zero(self) -> Self {
-                Self(self.0.max(0.0))
+                if self.0 > 0.0 {
+                    self
+                } else {
+                    Self(0.0)
+                }
             }
 
             /// Absolute difference, useful in tests.

@@ -250,9 +250,13 @@ fn via_facade(api: &mut ScopedApi<'_>, req: &EnergyRequest) -> EnergyResponse {
         // The event surface never belonged to the legacy trait façade —
         // it is a protocol-native addition, conformance-tested between
         // the in-process and remote *clients* in
-        // crates/core/tests/protocol_v2.rs.
-        EnergyRequest::PollEvents | EnergyRequest::SubscribeEvents { .. } => {
-            unreachable!("event requests are not part of the façade conformance sequence")
+        // crates/core/tests/protocol_v2.rs. Likewise the snapshot admin
+        // surface, covered in crates/core/tests/snapshot_restore.rs.
+        EnergyRequest::PollEvents
+        | EnergyRequest::SubscribeEvents { .. }
+        | EnergyRequest::Snapshot { .. }
+        | EnergyRequest::Restore { .. } => {
+            unreachable!("admin/event requests are not part of the façade conformance sequence")
         }
     }
 }
