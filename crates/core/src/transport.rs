@@ -70,34 +70,49 @@
 //! subscribed app's outbox into an [`EventFrame`] stamped with the
 //! settlement tick and writes it, delivery-filtered per subscriber, to
 //! every subscribed connection of that app. Each connection is split
-//! into a **reader half** (the serving thread, which parks in
-//! `read_frame`) and a **writer half** (a cloned stream behind a mutex),
-//! so response writes and broadcast pushes interleave at frame
-//! granularity, never mid-frame.
+//! into a **reader half** (owned by whichever loop reads frames) and a
+//! **writer half** (a cloned stream behind a mutex feeding a committed
+//! write queue), so response writes and broadcast pushes interleave at
+//! frame granularity, never mid-frame.
 //!
 //! ## Concurrency model
 //!
-//! The server accepts connections on a background thread and serves each
-//! connection on its own thread; all of them dispatch into one shared
-//! [`ShardedEcovisor`] (an `Arc<ShardedEcovisor>` — the
+//! [`EcovisorServer::spawn`] runs the **evented runtime** (see the
+//! `evented` submodule): one reactor thread drives non-blocking
+//! accept/read/write for *every* connection through the vendored
+//! epoll-backed [`reactor`] shim, and complete inbound frames are
+//! dispatched on a small worker pool
+//! ([`with_workers`](EcovisorServer::with_workers), auto-sized by
+//! default) — thousands of tenants multiplex onto a handful of threads,
+//! and no thread is ever pinned to a client. Frames on one connection
+//! are still served strictly in order (a connection is owned by at most
+//! one worker at a time), so per-connection semantics are identical to
+//! the embeddable blocking loop
+//! ([`serve_connection`](EcovisorServer::serve_connection)), which
+//! shares the same per-frame processing code. All of them dispatch into
+//! one shared [`ShardedEcovisor`] (an `Arc<ShardedEcovisor>` — the
 //! [`SharedEcovisor`] alias). Per-app state is sharded behind its own
-//! lock, so batches from different tenants — and query-only batches from
-//! the *same* tenant — execute in parallel rather than serializing on a
-//! global mutex. The driver loop (whoever ticks the simulation) calls
-//! [`ShardedEcovisor::tick`] between batches; that settlement barrier is
-//! the only cross-tenant synchronization, and it is where event frames
-//! are pushed.
+//! lock, so batches from different tenants — and query-only batches
+//! from the *same* tenant — execute in parallel rather than serializing
+//! on a global mutex; workers simply park on shard/settlement lock
+//! acquisition. The driver loop (whoever ticks the simulation) calls
+//! [`ShardedEcovisor::tick`] between batches; that settlement barrier
+//! is the only cross-tenant synchronization, and it is where event
+//! frames are pushed.
 //!
 //! A connection that fails mid-frame (peer crash, network drop) is
-//! logged to stderr, deregistered from the push registry, and its
-//! serving thread exits; the accept loop and
-//! [`ServerHandle::active_connections`] reap finished threads, so a
-//! long-lived server never accumulates dead connections. A server built
+//! logged to stderr, deregistered from the push registry and the
+//! reactor, and dropped from
+//! [`ServerHandle::active_connections`], so a long-lived server never
+//! accumulates dead connections. A server built
 //! [`with_read_timeout`](EcovisorServer::with_read_timeout) additionally
 //! reaps **idle** connections: a dead subscriber that holds a push
 //! stream without ever sending another frame trips the timeout and is
 //! collected the same way (the timeout also bounds writes, so a wedged
 //! subscriber cannot hold the settlement barrier hostage).
+//! [`ServerHandle::shutdown`] is deterministic: it wakes the reactor
+//! (which closes every socket and the listener), stops the worker
+//! queue, and joins all threads — no step waits on a timeout.
 //!
 //! ## Example
 //!
@@ -133,7 +148,7 @@
 //!
 //! [`ProtocolTrace`]: crate::dispatch::ProtocolTrace
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -153,6 +168,8 @@ use crate::proto::{
 };
 use crate::shard::ShardedEcovisor;
 use crate::snapshot::Snapshot;
+
+mod evented;
 
 /// Upper bound on a single frame's payload, so a hostile peer cannot make
 /// the read side allocate unboundedly.
@@ -370,9 +387,13 @@ fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     stream.flush()
 }
 
-/// Reads one length-prefixed frame. `Ok(None)` means the peer closed the
-/// connection cleanly at a frame boundary.
-fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+/// Reads one length-prefixed frame into `buf`, growing (never shrinking)
+/// it as needed — the payload occupies `buf[..len]`. Reusing one buffer
+/// across frames is the blocking read path's allocation-reuse story; the
+/// evented server's [`evented`] state machine has its own per-connection
+/// accumulation buffer. `Ok(None)` means the peer closed the connection
+/// cleanly at a frame boundary.
+fn read_frame_into(stream: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<Option<usize>> {
     let mut len_bytes = [0u8; 4];
     match stream.read_exact(&mut len_bytes) {
         Ok(()) => {}
@@ -386,9 +407,22 @@ fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             format!("frame of {len} bytes exceeds MAX_FRAME_LEN"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    let len = len as usize;
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    stream.read_exact(&mut buf[..len])?;
+    Ok(Some(len))
+}
+
+/// [`read_frame_into`] with a fresh allocation per frame — the
+/// convenience form for one-shot reads (handshakes, tests).
+fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut buf = Vec::new();
+    Ok(read_frame_into(stream, &mut buf)?.map(|len| {
+        buf.truncate(len);
+        buf
+    }))
 }
 
 // ----------------------------------------------------------------------
@@ -400,20 +434,48 @@ fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
 /// [`ShardedEcovisor`]).
 pub type SharedEcovisor = Arc<ShardedEcovisor>;
 
-/// The writer half of one served connection: a cloned stream behind a
-/// mutex, shared by the response path (serving thread) and the
+/// The writer half of one served connection: the connection's stream
+/// behind a mutex, shared by the response path (serving thread) and the
 /// post-settlement broadcast (driver thread), so the two interleave at
-/// frame granularity.
+/// frame granularity. On the evented path this is the *same* socket the
+/// reactor reads from (one fd per connection — at thousands of tenants
+/// a `try_clone` per connection would double the process's fd bill);
+/// the blocking path hands in a cloned stream because its reader half
+/// needs `&mut` access.
 struct ConnShared {
     app: AppId,
     codec: WireCodec,
-    writer: Mutex<TcpStream>,
+    writer: Mutex<Arc<TcpStream>>,
     /// `Some(filter)` once the connection subscribed to event push.
     filter: Mutex<Option<EventFilter>>,
     /// Backpressure state: what could not be written because the peer
     /// stopped draining its socket. Lock order is `pending` before
     /// `writer`, on every path.
     pending: Mutex<PendingWrites>,
+    /// `Some` on evented connections: how the reactor learns this
+    /// connection still owes bytes, so it arms writable interest and
+    /// finishes the flush when the peer drains. `None` on blocking
+    /// connections, which retry on their own serving paths.
+    notify: Option<WriteNotify>,
+}
+
+/// The reactor-facing side of a connection's write queue: marks the
+/// connection dirty and wakes the event loop (see [`evented`]).
+struct WriteNotify {
+    token: usize,
+    dirty: Arc<Mutex<Vec<usize>>>,
+    waker: reactor::Waker,
+}
+
+impl WriteNotify {
+    fn notify(&self) {
+        let mut dirty = crate::lock::lock(&self.dirty);
+        if !dirty.contains(&self.token) {
+            dirty.push(self.token);
+        }
+        drop(dirty);
+        let _ = self.waker.wake();
+    }
 }
 
 /// One connection's write backlog. A slow subscriber no longer gets its
@@ -424,10 +486,12 @@ struct ConnShared {
 /// Two tiers, because a length-prefixed frame that has started going out
 /// must finish byte-exact:
 ///
-/// * `queue` holds frames **committed** to the wire order as encoded
-///   bytes — the head may be partially written and is resumed from
-///   `head_written`; committed frames are never reordered, coalesced, or
-///   dropped (responses and control frames always land here);
+/// * `buf` holds frames **committed** to the wire order as encoded
+///   bytes — one grow-only buffer reused across every frame on the
+///   connection (no per-frame allocation); the prefix up to `written`
+///   is already on the wire, a partially-written frame resumes
+///   byte-exact, and committed frames are never reordered, coalesced,
+///   or dropped (responses and control frames always land here);
 /// * `parked` holds event notifications **displaced** by backpressure,
 ///   governed by the app's [`OutboxPolicy`] — exactly the per-app outbox
 ///   discipline, applied a second time at the connection: level events
@@ -437,16 +501,65 @@ struct ConnShared {
 ///   [`EventFrame`] stamped with the newest contributing tick.
 #[derive(Default)]
 struct PendingWrites {
-    /// Bytes of `queue[0]` already on the wire.
-    head_written: usize,
-    /// Encoded frames awaiting the socket, in wire order.
-    queue: VecDeque<Vec<u8>>,
-    /// Total bytes across `queue`.
-    queued_bytes: usize,
+    /// Committed wire bytes, length prefixes included; `buf[written..]`
+    /// awaits the socket.
+    buf: Vec<u8>,
+    /// Bytes of `buf` already on the wire.
+    written: usize,
+    /// Whole frames currently committed-but-unwritten (the
+    /// [`ServerHandle::subscriber_backlog`] diagnostic).
+    queued_frames: usize,
     /// Notifications parked under the app's [`OutboxPolicy`].
     parked: Vec<Notification>,
     /// Settlement tick of the newest parked notification.
     parked_tick: u64,
+}
+
+/// Capacity retained by a drained write buffer: bursts briefly grow the
+/// buffer, steady state keeps a bounded allocation per connection.
+const DRAIN_RETAIN_BYTES: usize = 64 * 1024;
+
+impl PendingWrites {
+    /// Committed-but-unwritten byte count.
+    fn queued_bytes(&self) -> usize {
+        self.buf.len() - self.written
+    }
+
+    /// Appends one length-prefixed frame to the committed tail. The
+    /// already-written prefix is compacted away first, so the buffer
+    /// never grows past the backlog bound even on a connection that
+    /// drains slowly forever.
+    fn commit(&mut self, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .ok()
+            .filter(|&l| l <= MAX_FRAME_LEN)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+        if self.written > 0 {
+            self.buf.drain(..self.written);
+            self.written = 0;
+        }
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.queued_frames += 1;
+        Ok(())
+    }
+
+    /// Resets after a full drain, keeping (a bounded amount of) the
+    /// allocation for the next frame.
+    fn drained(&mut self) {
+        self.buf.clear();
+        self.written = 0;
+        self.queued_frames = 0;
+        if self.buf.capacity() > DRAIN_RETAIN_BYTES {
+            self.buf.shrink_to(DRAIN_RETAIN_BYTES);
+        }
+    }
+
+    /// `true` while committed bytes or parked notifications await the
+    /// socket.
+    fn has_backlog(&self) -> bool {
+        self.queued_bytes() > 0 || !self.parked.is_empty()
+    }
 }
 
 /// Classifies a socket write failure: backpressure (the peer is slow —
@@ -471,29 +584,22 @@ fn wire_bytes(payload: &[u8]) -> io::Result<Vec<u8>> {
     Ok(out)
 }
 
-/// Writes as much of the committed queue as the socket accepts.
+/// Writes as much of the committed buffer as the socket accepts.
 /// `Ok(true)` means fully drained; `Ok(false)` means backpressure (the
-/// partially-written head resumes later); `Err` means the socket is dead.
-fn write_committed(writer: &mut TcpStream, pending: &mut PendingWrites) -> io::Result<bool> {
-    loop {
-        let Some(head) = pending.queue.front() else {
-            return Ok(true);
-        };
-        let len = head.len();
-        while pending.head_written < len {
-            match writer.write(&pending.queue[0][pending.head_written..]) {
-                Ok(0) => {
-                    return Err(io::Error::new(io::ErrorKind::WriteZero, "peer closed"));
-                }
-                Ok(n) => pending.head_written += n,
-                Err(e) if is_backpressure(&e) => return Ok(false),
-                Err(e) => return Err(e),
+/// partially-written tail resumes later); `Err` means the socket is dead.
+fn write_committed(mut writer: &TcpStream, pending: &mut PendingWrites) -> io::Result<bool> {
+    while pending.written < pending.buf.len() {
+        match writer.write(&pending.buf[pending.written..]) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "peer closed"));
             }
+            Ok(n) => pending.written += n,
+            Err(e) if is_backpressure(&e) => return Ok(false),
+            Err(e) => return Err(e),
         }
-        pending.queue.pop_front();
-        pending.queued_bytes -= len;
-        pending.head_written = 0;
     }
+    pending.drained();
+    Ok(true)
 }
 
 impl ConnShared {
@@ -501,8 +607,8 @@ impl ConnShared {
     /// notifications re-framed as one recovery [`EventFrame`].
     /// `Ok(false)` = backpressure, everything unsent stays queued.
     fn flush(&self, pending: &mut PendingWrites) -> io::Result<bool> {
-        let mut writer = crate::lock::lock(&self.writer);
-        if !write_committed(&mut writer, pending)? {
+        let writer = crate::lock::lock(&self.writer);
+        if !write_committed(&writer, pending)? {
             return Ok(false);
         }
         if pending.parked.is_empty() {
@@ -514,10 +620,33 @@ impl ConnShared {
             tick: pending.parked_tick,
             events: std::mem::take(&mut pending.parked),
         };
-        let bytes = wire_bytes(&self.codec.encode(&Frame::Event(frame)))?;
-        pending.queued_bytes += bytes.len();
-        pending.queue.push_back(bytes);
-        write_committed(&mut writer, pending)
+        pending.commit(&self.codec.encode(&Frame::Event(frame)))?;
+        write_committed(&writer, pending)
+    }
+
+    /// Hands any remaining backlog to the reactor (evented connections
+    /// only): the event loop arms writable interest and finishes the
+    /// flush once the peer drains. Call with the `pending` lock held so
+    /// the backlog check and the hand-off are one atomic step.
+    fn nudge_reactor(&self, pending: &PendingWrites) {
+        if pending.has_backlog() {
+            if let Some(notify) = &self.notify {
+                notify.notify();
+            }
+        }
+    }
+
+    /// The reactor's writable-readiness flush: `Ok(true)` = fully
+    /// drained (writable interest can be disarmed), `Ok(false)` = still
+    /// backlogged, `Err` = the socket is dead and the connection should
+    /// close.
+    fn flush_for_reactor(&self) -> io::Result<bool> {
+        let mut pending = crate::lock::lock(&self.pending);
+        if !pending.has_backlog() {
+            return Ok(true);
+        }
+        self.flush(&mut pending)?;
+        Ok(!pending.has_backlog())
     }
 
     /// Delivers one event frame, queueing under `policy` when the socket
@@ -527,7 +656,7 @@ impl ConnShared {
     fn push_event(&self, frame: EventFrame, policy: OutboxPolicy) {
         let mut pending = crate::lock::lock(&self.pending);
         let result = (|| -> io::Result<()> {
-            if pending.queued_bytes > MAX_PENDING_BYTES {
+            if pending.queued_bytes() > MAX_PENDING_BYTES {
                 return Err(io::Error::new(
                     io::ErrorKind::OutOfMemory,
                     "write backlog overflow",
@@ -535,9 +664,7 @@ impl ConnShared {
             }
             if self.flush(&mut pending)? {
                 // Backlog clear: commit this frame to the wire order.
-                let bytes = wire_bytes(&self.codec.encode(&Frame::Event(frame)))?;
-                pending.queued_bytes += bytes.len();
-                pending.queue.push_back(bytes);
+                pending.commit(&self.codec.encode(&Frame::Event(frame)))?;
                 self.flush(&mut pending)?;
             } else {
                 // Socket still full: park the notifications under the
@@ -550,8 +677,11 @@ impl ConnShared {
             }
             Ok(())
         })();
-        if result.is_err() {
-            let _ = crate::lock::lock(&self.writer).shutdown(std::net::Shutdown::Both);
+        match result {
+            Ok(()) => self.nudge_reactor(&pending),
+            Err(_) => {
+                let _ = crate::lock::lock(&self.writer).shutdown(std::net::Shutdown::Both);
+            }
         }
     }
 
@@ -559,11 +689,14 @@ impl ConnShared {
     /// recovery path for a subscriber that drained its socket again.
     fn retry_backlog(&self) {
         let mut pending = crate::lock::lock(&self.pending);
-        if pending.queue.is_empty() && pending.parked.is_empty() {
+        if !pending.has_backlog() {
             return;
         }
-        if self.flush(&mut pending).is_err() {
-            let _ = crate::lock::lock(&self.writer).shutdown(std::net::Shutdown::Both);
+        match self.flush(&mut pending) {
+            Ok(_) => self.nudge_reactor(&pending),
+            Err(_) => {
+                let _ = crate::lock::lock(&self.writer).shutdown(std::net::Shutdown::Both);
+            }
         }
     }
 }
@@ -576,16 +709,16 @@ impl ConnShared {
 /// overflowing backlog, both of which end the serving loop.
 fn write_conn(conn: &ConnShared, payload: &[u8]) -> io::Result<()> {
     let mut pending = crate::lock::lock(&conn.pending);
-    if pending.queued_bytes.saturating_add(payload.len()) > MAX_PENDING_BYTES {
+    if pending.queued_bytes().saturating_add(payload.len()) > MAX_PENDING_BYTES {
         return Err(io::Error::new(
             io::ErrorKind::OutOfMemory,
             "write backlog overflow: peer sends but never drains",
         ));
     }
-    let bytes = wire_bytes(payload)?;
-    pending.queued_bytes += bytes.len();
-    pending.queue.push_back(bytes);
-    conn.flush(&mut pending).map(|_| ())
+    pending.commit(payload)?;
+    conn.flush(&mut pending)?;
+    conn.nudge_reactor(&pending);
+    Ok(())
 }
 
 /// Everything a serving thread needs beyond its own socket.
@@ -668,6 +801,9 @@ fn broadcast_events(eco: &Ecovisor, registry: &Mutex<Vec<Arc<ConnShared>>>) {
 pub struct EcovisorServer {
     listener: TcpListener,
     ctx: Arc<ServeCtx>,
+    /// Worker-pool size for [`spawn`](Self::spawn); `0` means
+    /// auto-size from the host's available parallelism.
+    workers: usize,
 }
 
 impl std::fmt::Debug for EcovisorServer {
@@ -701,7 +837,18 @@ impl EcovisorServer {
                 read_timeout: None,
                 registry,
             }),
+            workers: 0,
         })
+    }
+
+    /// Sets the worker-pool size used by [`spawn`](Self::spawn). The
+    /// default (`0`) auto-sizes from the host's available parallelism,
+    /// clamped to `2..=8` — the pool multiplexes every connection, so it
+    /// never needs to scale with client count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
     /// Requires every connection to authenticate its claimed [`AppId`]
@@ -765,76 +912,18 @@ impl EcovisorServer {
         serve_connection(stream, &self.ctx)
     }
 
-    /// Moves the accept loop onto a background thread; each accepted
-    /// connection is served on its own thread.
+    /// Moves serving onto the evented runtime: one reactor thread drives
+    /// non-blocking accept/read/write for every connection; decoded
+    /// frames are dispatched on a small worker pool (see
+    /// [`with_workers`](Self::with_workers)). Wire behavior is identical
+    /// to [`serve_connection`](Self::serve_connection) — v1 and v2
+    /// clients cannot tell the transports apart.
     ///
     /// # Errors
     ///
-    /// Propagates address-lookup failures.
+    /// Propagates address-lookup and reactor-setup failures.
     pub fn spawn(self) -> io::Result<ServerHandle> {
-        let addr = self.local_addr()?;
-        let shared = Arc::clone(&self.ctx.shared);
-        let stop = Arc::new(AtomicBool::new(false));
-        let connections: Arc<Mutex<Vec<Connection>>> = Arc::new(Mutex::new(Vec::new()));
-        let active = Arc::new(AtomicUsize::new(0));
-        let accept = {
-            let ctx = Arc::clone(&self.ctx);
-            let stop = Arc::clone(&stop);
-            let connections = Arc::clone(&connections);
-            let active = Arc::clone(&active);
-            std::thread::spawn(move || {
-                for stream in self.listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    // Keep a second handle to the socket so shutdown can
-                    // unblock a thread parked in read_frame.
-                    let socket = stream.try_clone().ok();
-                    let peer = stream.peer_addr().ok();
-                    let ctx = Arc::clone(&ctx);
-                    let active_in = Arc::clone(&active);
-                    active.fetch_add(1, Ordering::SeqCst);
-                    let thread = std::thread::spawn(move || {
-                        // Decrement on every exit path, panics included,
-                        // so `active_connections` always drains to zero.
-                        struct Departure(Arc<AtomicUsize>);
-                        impl Drop for Departure {
-                            fn drop(&mut self) {
-                                self.0.fetch_sub(1, Ordering::SeqCst);
-                            }
-                        }
-                        let _departure = Departure(active_in);
-                        if let Err(e) = serve_connection(stream, &ctx) {
-                            // A peer that vanishes mid-frame (or idles
-                            // past the timeout) is routine on a
-                            // long-lived server: log it and let the
-                            // thread exit so the handle can be reaped.
-                            let peer = peer
-                                .map(|p| p.to_string())
-                                .unwrap_or_else(|| "<unknown>".into());
-                            eprintln!("ecovisor transport: connection from {peer} failed: {e}");
-                        }
-                    });
-                    let mut conns = crate::lock::lock(&connections);
-                    // Reap finished connections so a long-lived server
-                    // does not accumulate one fd + join handle per
-                    // short-lived client (dropping a finished thread's
-                    // handle just detaches it).
-                    conns.retain(|c| !c.thread.is_finished());
-                    conns.push(Connection { thread, socket });
-                }
-            })
-        };
-        Ok(ServerHandle {
-            addr,
-            shared,
-            stop,
-            accept: Some(accept),
-            connections,
-            active,
-            registry: Arc::clone(&self.ctx.registry),
-        })
+        evented::spawn_evented(self.listener, self.ctx, self.workers)
     }
 }
 
@@ -856,31 +945,38 @@ enum ParsedHello {
 }
 
 /// Negotiation outcome for one connection.
+#[derive(Clone, Copy)]
 struct Negotiated {
     version: u16,
     codec: WireCodec,
     app: AppId,
 }
 
-/// Runs the hello exchange. `Ok(None)` means the hello was answered with
-/// a reject (or the peer closed) and the connection is done.
-fn negotiate(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<Option<Negotiated>> {
-    let reject = |stream: &mut TcpStream, reason: String| -> io::Result<Option<Negotiated>> {
-        let reply = ServerHello::Reject { reason };
-        write_frame(stream, &WireCodec::Json.encode(&reply))?;
-        Ok(None)
+/// The verdict on a hello frame, with the (always-JSON) reply payload to
+/// put on the wire. Transport-agnostic: the blocking and evented servers
+/// both feed the first inbound frame here, so negotiation semantics
+/// cannot drift between them.
+enum HelloOutcome {
+    /// Send `reply` (an accept), then serve under the negotiation.
+    Accept(Negotiated, Vec<u8>),
+    /// Send `reply` (a reject), then close.
+    Reject(Vec<u8>),
+}
+
+/// Evaluates a hello frame's bytes: version intersection, credential
+/// gate, codec pick.
+fn evaluate_hello(ctx: &ServeCtx, hello_bytes: &[u8]) -> HelloOutcome {
+    let reject = |reason: String| {
+        HelloOutcome::Reject(WireCodec::Json.encode(&ServerHello::Reject { reason }))
     };
 
-    let Some(hello_bytes) = read_frame(stream)? else {
-        return Ok(None);
-    };
     // The v2 hello is tried first (its `versions` field is absent from
     // v1 hellos, so the two shapes never ambiguate).
-    let hello = match WireCodec::Json.decode::<ClientHelloV2>(&hello_bytes) {
+    let hello = match WireCodec::Json.decode::<ClientHelloV2>(hello_bytes) {
         Ok(h) => ParsedHello::V2(h),
-        Err(_) => match WireCodec::Json.decode::<ClientHello>(&hello_bytes) {
+        Err(_) => match WireCodec::Json.decode::<ClientHello>(hello_bytes) {
             Ok(h) => ParsedHello::V1(h),
-            Err(e) => return reject(stream, format!("malformed hello: {e}")),
+            Err(e) => return reject(format!("malformed hello: {e}")),
         },
     };
 
@@ -903,12 +999,9 @@ fn negotiate(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<Option<Negoti
         .max()
         .copied()
     else {
-        return reject(
-            stream,
-            format!(
-                "protocol version mismatch: server speaks {SUPPORTED_VERSIONS:?}, client offered {versions:?}"
-            ),
-        );
+        return reject(format!(
+            "protocol version mismatch: server speaks {SUPPORTED_VERSIONS:?}, client offered {versions:?}"
+        ));
     };
 
     // Credential gate: when the server carries a registry, the hello
@@ -916,7 +1009,7 @@ fn negotiate(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<Option<Negoti
     // reason string deliberately does not say *what* failed.
     if let Some(creds) = &ctx.creds {
         if !creds.verify(app, credential) {
-            return reject(stream, format!("credential rejected for {app}"));
+            return reject(format!("credential rejected for {app}"));
         }
     }
 
@@ -925,16 +1018,37 @@ fn negotiate(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<Option<Negoti
         .find(|c| WireCodec::preferred().contains(c))
         .copied()
     else {
-        return reject(stream, "no common codec".into());
+        return reject("no common codec".into());
     };
 
     let accept = ServerHello::Accept { version, codec };
-    write_frame(stream, &WireCodec::Json.encode(&accept))?;
-    Ok(Some(Negotiated {
-        version,
-        codec,
-        app,
-    }))
+    HelloOutcome::Accept(
+        Negotiated {
+            version,
+            codec,
+            app,
+        },
+        WireCodec::Json.encode(&accept),
+    )
+}
+
+/// Runs the blocking hello exchange. `Ok(None)` means the hello was
+/// answered with a reject (or the peer closed) and the connection is
+/// done.
+fn negotiate(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<Option<Negotiated>> {
+    let Some(hello_bytes) = read_frame(stream)? else {
+        return Ok(None);
+    };
+    match evaluate_hello(ctx, &hello_bytes) {
+        HelloOutcome::Accept(neg, reply) => {
+            write_frame(stream, &reply)?;
+            Ok(Some(neg))
+        }
+        HelloOutcome::Reject(reply) => {
+            write_frame(stream, &reply)?;
+            Ok(None)
+        }
+    }
 }
 
 /// Maps an admin-surface refusal to the closest I/O error kind.
@@ -976,47 +1090,138 @@ fn serve_frames(stream: &mut TcpStream, ctx: &ServeCtx) -> io::Result<()> {
     }
 }
 
-/// The v1 loop: bare `RequestBatch` in, bare `ResponseBatch` out —
-/// byte-identical to the original request/response-only server, so a
-/// v1-only client round-trips unmodified. (`PollEvents` flows through
-/// like any other request, which is how v1 clients get Table 2 event
-/// parity.)
+/// What a serving loop (blocking thread or evented worker) does with the
+/// outcome of one processed inbound payload.
+enum Served {
+    /// Write this encoded payload back to the peer.
+    Reply(Vec<u8>),
+    /// Nothing to send (e.g. an inbound `Pong`).
+    Quiet,
+    /// Protocol violation: close the connection without replying.
+    Close,
+}
+
+/// Processes one v1 payload — a bare `RequestBatch` answered by a bare
+/// `ResponseBatch`, byte-identical to the original request/response-only
+/// server, so a v1-only client round-trips unmodified. (`PollEvents`
+/// flows through like any other request, which is how v1 clients get
+/// Table 2 event parity.) Shared verbatim by the blocking loop and the
+/// evented workers: the two transports cannot diverge.
+fn process_v1_payload(ctx: &ServeCtx, neg: &Negotiated, payload: &[u8]) -> Served {
+    let response = match neg.codec.decode::<RequestBatch>(payload) {
+        // Scope pinning: a remote peer is untrusted, so a batch
+        // claiming a different app than the hello pinned is a
+        // spoof attempt — denied as a value, per request.
+        Ok(batch) if batch.app != neg.app => pinned_denial(&batch, neg.app),
+        // Sharded dispatch: no global lock — the processing thread
+        // contends only with traffic to the same app's shard (and with
+        // the driver's settlement barrier).
+        Ok(batch) => ctx.shared.dispatch_batch(&batch),
+        // An undecodable frame means framing may be out of sync;
+        // the server cannot know how many requests the batch held,
+        // so any reply would break the one-response-per-request
+        // contract. Close instead — the client surfaces the dropped
+        // connection as transport-failure values with the right
+        // arity.
+        Err(_) => return Served::Close,
+    };
+    Served::Reply(neg.codec.encode(&response))
+}
+
+/// Processes one v2 payload — a [`Frame`]. Subscriptions and the admin
+/// checkpoint surface are interpreted per-connection here; `conn` is the
+/// connection's writer half (its filter is flipped by
+/// `SubscribeEvents`), `admin` its checkpoint state. Shared verbatim by
+/// the blocking loop and the evented workers.
+fn process_v2_payload(
+    ctx: &ServeCtx,
+    neg: &Negotiated,
+    conn: &ConnShared,
+    admin: &mut AdminState,
+    payload: &[u8],
+) -> Served {
+    // Admin gate: with a credential registry installed, the hello only
+    // admits connections that proved their token, so every served v2
+    // connection on a hardened server is credential-authenticated.
+    // Without a registry nothing on the wire is authenticated, and the
+    // checkpoint surface stays closed rather than trusting the network.
+    let authed = ctx.creds.is_some();
+    match neg.codec.decode::<Frame>(payload) {
+        Ok(Frame::Request(batch)) => {
+            let response = if batch.app != neg.app {
+                pinned_denial(&batch, neg.app)
+            } else {
+                // Connection-level interpretation of subscriptions:
+                // the dispatcher acknowledges `SubscribeEvents`, the
+                // transport gives it meaning for *this* connection —
+                // under exactly the dispatcher's version gate
+                // (supported envelope AND new enough for the
+                // request), so the two never disagree about whether
+                // a subscription took effect.
+                for req in &batch.requests {
+                    if let EnergyRequest::SubscribeEvents { filter } = req {
+                        if SUPPORTED_VERSIONS.contains(&batch.version)
+                            && batch.version >= req.min_version()
+                        {
+                            *crate::lock::lock(&conn.filter) = Some(*filter);
+                        }
+                    }
+                }
+                let mut response = ctx.shared.dispatch_batch(&batch);
+                // Admin checkpoint surface, same shape as
+                // subscriptions: the dispatcher acked
+                // `Snapshot`/`Restore` (so recorded traces replay
+                // arity-correct); the transport substitutes the real
+                // per-connection answer, under the same version gate.
+                for (req, resp) in batch.requests.iter().zip(response.responses.iter_mut()) {
+                    if req.is_admin()
+                        && SUPPORTED_VERSIONS.contains(&batch.version)
+                        && batch.version >= req.min_version()
+                    {
+                        *resp = serve_admin(req, ctx, authed, admin);
+                    }
+                }
+                response
+            };
+            Served::Reply(neg.codec.encode(&Frame::Response(response)))
+        }
+        Ok(Frame::Control(ControlFrame::Ping)) => {
+            Served::Reply(neg.codec.encode(&Frame::Control(ControlFrame::Pong)))
+        }
+        Ok(Frame::Control(ControlFrame::Pong)) => Served::Quiet,
+        // Response/Event are server-direction frames; a client
+        // sending one is out of protocol. Same rule as an
+        // undecodable frame: close, never guess.
+        Ok(Frame::Response(_)) | Ok(Frame::Event(_)) | Err(_) => Served::Close,
+    }
+}
+
+/// The blocking v1 loop ([`EcovisorServer::serve_connection`] embeds).
 fn serve_v1(stream: &mut TcpStream, ctx: &ServeCtx, neg: &Negotiated) -> io::Result<()> {
-    while let Some(frame) = read_frame(stream)? {
-        let response = match neg.codec.decode::<RequestBatch>(&frame) {
-            // Scope pinning: a remote peer is untrusted, so a batch
-            // claiming a different app than the hello pinned is a
-            // spoof attempt — denied as a value, per request.
-            Ok(batch) if batch.app != neg.app => pinned_denial(&batch, neg.app),
-            // Sharded dispatch: no global lock — this thread contends
-            // only with traffic to the same app's shard (and with the
-            // driver's settlement barrier).
-            Ok(batch) => ctx.shared.dispatch_batch(&batch),
-            // An undecodable frame means framing may be out of sync;
-            // the server cannot know how many requests the batch held,
-            // so any reply would break the one-response-per-request
-            // contract. Close instead — the client surfaces the dropped
-            // connection as transport-failure values with the right
-            // arity.
-            Err(_) => break,
-        };
-        write_frame(stream, &neg.codec.encode(&response))?;
+    let mut buf = Vec::new();
+    while let Some(len) = read_frame_into(stream, &mut buf)? {
+        match process_v1_payload(ctx, neg, &buf[..len]) {
+            Served::Reply(payload) => write_frame(stream, &payload)?,
+            Served::Quiet => {}
+            Served::Close => break,
+        }
     }
     Ok(())
 }
 
-/// The v2 loop: every payload is a [`Frame`]. The connection is split —
-/// this function keeps the reader half; the writer half (a cloned
-/// stream) goes into the push registry so the broadcast hook can push
-/// [`Frame::Event`]s between this thread's responses.
+/// The blocking v2 loop: every payload is a [`Frame`]. The connection is
+/// split — this function keeps the reader half; the writer half (a
+/// cloned stream) goes into the push registry so the broadcast hook can
+/// push [`Frame::Event`]s between this thread's responses.
 fn serve_v2(stream: &mut TcpStream, ctx: &ServeCtx, neg: &Negotiated) -> io::Result<()> {
-    let writer = stream.try_clone()?;
+    let writer = Arc::new(stream.try_clone()?);
     let conn = Arc::new(ConnShared {
         app: neg.app,
         codec: neg.codec,
         writer: Mutex::new(writer),
         filter: Mutex::new(None),
         pending: Mutex::new(PendingWrites::default()),
+        notify: None,
     });
     crate::lock::lock(&ctx.registry).push(Arc::clone(&conn));
     let _deregister = Deregister {
@@ -1024,64 +1229,13 @@ fn serve_v2(stream: &mut TcpStream, ctx: &ServeCtx, neg: &Negotiated) -> io::Res
         conn: Arc::clone(&conn),
     };
 
-    // Admin gate: with a credential registry installed, `negotiate` only
-    // admits connections that proved their token, so every served v2
-    // connection on a hardened server is credential-authenticated.
-    // Without a registry nothing on the wire is authenticated, and the
-    // checkpoint surface stays closed rather than trusting the network.
-    let authed = ctx.creds.is_some();
     let mut admin = AdminState::default();
-
-    while let Some(frame) = read_frame(stream)? {
-        match neg.codec.decode::<Frame>(&frame) {
-            Ok(Frame::Request(batch)) => {
-                let response = if batch.app != neg.app {
-                    pinned_denial(&batch, neg.app)
-                } else {
-                    // Connection-level interpretation of subscriptions:
-                    // the dispatcher acknowledges `SubscribeEvents`, the
-                    // transport gives it meaning for *this* connection —
-                    // under exactly the dispatcher's version gate
-                    // (supported envelope AND new enough for the
-                    // request), so the two never disagree about whether
-                    // a subscription took effect.
-                    for req in &batch.requests {
-                        if let EnergyRequest::SubscribeEvents { filter } = req {
-                            if SUPPORTED_VERSIONS.contains(&batch.version)
-                                && batch.version >= req.min_version()
-                            {
-                                *crate::lock::lock(&conn.filter) = Some(*filter);
-                            }
-                        }
-                    }
-                    let mut response = ctx.shared.dispatch_batch(&batch);
-                    // Admin checkpoint surface, same shape as
-                    // subscriptions: the dispatcher acked
-                    // `Snapshot`/`Restore` (so recorded traces replay
-                    // arity-correct); the transport substitutes the real
-                    // per-connection answer, under the same version gate.
-                    for (req, resp) in batch.requests.iter().zip(response.responses.iter_mut()) {
-                        if req.is_admin()
-                            && SUPPORTED_VERSIONS.contains(&batch.version)
-                            && batch.version >= req.min_version()
-                        {
-                            *resp = serve_admin(req, ctx, authed, &mut admin);
-                        }
-                    }
-                    response
-                };
-                let payload = neg.codec.encode(&Frame::Response(response));
-                write_conn(&conn, &payload)?;
-            }
-            Ok(Frame::Control(ControlFrame::Ping)) => {
-                let payload = neg.codec.encode(&Frame::Control(ControlFrame::Pong));
-                write_conn(&conn, &payload)?;
-            }
-            Ok(Frame::Control(ControlFrame::Pong)) => {}
-            // Response/Event are server-direction frames; a client
-            // sending one is out of protocol. Same rule as an
-            // undecodable frame: close, never guess.
-            Ok(Frame::Response(_)) | Ok(Frame::Event(_)) | Err(_) => break,
+    let mut buf = Vec::new();
+    while let Some(len) = read_frame_into(stream, &mut buf)? {
+        match process_v2_payload(ctx, neg, &conn, &mut admin, &buf[..len]) {
+            Served::Reply(payload) => write_conn(&conn, &payload)?,
+            Served::Quiet => {}
+            Served::Close => break,
         }
     }
     Ok(())
@@ -1194,21 +1348,17 @@ fn serve_admin(
     }
 }
 
-/// One accepted connection: its serving thread plus a socket handle the
-/// shutdown path can close to unblock a pending read.
-struct Connection {
-    thread: JoinHandle<()>,
-    socket: Option<TcpStream>,
-}
-
 /// Driver-side handle to a spawned server: the address clients connect
 /// to, the shared ecovisor the driver ticks, and the shutdown switch.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: SharedEcovisor,
     stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<Connection>>>,
+    /// Wakes the reactor out of `poll` so it observes `stop` promptly.
+    waker: reactor::Waker,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    queue: Arc<evented::JobQueue>,
     active: Arc<AtomicUsize>,
     registry: Arc<Mutex<Vec<Arc<ConnShared>>>>,
 }
@@ -1232,15 +1382,11 @@ impl ServerHandle {
         Arc::clone(&self.shared)
     }
 
-    /// Number of connections currently being served. A client that
-    /// disconnects (cleanly, mid-frame, or by tripping the idle
-    /// timeout) drops off this count as soon as its serving thread
-    /// exits; calling this also reaps finished join handles from the
-    /// connection registry.
+    /// Number of connections currently registered with the reactor. A
+    /// client that disconnects (cleanly, mid-frame, or by tripping the
+    /// idle timeout) drops off this count as soon as the reactor reaps
+    /// its registration.
     pub fn active_connections(&self) -> usize {
-        let mut conns = crate::lock::lock(&self.connections);
-        conns.retain(|c| !c.thread.is_finished());
-        drop(conns);
         self.active.load(Ordering::SeqCst)
     }
 
@@ -1254,41 +1400,43 @@ impl ServerHandle {
             .iter()
             .map(|conn| {
                 let pending = crate::lock::lock(&conn.pending);
-                pending.queue.len() + pending.parked.len()
+                pending.queued_frames + pending.parked.len()
             })
             .sum()
     }
 
-    /// Stops accepting, disconnects any live clients, joins all server
-    /// threads, and returns the shared ecovisor (sole ownership can be
-    /// reclaimed with `Arc::try_unwrap` once all clients are dropped).
-    pub fn shutdown(mut self) -> SharedEcovisor {
+    /// The deterministic teardown sequence, shared by
+    /// [`shutdown`](Self::shutdown) and `Drop` (idempotent): flip the
+    /// stop flag, wake the reactor out of `poll` (it closes every
+    /// connection and the listener on its way out), then stop the job
+    /// queue and join the workers. No step waits on a timeout — a
+    /// wedged peer cannot stall teardown, because the reactor closes
+    /// sockets rather than waiting for them.
+    fn stop_serving(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        let _ = self.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
-        let connections = std::mem::take(&mut *crate::lock::lock(&self.connections));
-        for conn in connections {
-            // Close the socket first so a thread parked in read_frame
-            // observes EOF instead of blocking the join forever.
-            if let Some(socket) = conn.socket {
-                let _ = socket.shutdown(std::net::Shutdown::Both);
-            }
-            let _ = conn.thread.join();
+        self.queue.stop();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
+    }
+
+    /// Stops accepting, disconnects any live clients, joins the reactor
+    /// and worker threads, and returns the shared ecovisor (sole
+    /// ownership can be reclaimed with `Arc::try_unwrap` once all
+    /// clients are dropped).
+    pub fn shutdown(mut self) -> SharedEcovisor {
+        self.stop_serving();
         Arc::clone(&self.shared)
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
+        self.stop_serving();
     }
 }
 
@@ -1322,6 +1470,9 @@ pub struct RemoteEcovisorClient {
     broken: bool,
     inbox: Vec<EventFrame>,
     handler: Option<EventHandler>,
+    /// Grow-only read buffer reused across frames (see
+    /// [`read_frame_into`]).
+    rbuf: Vec<u8>,
 }
 
 impl std::fmt::Debug for RemoteEcovisorClient {
@@ -1488,6 +1639,7 @@ impl RemoteEcovisorClient {
             broken: false,
             inbox: Vec::new(),
             handler: None,
+            rbuf: Vec::new(),
         }
     }
 
@@ -1573,12 +1725,12 @@ impl RemoteEcovisorClient {
     /// Reads and decodes one v2 frame, answering pings inline.
     fn read_v2_frame(&mut self) -> io::Result<Frame> {
         loop {
-            let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            let len = read_frame_into(&mut self.stream, &mut self.rbuf)?.ok_or_else(|| {
                 io::Error::new(io::ErrorKind::ConnectionAborted, "server closed connection")
             })?;
             let frame: Frame = self
                 .codec
-                .decode(&frame)
+                .decode(&self.rbuf[..len])
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
             if let Frame::Control(ControlFrame::Ping) = frame {
                 let payload = self.codec.encode(&Frame::Control(ControlFrame::Pong));
@@ -1619,11 +1771,11 @@ impl RemoteEcovisorClient {
         } else {
             // v1: the bare request/response wire, unchanged.
             write_frame(&mut self.stream, &self.codec.encode(batch))?;
-            let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+            let len = read_frame_into(&mut self.stream, &mut self.rbuf)?.ok_or_else(|| {
                 io::Error::new(io::ErrorKind::ConnectionAborted, "server closed mid-batch")
             })?;
             self.codec
-                .decode(&frame)
+                .decode(&self.rbuf[..len])
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
         }
     }
@@ -1962,9 +2114,10 @@ mod tests {
         let conn = Arc::new(ConnShared {
             app: AppId::new(1),
             codec: WireCodec::Binary,
-            writer: Mutex::new(server_side),
+            writer: Mutex::new(Arc::new(server_side)),
             filter: Mutex::new(Some(EventFilter::all())),
             pending: Mutex::new(PendingWrites::default()),
+            notify: None,
         });
         let policy = OutboxPolicy::with_cap(2);
         let level = |w: f64| Notification::SolarChange {
@@ -1986,12 +2139,12 @@ mod tests {
             tick += 1;
             conn.push_event(frame(tick, vec![level(1.0); 200_000]), policy);
             committed_frames += 1;
-            if !crate::lock::lock(&conn.pending).queue.is_empty() {
+            if crate::lock::lock(&conn.pending).queued_bytes() > 0 {
                 break;
             }
         }
         assert!(
-            !crate::lock::lock(&conn.pending).queue.is_empty(),
+            crate::lock::lock(&conn.pending).queued_bytes() > 0,
             "socket buffers never filled; cannot exercise backpressure"
         );
 
@@ -2062,8 +2215,9 @@ mod tests {
             .count();
         assert_eq!(edge_count, parked_edges, "each edge delivered exactly once");
         let pending = crate::lock::lock(&conn.pending);
-        assert!(pending.queue.is_empty() && pending.parked.is_empty());
-        assert_eq!(pending.queued_bytes, 0);
+        assert!(pending.parked.is_empty());
+        assert_eq!(pending.queued_bytes(), 0);
+        assert_eq!(pending.queued_frames, 0);
     }
 
     #[test]

@@ -1,0 +1,763 @@
+//! The evented serving runtime: one reactor thread multiplexes every
+//! connection, a small worker pool runs dispatch.
+//!
+//! [`spawn_evented`] replaces the old thread-per-connection accept loop.
+//! The reactor owns all sockets non-blocking and epoll-registered (via
+//! the vendored [`reactor`] shim): it accepts, reads bytes into
+//! per-connection [`RecvBuf`]s, carves complete length-prefixed frames
+//! out of them, and hands those frames to the worker pool. Workers
+//! decode/dispatch via the same [`process_v1_payload`] /
+//! [`process_v2_payload`] the blocking server uses — the two transports
+//! share negotiation ([`evaluate_hello`]) and per-frame semantics by
+//! construction, so v1 and v2 clients cannot tell them apart on the
+//! wire.
+//!
+//! ## Connection lifecycle
+//!
+//! ```text
+//!            accept            hello frame           frames
+//!  listener ───────▶ Phase::Hello ───────▶ Phase::Serving(ConnWork)
+//!                        │ reject                      │ EOF / error /
+//!                        ▼                             ▼ idle timeout
+//!                 Phase::Draining ──reply sent──▶    closed
+//! ```
+//!
+//! ## Scheduling invariant
+//!
+//! A connection's [`ConnWork`] is in the job queue **at most once**
+//! (`scheduled` flips false→true exactly when it is pushed), and only
+//! the worker that popped it processes its inbox — so frames on one
+//! connection are served strictly in arrival order, exactly like the
+//! old per-connection thread, while thousands of connections share a
+//! handful of workers. Workers park on shard/settlement lock
+//! acquisition inside `dispatch_batch`; no thread is ever pinned to a
+//! client.
+//!
+//! ## Write path
+//!
+//! All outbound bytes go through the parent module's [`ConnShared`]
+//! committed-write queue ([`PendingWrites`]): workers and the
+//! settlement broadcast write non-blocking, and whatever the socket
+//! refuses stays committed. The connection's [`WriteNotify`] then marks
+//! the token dirty and wakes the reactor, which arms `EPOLLOUT` and
+//! finishes the flush when the peer drains — `OutboxPolicy` parking
+//! semantics are byte-identical to the blocking server because they are
+//! the *same code* behind the same lock.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use reactor::{Events, Interest, Poll, Token, Waker};
+
+use super::{
+    evaluate_hello, process_v1_payload, process_v2_payload, wire_bytes, write_conn, AdminState,
+    ConnShared, HelloOutcome, Negotiated, PendingWrites, ServeCtx, Served, ServerHandle,
+    WriteNotify, DRAIN_RETAIN_BYTES, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+/// The listener's epoll token.
+const LISTENER: Token = Token(0);
+/// The waker's epoll token.
+const WAKER: Token = Token(1);
+/// First token handed to an accepted connection (tokens are never
+/// reused, so a late wake-up for a closed connection cannot alias a new
+/// one).
+const FIRST_CONN: usize = 2;
+/// Frames one worker serves from a connection's inbox before requeueing
+/// it — fairness bound so a chatty connection cannot starve the rest.
+const FRAMES_PER_TURN: usize = 8;
+/// Initial per-connection receive buffer (grow-only up to the largest
+/// in-flight frame, trimmed back to [`DRAIN_RETAIN_BYTES`] when empty).
+const RECV_INITIAL: usize = 4 * 1024;
+/// Readiness events drained per `epoll_wait`.
+const EVENTS_CAPACITY: usize = 1024;
+
+/// Per-connection receive accumulator: raw socket bytes land in
+/// `buf[start..end]`, and complete length-prefixed frames are carved
+/// off the front. This is the incremental replacement for the blocking
+/// `read_exact` framing — a partial frame simply stays buffered until
+/// the next readable event resumes it.
+struct RecvBuf {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl RecvBuf {
+    fn new() -> RecvBuf {
+        RecvBuf {
+            buf: vec![0; RECV_INITIAL],
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// One `read(2)` into the spare tail (compacting the consumed
+    /// prefix first). `Ok(0)` is EOF; `WouldBlock` bubbles up so the
+    /// caller knows the socket is drained.
+    fn fill(&mut self, mut stream: &TcpStream) -> io::Result<usize> {
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        if self.end == self.buf.len() {
+            self.buf.resize(self.buf.len() * 2, 0);
+        }
+        let n = stream.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Carves the next complete frame off the front, if one has fully
+    /// arrived. Grows the buffer up front for an announced frame so an
+    /// oversized peer is rejected before any allocation, like the
+    /// blocking path's length check.
+    fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let avail = self.end - self.start;
+        if avail < 4 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&self.buf[self.start..self.start + 4]);
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds MAX_FRAME_LEN"),
+            ));
+        }
+        let len = len as usize;
+        if avail < 4 + len {
+            // Reserve room for the rest of the announced frame so the
+            // next fill can complete it without another resize.
+            if self.buf.len() < self.start + 4 + len {
+                self.buf.resize(self.start + 4 + len, 0);
+            }
+            return Ok(None);
+        }
+        let frame = self.buf[self.start + 4..self.start + 4 + len].to_vec();
+        self.start += 4 + len;
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+            if self.buf.len() > DRAIN_RETAIN_BYTES {
+                self.buf.truncate(DRAIN_RETAIN_BYTES);
+                self.buf.shrink_to(DRAIN_RETAIN_BYTES);
+            }
+        }
+        Ok(Some(frame))
+    }
+
+    /// `true` while a partial frame (or stray bytes) is buffered — at
+    /// EOF this distinguishes a mid-frame drop from a clean close.
+    fn has_partial(&self) -> bool {
+        self.end > self.start
+    }
+}
+
+/// Where a connection is in its lifecycle.
+enum Phase {
+    /// Awaiting the hello frame.
+    Hello,
+    /// Negotiated; inbound frames go to the worker pool.
+    Serving(Arc<ConnWork>),
+    /// A hello reject is draining; close once it is fully written.
+    Draining { out: Vec<u8>, written: usize },
+}
+
+/// The reactor's per-connection state. The reactor thread owns this
+/// exclusively; everything workers touch lives in [`ConnWork`].
+struct EvConn {
+    /// Shared with [`ConnShared`]'s writer half once serving begins:
+    /// one fd per connection, not a `try_clone` pair.
+    stream: Arc<TcpStream>,
+    rbuf: RecvBuf,
+    phase: Phase,
+    last_read: Instant,
+    /// Whether `EPOLLOUT` is currently armed (avoids a `reregister`
+    /// syscall per flush).
+    want_write: bool,
+}
+
+/// The worker-facing half of a served connection: the negotiated
+/// parameters, the shared writer, and the inbox of complete frames the
+/// reactor has carved out.
+pub(super) struct ConnWork {
+    neg: Negotiated,
+    shared: Arc<ConnShared>,
+    inbox: Mutex<VecDeque<Vec<u8>>>,
+    /// `true` while this connection is in the job queue or being
+    /// served; the false→true edge is the only push point, so one
+    /// connection is never served by two workers at once.
+    scheduled: AtomicBool,
+    admin: Mutex<AdminState>,
+    /// Set by whichever side (worker or reactor) kills the connection;
+    /// the other side observes it and stops.
+    closed: AtomicBool,
+}
+
+/// Queue state guarded by one mutex, so `stop` and the condvar wait
+/// cannot miss each other.
+struct QueueState {
+    jobs: VecDeque<Arc<ConnWork>>,
+    stopped: bool,
+}
+
+/// The worker pool's job queue: connections with non-empty inboxes.
+pub(super) struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                stopped: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, work: Arc<ConnWork>) {
+        let mut state = crate::lock::lock(&self.state);
+        if state.stopped {
+            return;
+        }
+        state.jobs.push_back(work);
+        drop(state);
+        self.ready.notify_one();
+    }
+
+    /// Blocks for the next job; `None` once the queue is stopped.
+    /// Remaining jobs are discarded at stop — their sockets are already
+    /// being closed by the reactor's teardown.
+    fn pop(&self) -> Option<Arc<ConnWork>> {
+        let mut state = crate::lock::lock(&self.state);
+        loop {
+            if state.stopped {
+                return None;
+            }
+            if let Some(work) = state.jobs.pop_front() {
+                return Some(work);
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Wakes every worker into its `None` exit.
+    pub(super) fn stop(&self) {
+        crate::lock::lock(&self.state).stopped = true;
+        self.ready.notify_all();
+    }
+}
+
+/// One worker thread: serve connections' inboxes until the queue stops.
+fn worker_loop(queue: &JobQueue, ctx: &ServeCtx) {
+    while let Some(work) = queue.pop() {
+        serve_inbox(&work, ctx, queue);
+    }
+}
+
+/// Kills a connection from the worker side: the reactor observes the
+/// socket shutdown as readiness (EOF) and reaps the registration; the
+/// notify nudge makes that prompt even on an otherwise idle loop.
+fn kill_from_worker(work: &ConnWork) {
+    work.closed.store(true, Ordering::SeqCst);
+    let _ = crate::lock::lock(&work.shared.writer).shutdown(std::net::Shutdown::Both);
+    if let Some(notify) = &work.shared.notify {
+        notify.notify();
+    }
+}
+
+/// Serves up to [`FRAMES_PER_TURN`] frames from one connection's inbox,
+/// then yields the worker (requeueing if frames remain).
+fn serve_inbox(work: &Arc<ConnWork>, ctx: &ServeCtx, queue: &JobQueue) {
+    if work.closed.load(Ordering::SeqCst) {
+        work.scheduled.store(false, Ordering::SeqCst);
+        return;
+    }
+    for _ in 0..FRAMES_PER_TURN {
+        let Some(payload) = crate::lock::lock(&work.inbox).pop_front() else {
+            // Inbox drained: unschedule, then re-check — a frame the
+            // reactor pushed between the pop and the store must not be
+            // stranded, so whoever wins the swap re-enqueues.
+            work.scheduled.store(false, Ordering::SeqCst);
+            if !crate::lock::lock(&work.inbox).is_empty()
+                && !work.scheduled.swap(true, Ordering::SeqCst)
+            {
+                queue.push(Arc::clone(work));
+            }
+            return;
+        };
+        let served = if work.neg.version >= PROTOCOL_VERSION {
+            let mut admin = crate::lock::lock(&work.admin);
+            process_v2_payload(ctx, &work.neg, &work.shared, &mut admin, &payload)
+        } else {
+            process_v1_payload(ctx, &work.neg, &payload)
+        };
+        let healthy = match served {
+            Served::Reply(reply) => write_conn(&work.shared, &reply).is_ok(),
+            Served::Quiet => true,
+            Served::Close => false,
+        };
+        if !healthy {
+            kill_from_worker(work);
+            work.scheduled.store(false, Ordering::SeqCst);
+            return;
+        }
+    }
+    // Fairness budget spent: back of the line (still scheduled, so no
+    // second worker can pick this connection up concurrently).
+    if crate::lock::lock(&work.inbox).is_empty() {
+        work.scheduled.store(false, Ordering::SeqCst);
+        if !crate::lock::lock(&work.inbox).is_empty()
+            && !work.scheduled.swap(true, Ordering::SeqCst)
+        {
+            queue.push(Arc::clone(work));
+        }
+    } else {
+        queue.push(Arc::clone(work));
+    }
+}
+
+/// Arms or disarms `EPOLLOUT` to match whether the connection owes the
+/// socket bytes (readable interest is always kept).
+fn set_write_interest(
+    poll: &Poll,
+    stream: &TcpStream,
+    token: usize,
+    want_write: &mut bool,
+    want: bool,
+) {
+    if *want_write == want {
+        return;
+    }
+    let interest = if want {
+        Interest::READABLE.union(Interest::WRITABLE)
+    } else {
+        Interest::READABLE
+    };
+    if poll.reregister(stream, Token(token), interest).is_ok() {
+        *want_write = want;
+    }
+}
+
+/// Pushes whatever output the connection owes: the committed backlog on
+/// a serving connection, the reject reply on a draining one. Returns
+/// `false` when the connection should close (dead socket, worker kill,
+/// or a reject fully delivered).
+fn flush_conn(poll: &Poll, conn: &mut EvConn, token: usize) -> bool {
+    let EvConn {
+        stream,
+        phase,
+        want_write,
+        ..
+    } = conn;
+    match phase {
+        Phase::Hello => true,
+        Phase::Serving(work) => {
+            if work.closed.load(Ordering::SeqCst) {
+                return false;
+            }
+            match work.shared.flush_for_reactor() {
+                Ok(drained) => {
+                    set_write_interest(poll, stream, token, want_write, !drained);
+                    true
+                }
+                Err(_) => false,
+            }
+        }
+        Phase::Draining { out, written } => loop {
+            if *written == out.len() {
+                return false;
+            }
+            let mut sock: &TcpStream = stream;
+            match sock.write(&out[*written..]) {
+                Ok(0) => return false,
+                Ok(n) => *written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    set_write_interest(poll, stream, token, want_write, true);
+                    return true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        },
+    }
+}
+
+/// Routes one complete inbound frame by phase. Returns `false` to close.
+fn handle_frame(
+    conn: &mut EvConn,
+    token: usize,
+    ctx: &ServeCtx,
+    queue: &JobQueue,
+    dirty: &Arc<Mutex<Vec<usize>>>,
+    waker: &Waker,
+    payload: Vec<u8>,
+) -> bool {
+    match &conn.phase {
+        Phase::Hello => begin_serving(conn, token, ctx, dirty, waker, &payload),
+        Phase::Serving(work) => {
+            if work.closed.load(Ordering::SeqCst) {
+                return false;
+            }
+            crate::lock::lock(&work.inbox).push_back(payload);
+            if !work.scheduled.swap(true, Ordering::SeqCst) {
+                queue.push(Arc::clone(work));
+            }
+            true
+        }
+        // Bytes after a rejected hello are discarded; the connection
+        // closes as soon as the reject reply drains.
+        Phase::Draining { .. } => true,
+    }
+}
+
+/// Evaluates the hello frame and transitions the connection to
+/// `Serving` (accept) or `Draining` (reject). Returns `false` to close.
+fn begin_serving(
+    conn: &mut EvConn,
+    token: usize,
+    ctx: &ServeCtx,
+    dirty: &Arc<Mutex<Vec<usize>>>,
+    waker: &Waker,
+    hello: &[u8],
+) -> bool {
+    match evaluate_hello(ctx, hello) {
+        HelloOutcome::Accept(neg, reply) => {
+            let shared = Arc::new(ConnShared {
+                app: neg.app,
+                codec: neg.codec,
+                writer: Mutex::new(Arc::clone(&conn.stream)),
+                filter: Mutex::new(None),
+                pending: Mutex::new(PendingWrites::default()),
+                notify: Some(WriteNotify {
+                    token,
+                    dirty: Arc::clone(dirty),
+                    waker: waker.clone(),
+                }),
+            });
+            // Only v2 connections join the push registry — v1 has no
+            // push on its wire, exactly like the blocking server.
+            if neg.version >= PROTOCOL_VERSION {
+                crate::lock::lock(&ctx.registry).push(Arc::clone(&shared));
+            }
+            conn.phase = Phase::Serving(Arc::new(ConnWork {
+                neg,
+                shared: Arc::clone(&shared),
+                inbox: Mutex::new(VecDeque::new()),
+                scheduled: AtomicBool::new(false),
+                admin: Mutex::new(AdminState::default()),
+                closed: AtomicBool::new(false),
+            }));
+            // The accept reply rides the same committed-write queue as
+            // every later frame, so it cannot interleave or reorder.
+            write_conn(&shared, &reply).is_ok()
+        }
+        HelloOutcome::Reject(reply) => match wire_bytes(&reply) {
+            Ok(out) => {
+                conn.phase = Phase::Draining { out, written: 0 };
+                true
+            }
+            Err(_) => false,
+        },
+    }
+}
+
+/// The event loop and everything it owns.
+struct Reactor {
+    poll: Poll,
+    listener: TcpListener,
+    ctx: Arc<ServeCtx>,
+    queue: Arc<JobQueue>,
+    /// Tokens whose connections owe the socket bytes (fed by
+    /// [`WriteNotify`] from workers and the settlement broadcast).
+    dirty: Arc<Mutex<Vec<usize>>>,
+    waker: Waker,
+    conns: HashMap<usize, EvConn>,
+    next_token: usize,
+    active: Arc<AtomicUsize>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Events::with_capacity(EVENTS_CAPACITY);
+        // With an idle timeout armed the loop must wake on its own to
+        // sweep; otherwise it parks until readiness or the waker.
+        let timeout = self
+            .ctx
+            .read_timeout
+            .map(|t| (t / 4).max(Duration::from_millis(10)));
+        while !self.stop.load(Ordering::SeqCst) {
+            if self.poll.poll(&mut events, timeout).is_err() {
+                break;
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut closed: Vec<usize> = Vec::new();
+            for event in events.iter() {
+                match event.token() {
+                    LISTENER => self.accept_ready(),
+                    WAKER => self.waker.drain(),
+                    Token(token) => {
+                        if !self.conn_ready(token, event.is_writable(), event.is_readable()) {
+                            closed.push(token);
+                        }
+                    }
+                }
+            }
+            for token in closed {
+                self.close_conn(token);
+            }
+            self.flush_dirty();
+            if let Some(idle) = self.ctx.read_timeout {
+                self.sweep_idle(idle);
+            }
+        }
+        self.teardown();
+    }
+
+    /// Accepts until the listener would block. A transient accept
+    /// failure (`EMFILE` under a connection storm, a peer that reset
+    /// before accept) is logged and skipped — the listener stays
+    /// registered and keeps serving whoever does get through.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poll
+                        .register(&stream, Token(token), Interest::READABLE)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        EvConn {
+                            stream: Arc::new(stream),
+                            rbuf: RecvBuf::new(),
+                            phase: Phase::Hello,
+                            last_read: Instant::now(),
+                            want_write: false,
+                        },
+                    );
+                    self.active.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    eprintln!("ecovisor transport: accept failed: {e}");
+                    // Level-triggered: the listener stays ready while the
+                    // backlog holds connections we cannot accept (fd
+                    // exhaustion), so without a pause this loop would
+                    // spin hot. Brief sleep, then let the next poll
+                    // retry — fds may have been freed by then.
+                    std::thread::sleep(Duration::from_millis(5));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// One connection's readiness. Returns `false` to close it.
+    fn conn_ready(&mut self, token: usize, writable: bool, readable: bool) -> bool {
+        let ctx = Arc::clone(&self.ctx);
+        let queue = Arc::clone(&self.queue);
+        let dirty = Arc::clone(&self.dirty);
+        let waker = self.waker.clone();
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return true;
+        };
+        // Writes first: draining the backlog may be what unblocks the
+        // peer into sending more.
+        if writable && !flush_conn(&self.poll, conn, token) {
+            return false;
+        }
+        if !readable {
+            return true;
+        }
+        loop {
+            match conn.rbuf.fill(&conn.stream) {
+                // EOF. Leftover buffered bytes mean the peer dropped
+                // mid-frame — routine for an adversarial or crashed
+                // client; either way the connection is done.
+                Ok(0) => {
+                    if conn.rbuf.has_partial() {
+                        eprintln!("ecovisor transport: peer closed mid-frame");
+                    }
+                    return false;
+                }
+                Ok(_) => {
+                    conn.last_read = Instant::now();
+                    loop {
+                        match conn.rbuf.next_frame() {
+                            Ok(Some(payload)) => {
+                                if !handle_frame(conn, token, &ctx, &queue, &dirty, &waker, payload)
+                                {
+                                    return false;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                eprintln!("ecovisor transport: dropping connection: {e}");
+                                return false;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        // A hello reply (or reject) committed above goes out now rather
+        // than waiting for the next dirty sweep.
+        flush_conn(&self.poll, conn, token)
+    }
+
+    /// Flushes every connection a [`WriteNotify`] marked since the last
+    /// sweep.
+    fn flush_dirty(&mut self) {
+        let tokens = std::mem::take(&mut *crate::lock::lock(&self.dirty));
+        for token in tokens {
+            let keep = match self.conns.get_mut(&token) {
+                Some(conn) => flush_conn(&self.poll, conn, token),
+                None => continue,
+            };
+            if !keep {
+                self.close_conn(token);
+            }
+        }
+    }
+
+    /// Reaps connections idle past the configured timeout — same
+    /// contract as the blocking server's `set_read_timeout` reap.
+    fn sweep_idle(&mut self, idle: Duration) {
+        let expired: Vec<usize> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.last_read.elapsed() >= idle)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in expired {
+            eprintln!("ecovisor transport: connection idle past {idle:?}; disconnecting");
+            self.close_conn(token);
+        }
+    }
+
+    /// Tears one connection down: epoll deregistration (explicit,
+    /// because [`ConnShared`]'s writer half shares the stream `Arc` and
+    /// keeps the file description — and thus the registration — alive
+    /// past this drop), push-registry removal, both-ways shutdown so
+    /// the peer and any worker mid-write observe the close.
+    fn close_conn(&mut self, token: usize) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        let _ = self.poll.deregister(&*conn.stream);
+        if let Phase::Serving(work) = &conn.phase {
+            work.closed.store(true, Ordering::SeqCst);
+            crate::lock::lock(&self.ctx.registry).retain(|c| !Arc::ptr_eq(c, &work.shared));
+            let _ = crate::lock::lock(&work.shared.writer).shutdown(std::net::Shutdown::Both);
+        }
+        let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    /// Shutdown path: close every connection, then the listener drops
+    /// with `self`. Runs on the reactor thread, so no registration can
+    /// race it.
+    fn teardown(&mut self) {
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token);
+        }
+    }
+}
+
+/// Spawns the evented runtime: the reactor thread plus `workers`
+/// dispatch threads (0 = auto-size from available parallelism, clamped
+/// to 2..=8). Returns the same [`ServerHandle`] surface the old
+/// thread-per-connection `spawn` did.
+pub(super) fn spawn_evented(
+    listener: TcpListener,
+    ctx: Arc<ServeCtx>,
+    workers: usize,
+) -> io::Result<ServerHandle> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let poll = Poll::new()?;
+    poll.register(&listener, LISTENER, Interest::READABLE)?;
+    let waker = Waker::new(&poll, WAKER)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let active = Arc::new(AtomicUsize::new(0));
+    let queue = Arc::new(JobQueue::new());
+    let dirty: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let worker_count = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .clamp(2, 8)
+    } else {
+        workers
+    };
+    let mut worker_handles = Vec::with_capacity(worker_count);
+    for i in 0..worker_count {
+        let queue = Arc::clone(&queue);
+        let ctx = Arc::clone(&ctx);
+        worker_handles.push(
+            std::thread::Builder::new()
+                .name(format!("ecovisor-worker-{i}"))
+                .spawn(move || worker_loop(&queue, &ctx))?,
+        );
+    }
+
+    let reactor = Reactor {
+        poll,
+        listener,
+        ctx: Arc::clone(&ctx),
+        queue: Arc::clone(&queue),
+        dirty,
+        waker: waker.clone(),
+        conns: HashMap::new(),
+        next_token: FIRST_CONN,
+        active: Arc::clone(&active),
+        stop: Arc::clone(&stop),
+    };
+    let reactor_handle = std::thread::Builder::new()
+        .name("ecovisor-reactor".into())
+        .spawn(move || reactor.run())?;
+
+    Ok(ServerHandle {
+        addr,
+        shared: Arc::clone(&ctx.shared),
+        stop,
+        waker,
+        reactor: Some(reactor_handle),
+        workers: worker_handles,
+        queue,
+        active,
+        registry: Arc::clone(&ctx.registry),
+    })
+}

@@ -6,7 +6,7 @@
 //! ecoharness record [--out DIR] [--codec json|binary]
 //!                   [--checkpoint-every HOURS] [NAME ...]
 //! ecoharness record --from ARTIFACT@TICK [--out DIR] [--codec json|binary]
-//! ecoharness verify PATH [PATH ...]
+//! ecoharness verify [--transport] PATH [PATH ...]
 //! ecoharness bench [--iters N] [--json] PATH [PATH ...]
 //! ecoharness diff A B
 //! ```
@@ -19,7 +19,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use ecoharness::artifact::{artifacts_in_dir, codec_name, is_artifact_path};
-use ecoharness::{corpus, record_with_checkpoints, verify, ScenarioArtifact};
+use ecoharness::{corpus, record_with_checkpoints, verify, verify_transport, ScenarioArtifact};
 use ecovisor::{ShardedEcovisor, WireCodec};
 
 fn main() -> ExitCode {
@@ -59,13 +59,17 @@ USAGE:
     ecoharness record [--out DIR] [--codec json|binary]
                       [--checkpoint-every HOURS] [NAME ...]
     ecoharness record --from ARTIFACT@TICK [--out DIR] [--codec json|binary]
-    ecoharness verify PATH [PATH ...]
+    ecoharness verify [--transport] PATH [PATH ...]
     ecoharness bench [--iters N] [--json] PATH [PATH ...]
     ecoharness diff A B
 
 Paths may be artifact files (*.scn.json / *.scn.bin) or directories.
 `record` with no names records the whole builtin corpus, committing
 some scenarios in each codec (override with --codec).
+`verify --transport` additionally replays each artifact over live
+per-tenant TCP connections (one per app, subscribed to event push)
+against the evented server, in both codecs — the wire path must be
+bit-indistinguishable from in-process dispatch.
 `--checkpoint-every HOURS` embeds a full state snapshot every HOURS
 simulated hours; `verify` restores each one and replays the rest of
 the day against it. `--from ARTIFACT@TICK` starts a *new* recording
@@ -93,7 +97,8 @@ fn cmd_list() -> Result<ExitCode, String> {
 /// the committed corpus.
 fn default_codec(name: &str) -> WireCodec {
     match name {
-        "cloudy-web" | "batch-checkpoint" | "mixed-tenants" | "web-autoscale" => WireCodec::Binary,
+        "cloudy-web" | "batch-checkpoint" | "mixed-tenants" | "web-autoscale"
+        | "thousand-tenants" => WireCodec::Binary,
         _ => WireCodec::Json,
     }
 }
@@ -208,14 +213,29 @@ fn cmd_record_resumed(
     Ok(ExitCode::SUCCESS)
 }
 
-/// `verify`: replay every artifact on both paths in both codecs.
+/// `verify`: replay every artifact on both paths in both codecs; with
+/// `--transport`, additionally replay each one over live per-tenant
+/// TCP connections against the evented server.
 fn cmd_verify(args: Vec<String>) -> Result<ExitCode, String> {
-    let paths = collect_artifacts(&args)?;
+    let mut transport = false;
+    let mut path_args: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--transport" => transport = true,
+            _ => path_args.push(arg),
+        }
+    }
+    let paths = collect_artifacts(&path_args)?;
     let mut failed = 0_usize;
     for path in &paths {
         let (artifact, codec) =
             ScenarioArtifact::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let report = verify(&artifact).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut report = verify(&artifact).map_err(|e| format!("{}: {e}", path.display()))?;
+        if transport {
+            let wire =
+                verify_transport(&artifact).map_err(|e| format!("{}: {e}", path.display()))?;
+            report.checks.extend(wire.checks);
+        }
         let status = if report.passed() { "PASS" } else { "FAIL" };
         println!(
             "{status} {} ({} codec, {} checks)",

@@ -34,6 +34,7 @@ pub fn names() -> Vec<&'static str> {
         "web-autoscale",
         "mixed-tenants",
         "budget-exhaustion",
+        "thousand-tenants",
     ]
 }
 
@@ -60,6 +61,7 @@ pub fn default_seed(name: &str) -> Option<u64> {
         "web-autoscale" => 0x5EED_0005,
         "mixed-tenants" => 0x5EED_0006,
         "budget-exhaustion" => 0x5EED_0007,
+        "thousand-tenants" => 0x5EED_0008,
         _ => return None,
     })
 }
@@ -75,6 +77,7 @@ pub fn builtin_with_seed(name: &str, seed: u64) -> Option<ScenarioSpec> {
         "web-autoscale" => web_autoscale(seed),
         "mixed-tenants" => mixed_tenants(seed),
         "budget-exhaustion" => budget_exhaustion(seed),
+        "thousand-tenants" => thousand_tenants(seed),
         _ => return None,
     })
 }
@@ -468,6 +471,97 @@ fn mixed_tenants(seed: u64) -> ScenarioSpec {
         ),
         scripted,
     ];
+    spec
+}
+
+/// The scale day: a thousand scripted tenants on the volatile CAISO
+/// signal — the corpus artifact that exercises the evented transport's
+/// multiplexing (one recorded day replayed over a thousand live
+/// connections by `ecoharness verify --transport`).
+///
+/// Event volume is bounded by design: most tenants run with
+/// effectively-mute notification thresholds, while a small "chatty"
+/// cohort keeps low thresholds and a tiny battery it cycles through
+/// full/empty edges, so the recorded push traffic stays diverse
+/// without swamping the artifact.
+fn thousand_tenants(seed: u64) -> ScenarioSpec {
+    const TENANTS: u64 = 1000;
+    let mut spec = base(
+        "thousand-tenants",
+        "The scale day: 1000 scripted tenants on volatile CAISO carbon, a chatty \
+         battery-cycling cohort among a muted crowd — the evented-transport \
+         multiplexing artifact",
+        seed,
+        12,
+    );
+    // A full day in 2-hour ticks: long enough for carbon swings and
+    // battery cycles, short enough to keep 1000 tenants' wire traffic
+    // committable.
+    spec.tick_minutes = 120;
+    // One quad-core container per tenant; each fills one microserver.
+    spec.servers = TENANTS as u32;
+    spec.carbon = CarbonSpec::Region {
+        region: RegionKind::California,
+        days: 2,
+        seed: sub_seed(seed, 0),
+    };
+    // Mute thresholds: relative swings this large never happen, so the
+    // crowd generates no level events (edge events still fire).
+    let muted = NotifyConfig {
+        solar_change_fraction: 0.95,
+        solar_change_floor: Watts::new(1e9),
+        carbon_change_fraction: 0.95,
+    };
+    let chatty_notify = NotifyConfig {
+        solar_change_fraction: 0.10,
+        solar_change_floor: Watts::new(0.5),
+        carbon_change_fraction: 0.08,
+    };
+    spec.tenants = (0..TENANTS)
+        .map(|i| {
+            let roll = sub_seed(seed, 100 + i);
+            let byte = |k: u64| (roll >> (8 * k)) & 0xFF;
+            let frac = |k: u64| byte(k) as f64 / 255.0;
+            // One in forty tenants is chatty: low notify thresholds and
+            // a tiny battery cycled hard enough (at 2-hour ticks) to
+            // cross both the full and empty edges.
+            let chatty = i % 40 == 0;
+            let mut share = EnergyShare::grid_only();
+            if chatty {
+                share = share
+                    .with_battery(WattHours::new(2.0))
+                    .with_initial_soc(0.5);
+            }
+            let phases = vec![
+                ScriptPhase {
+                    ticks: 1 + byte(0) % 3,
+                    demand: 0.2 + frac(1) * 0.7,
+                    charge_watts: if chatty { 5.0 } else { 0.0 },
+                    max_discharge_watts: 0.0,
+                },
+                ScriptPhase {
+                    ticks: 1 + byte(2) % 3,
+                    demand: 0.1 + frac(3) * 0.5,
+                    charge_watts: 0.0,
+                    max_discharge_watts: if chatty { 5.0 } else { 0.0 },
+                },
+            ];
+            let mut tenant = TenantSpec::new(
+                format!("t{i:03}"),
+                share,
+                DriverSpec::Scripted {
+                    containers: 1,
+                    phases,
+                    // Two tenants arm budgets sized to exhaust mid-day,
+                    // so the BudgetExhausted edge is pinned at scale.
+                    budget_grams: (i % 500 == 7).then_some(15.0),
+                    budget_at_tick: 3,
+                },
+            );
+            tenant.notify = Some(if chatty { chatty_notify } else { muted });
+            tenant
+        })
+        .collect();
     spec
 }
 

@@ -68,4 +68,4 @@ pub use scenario::{build_drivers, build_ecovisor};
 pub use spec::{
     CarbonSpec, DriverSpec, JobSpec, ScenarioSpec, ScriptPhase, SolarSpec, TenantSpec, SPEC_FORMAT,
 };
-pub use verify::{verify, Check, VerifyReport};
+pub use verify::{verify, verify_transport, Check, VerifyReport};

@@ -24,7 +24,10 @@
 //! for a recorded day turns at least one check red — that is the
 //! regression net the corpus exists to provide.
 
-use ecovisor::{digest, Ecovisor, ProtocolTrace, ShardedEcovisor, VesTotals, WireCodec};
+use ecovisor::{
+    digest, Ecovisor, EcovisorServer, EnergyClient, EventFilter, ProtocolTrace,
+    RemoteEcovisorClient, ShardedEcovisor, VesTotals, WireCodec,
+};
 
 use crate::artifact::{codec_name, Checkpoint, ScenarioArtifact, ARTIFACT_FORMAT};
 use crate::error::HarnessError;
@@ -258,7 +261,20 @@ fn replay_cell(
             (rep.frames, totals)
         }
     };
+    check_outcome(artifact, &cell, start, &frames, &totals, report);
+    Ok(())
+}
 
+/// Compares one replay's outcome (per-app totals + regenerated event
+/// frames) against the artifact's recorded expectations, bit-exactly.
+fn check_outcome(
+    artifact: &ScenarioArtifact,
+    cell: &str,
+    start: u64,
+    frames: &[ecovisor::EventFrame],
+    totals: &[VesTotals],
+    report: &mut VerifyReport,
+) {
     // Totals: bit-identical per app.
     for (outcome, got) in artifact.expected.apps.iter().zip(totals.iter()) {
         report.push(
@@ -318,5 +334,162 @@ fn replay_cell(
         digest(&frame_refs) == expected_digest,
         "replayed event frames hash differs from the recorded events_digest",
     );
+}
+
+/// Verifies an artifact over the **live evented transport**: for each
+/// wire codec, the ecovisor is rebuilt (and restored from the base
+/// checkpoint for a resumed artifact), served by
+/// [`EcovisorServer::spawn`]'s reactor + worker pool on a loopback
+/// port, and the recorded day is driven through **one real TCP
+/// connection per tenant** — every recorded batch round-trips through
+/// its app's connection, settlement ticks between batches exactly as
+/// the recorder ticked, and each connection subscribes to server-push
+/// event frames. The pushed frames (reassembled into global settlement
+/// order) and the served ecovisor's final totals must equal the
+/// recorded expectations bit-for-bit: the evented transport is not
+/// allowed to be distinguishable from the in-process dispatch path.
+///
+/// # Errors
+///
+/// [`HarnessError`] only for *environmental* failures (the spec no
+/// longer builds, totals unreadable). Socket-level and determinism
+/// failures are reported as failed [`Check`]s.
+pub fn verify_transport(artifact: &ScenarioArtifact) -> Result<VerifyReport, HarnessError> {
+    let mut report = VerifyReport {
+        scenario: format!("{} (transport)", artifact.spec.name),
+        checks: Vec::new(),
+    };
+    for codec in [WireCodec::Json, WireCodec::Binary] {
+        transport_cell(artifact, codec, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Replays the whole trace over live per-tenant connections in one
+/// codec. Any socket failure fails the cell's `liveness` check; the
+/// outcome comparison is shared with the in-process matrix.
+fn transport_cell(
+    artifact: &ScenarioArtifact,
+    codec: WireCodec,
+    report: &mut VerifyReport,
+) -> Result<(), HarnessError> {
+    let cell = format!("transport[{}]", codec_name(codec));
+    let (mut eco, ids) = build_ecovisor(&artifact.spec)?;
+    let start = match &artifact.base {
+        None => 0,
+        Some(base) => {
+            let snap = match base.decode() {
+                Ok(s) => s,
+                Err(e) => {
+                    report.push(format!("{cell} restore"), false, e.to_string());
+                    return Ok(());
+                }
+            };
+            if let Err(e) = eco.apply_snapshot(&snap) {
+                report.push(format!("{cell} restore"), false, e.to_string());
+                return Ok(());
+            }
+            base.tick
+        }
+    };
+
+    let served = (|| -> std::io::Result<_> {
+        let server = EcovisorServer::bind("127.0.0.1:0", eco)?;
+        let addr = server.local_addr()?;
+        Ok((server.spawn()?, addr))
+    })();
+    let (handle, addr) = match served {
+        Ok(pair) => pair,
+        Err(e) => {
+            report.push(format!("{cell} server"), false, e.to_string());
+            return Ok(());
+        }
+    };
+    let shared = handle.ecovisor();
+
+    // One live connection per tenant, each subscribed to the full push
+    // stream — the union filter makes the broadcast drain exactly what
+    // the recorder's `take_event_frame` drained.
+    let mut clients: Vec<RemoteEcovisorClient> = Vec::with_capacity(ids.len());
+    let mut slot: std::collections::HashMap<ecovisor::AppId, usize> =
+        std::collections::HashMap::new();
+    for &app in &ids {
+        let connected = RemoteEcovisorClient::connect_with(addr, app, vec![codec])
+            .map_err(|e| e.to_string())
+            .and_then(|mut c| {
+                c.subscribe_events(EventFilter::all())
+                    .map_err(|e| e.to_string())?;
+                Ok(c)
+            });
+        match connected {
+            Ok(c) => {
+                slot.insert(app, clients.len());
+                clients.push(c);
+            }
+            Err(e) => {
+                report.push(format!("{cell} connect"), false, e);
+                drop(clients);
+                handle.shutdown();
+                return Ok(());
+            }
+        }
+    }
+
+    // Drive the recorded day: each tick's batches round-trip through
+    // their app's connection in recorded order, then settlement runs
+    // (broadcasting frames into the connections' write queues) exactly
+    // where the recorder ticked.
+    let mut entries = artifact.trace.entries.iter().peekable();
+    for tick in start..artifact.spec.ticks {
+        while let Some(entry) = entries.peek() {
+            if entry.tick != tick {
+                break;
+            }
+            let entry = entries.next().expect("peeked");
+            let client = &mut clients[slot[&entry.batch.app]];
+            let _ = client.transport(entry.batch.clone());
+        }
+        shared.tick();
+    }
+    report.push(
+        format!("{cell} trace exhausted"),
+        entries.peek().is_none(),
+        "trace carries batches beyond the spec's tick horizon",
+    );
+
+    // One final poll per connection: read-drains every pushed frame
+    // still in flight (the wire is FIFO, so the poll response follows
+    // the last broadcast frame) and proves the connection survived the
+    // whole day.
+    let mut live = true;
+    for client in &mut clients {
+        if let Err(e) = client.poll_events() {
+            report.push(format!("{cell} liveness"), false, e.to_string());
+            live = false;
+            break;
+        }
+    }
+    if live {
+        report.push(format!("{cell} liveness"), true, "");
+    }
+
+    // Reassemble the global push order: the broadcast walks apps in id
+    // order inside each settlement, so (tick, app) recovers the
+    // recorded sequence from the per-connection streams.
+    let mut frames: Vec<ecovisor::EventFrame> = clients
+        .iter_mut()
+        .flat_map(RemoteEcovisorClient::take_event_frames)
+        .collect();
+    frames.sort_by_key(|f| (f.tick, f.app));
+
+    let totals: Vec<VesTotals> = shared.with(|eco| {
+        ids.iter()
+            .map(|&a| eco.app_totals(a))
+            .collect::<Result<_, _>>()
+    })?;
+    check_outcome(artifact, &cell, start, &frames, &totals, report);
+
+    drop(clients);
+    handle.shutdown();
     Ok(())
 }

@@ -1,0 +1,525 @@
+//! A minimal readiness reactor: the subset of mio the workspace needs,
+//! reimplemented over raw `epoll(7)` so the build stays fully offline
+//! (see `vendor/README.md`).
+//!
+//! The surface is deliberately tiny and mio-shaped:
+//!
+//! * [`Poll`] — an epoll instance; register sources with a [`Token`] and
+//!   an [`Interest`], then [`Poll::poll`] for batches of [`Event`]s;
+//! * [`Events`] — a reusable buffer of readiness events;
+//! * [`Waker`] — an `eventfd(2)` registered on the poll, for waking a
+//!   thread parked in [`Poll::poll`] from anywhere (shutdown, "this
+//!   connection now has queued writes", …).
+//!
+//! Registrations are **level-triggered**: a source keeps reporting ready
+//! until the condition is consumed (reads drained to `WouldBlock`,
+//! writes flushed). That is the forgiving mode — a callback that does
+//! not finish the job is re-told on the next poll, never stuck.
+//!
+//! Only Linux is supported; the container images this workspace builds
+//! in are Linux, and pretending to carry an untested `poll(2)` fallback
+//! would be worse than saying so.
+
+#![warn(missing_docs)]
+
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "the vendored reactor shim is epoll-only; building on a non-Linux \
+     target requires porting vendor/reactor to that platform's poller"
+);
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_uint};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Raw epoll / eventfd bindings
+// ---------------------------------------------------------------------
+//
+// No libc crate in an offline build: these resolve against the C
+// library std already links. Constants are the Linux UAPI values.
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// `struct epoll_event`. On x86 the kernel declares it packed; other
+/// architectures use natural layout — mirroring glibc's declaration.
+#[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(C, packed))]
+#[cfg_attr(not(any(target_arch = "x86", target_arch = "x86_64")), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+}
+
+/// Converts a raw syscall return into an [`io::Result`].
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public surface
+// ---------------------------------------------------------------------
+
+/// Caller-chosen identifier attached to a registration; every readiness
+/// [`Event`] for that source carries it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// The readiness classes a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    read: bool,
+    write: bool,
+}
+
+impl Interest {
+    /// Readable readiness only.
+    pub const READABLE: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Writable readiness only.
+    pub const WRITABLE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+
+    /// Combines two interests.
+    #[must_use]
+    pub fn union(self, other: Interest) -> Interest {
+        Interest {
+            read: self.read || other.read,
+            write: self.write || other.write,
+        }
+    }
+
+    /// `true` when readable readiness is included.
+    pub fn is_readable(self) -> bool {
+        self.read
+    }
+
+    /// `true` when writable readiness is included.
+    pub fn is_writable(self) -> bool {
+        self.write
+    }
+
+    fn epoll_bits(self) -> u32 {
+        // RDHUP is always requested: a half-closed peer surfaces as a
+        // readable event whose read returns 0, same as mio.
+        let mut bits = EPOLLRDHUP;
+        if self.read {
+            bits |= EPOLLIN;
+        }
+        if self.write {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness notification for a registered source.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable — including error/hang-up conditions, which a caller
+    /// observes by reading (EOF or the pending socket error).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0
+    }
+
+    /// Writable readiness.
+    pub fn is_writable(&self) -> bool {
+        self.bits & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0
+    }
+
+    /// The source is in an error or hang-up state.
+    pub fn is_error(&self) -> bool {
+        self.bits & (EPOLLERR | EPOLLHUP) != 0
+    }
+}
+
+/// A reusable buffer [`Poll::poll`] fills with readiness events.
+#[derive(Debug)]
+pub struct Events {
+    raw: Vec<EpollEvent>,
+    len: usize,
+}
+
+impl std::fmt::Debug for EpollEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let events = self.events;
+        let data = self.data;
+        f.debug_struct("EpollEvent")
+            .field("events", &events)
+            .field("data", &data)
+            .finish()
+    }
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![EpollEvent { events: 0, data: 0 }; capacity.clamp(1, c_int::MAX as usize)],
+            len: 0,
+        }
+    }
+
+    /// Iterates the events of the last [`Poll::poll`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|raw| Event {
+            token: Token(raw.data as usize),
+            bits: raw.events,
+        })
+    }
+
+    /// `true` when the last poll returned no events (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance: register sources, then wait for readiness.
+#[derive(Debug)]
+pub struct Poll {
+    ep: OwnedFd,
+}
+
+impl Poll {
+    /// Creates a fresh epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1(2)` failure.
+    pub fn new() -> io::Result<Poll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: epoll_create1 returned a fresh fd we exclusively own.
+        Ok(Poll {
+            ep: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest.epoll_bits(),
+            data: token.0 as u64,
+        };
+        cvt(unsafe { epoll_ctl(self.ep.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Registers a source for level-triggered readiness under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl(2)` failure (e.g. the fd is already
+    /// registered).
+    pub fn register(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, source.as_raw_fd(), token, interest)
+    }
+
+    /// Changes an existing registration's token or interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl(2)` failure (e.g. the fd was never
+    /// registered).
+    pub fn reregister(
+        &self,
+        source: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, source.as_raw_fd(), token, interest)
+    }
+
+    /// Removes a source's registration. Dropping (closing) a registered
+    /// fd also removes it implicitly; explicit deregistration exists for
+    /// sources that outlive their interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl(2)` failure.
+    pub fn deregister(&self, source: &impl AsRawFd) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        cvt(unsafe {
+            epoll_ctl(
+                self.ep.as_raw_fd(),
+                EPOLL_CTL_DEL,
+                source.as_raw_fd(),
+                &mut ev,
+            )
+        })
+        .map(|_| ())
+    }
+
+    /// Blocks until at least one registered source is ready, the timeout
+    /// elapses (`events` comes back empty), or a [`Waker`] fires. A
+    /// signal interruption is treated as an empty poll, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait(2)` failure.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: c_int = match timeout {
+            None => -1,
+            Some(d) => c_int::try_from(d.as_millis())
+                .unwrap_or(c_int::MAX)
+                // A sub-millisecond timeout must still time out, not
+                // busy-spin as 0 nor block forever.
+                .max(if d.is_zero() { 0 } else { 1 }),
+        };
+        events.len = 0;
+        let n = unsafe {
+            epoll_wait(
+                self.ep.as_raw_fd(),
+                events.raw.as_mut_ptr(),
+                events.raw.len() as c_int,
+                timeout_ms,
+            )
+        };
+        match cvt(n) {
+            Ok(n) => {
+                events.len = n as usize;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Wakes a thread parked in [`Poll::poll`] from any other thread: an
+/// `eventfd(2)` registered on the poll. Cheap to clone; waking an
+/// already-pending waker is idempotent (the counter accumulates).
+///
+/// The owning reactor must call [`Waker::drain`] when it sees the
+/// waker's token, or — the registration being level-triggered — every
+/// subsequent poll returns immediately.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    fd: Arc<File>,
+}
+
+impl Waker {
+    /// Creates an eventfd and registers it on `poll` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `eventfd(2)` / registration failure.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        // SAFETY: eventfd returned a fresh fd we exclusively own.
+        let file = unsafe { File::from_raw_fd(fd) };
+        poll.register(&file, token, Interest::READABLE)?;
+        Ok(Waker { fd: Arc::new(file) })
+    }
+
+    /// Makes the next (or current) [`Poll::poll`] return immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the eventfd write failure; a counter already at its
+    /// ceiling (`WouldBlock`) counts as woken.
+    pub fn wake(&self) -> io::Result<()> {
+        match (&*self.fd).write_all(&1u64.to_ne_bytes()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Consumes pending wake-ups, so the level-triggered registration
+    /// goes quiet until the next [`wake`](Self::wake).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // One read resets an eventfd counter to zero.
+        let _ = (&*self.fd).read(&mut buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn poll_once(poll: &Poll, events: &mut Events, timeout_ms: u64) {
+        poll.poll(events, Some(Duration::from_millis(timeout_ms)))
+            .expect("poll");
+    }
+
+    #[test]
+    fn readable_event_fires_on_incoming_data() {
+        let poll = Poll::new().expect("poll");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        poll.register(&listener, Token(1), Interest::READABLE)
+            .expect("register listener");
+
+        let mut events = Events::with_capacity(8);
+        poll_once(&poll, &mut events, 0);
+        assert!(events.is_empty(), "no connection yet");
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        poll_once(&poll, &mut events, 2_000);
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(1) && e.is_readable()));
+
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        poll.register(&server_side, Token(2), Interest::READABLE)
+            .expect("register conn");
+        client.write_all(b"ping").expect("write");
+        poll_once(&poll, &mut events, 2_000);
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(2) && e.is_readable()));
+    }
+
+    #[test]
+    fn level_triggered_readiness_persists_until_consumed() {
+        let poll = Poll::new().expect("poll");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let mut client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (mut server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        poll.register(&server_side, Token(7), Interest::READABLE)
+            .expect("register");
+        client.write_all(b"x").expect("write");
+
+        let mut events = Events::with_capacity(8);
+        for _ in 0..2 {
+            poll_once(&poll, &mut events, 2_000);
+            assert!(
+                events.iter().any(|e| e.token() == Token(7)),
+                "unconsumed data must keep reporting readable"
+            );
+        }
+        let mut buf = [0u8; 8];
+        let n = server_side.read(&mut buf).expect("read");
+        assert_eq!(n, 1);
+        poll_once(&poll, &mut events, 0);
+        assert!(events.is_empty(), "drained source goes quiet");
+    }
+
+    #[test]
+    fn reregister_for_writable_and_back() {
+        let poll = Poll::new().expect("poll");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let _client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        poll.register(&server_side, Token(3), Interest::READABLE)
+            .expect("register");
+
+        let mut events = Events::with_capacity(8);
+        poll_once(&poll, &mut events, 0);
+        assert!(events.is_empty(), "nothing to read");
+
+        poll.reregister(
+            &server_side,
+            Token(3),
+            Interest::READABLE.union(Interest::WRITABLE),
+        )
+        .expect("reregister");
+        poll_once(&poll, &mut events, 2_000);
+        assert!(
+            events
+                .iter()
+                .any(|e| e.token() == Token(3) && e.is_writable()),
+            "an idle socket is writable"
+        );
+
+        poll.deregister(&server_side).expect("deregister");
+        poll_once(&poll, &mut events, 0);
+        assert!(events.is_empty(), "deregistered source reports nothing");
+    }
+
+    #[test]
+    fn waker_interrupts_a_parked_poll_and_drains() {
+        let poll = Poll::new().expect("poll");
+        let waker = Waker::new(&poll, Token(0)).expect("waker");
+        let remote = waker.clone();
+        let waking = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake().expect("wake");
+        });
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_secs(10)))
+            .expect("poll");
+        assert!(events.iter().any(|e| e.token() == Token(0)));
+        waking.join().expect("waking thread");
+
+        waker.drain();
+        poll_once(&poll, &mut events, 0);
+        assert!(events.is_empty(), "drained waker goes quiet");
+
+        // Multiple wakes coalesce into one readable state, one drain.
+        waker.wake().expect("wake");
+        waker.wake().expect("wake");
+        poll_once(&poll, &mut events, 2_000);
+        assert!(events.iter().any(|e| e.token() == Token(0)));
+        waker.drain();
+        poll_once(&poll, &mut events, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn peer_close_reports_readable_for_eof_observation() {
+        let poll = Poll::new().expect("poll");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (mut server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        poll.register(&server_side, Token(9), Interest::READABLE)
+            .expect("register");
+        drop(client);
+
+        let mut events = Events::with_capacity(8);
+        poll_once(&poll, &mut events, 2_000);
+        assert!(events
+            .iter()
+            .any(|e| e.token() == Token(9) && e.is_readable()));
+        let mut buf = [0u8; 8];
+        assert_eq!(server_side.read(&mut buf).expect("read"), 0, "EOF");
+    }
+}
