@@ -3,7 +3,9 @@
 //!
 //! One iteration = one full recorded multi-tenant day replayed at its
 //! recorded tick cadence: dispatch every recorded batch into the tick
-//! it was recorded in, settle, regenerate event frames. Two rows per
+//! it was recorded in, settle, regenerate event frames. Resumed
+//! artifacts restore their base checkpoint first and replay the
+//! remainder of the day, exactly as the verifier does. Two rows per
 //! scenario:
 //!
 //! * `replay_plain/<scenario>` — [`Ecovisor::replay_trace`], the raw
@@ -37,18 +39,36 @@ fn corpus() -> Vec<ScenarioArtifact> {
         .collect()
 }
 
+/// Builds the ecovisor a replay starts from. A resumed artifact
+/// (non-empty `base`) records only the ticks after its base
+/// checkpoint, so the replay — like the verifier's — must restore that
+/// snapshot first and start from its tick; everything else starts
+/// fresh at tick 0.
+fn seed(artifact: &ScenarioArtifact) -> (ecovisor::Ecovisor, Vec<ecovisor::AppId>, u64) {
+    let (mut eco, ids) = build_ecovisor(&artifact.spec).expect("build");
+    let start = match &artifact.base {
+        None => 0,
+        Some(base) => {
+            let snap = base.decode().expect("base checkpoint decodes");
+            eco.apply_snapshot(&snap).expect("base checkpoint restores");
+            base.tick
+        }
+    };
+    (eco, ids, start)
+}
+
 /// Replays on the plain path, returning the totals digest.
 fn replay_plain(artifact: &ScenarioArtifact) -> u64 {
-    let (mut eco, ids) = build_ecovisor(&artifact.spec).expect("build");
-    eco.replay_trace(&artifact.trace, artifact.spec.ticks);
+    let (mut eco, ids, start) = seed(artifact);
+    eco.replay_trace_from(&artifact.trace, start, artifact.spec.ticks);
     digest_of(&eco, &artifact.expected, &ids)
 }
 
 /// Replays on the sharded path, returning the totals digest.
 fn replay_sharded(artifact: &ScenarioArtifact) -> u64 {
-    let (eco, ids) = build_ecovisor(&artifact.spec).expect("build");
+    let (eco, ids, start) = seed(artifact);
     let wrapper = ShardedEcovisor::new(eco);
-    wrapper.replay_trace(&artifact.trace, artifact.spec.ticks);
+    wrapper.replay_trace_from(&artifact.trace, start, artifact.spec.ticks);
     let eco = wrapper.into_inner();
     digest_of(&eco, &artifact.expected, &ids)
 }

@@ -126,7 +126,7 @@ pub use sim::Simulation;
 pub use snapshot::{AppSnapshot, Snapshot, SnapshotError, SNAPSHOT_FORMAT};
 pub use transport::{
     ClientHello, ClientHelloV2, CredentialRegistry, EcovisorServer, RemoteEcovisorClient,
-    ServerHandle, ServerHello, SharedEcovisor, WireCodec,
+    ServerHandle, ServerHello, ServerStats, SharedEcovisor, WireCodec,
 };
 pub use ves::{VesFlows, VesTotals, VirtualEnergySystem};
 

@@ -724,7 +724,11 @@ fn write_conn(conn: &ConnShared, payload: &[u8]) -> io::Result<()> {
 /// Everything a serving thread needs beyond its own socket.
 struct ServeCtx {
     shared: SharedEcovisor,
-    creds: Option<CredentialRegistry>,
+    /// The credential table, behind a mutex so an operator can rotate
+    /// tokens on a live server ([`ServerHandle::rotate_credential`]).
+    /// Credentials gate the *hello* only: rotation affects the next
+    /// handshake, never a connection that already authenticated.
+    creds: Mutex<Option<CredentialRegistry>>,
     read_timeout: Option<Duration>,
     /// Writer halves of live v2 connections, walked by the broadcast
     /// hook. Entries deregister themselves when their serving thread
@@ -810,7 +814,10 @@ impl std::fmt::Debug for EcovisorServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EcovisorServer")
             .field("addr", &self.listener.local_addr().ok())
-            .field("credentialed", &self.ctx.creds.is_some())
+            .field(
+                "credentialed",
+                &crate::lock::lock(&self.ctx.creds).is_some(),
+            )
             .field("read_timeout", &self.ctx.read_timeout)
             .finish_non_exhaustive()
     }
@@ -833,7 +840,7 @@ impl EcovisorServer {
             listener: TcpListener::bind(addr)?,
             ctx: Arc::new(ServeCtx {
                 shared,
-                creds: None,
+                creds: Mutex::new(None),
                 read_timeout: None,
                 registry,
             }),
@@ -857,16 +864,12 @@ impl EcovisorServer {
     /// carry no credential and are rejected while a registry is
     /// installed.
     ///
-    /// # Panics
-    ///
-    /// If called after [`spawn`](Self::spawn) handed out clones of the
-    /// serving context (cannot happen through this API: `spawn` consumes
-    /// the server).
+    /// Tokens can be rotated later on a live server with
+    /// [`ServerHandle::rotate_credential`]; the gate applies at hello
+    /// time only, so established connections are unaffected.
     #[must_use]
-    pub fn with_credentials(mut self, creds: CredentialRegistry) -> Self {
-        Arc::get_mut(&mut self.ctx)
-            .expect("server context not yet shared")
-            .creds = Some(creds);
+    pub fn with_credentials(self, creds: CredentialRegistry) -> Self {
+        *crate::lock::lock(&self.ctx.creds) = Some(creds);
         self
     }
 
@@ -1007,7 +1010,7 @@ fn evaluate_hello(ctx: &ServeCtx, hello_bytes: &[u8]) -> HelloOutcome {
     // Credential gate: when the server carries a registry, the hello
     // must prove its claimed app before anything else is served. The
     // reason string deliberately does not say *what* failed.
-    if let Some(creds) = &ctx.creds {
+    if let Some(creds) = &*crate::lock::lock(&ctx.creds) {
         if !creds.verify(app, credential) {
             return reject(format!("credential rejected for {app}"));
         }
@@ -1145,7 +1148,7 @@ fn process_v2_payload(
     // connection on a hardened server is credential-authenticated.
     // Without a registry nothing on the wire is authenticated, and the
     // checkpoint surface stays closed rather than trusting the network.
-    let authed = ctx.creds.is_some();
+    let authed = crate::lock::lock(&ctx.creds).is_some();
     match neg.codec.decode::<Frame>(payload) {
         Ok(Frame::Request(batch)) => {
             let response = if batch.app != neg.app {
@@ -1348,11 +1351,32 @@ fn serve_admin(
     }
 }
 
+/// A point-in-time snapshot of the serving runtime's resource counters.
+///
+/// Read it with [`ServerHandle::stats`]. This is the stable surface
+/// leak detection gates on (`ecoharness fuzz --soak`): after every
+/// client has disconnected and the reactor has reaped the
+/// registrations, all three counters return to zero — a persistently
+/// non-zero residue is a leak in the transport, not noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServerStats {
+    /// Connections currently registered with the reactor
+    /// ([`ServerHandle::active_connections`]).
+    pub active_connections: usize,
+    /// Committed-but-unwritten frames plus parked notifications across
+    /// all live connections ([`ServerHandle::subscriber_backlog`]).
+    pub subscriber_backlog: usize,
+    /// Bytes currently held in per-connection receive buffers
+    /// ([`ServerHandle::recv_buffer_bytes`]).
+    pub recv_buffer_bytes: usize,
+}
+
 /// Driver-side handle to a spawned server: the address clients connect
 /// to, the shared ecovisor the driver ticks, and the shutdown switch.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: SharedEcovisor,
+    ctx: Arc<ServeCtx>,
     stop: Arc<AtomicBool>,
     /// Wakes the reactor out of `poll` so it observes `stop` promptly.
     waker: reactor::Waker,
@@ -1360,7 +1384,7 @@ pub struct ServerHandle {
     workers: Vec<JoinHandle<()>>,
     queue: Arc<evented::JobQueue>,
     active: Arc<AtomicUsize>,
-    registry: Arc<Mutex<Vec<Arc<ConnShared>>>>,
+    recv_bytes: Arc<AtomicUsize>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -1379,7 +1403,7 @@ impl ServerHandle {
 
     /// The shared ecovisor, for ticking settlement between batches.
     pub fn ecovisor(&self) -> SharedEcovisor {
-        Arc::clone(&self.shared)
+        Arc::clone(&self.ctx.shared)
     }
 
     /// Number of connections currently registered with the reactor. A
@@ -1396,13 +1420,48 @@ impl ServerHandle {
     /// points at a hung subscriber that is being queued for (see the
     /// backlog discussion in the module docs).
     pub fn subscriber_backlog(&self) -> usize {
-        crate::lock::lock(&self.registry)
+        crate::lock::lock(&self.ctx.registry)
             .iter()
             .map(|conn| {
                 let pending = crate::lock::lock(&conn.pending);
                 pending.queued_frames + pending.parked.len()
             })
             .sum()
+    }
+
+    /// Bytes currently held in per-connection receive buffers (summed
+    /// capacity, maintained by the reactor as buffers grow for large
+    /// frames and trim back when drained). Returns to zero once every
+    /// connection has been reaped — the [`ServerStats`] leak gate.
+    pub fn recv_buffer_bytes(&self) -> usize {
+        self.recv_bytes.load(Ordering::SeqCst)
+    }
+
+    /// One coherent-enough snapshot of the runtime's resource counters
+    /// (each counter is read atomically; the trio is not a transaction).
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            active_connections: self.active_connections(),
+            subscriber_backlog: self.subscriber_backlog(),
+            recv_buffer_bytes: self.recv_buffer_bytes(),
+        }
+    }
+
+    /// Rotates (or adds) `app`'s credential token on the live server.
+    /// Takes effect for the *next* hello: connections that already
+    /// authenticated keep serving — exactly the semantics an operator
+    /// wants when cycling tokens without a maintenance window. Returns
+    /// `false` (and changes nothing) when the server was spawned
+    /// without a credential registry: rotation must never be the thing
+    /// that silently turns authentication on.
+    pub fn rotate_credential(&self, app: AppId, token: impl Into<Vec<u8>>) -> bool {
+        match crate::lock::lock(&self.ctx.creds).as_mut() {
+            Some(registry) => {
+                registry.insert(app, token);
+                true
+            }
+            None => false,
+        }
     }
 
     /// The deterministic teardown sequence, shared by
@@ -1430,7 +1489,7 @@ impl ServerHandle {
     /// clients are dropped).
     pub fn shutdown(mut self) -> SharedEcovisor {
         self.stop_serving();
-        Arc::clone(&self.shared)
+        Arc::clone(&self.ctx.shared)
     }
 }
 

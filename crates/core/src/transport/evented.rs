@@ -85,14 +85,42 @@ struct RecvBuf {
     buf: Vec<u8>,
     start: usize,
     end: usize,
+    /// Server-wide receive-capacity counter this buffer charges its
+    /// `buf.len()` against ([`ServerHandle`]'s `recv_buffer_bytes`).
+    /// Every capacity change goes through [`set_capacity`]
+    /// (RecvBuf::set_capacity) and `Drop` refunds the rest, so the
+    /// counter is exact at every instant the reactor is quiescent.
+    charged: Arc<AtomicUsize>,
+}
+
+impl Drop for RecvBuf {
+    fn drop(&mut self) {
+        self.charged.fetch_sub(self.buf.len(), Ordering::SeqCst);
+    }
 }
 
 impl RecvBuf {
-    fn new() -> RecvBuf {
+    fn new(charged: Arc<AtomicUsize>) -> RecvBuf {
+        charged.fetch_add(RECV_INITIAL, Ordering::SeqCst);
         RecvBuf {
             buf: vec![0; RECV_INITIAL],
             start: 0,
             end: 0,
+            charged,
+        }
+    }
+
+    /// Grows or trims the buffer to `new_len`, keeping the shared
+    /// capacity counter in sync.
+    fn set_capacity(&mut self, new_len: usize) {
+        let old = self.buf.len();
+        if new_len > old {
+            self.buf.resize(new_len, 0);
+            self.charged.fetch_add(new_len - old, Ordering::SeqCst);
+        } else if new_len < old {
+            self.buf.truncate(new_len);
+            self.buf.shrink_to(new_len);
+            self.charged.fetch_sub(old - new_len, Ordering::SeqCst);
         }
     }
 
@@ -106,7 +134,7 @@ impl RecvBuf {
             self.start = 0;
         }
         if self.end == self.buf.len() {
-            self.buf.resize(self.buf.len() * 2, 0);
+            self.set_capacity(self.buf.len() * 2);
         }
         let n = stream.read(&mut self.buf[self.end..])?;
         self.end += n;
@@ -136,7 +164,7 @@ impl RecvBuf {
             // Reserve room for the rest of the announced frame so the
             // next fill can complete it without another resize.
             if self.buf.len() < self.start + 4 + len {
-                self.buf.resize(self.start + 4 + len, 0);
+                self.set_capacity(self.start + 4 + len);
             }
             return Ok(None);
         }
@@ -146,8 +174,7 @@ impl RecvBuf {
             self.start = 0;
             self.end = 0;
             if self.buf.len() > DRAIN_RETAIN_BYTES {
-                self.buf.truncate(DRAIN_RETAIN_BYTES);
-                self.buf.shrink_to(DRAIN_RETAIN_BYTES);
+                self.set_capacity(DRAIN_RETAIN_BYTES);
             }
         }
         Ok(Some(frame))
@@ -488,6 +515,10 @@ struct Reactor {
     conns: HashMap<usize, EvConn>,
     next_token: usize,
     active: Arc<AtomicUsize>,
+    /// Summed [`RecvBuf`] capacity across live connections; the reactor
+    /// applies a delta after every readiness pass and on close, so the
+    /// driver-side counter tracks growth *and* the drain-time trim.
+    recv_bytes: Arc<AtomicUsize>,
     stop: Arc<AtomicBool>,
 }
 
@@ -555,7 +586,7 @@ impl Reactor {
                         token,
                         EvConn {
                             stream: Arc::new(stream),
-                            rbuf: RecvBuf::new(),
+                            rbuf: RecvBuf::new(Arc::clone(&self.recv_bytes)),
                             phase: Phase::Hello,
                             last_read: Instant::now(),
                             want_write: false,
@@ -711,6 +742,7 @@ pub(super) fn spawn_evented(
     let waker = Waker::new(&poll, WAKER)?;
     let stop = Arc::new(AtomicBool::new(false));
     let active = Arc::new(AtomicUsize::new(0));
+    let recv_bytes = Arc::new(AtomicUsize::new(0));
     let queue = Arc::new(JobQueue::new());
     let dirty: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -743,6 +775,7 @@ pub(super) fn spawn_evented(
         conns: HashMap::new(),
         next_token: FIRST_CONN,
         active: Arc::clone(&active),
+        recv_bytes: Arc::clone(&recv_bytes),
         stop: Arc::clone(&stop),
     };
     let reactor_handle = std::thread::Builder::new()
@@ -751,13 +784,13 @@ pub(super) fn spawn_evented(
 
     Ok(ServerHandle {
         addr,
-        shared: Arc::clone(&ctx.shared),
+        ctx,
         stop,
         waker,
         reactor: Some(reactor_handle),
         workers: worker_handles,
         queue,
         active,
-        registry: Arc::clone(&ctx.registry),
+        recv_bytes,
     })
 }

@@ -1,0 +1,112 @@
+//! `ServerStats` lifecycle: the leak-gate counters start at zero, rise
+//! while connections are live, and return to zero once every client is
+//! gone — the invariant `ecoharness fuzz --soak` gates long runs on.
+
+use std::time::{Duration, Instant};
+
+use ecovisor::{
+    EcovisorBuilder, EcovisorServer, EnergyClient, EnergyShare, EventFilter, RemoteEcovisorClient,
+    ServerHandle, WireCodec,
+};
+use simkit::units::Watts;
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+fn spawn(workers: Option<usize>) -> (ServerHandle, container_cop::AppId) {
+    let mut eco = EcovisorBuilder::new().build();
+    let app = eco
+        .register_app("tenant", EnergyShare::grid_only())
+        .expect("register");
+    let mut server = EcovisorServer::bind("127.0.0.1:0", eco).expect("bind");
+    if let Some(n) = workers {
+        server = server.with_workers(n);
+    }
+    (server.spawn().expect("spawn"), app)
+}
+
+fn assert_baseline(handle: &ServerHandle, context: &str) {
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            let s = handle.stats();
+            s.active_connections == 0 && s.subscriber_backlog == 0 && s.recv_buffer_bytes == 0
+        }),
+        "{context}: counters did not return to baseline, got {:?}",
+        handle.stats()
+    );
+}
+
+/// The reactor's counters under a pinned two-worker pool: all-zero
+/// before any client, live connections and receive buffers visible
+/// while clients talk, and a full return to the all-zero baseline after
+/// the last disconnect.
+#[test]
+fn stats_rise_and_return_to_baseline_under_pinned_pool() {
+    let (handle, app) = spawn(Some(2));
+    assert_baseline(&handle, "fresh server");
+
+    // Two clients, one per codec; one subscribes to the push stream.
+    let mut bin =
+        RemoteEcovisorClient::connect_full(handle.addr(), app, vec![WireCodec::Binary], None)
+            .expect("connect binary");
+    let mut json =
+        RemoteEcovisorClient::connect_full(handle.addr(), app, vec![WireCodec::Json], None)
+            .expect("connect json");
+    bin.subscribe_events(EventFilter::all()).expect("subscribe");
+    assert_eq!(bin.get_grid_power(), Watts::ZERO);
+    assert_eq!(json.get_grid_power(), Watts::ZERO);
+
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            handle.stats().active_connections == 2
+        }),
+        "both connections counted, got {:?}",
+        handle.stats()
+    );
+    assert!(
+        handle.stats().recv_buffer_bytes > 0,
+        "live reactor connections hold receive buffers: {:?}",
+        handle.stats()
+    );
+    // The individually-read counters and the bundled snapshot agree at
+    // quiescence (nothing in flight between the reads).
+    let stats = handle.stats();
+    assert_eq!(stats.active_connections, handle.active_connections());
+    assert_eq!(stats.subscriber_backlog, handle.subscriber_backlog());
+    assert_eq!(stats.recv_buffer_bytes, handle.recv_buffer_bytes());
+
+    drop(bin);
+    drop(json);
+    assert_baseline(&handle, "after disconnect");
+    handle.shutdown();
+}
+
+/// The same gate on the default auto-sized pool: connections are
+/// counted while live and every counter drains to zero after they drop.
+#[test]
+fn stats_return_to_baseline_under_auto_sized_pool() {
+    let (handle, app) = spawn(None);
+    assert_baseline(&handle, "fresh server");
+
+    let mut cli = RemoteEcovisorClient::connect(handle.addr(), app).expect("connect");
+    assert_eq!(cli.get_grid_power(), Watts::ZERO);
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            handle.stats().active_connections == 1
+        }),
+        "connection counted, got {:?}",
+        handle.stats()
+    );
+
+    drop(cli);
+    assert_baseline(&handle, "after disconnect");
+    handle.shutdown();
+}

@@ -17,6 +17,11 @@
 //!   a second server whose subsequent responses are bit-identical;
 //! * the admin surface is **credential- and version-gated**, and a
 //!   rejected restore reports the reason as a value.
+//!
+//! Every wire test runs twice: once on the default auto-sized worker
+//! pool and once with an explicit pool pinned via
+//! [`EcovisorServer::with_workers`], so the snapshot surface is proven
+//! across reactor configurations.
 
 use carbon_intel::service::TraceCarbonService;
 use container_cop::{AppId, ContainerId, ContainerSpec, CopConfig};
@@ -432,19 +437,31 @@ fn pending_edge_events_survive_restore_exactly_once() {
     );
 }
 
+/// Applies an optional worker-pool size to a server under construction:
+/// `None` keeps the auto-sized pool, `Some(n)` pins an explicit
+/// `n`-worker reactor. The wire tests below run under both so the
+/// snapshot/restore surface is proven across pool configurations.
+fn with_pool(server: EcovisorServer, workers: Option<usize>) -> EcovisorServer {
+    match workers {
+        Some(n) => server.with_workers(n),
+        None => server,
+    }
+}
+
 /// The wire acceptance test: checkpoint a live credentialed server via
 /// the v2 `Snapshot` request, seed a second server through `Restore`,
 /// then drive both with identical traffic — every subsequent response is
 /// bit-identical, and so are the servers' final states.
-#[test]
-fn remote_process_seeded_over_the_wire_responds_bit_identically() {
+fn remote_seed_over_the_wire(workers: Option<usize>) {
     let seed = 0x5EED_CAFE;
     let half = TICKS / 2;
 
     let (eco_a, a, b) = build_eco(seed);
-    let server_a = EcovisorServer::bind("127.0.0.1:0", eco_a)
-        .expect("bind a")
-        .with_credentials(CredentialRegistry::new().with(a, "alpha").with(b, "beta"));
+    let server_a = with_pool(
+        EcovisorServer::bind("127.0.0.1:0", eco_a).expect("bind a"),
+        workers,
+    )
+    .with_credentials(CredentialRegistry::new().with(a, "alpha").with(b, "beta"));
     let handle_a = server_a.spawn().expect("spawn a");
     let shared_a = handle_a.ecovisor();
 
@@ -469,9 +486,11 @@ fn remote_process_seeded_over_the_wire_responds_bit_identically() {
     // … and seed a second process from it, also over the wire.
     let (eco_b, a2, b2) = build_eco(seed);
     assert_eq!((a2, b2), (a, b), "same registration order, same ids");
-    let server_b = EcovisorServer::bind("127.0.0.1:0", eco_b)
-        .expect("bind b")
-        .with_credentials(CredentialRegistry::new().with(a, "alpha").with(b, "beta"));
+    let server_b = with_pool(
+        EcovisorServer::bind("127.0.0.1:0", eco_b).expect("bind b"),
+        workers,
+    )
+    .with_credentials(CredentialRegistry::new().with(a, "alpha").with(b, "beta"));
     let handle_b = server_b.spawn().expect("spawn b");
     let shared_b = handle_b.ecovisor();
     let mut cli_a2 = RemoteEcovisorClient::connect_with_credential(handle_b.addr(), a, "alpha")
@@ -529,15 +548,27 @@ fn remote_process_seeded_over_the_wire_responds_bit_identically() {
     handle_b.shutdown();
 }
 
+#[test]
+fn remote_process_seeded_over_the_wire_responds_bit_identically() {
+    remote_seed_over_the_wire(None);
+}
+
+#[test]
+fn remote_process_seeded_over_the_wire_with_pinned_worker_pool() {
+    remote_seed_over_the_wire(Some(2));
+}
+
 /// The admin surface stays closed without authentication: a server with
 /// no credential registry answers `Snapshot`/`Restore` with a denial the
 /// client surfaces as `PermissionDenied`, v1 connections cannot reach it
 /// at all, and the connection survives the refusal.
-#[test]
-fn snapshot_surface_requires_credentialed_v2_connection() {
+fn credential_gate_holds(workers: Option<usize>) {
     let (mut eco, a, _b) = build_eco(0xACCE55);
     let sample = eco.snapshot();
-    let server = EcovisorServer::bind("127.0.0.1:0", eco).expect("bind");
+    let server = with_pool(
+        EcovisorServer::bind("127.0.0.1:0", eco).expect("bind"),
+        workers,
+    );
     let handle = server.spawn().expect("spawn");
 
     let mut cli = RemoteEcovisorClient::connect(handle.addr(), a).expect("connect");
@@ -562,15 +593,26 @@ fn snapshot_surface_requires_credentialed_v2_connection() {
     handle.shutdown();
 }
 
+#[test]
+fn snapshot_surface_requires_credentialed_v2_connection() {
+    credential_gate_holds(None);
+}
+
+#[test]
+fn snapshot_surface_stays_gated_under_pinned_worker_pool() {
+    credential_gate_holds(Some(4));
+}
+
 /// A restore the ecovisor rejects (here: environment mismatch) comes
 /// back over the wire as a typed error, mapped to `InvalidData` — and
 /// leaves the server's state untouched.
-#[test]
-fn wire_restore_rejection_reports_reason_and_preserves_state() {
+fn restore_rejection_is_a_value(workers: Option<usize>) {
     let (eco, a, _b) = build_eco(0xDEAD_10CC);
-    let server = EcovisorServer::bind("127.0.0.1:0", eco)
-        .expect("bind")
-        .with_credentials(CredentialRegistry::new().with(a, "alpha"));
+    let server = with_pool(
+        EcovisorServer::bind("127.0.0.1:0", eco).expect("bind"),
+        workers,
+    )
+    .with_credentials(CredentialRegistry::new().with(a, "alpha"));
     let handle = server.spawn().expect("spawn");
     let shared = handle.ecovisor();
     let before = shared.snapshot().digest();
@@ -594,4 +636,14 @@ fn wire_restore_rejection_reports_reason_and_preserves_state() {
         "a rejected restore leaves the server untouched"
     );
     handle.shutdown();
+}
+
+#[test]
+fn wire_restore_rejection_reports_reason_and_preserves_state() {
+    restore_rejection_is_a_value(None);
+}
+
+#[test]
+fn wire_restore_rejection_holds_under_pinned_worker_pool() {
+    restore_rejection_is_a_value(Some(2));
 }

@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         "list" => cmd_list(),
         "record" => cmd_record(rest),
         "verify" => cmd_verify(rest),
+        "fuzz" => cmd_fuzz(rest),
         "bench" => cmd_bench(rest),
         "diff" => cmd_diff(rest),
         "help" | "--help" | "-h" => {
@@ -60,6 +61,9 @@ USAGE:
                       [--checkpoint-every HOURS] [NAME ...]
     ecoharness record --from ARTIFACT@TICK [--out DIR] [--codec json|binary]
     ecoharness verify [--transport] PATH [PATH ...]
+    ecoharness fuzz [--seed S] [--count N] [--no-transport] [--out DIR]
+    ecoharness fuzz --soak [--seed S] [--ticks N] [--tenants N]
+    ecoharness fuzz --promote [--seed S] [--count N] [--top K] [--out DIR]
     ecoharness bench [--iters N] [--json] PATH [PATH ...]
     ecoharness diff A B
 
@@ -75,7 +79,17 @@ simulated hours; `verify` restores each one and replays the rest of
 the day against it. `--from ARTIFACT@TICK` starts a *new* recording
 from the checkpoint the artifact embeds at TICK (a mid-day harness
 start): fresh drivers against the restored warm state, written as
-`NAME-resumed` in the parent artifact's codec unless --codec is given.";
+`NAME-resumed` in the parent artifact's codec unless --codec is given.
+`fuzz` generates --count seeded random scenarios and drives each one
+through the full record → verify matrix (both codecs × both dispatch
+paths × checkpoints × the live evented transport unless
+--no-transport); failures are shrunk to minimal reproducers written
+under --out (default fuzz-failures/) as replayable .scn.json days.
+`fuzz --soak` drives a long day (default 5000 ticks) through the live
+evented server with periodic connection churn and fails unless the
+server's counters return to the all-zero baseline afterwards.
+`fuzz --promote` re-records the campaign's most interesting surviving
+candidates into --out (default corpus/), best-scoring first.";
 
 /// `list`: the builtin catalogue.
 fn cmd_list() -> Result<ExitCode, String> {
@@ -98,7 +112,7 @@ fn cmd_list() -> Result<ExitCode, String> {
 fn default_codec(name: &str) -> WireCodec {
     match name {
         "cloudy-web" | "batch-checkpoint" | "mixed-tenants" | "web-autoscale"
-        | "thousand-tenants" => WireCodec::Binary,
+        | "thousand-tenants" | "restore-under-load" => WireCodec::Binary,
         _ => WireCodec::Json,
     }
 }
@@ -148,7 +162,9 @@ fn cmd_record(args: Vec<String>) -> Result<ExitCode, String> {
         let spec = corpus::builtin(name)
             .ok_or_else(|| format!("unknown builtin `{name}` (see `ecoharness list`)"))?;
         let every = match checkpoint_hours {
-            None => None,
+            // Scenarios whose whole point needs embedded checkpoints
+            // (e.g. a restore plan) carry a default cadence.
+            None => corpus::default_checkpoint_ticks(name),
             Some(hours) => {
                 let minutes = hours * 60;
                 if !minutes.is_multiple_of(spec.tick_minutes) {
@@ -256,6 +272,143 @@ fn cmd_verify(args: Vec<String>) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+/// `fuzz`: generate/check/shrink campaigns, soak days, and promotion.
+fn cmd_fuzz(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut mode = FuzzMode::Campaign;
+    let mut opts = ecoharness::FuzzOptions {
+        out: Some(PathBuf::from("fuzz-failures")),
+        ..Default::default()
+    };
+    let mut soak_opts = ecoharness::SoakOptions::default();
+    let mut top = 2_usize;
+    let mut out_override: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--soak" => mode = FuzzMode::Soak,
+            "--promote" => mode = FuzzMode::Promote,
+            "--no-transport" => opts.transport = false,
+            "--seed" => {
+                let seed = parse_num(&value("--seed")?, "--seed")?;
+                opts.seed = seed;
+                soak_opts.seed = seed;
+            }
+            "--count" => opts.count = parse_num(&value("--count")?, "--count")?,
+            "--ticks" => soak_opts.ticks = parse_num(&value("--ticks")?, "--ticks")?,
+            "--tenants" => {
+                soak_opts.tenants = parse_num(&value("--tenants")?, "--tenants")? as usize;
+            }
+            "--top" => top = parse_num(&value("--top")?, "--top")? as usize,
+            "--out" => out_override = Some(PathBuf::from(value("--out")?)),
+            other => return Err(format!("unknown fuzz argument `{other}`")),
+        }
+    }
+    match mode {
+        FuzzMode::Campaign => {
+            if let Some(out) = out_override {
+                opts.out = Some(out);
+            }
+            let report = ecoharness::fuzz::run(&opts, None).map_err(|e| e.to_string())?;
+            println!(
+                "fuzz: seed {:#018x}, {} candidate(s), {} passed, {} failed",
+                report.seed,
+                report.generated,
+                report.passed,
+                report.failures.len()
+            );
+            for failure in &report.failures {
+                println!(
+                    "  FAIL #{} {} — {}",
+                    failure.index, failure.scenario, failure.detail
+                );
+                println!(
+                    "       shrunk in {} step(s) ({} re-checks) to {} tenant(s) × {} tick(s)",
+                    failure.shrink_steps,
+                    failure.shrink_checks,
+                    failure.minimized.spec.tenants.len(),
+                    failure.minimized.spec.ticks
+                );
+                if let Some(path) = &failure.artifact {
+                    println!("       reproducer: {}", path.display());
+                    println!(
+                        "       replay with: ecoharness verify --transport {}",
+                        path.display()
+                    );
+                }
+            }
+            Ok(if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        FuzzMode::Soak => {
+            let report = ecoharness::fuzz::soak(&soak_opts).map_err(|e| e.to_string())?;
+            println!(
+                "soak: {} tick(s), {} reconnect(s), {} request(s), {} event frame(s)",
+                report.ticks, report.reconnects, report.requests, report.frames
+            );
+            println!(
+                "      peak: {} connection(s), backlog {}, recv buffers {} B",
+                report.peak.active_connections,
+                report.peak.subscriber_backlog,
+                report.peak.recv_buffer_bytes
+            );
+            println!(
+                "      final: {} connection(s), backlog {}, recv buffers {} B — {}",
+                report.final_stats.active_connections,
+                report.final_stats.subscriber_backlog,
+                report.final_stats.recv_buffer_bytes,
+                if report.leak_free() {
+                    "leak-free"
+                } else {
+                    "LEAKED"
+                }
+            );
+            Ok(if report.leak_free() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            })
+        }
+        FuzzMode::Promote => {
+            let promote_opts = ecoharness::PromoteOptions {
+                seed: opts.seed,
+                count: opts.count,
+                top,
+                out: out_override.unwrap_or_else(|| PathBuf::from("corpus")),
+            };
+            let written = ecoharness::fuzz::promote(&promote_opts).map_err(|e| e.to_string())?;
+            println!(
+                "promoted {} of {} candidate(s) (seed {:#018x}):",
+                written.len(),
+                promote_opts.count,
+                promote_opts.seed
+            );
+            for path in &written {
+                println!("  {}", path.display());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum FuzzMode {
+    Campaign,
+    Soak,
+    Promote,
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<u64, String> {
+    let (digits, radix) = match s.strip_prefix("0x") {
+        Some(hex) => (hex, 16),
+        None => (s, 10),
+    };
+    u64::from_str_radix(digits, radix).map_err(|e| format!("{flag}: {e}"))
 }
 
 /// `bench`: time trace replay per artifact (plain + sharded paths).

@@ -35,6 +35,8 @@ pub fn names() -> Vec<&'static str> {
         "mixed-tenants",
         "budget-exhaustion",
         "thousand-tenants",
+        "credential-churn",
+        "restore-under-load",
     ]
 }
 
@@ -62,8 +64,23 @@ pub fn default_seed(name: &str) -> Option<u64> {
         "mixed-tenants" => 0x5EED_0006,
         "budget-exhaustion" => 0x5EED_0007,
         "thousand-tenants" => 0x5EED_0008,
+        "credential-churn" => 0x5EED_0009,
+        "restore-under-load" => 0x5EED_000A,
         _ => return None,
     })
+}
+
+/// The checkpoint cadence (in ticks) a builtin's committed artifact is
+/// recorded with, when the scenario's whole point requires embedded
+/// checkpoints. `ecoharness record` applies this automatically unless
+/// `--checkpoint-every` overrides it.
+pub fn default_checkpoint_ticks(name: &str) -> Option<u64> {
+    match name {
+        // The restore plan needs a checkpoint at exactly its restore
+        // tick; every 12 ticks puts one there (and more around it).
+        "restore-under-load" => Some(12),
+        _ => None,
+    }
 }
 
 /// A builtin scenario re-rolled from an explicit master seed (tests use
@@ -78,6 +95,8 @@ pub fn builtin_with_seed(name: &str, seed: u64) -> Option<ScenarioSpec> {
         "mixed-tenants" => mixed_tenants(seed),
         "budget-exhaustion" => budget_exhaustion(seed),
         "thousand-tenants" => thousand_tenants(seed),
+        "credential-churn" => credential_churn(seed),
+        "restore-under-load" => restore_under_load(seed),
         _ => return None,
     })
 }
@@ -107,6 +126,8 @@ fn base(name: &str, description: &str, seed: u64, ticks: u64) -> ScenarioSpec {
         solar: SolarSpec::None,
         battery_capacity_wh: None,
         tenants: Vec::new(),
+        credentials: Vec::new(),
+        restore: None,
     }
 }
 
@@ -562,6 +583,213 @@ fn thousand_tenants(seed: u64) -> ScenarioSpec {
             tenant
         })
         .collect();
+    spec
+}
+
+/// The credentialed-adversarial day: every tenant authenticates on the
+/// wire, and two of them rotate their tokens mid-day *while their
+/// connections are live*. Transport verification proves rotation never
+/// perturbs an authenticated connection (the day stays bit-identical),
+/// that the retired token is rejected on reconnect, and that the new
+/// token is accepted — the operational token-cycling story.
+fn credential_churn(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "credential-churn",
+        "Credentialed tenants on volatile CAISO carbon; two tokens rotated mid-day \
+         under live connections — rotation must not perturb authenticated traffic",
+        seed,
+        32,
+    );
+    spec.carbon = CarbonSpec::Region {
+        region: RegionKind::California,
+        days: 1,
+        seed: sub_seed(seed, 0),
+    };
+    spec.solar = SolarSpec::Array(
+        SolarArrayBuilder::new(100.0)
+            .days(1)
+            .weather(Weather::Mixed)
+            .seed(sub_seed(seed, 1)),
+    );
+    let mut chatty = TenantSpec::new(
+        "rotating-web",
+        EnergyShare::grid_only()
+            .with_solar_fraction(0.5)
+            .with_battery(WattHours::new(15.0))
+            .with_initial_soc(0.5),
+        DriverSpec::Web {
+            service_rate: 40.0,
+            workload: WorkloadTraceBuilder::new(20.0, 110.0)
+                .days(1)
+                .seed(sub_seed(seed, 2)),
+            policy: WebPolicy::DynamicBudget {
+                target_rate: CarbonRate::new(0.0008),
+                slo_ms: 300.0,
+            },
+            slo_ms: 300.0,
+            min_workers: 1,
+            max_workers: 8,
+        },
+    );
+    // Low thresholds so push frames straddle both rotation points: the
+    // reconnected subscriber must pick the stream up without loss.
+    chatty.notify = Some(NotifyConfig {
+        solar_change_fraction: 0.08,
+        solar_change_floor: Watts::new(0.4),
+        carbon_change_fraction: 0.08,
+    });
+    spec.tenants = vec![
+        chatty,
+        TenantSpec::new(
+            "rotating-batch",
+            EnergyShare::grid_only().with_solar_fraction(0.3),
+            DriverSpec::Batch {
+                job: JobSpec::Linear {
+                    total_core_hours: 60.0,
+                },
+                mode: BatchMode::SuspendResume {
+                    threshold: CarbonIntensity::new(200.0),
+                },
+                baseline_containers: 2,
+                container_cores: 4,
+                arrival_hours: 0.5,
+            },
+        ),
+        TenantSpec::new(
+            "stable",
+            EnergyShare::grid_only(),
+            DriverSpec::Scripted {
+                containers: 2,
+                phases: vec![ScriptPhase {
+                    ticks: 1,
+                    demand: 0.6,
+                    charge_watts: 0.0,
+                    max_discharge_watts: 0.0,
+                }],
+                budget_grams: None,
+                budget_at_tick: 0,
+            },
+        ),
+    ];
+    spec.credentials = vec![
+        crate::spec::CredentialSpec {
+            tenant: "rotating-web".into(),
+            token: "web-day-one".into(),
+            rotation: Some(crate::spec::CredentialRotation {
+                tick: 10,
+                token: "web-day-two".into(),
+            }),
+        },
+        crate::spec::CredentialSpec {
+            tenant: "rotating-batch".into(),
+            token: "batch-day-one".into(),
+            rotation: Some(crate::spec::CredentialRotation {
+                tick: 21,
+                token: "batch-day-two".into(),
+            }),
+        },
+        crate::spec::CredentialSpec {
+            tenant: "stable".into(),
+            token: "stable-token".into(),
+            rotation: None,
+        },
+    ];
+    spec
+}
+
+/// The restore-raced-with-dispatch day: the artifact embeds checkpoints
+/// (every 12 ticks) and its restore plan pushes the tick-12 checkpoint
+/// back into the live server at the start of tick 12 — a
+/// state-idempotent restore raced against active dispatch, after first
+/// proving a tampered snapshot is rejected with state preserved.
+fn restore_under_load(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "restore-under-load",
+        "Checkpointing day whose transport replay pushes the tick-12 snapshot back \
+         into the live server mid-dispatch (after a rejected tampered push): restore \
+         raced with load must leave the day bit-identical",
+        seed,
+        36,
+    );
+    spec.carbon = CarbonSpec::Region {
+        region: RegionKind::Ontario,
+        days: 1,
+        seed: sub_seed(seed, 0),
+    };
+    spec.solar = SolarSpec::Array(
+        SolarArrayBuilder::new(80.0)
+            .days(1)
+            .weather(Weather::Mixed)
+            .seed(sub_seed(seed, 1)),
+    );
+    let mut spark = TenantSpec::new(
+        "spark",
+        EnergyShare::grid_only()
+            .with_solar_fraction(0.7)
+            .with_battery(WattHours::new(25.0))
+            .with_initial_soc(0.5),
+        DriverSpec::Spark {
+            work_core_hours: 120.0,
+            checkpoint_minutes: 60,
+            mode: SparkMode::DynamicSolar {
+                base_workers: 1,
+                max_workers: 4,
+            },
+            guaranteed_watts: 6.0,
+        },
+    );
+    spark.notify = Some(NotifyConfig {
+        solar_change_fraction: 0.10,
+        solar_change_floor: Watts::new(0.5),
+        carbon_change_fraction: 0.10,
+    });
+    spec.tenants = vec![
+        spark,
+        TenantSpec::new(
+            "churner",
+            EnergyShare::grid_only()
+                .with_battery(WattHours::new(8.0))
+                .with_initial_soc(0.6),
+            DriverSpec::Scripted {
+                containers: 3,
+                phases: vec![
+                    ScriptPhase {
+                        ticks: 3,
+                        demand: 0.9,
+                        charge_watts: 0.0,
+                        max_discharge_watts: 10.0,
+                    },
+                    ScriptPhase {
+                        ticks: 3,
+                        demand: 0.3,
+                        charge_watts: 12.0,
+                        max_discharge_watts: 0.0,
+                    },
+                ],
+                budget_grams: None,
+                budget_at_tick: 0,
+            },
+        ),
+    ];
+    // The snapshot/restore admin surface only opens on a credentialed
+    // server, so the restore day authenticates everyone (no rotations —
+    // that is credential-churn's job).
+    spec.credentials = vec![
+        crate::spec::CredentialSpec {
+            tenant: "spark".into(),
+            token: "spark-token".into(),
+            rotation: None,
+        },
+        crate::spec::CredentialSpec {
+            tenant: "churner".into(),
+            token: "churner-token".into(),
+            rotation: None,
+        },
+    ];
+    spec.restore = Some(crate::spec::RestorePlan {
+        tick: 12,
+        tamper: true,
+    });
     spec
 }
 

@@ -10,7 +10,7 @@
 //! artifact **bit-identically** — on both the plain and sharded
 //! dispatch paths, through both wire codecs.
 //!
-//! The committed `corpus/` directory holds ~seven recorded days
+//! The committed `corpus/` directory holds eleven recorded days
 //! ([`corpus`] has the catalogue); `ecoharness verify corpus/` is the
 //! standing regression net run by CI, and `cargo bench -p
 //! ecovisor-bench --bench corpus_replay` turns the same corpus into a
@@ -34,8 +34,12 @@
 //!    record → replay → compare, built on
 //!    [`Ecovisor::replay_trace`](ecovisor::Ecovisor::replay_trace) and
 //!    [`ecovisor::digest`].
-//! 3. **CLI** (`ecoharness`): `record` / `verify` / `bench` / `diff`
-//!    over artifact files (see `docs/HARNESS.md`).
+//! 3. **Fuzzer** ([`fuzz`]): seeded generation over the whole spec
+//!    space, every candidate pushed through the full verify matrix,
+//!    failures shrunk to minimal replayable reproducers; plus soak days
+//!    that gate on the evented server's counters returning to baseline.
+//! 4. **CLI** (`ecoharness`): `record` / `verify` / `fuzz` / `bench` /
+//!    `diff` over artifact files (see `docs/HARNESS.md`).
 //!
 //! ## Example
 //!
@@ -56,6 +60,7 @@
 pub mod artifact;
 pub mod corpus;
 pub mod error;
+pub mod fuzz;
 pub mod record;
 pub mod scenario;
 pub mod spec;
@@ -63,9 +68,14 @@ pub mod verify;
 
 pub use artifact::{AppOutcome, Checkpoint, ExpectedOutcome, ScenarioArtifact, ARTIFACT_FORMAT};
 pub use error::HarnessError;
+pub use fuzz::{
+    generate, shrink, soak, Candidate, Fault, FuzzFailure, FuzzOptions, FuzzReport, PromoteOptions,
+    ShrinkOutcome, SoakOptions, SoakReport,
+};
 pub use record::{record, record_resumed, record_with_checkpoints, resume, resumed_spec};
 pub use scenario::{build_drivers, build_ecovisor};
 pub use spec::{
-    CarbonSpec, DriverSpec, JobSpec, ScenarioSpec, ScriptPhase, SolarSpec, TenantSpec, SPEC_FORMAT,
+    CarbonSpec, CredentialRotation, CredentialSpec, DriverSpec, JobSpec, RestorePlan, ScenarioSpec,
+    ScriptPhase, SolarSpec, TenantSpec, SPEC_FORMAT,
 };
 pub use verify::{verify, verify_transport, Check, VerifyReport};

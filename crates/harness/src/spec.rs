@@ -27,7 +27,13 @@ use workloads::traces::WorkloadTraceBuilder;
 pub const SPEC_FORMAT: u32 = 1;
 
 /// A complete, seeded description of one simulated multi-tenant day.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde is hand-written (not derived) so the two adversarial-plan
+/// fields added after the corpus was first recorded — `credentials` and
+/// `restore` — are omitted when empty/absent on encode and default on
+/// decode: every pre-existing artifact stays byte-identical and
+/// readable.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// Spec schema version ([`SPEC_FORMAT`]).
     pub format: u32,
@@ -56,6 +62,117 @@ pub struct ScenarioSpec {
     pub battery_capacity_wh: Option<f64>,
     /// The tenants, registered in order (so app ids are 1..=N).
     pub tenants: Vec<TenantSpec>,
+    /// Per-tenant wire credentials for transport verification. Empty
+    /// means the scenario runs against an uncredentialed server (every
+    /// pre-existing corpus day). When non-empty, `verify --transport`
+    /// spawns the server with a [`ecovisor::CredentialRegistry`], each
+    /// tenant connects with its token, and any
+    /// [`rotation`](CredentialSpec::rotation) entries are exercised
+    /// mid-day against live connections.
+    pub credentials: Vec<CredentialSpec>,
+    /// A mid-day checkpoint-restore exercised during transport
+    /// verification (restore raced with active dispatch). Requires the
+    /// artifact to carry a checkpoint at exactly
+    /// [`RestorePlan::tick`].
+    pub restore: Option<RestorePlan>,
+}
+
+/// One tenant's wire credential (and optional mid-day rotation) for
+/// credentialed transport verification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CredentialSpec {
+    /// Which tenant (must match a [`TenantSpec::name`]).
+    pub tenant: String,
+    /// The token presented in the client hello.
+    pub token: String,
+    /// Rotate to a new token mid-day, while the connection is live.
+    pub rotation: Option<CredentialRotation>,
+}
+
+/// A mid-day credential rotation: at the start of tick `tick` the
+/// server's registry is updated to `token`; the harness then proves the
+/// old token is rejected and reconnects with the new one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CredentialRotation {
+    /// Tick (0-based) at whose start the rotation happens; must be
+    /// `< ticks`.
+    pub tick: u64,
+    /// The replacement token.
+    pub token: String,
+}
+
+/// A mid-day snapshot restore raced with active dispatch during
+/// transport verification: at the start of tick `tick`, an operator
+/// connection pushes the artifact's checkpoint for that very tick back
+/// into the live server (a state-idempotent restore), so the rest of
+/// the day must still replay bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestorePlan {
+    /// Tick (0-based) at whose start the restore happens; the artifact
+    /// must carry a checkpoint recorded at this tick.
+    pub tick: u64,
+    /// Also push a corrupted snapshot first and require the server to
+    /// reject it while preserving state.
+    pub tamper: bool,
+}
+
+impl Serialize for ScenarioSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("format".to_string(), self.format.to_value()),
+            ("name".to_string(), self.name.to_value()),
+            ("description".to_string(), self.description.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("ticks".to_string(), self.ticks.to_value()),
+            ("tick_minutes".to_string(), self.tick_minutes.to_value()),
+            ("servers".to_string(), self.servers.to_value()),
+            ("excess".to_string(), self.excess.to_value()),
+            ("carbon".to_string(), self.carbon.to_value()),
+            ("solar".to_string(), self.solar.to_value()),
+            (
+                "battery_capacity_wh".to_string(),
+                self.battery_capacity_wh.to_value(),
+            ),
+            ("tenants".to_string(), self.tenants.to_value()),
+        ];
+        if !self.credentials.is_empty() {
+            entries.push(("credentials".to_string(), self.credentials.to_value()));
+        }
+        if let Some(restore) = &self.restore {
+            entries.push(("restore".to_string(), restore.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for ScenarioSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ScenarioSpec {
+            format: Deserialize::from_value(serde::__field(v, "format")?)?,
+            name: Deserialize::from_value(serde::__field(v, "name")?)?,
+            description: Deserialize::from_value(serde::__field(v, "description")?)?,
+            seed: Deserialize::from_value(serde::__field(v, "seed")?)?,
+            ticks: Deserialize::from_value(serde::__field(v, "ticks")?)?,
+            tick_minutes: Deserialize::from_value(serde::__field(v, "tick_minutes")?)?,
+            servers: Deserialize::from_value(serde::__field(v, "servers")?)?,
+            excess: Deserialize::from_value(serde::__field(v, "excess")?)?,
+            carbon: Deserialize::from_value(serde::__field(v, "carbon")?)?,
+            solar: Deserialize::from_value(serde::__field(v, "solar")?)?,
+            battery_capacity_wh: Deserialize::from_value(serde::__field(
+                v,
+                "battery_capacity_wh",
+            )?)?,
+            tenants: Deserialize::from_value(serde::__field(v, "tenants")?)?,
+            credentials: match v.get("credentials") {
+                Some(c) => Deserialize::from_value(c)?,
+                None => Vec::new(),
+            },
+            restore: match v.get("restore") {
+                Some(r) => Deserialize::from_value(r)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl ScenarioSpec {
@@ -93,6 +210,51 @@ impl ScenarioSpec {
         for t in &self.tenants {
             if t.name.is_empty() {
                 return Err("tenant names must be non-empty".into());
+            }
+        }
+        if !self.credentials.is_empty() {
+            for c in &self.credentials {
+                if !self.tenants.iter().any(|t| t.name == c.tenant) {
+                    return Err(format!("credential for unknown tenant {:?}", c.tenant));
+                }
+                if c.token.is_empty() {
+                    return Err(format!("empty credential token for tenant {:?}", c.tenant));
+                }
+                if let Some(rot) = &c.rotation {
+                    if rot.tick >= self.ticks {
+                        return Err(format!(
+                            "credential rotation for {:?} at tick {} is past the day ({} ticks)",
+                            c.tenant, rot.tick, self.ticks
+                        ));
+                    }
+                    if rot.token.is_empty() {
+                        return Err(format!("empty rotation token for tenant {:?}", c.tenant));
+                    }
+                }
+            }
+            // A credentialed server rejects any tenant without a token,
+            // so a partial credential set could never verify.
+            for t in &self.tenants {
+                if !self.credentials.iter().any(|c| c.tenant == t.name) {
+                    return Err(format!(
+                        "credentialed scenario is missing a token for tenant {:?}",
+                        t.name
+                    ));
+                }
+            }
+        }
+        if let Some(restore) = &self.restore {
+            if restore.tick == 0 || restore.tick >= self.ticks {
+                return Err(format!(
+                    "restore plan tick {} outside (0, {})",
+                    restore.tick, self.ticks
+                ));
+            }
+            // The wire snapshot/restore surface only opens on a
+            // credentialed server, so an uncredentialed restore plan
+            // could never verify.
+            if self.credentials.is_empty() {
+                return Err("a restore plan requires credentials".into());
             }
         }
         Ok(())

@@ -25,7 +25,7 @@
 //! regression net the corpus exists to provide.
 
 use ecovisor::{
-    digest, Ecovisor, EcovisorServer, EnergyClient, EventFilter, ProtocolTrace,
+    digest, CredentialRegistry, Ecovisor, EcovisorServer, EnergyClient, EventFilter, ProtocolTrace,
     RemoteEcovisorClient, ShardedEcovisor, VesTotals, WireCodec,
 };
 
@@ -349,6 +349,21 @@ fn check_outcome(
 /// recorded expectations bit-for-bit: the evented transport is not
 /// allowed to be distinguishable from the in-process dispatch path.
 ///
+/// Specs carrying adversarial plans get extra choreography, still under
+/// the same bit-identical bar:
+///
+/// * a non-empty [`credentials`](crate::spec::ScenarioSpec::credentials)
+///   list spawns the server with a [`CredentialRegistry`]; tenants
+///   connect with their tokens, and each
+///   [`CredentialRotation`](crate::spec::CredentialRotation) is
+///   exercised mid-day — rotate on the live server, prove the retired
+///   token is rejected, reconnect with the new one — without losing or
+///   duplicating a single pushed frame;
+/// * a [`RestorePlan`](crate::spec::RestorePlan) pushes the artifact's
+///   checkpoint for the plan's tick back into the live server at the
+///   start of that tick (optionally after a rejected tampered push),
+///   racing a state-idempotent restore against active dispatch.
+///
 /// # Errors
 ///
 /// [`HarnessError`] only for *environmental* failures (the spec no
@@ -393,8 +408,47 @@ fn transport_cell(
         }
     };
 
+    // Tenant-name → app-id mapping (tenants register in order), the
+    // current-token table, and the rotation schedule.
+    let name_to_app: std::collections::HashMap<&str, ecovisor::AppId> = artifact
+        .spec
+        .tenants
+        .iter()
+        .zip(ids.iter())
+        .map(|(t, &a)| (t.name.as_str(), a))
+        .collect();
+    let mut tokens: std::collections::HashMap<ecovisor::AppId, String> = artifact
+        .spec
+        .credentials
+        .iter()
+        .map(|c| (name_to_app[c.tenant.as_str()], c.token.clone()))
+        .collect();
+    let mut rotations: Vec<(u64, ecovisor::AppId, String)> = artifact
+        .spec
+        .credentials
+        .iter()
+        .filter_map(|c| {
+            c.rotation
+                .as_ref()
+                .map(|r| (r.tick, name_to_app[c.tenant.as_str()], r.token.clone()))
+        })
+        .collect();
+    rotations.sort_by_key(|(tick, app, _)| (*tick, *app));
+    let credentialed = !tokens.is_empty();
+
     let served = (|| -> std::io::Result<_> {
-        let server = EcovisorServer::bind("127.0.0.1:0", eco)?;
+        // Port 0: the kernel assigns an unused ephemeral port and we read
+        // it back below. Never bind a fixed port here — parallel CI
+        // shards and fuzz workers run many of these servers at once and
+        // a fixed port flakes with EADDRINUSE.
+        let mut server = EcovisorServer::bind("127.0.0.1:0", eco)?;
+        if credentialed {
+            let mut registry = CredentialRegistry::new();
+            for (&app, token) in &tokens {
+                registry.insert(app, token.as_bytes());
+            }
+            server = server.with_credentials(registry);
+        }
         let addr = server.local_addr()?;
         Ok((server.spawn()?, addr))
     })();
@@ -410,18 +464,19 @@ fn transport_cell(
     // One live connection per tenant, each subscribed to the full push
     // stream — the union filter makes the broadcast drain exactly what
     // the recorder's `take_event_frame` drained.
+    let connect_subscribed =
+        |app: ecovisor::AppId, token: Option<&String>| -> Result<RemoteEcovisorClient, String> {
+            let mut c = RemoteEcovisorClient::connect_full(addr, app, vec![codec], token.cloned())
+                .map_err(|e| e.to_string())?;
+            c.subscribe_events(EventFilter::all())
+                .map_err(|e| e.to_string())?;
+            Ok(c)
+        };
     let mut clients: Vec<RemoteEcovisorClient> = Vec::with_capacity(ids.len());
     let mut slot: std::collections::HashMap<ecovisor::AppId, usize> =
         std::collections::HashMap::new();
     for &app in &ids {
-        let connected = RemoteEcovisorClient::connect_with(addr, app, vec![codec])
-            .map_err(|e| e.to_string())
-            .and_then(|mut c| {
-                c.subscribe_events(EventFilter::all())
-                    .map_err(|e| e.to_string())?;
-                Ok(c)
-            });
-        match connected {
+        match connect_subscribed(app, tokens.get(&app)) {
             Ok(c) => {
                 slot.insert(app, clients.len());
                 clients.push(c);
@@ -435,12 +490,113 @@ fn transport_cell(
         }
     }
 
+    // Frames already delivered to a connection retired by a credential
+    // rotation — merged with the live connections' streams at the end.
+    let mut retired_frames: Vec<ecovisor::EventFrame> = Vec::new();
+
     // Drive the recorded day: each tick's batches round-trip through
     // their app's connection in recorded order, then settlement runs
     // (broadcasting frames into the connections' write queues) exactly
-    // where the recorder ticked.
+    // where the recorder ticked. Adversarial plans fire at start-of-tick
+    // boundaries, before that tick's batches.
     let mut entries = artifact.trace.entries.iter().peekable();
+    let mut rotations = rotations.into_iter().peekable();
     for tick in start..artifact.spec.ticks {
+        while rotations.peek().is_some_and(|(t, _, _)| *t == tick) {
+            let (_, app, new_token) = rotations.next().expect("peeked");
+            let idx = slot[&app];
+            // Drain every push already delivered to the retiring
+            // connection (the wire is FIFO, so the poll response
+            // follows the last broadcast frame), bank its frames, then
+            // rotate on the live server.
+            let drained = clients[idx].poll_events();
+            report.push(
+                format!("{cell} rotation@{tick}[{app}] drain"),
+                drained.is_ok(),
+                drained.err().map(|e| e.to_string()).unwrap_or_default(),
+            );
+            retired_frames.extend(clients[idx].take_event_frames());
+            report.push(
+                format!("{cell} rotation@{tick}[{app}] applied"),
+                handle.rotate_credential(app, new_token.as_bytes()),
+                "server carries no credential registry",
+            );
+            let old_token = tokens.insert(app, new_token.clone());
+            // The retired token must be dead for *new* hellos …
+            let stale = RemoteEcovisorClient::connect_full(addr, app, vec![codec], old_token);
+            report.push(
+                format!("{cell} rotation@{tick}[{app}] retired token rejected"),
+                stale.is_err(),
+                "retired credential still opens connections",
+            );
+            // … while the new one opens the replacement connection the
+            // rest of the day runs on (dropping the old one here).
+            match connect_subscribed(app, Some(&new_token)) {
+                Ok(c) => clients[idx] = c,
+                Err(e) => {
+                    report.push(format!("{cell} rotation@{tick}[{app}] reconnect"), false, e);
+                }
+            }
+        }
+        if let Some(plan) = artifact.spec.restore.filter(|p| p.tick == tick) {
+            // The operator rides the first tenant's (current) token on
+            // an unsubscribed side connection: filter `None` receives
+            // no pushes, so the restore choreography cannot perturb
+            // the recorded frame streams.
+            let op_app = ids[0];
+            match artifact.checkpoints.iter().find(|c| c.tick == plan.tick) {
+                None => report.push(
+                    format!("{cell} restore@{tick} checkpoint"),
+                    false,
+                    "artifact embeds no checkpoint at the restore tick",
+                ),
+                Some(cp) => match (
+                    cp.decode(),
+                    RemoteEcovisorClient::connect_full(
+                        addr,
+                        op_app,
+                        vec![codec],
+                        tokens.get(&op_app).cloned(),
+                    ),
+                ) {
+                    (Err(e), _) => {
+                        report.push(
+                            format!("{cell} restore@{tick} checkpoint"),
+                            false,
+                            e.to_string(),
+                        );
+                    }
+                    (_, Err(e)) => {
+                        report.push(
+                            format!("{cell} restore@{tick} operator"),
+                            false,
+                            e.to_string(),
+                        );
+                    }
+                    (Ok(snap), Ok(mut op)) => {
+                        if plan.tamper {
+                            // A snapshot whose environment fingerprint
+                            // lies must bounce off the live server —
+                            // the subsequent genuine restore (and the
+                            // bit-identical day) proves state survived.
+                            let mut bad = snap.clone();
+                            bad.env_digest ^= 0x05EE_DBAD;
+                            report.push(
+                                format!("{cell} restore@{tick} tamper rejected"),
+                                op.push_restore(&bad).is_err(),
+                                "tampered snapshot was accepted by the live server",
+                            );
+                        }
+                        let pushed = op.push_restore(&snap);
+                        report.push(
+                            format!("{cell} restore@{tick} accepted"),
+                            pushed.is_ok(),
+                            pushed.err().map(|e| e.to_string()).unwrap_or_default(),
+                        );
+                    }
+                },
+            }
+        }
         while let Some(entry) = entries.peek() {
             if entry.tick != tick {
                 break;
@@ -480,6 +636,7 @@ fn transport_cell(
         .iter_mut()
         .flat_map(RemoteEcovisorClient::take_event_frames)
         .collect();
+    frames.extend(retired_frames);
     frames.sort_by_key(|f| (f.tick, f.app));
 
     let totals: Vec<VesTotals> = shared.with(|eco| {

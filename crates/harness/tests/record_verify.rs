@@ -195,6 +195,16 @@ fn every_builtin_records_and_verifies_when_shrunk() {
     for name in corpus::names() {
         let mut spec = corpus::builtin(name).expect("builtin");
         spec.ticks = spec.ticks.min(8);
+        // Shrinking the horizon can strand mid-day choreography: drop
+        // rotations and restore plans that now fall past the day.
+        for cred in &mut spec.credentials {
+            if cred.rotation.as_ref().is_some_and(|r| r.tick >= spec.ticks) {
+                cred.rotation = None;
+            }
+        }
+        if spec.restore.as_ref().is_some_and(|r| r.tick >= spec.ticks) {
+            spec.restore = None;
+        }
         let artifact = record(&spec).unwrap_or_else(|e| panic!("record {name}: {e}"));
         let report = verify(&artifact).unwrap_or_else(|e| panic!("verify {name}: {e}"));
         assert!(report.passed(), "{name} failed: {:#?}", report.failures());
