@@ -355,6 +355,130 @@ impl Cop {
         &self.servers
     }
 
+    /// Every container of an app — stopped ones included, since they are
+    /// retained for accounting history — in id order.
+    pub fn all_containers_of(&self, owner: AppId) -> Vec<&Container> {
+        self.containers
+            .values()
+            .filter(|c| c.owner() == owner)
+            .collect()
+    }
+
+    /// The next container id this COP would allocate. Together with
+    /// [`align_container_id`](Self::align_container_id) this is the
+    /// federation coordinator's cursor surface: ids are allocated from a
+    /// node-local counter, so a coordinator that partitions tenants over
+    /// several COPs aligns each node's counter to a global cursor before
+    /// dispatching launches, keeping allocation identical to a
+    /// single-node run.
+    pub fn next_container_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Advances the container-id counter to `next`.
+    ///
+    /// # Errors
+    ///
+    /// Moving the counter backwards would let a future launch reuse a
+    /// live id; such a request is refused with a description.
+    pub fn align_container_id(&mut self, next: u64) -> Result<(), String> {
+        if next < self.next_id {
+            return Err(format!(
+                "container-id cursor cannot move backwards ({next} < {})",
+                self.next_id
+            ));
+        }
+        self.next_id = next;
+        Ok(())
+    }
+
+    /// Removes every container owned by `owner` (stopped history
+    /// included), releasing the server reservations of live ones.
+    /// Returns the removed containers in id order.
+    pub fn remove_app_containers(&mut self, owner: AppId) -> Vec<Container> {
+        let ids: Vec<ContainerId> = self
+            .containers
+            .values()
+            .filter(|c| c.owner() == owner)
+            .map(|c| c.id())
+            .collect();
+        let mut removed = Vec::with_capacity(ids.len());
+        for id in ids {
+            let c = self.containers.remove(&id).expect("listed above");
+            if c.state() != ContainerState::Stopped {
+                let (cores, mem, sid) = (c.spec().cores, c.spec().memory_mib, c.server());
+                self.server_mut(sid).release(cores, mem);
+            }
+            removed.push(c);
+        }
+        removed
+    }
+
+    /// Adopts containers captured on another COP (a migrating tenant's),
+    /// preserving their ids, placement, caps, and state. All-or-nothing:
+    /// every container is validated — and live ones checked against the
+    /// target servers' free capacity — before anything is inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem: an id collision, a
+    /// duplicate in the input, an out-of-range server reference, a GPU
+    /// container on a GPU-less server, or insufficient capacity.
+    pub fn adopt_containers(&mut self, adopted: &[Container]) -> Result<(), String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut required: BTreeMap<ServerId, (u32, u64)> = BTreeMap::new();
+        for c in adopted {
+            if self.containers.contains_key(&c.id()) {
+                return Err(format!("container id {} already exists here", c.id()));
+            }
+            if !seen.insert(c.id()) {
+                return Err(format!("duplicate container id {} in transfer", c.id()));
+            }
+            let sid = c.server();
+            let Some(server) = self.servers.iter().find(|s| s.id() == sid) else {
+                return Err(format!(
+                    "container {} references unknown server {sid}",
+                    c.id()
+                ));
+            };
+            if c.spec().gpu && !server.spec().has_gpu() {
+                return Err(format!(
+                    "container {} needs a GPU but server {sid} has none",
+                    c.id()
+                ));
+            }
+            if c.state() != ContainerState::Stopped {
+                let need = required.entry(sid).or_insert((0, 0));
+                need.0 += c.spec().cores;
+                need.1 += c.spec().memory_mib;
+            }
+        }
+        for (&sid, &(cores, mem)) in &required {
+            let server = self
+                .servers
+                .iter()
+                .find(|s| s.id() == sid)
+                .expect("checked");
+            if server.free_cores() < cores || server.free_memory_mib() < mem {
+                return Err(format!(
+                    "server {sid} lacks capacity for migrating containers \
+                     ({cores} cores / {mem} MiB needed)"
+                ));
+            }
+        }
+        let mut max_id = self.next_id;
+        for c in adopted {
+            if c.state() != ContainerState::Stopped {
+                let (cores, mem, sid) = (c.spec().cores, c.spec().memory_mib, c.server());
+                self.server_mut(sid).reserve(cores, mem);
+            }
+            max_id = max_id.max(c.id().value() + 1);
+            self.containers.insert(c.id(), c.clone());
+        }
+        self.next_id = max_id;
+        Ok(())
+    }
+
     /// Power model of the server hosting `id`, if the container exists.
     pub fn model_for(&self, id: ContainerId) -> Option<&PowerModel> {
         self.containers

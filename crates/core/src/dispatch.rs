@@ -371,7 +371,15 @@ impl Ecovisor {
             // and assembly live there, behind the credential gate);
             // dispatch just acknowledges, so recorded traces replay
             // arity-correct without re-running a restore.
-            Snapshot { .. } | Restore { .. } => EnergyResponse::Ok,
+            Snapshot { .. }
+            | Restore { .. }
+            | MigrateOut { .. }
+            | MigrateIn { .. }
+            | MigrateCommit { .. }
+            | FedCollect
+            | FedSettle { .. }
+            | FedAlign { .. }
+            | FedCursor => EnergyResponse::Ok,
             SetCarbonBudget { budget } => {
                 state.carbon_budget = *budget;
                 // Clearing the budget or raising it above the carbon

@@ -48,6 +48,7 @@ use crate::api::{EcovisorApi, LibraryApi};
 use crate::config::{EcovisorBuilder, ExcessPolicy};
 use crate::error::{EcovisorError, Result};
 use crate::event::{Notification, NotifyConfig, OutboxPolicy};
+use crate::federation::FedAppView;
 use crate::lock;
 use crate::proto::{EnergyRequest, EnergyResponse};
 use crate::share::EnergyShare;
@@ -378,24 +379,99 @@ impl Ecovisor {
     /// self`, so no dispatch (which needs `&self`) can overlap it, and
     /// the per-shard locks cost nothing here (`RwLock::get_mut`).
     pub fn settle_tick(&mut self) -> SystemFlows {
-        let now = self.clock.now();
+        let views = self.collect_demand();
+        self.settle_with_views(&views)
+            .expect("own demand views are complete and ordered")
+    }
+
+    /// Phase one of a settlement tick: enforces carbon-rate caps (they
+    /// change container power under the current intensity) and captures
+    /// one [`FedAppView`] per local tenant — its virtual energy system
+    /// and post-cap container power, in app-id order.
+    ///
+    /// [`Self::settle_tick`] feeds the views straight back into
+    /// [`Self::settle_with_views`]; a federation coordinator instead
+    /// merges every node's views into one global list first. Between the
+    /// two phases no dispatch may run (the deployment wrapper's
+    /// `fed_collect`/`fed_settle` hold that contract), so the captured
+    /// views stay equal to the live state they were cloned from.
+    pub fn collect_demand(&mut self) -> Vec<FedAppView> {
         let dt = self.clock.interval();
-        let intensity = self.intensity;
 
         // 1. Enforce carbon-rate limits by converting them to container
         //    power caps under the current intensity (Table 2
         //    set_carbon_rate semantics).
         self.enforce_carbon_rates(dt);
 
-        // 2. Desired flows per app, from post-cap container power.
-        let ids: Vec<AppId> = self.apps.keys().copied().collect();
-        let mut desired = BTreeMap::new();
-        {
-            let cop = lock::get_mut(&mut self.cop);
-            for (&id, shard) in self.apps.iter_mut() {
-                let state = lock::get_mut(shard);
-                desired.insert(id, state.ves.desired_flows(cop.app_power(id), dt));
+        let cop = lock::get_mut(&mut self.cop);
+        let mut views = Vec::with_capacity(self.apps.len());
+        for (&id, shard) in self.apps.iter_mut() {
+            let state = lock::get_mut(shard);
+            views.push(FedAppView {
+                app: id,
+                ves: state.ves.clone(),
+                power: cop.app_power(id),
+            });
+        }
+        views
+    }
+
+    /// Phase two of a settlement tick: runs the global settlement
+    /// arithmetic over `views` — local tenants against their live
+    /// shards, remote tenants against **shadow** copies of the shipped
+    /// state that are discarded when the tick ends.
+    ///
+    /// Every federated node receives the same app-id-ordered view list
+    /// and applies the identical sums, throttle scales, and
+    /// redistribution loop, so each replica's substrate state (grid
+    /// meter, PSU, battery aggregates) stays bit-identical to a
+    /// single-process run. Shadow apps contribute their flow numbers to
+    /// the shared accumulators but skip notification, budget-edge,
+    /// solar-buffer, and telemetry work — that happens on their owning
+    /// node.
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::Protocol`] when the views are not strictly
+    /// ascending by app id or a locally registered app is missing; the
+    /// tick is left unsettled and no state is modified.
+    pub fn settle_with_views(&mut self, views: &[FedAppView]) -> Result<SystemFlows> {
+        let now = self.clock.now();
+        let dt = self.clock.interval();
+        let intensity = self.intensity;
+
+        if let Some(w) = views.windows(2).find(|w| w[1].app <= w[0].app) {
+            return Err(EcovisorError::Protocol(format!(
+                "demand views must be strictly ascending by app id \
+                 (saw {} after {})",
+                w[1].app, w[0].app
+            )));
+        }
+        for &id in self.apps.keys() {
+            if !views.iter().any(|v| v.app == id) {
+                return Err(EcovisorError::Protocol(format!(
+                    "demand views are missing local app {id}"
+                )));
             }
+        }
+
+        // Shadows for remote apps: their shipped state runs through the
+        // tick's arithmetic and is discarded at the end of this call.
+        let mut shadows: BTreeMap<AppId, VirtualEnergySystem> = views
+            .iter()
+            .filter(|v| !self.apps.contains_key(&v.app))
+            .map(|v| (v.app, v.ves.clone()))
+            .collect();
+
+        // 2. Desired flows per app, from post-cap container power. The
+        //    captured views are authoritative for *both* local and
+        //    remote apps — for locals they are clones of live state
+        //    taken in [`Self::collect_demand`] with nothing allowed to
+        //    run in between.
+        let ids: Vec<AppId> = views.iter().map(|v| v.app).collect();
+        let mut desired = BTreeMap::new();
+        for view in views {
+            desired.insert(view.app, view.ves.desired_flows(view.power, dt));
         }
 
         // 3. Aggregate throttle factors against the physical bank's rate
@@ -427,7 +503,20 @@ impl Ecovisor {
         let mut grid_total = Watts::ZERO;
         for &id in &ids {
             let d = desired.get(&id).expect("computed");
-            let state = lock::get_mut(self.apps.get_mut(&id).expect("registered"));
+            let Some(shard) = self.apps.get_mut(&id) else {
+                // Shadow: same arithmetic, no side effects. Events and
+                // budget edges fire on the owning node; only the flow
+                // numbers feed the shared accumulators here.
+                let ves = shadows.get_mut(&id).expect("shadow built");
+                let (f, _events) = ves.apply_flows(d, charge_scale, discharge_scale, intensity, dt);
+                surplus_pool += f.solar_surplus;
+                charge_applied += f.solar_to_battery + f.grid_to_battery;
+                discharge_applied += f.battery_to_load;
+                grid_total += f.grid_import();
+                flows.insert(id, f);
+                continue;
+            };
+            let state = lock::get_mut(shard);
             let (f, events) =
                 state
                     .ves
@@ -468,9 +557,14 @@ impl Ecovisor {
                 if remaining_pool <= Watts::ZERO || headroom <= Watts::ZERO {
                     break;
                 }
-                let state = lock::get_mut(self.apps.get_mut(&id).expect("registered"));
                 let offer = remaining_pool.min(headroom);
-                let accepted = state.ves.accept_redistribution(offer, dt);
+                let accepted = match self.apps.get_mut(&id) {
+                    Some(shard) => lock::get_mut(shard).ves.accept_redistribution(offer, dt),
+                    None => shadows
+                        .get_mut(&id)
+                        .expect("shadow built")
+                        .accept_redistribution(offer, dt),
+                };
                 remaining_pool -= accepted;
                 headroom -= accepted;
                 redistributed += accepted;
@@ -495,7 +589,10 @@ impl Ecovisor {
         //    solar-change notifications compare old vs new availability.
         let physical_solar = self.solar.mean_power_over(now, now + dt);
         for &id in &ids {
-            let state = lock::get_mut(self.apps.get_mut(&id).expect("registered"));
+            let Some(shard) = self.apps.get_mut(&id) else {
+                continue; // remote: the owning node buffers its solar
+            };
+            let state = lock::get_mut(shard);
             let share = state.ves.share().solar_fraction;
             let new_buffer = physical_solar * share;
             let old_buffer = state.ves.solar_available();
@@ -514,7 +611,10 @@ impl Ecovisor {
 
         // 8. Carbon-change notifications (this tick vs previous tick).
         for &id in &ids {
-            let state = lock::get_mut(self.apps.get_mut(&id).expect("registered"));
+            let Some(shard) = self.apps.get_mut(&id) else {
+                continue; // remote: the owning node notifies
+            };
+            let state = lock::get_mut(shard);
             if state
                 .notify
                 .carbon_significant(self.prev_intensity, intensity)
@@ -542,10 +642,14 @@ impl Ecovisor {
         };
         self.last_system_flows = system;
 
-        // 9. Telemetry.
+        // 9. Telemetry — local tenants only; remote apps' rows are
+        //    recorded by their owning node. Note the SYSTEM-subject
+        //    rows derived from local state (app power, battery SoC) are
+        //    node-local under federation; see docs/FEDERATION.md.
+        flows.retain(|id, _| self.apps.contains_key(id));
         self.record_telemetry(now, &flows, &system);
 
-        system
+        Ok(system)
     }
 
     /// Advances the tick clock. Call after [`settle_tick`](Self::settle_tick).

@@ -1,0 +1,545 @@
+//! Federation: per-tenant state transfer and the cross-node settlement
+//! views that let N ecovisor processes share one energy substrate.
+//!
+//! PR 6's [`Snapshot`](crate::snapshot::Snapshot) moves a *whole*
+//! ecovisor; this module moves **one tenant**. A [`TenantSnapshot`]
+//! carries everything that belongs to a single application — its shard
+//! ([`AppSnapshot`]), its containers (stopped history included), and its
+//! telemetry series — under the same format/protocol-era/environment-
+//! fingerprint validation the whole-ecovisor path uses. Three primitives
+//! compose into live migration:
+//!
+//! * [`Ecovisor::extract_app`] captures a tenant **without removing
+//!   it** — the source keeps running it until the transfer is known
+//!   good;
+//! * [`Ecovisor::graft_app`] validates everything before touching any
+//!   state, so a rejected graft leaves the destination untouched;
+//! * [`Ecovisor::remove_app`] evicts a tenant (shard, containers,
+//!   telemetry) — the migration *commit*, and also how a federated node
+//!   built from a full deployment spec sheds the tenants it does not
+//!   own.
+//!
+//! Capture-then-commit makes the flow tamper-safe: a transfer that dies
+//! or is rejected mid-chunk changes **neither** node, and because no
+//! settlement runs between capture and commit, the pending outbox
+//! events carried in the snapshot are delivered exactly once — by the
+//! destination.
+//!
+//! ## Cross-node settlement views
+//!
+//! Settlement arithmetic is sequential across apps (throttle-scale sums,
+//! the redistribution loop), so "collect scalar demands, broadcast
+//! scale factors" would *not* reproduce a single-process run
+//! bit-identically. Instead every node holds a full replica of the
+//! shared substrate and applies the **global** settlement each tick:
+//! [`Ecovisor::collect_demand`] captures one [`FedAppView`] per local
+//! tenant (its virtual energy system and post-cap container power); the
+//! coordinator merges all nodes' views into one app-id-ordered list and
+//! hands it back to [`Ecovisor::settle_with_views`], which settles local
+//! tenants against live state and remote tenants against discarded
+//! shadow copies. Identical inputs in identical order make every
+//! replica's substrate — and every app's flows — bit-identical to the
+//! single-process run. The choreography, its contract (no dispatch
+//! between collect and settle), and the failure semantics are documented
+//! in `docs/FEDERATION.md`.
+
+use std::collections::BTreeSet;
+use std::sync::RwLock;
+
+use container_cop::{AppId, Container};
+use power_telemetry::Tsdb;
+use simkit::units::{WattHours, Watts};
+
+use crate::ecovisor::{AppState, Ecovisor};
+use crate::error::{EcovisorError, Result};
+use crate::lock;
+use crate::proto::{PROTOCOL_VERSION, SUPPORTED_VERSIONS};
+use crate::replay::digest;
+use crate::snapshot::{AppSnapshot, SnapshotError, SNAPSHOT_FORMAT};
+use crate::ves::VirtualEnergySystem;
+
+/// One application's contribution to a federated settlement tick: the
+/// state a *remote* node needs to run the global settlement arithmetic
+/// with this app in it.
+///
+/// The virtual energy system travels whole (its flows depend on mutable
+/// per-tick state: buffered solar, battery level, clamp edges), plus the
+/// post-cap container power the owning node measured after carbon-rate
+/// enforcement. Receivers treat the embedded VES as a **shadow**: they
+/// mutate a copy through the tick's arithmetic and discard it — the
+/// owning node's live state is authoritative.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FedAppView {
+    /// The application this view describes.
+    pub app: AppId,
+    /// Its virtual energy system as of collect time (post carbon-rate
+    /// enforcement, pre settlement).
+    pub ves: VirtualEnergySystem,
+    /// Its container power as of collect time (post carbon caps).
+    pub power: Watts,
+}
+
+/// A versioned, serializable capture of **one tenant**: the unit of
+/// migration between ecovisor processes.
+///
+/// Validation mirrors [`Snapshot`](crate::snapshot::Snapshot): the
+/// format and protocol era must be understood, the environment
+/// fingerprint must match the receiver, and the capture tick must equal
+/// the receiver's tick (both sides of a migration sit at the same
+/// settlement boundary).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct TenantSnapshot {
+    /// Snapshot layout version (shares [`SNAPSHOT_FORMAT`] — the
+    /// per-app layout is a sub-structure of the whole-ecovisor one).
+    pub format: u32,
+    /// Protocol version of the writing process.
+    pub protocol_version: u16,
+    /// Number of fully settled ticks at capture time.
+    pub tick: u64,
+    /// Fingerprint of the writer's static environment; grafting refuses
+    /// a snapshot whose fingerprint differs from the receiver's.
+    pub env_digest: u64,
+    /// The tenant's shard, including undelivered outbox events (carried
+    /// verbatim so each is still delivered exactly once — by whichever
+    /// process owns the tenant when they drain).
+    pub app: AppSnapshot,
+    /// Every container the tenant ever launched, stopped history
+    /// included (accounting queries keep answering after a move).
+    pub containers: Vec<Container>,
+    /// The tenant's telemetry: its app-subject series and its
+    /// containers' series.
+    pub tsdb: Tsdb,
+}
+
+impl TenantSnapshot {
+    /// FNV-1a digest over the binary encoding (float bit patterns are
+    /// exact, so equal digests mean bit-identical tenant state).
+    pub fn digest(&self) -> u64 {
+        digest(self)
+    }
+
+    /// Encodes with the compact binary codec (the on-wire form of
+    /// `MigrateOut`/`MigrateIn` chunks).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde::binary::to_bytes(self)
+    }
+
+    /// Decodes from either codec, auto-detected like
+    /// [`Snapshot::from_bytes`](crate::snapshot::Snapshot::from_bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Decode`] when the bytes parse as neither codec.
+    pub fn from_bytes(bytes: &[u8]) -> std::result::Result<Self, SnapshotError> {
+        if bytes.first() == Some(&b'{') {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|e| SnapshotError::Decode(format!("invalid utf-8: {e}")))?;
+            serde::json::from_str(text).map_err(|e| SnapshotError::Decode(e.to_string()))
+        } else {
+            serde::binary::from_bytes(bytes).map_err(|e| SnapshotError::Decode(e.to_string()))
+        }
+    }
+
+    /// The telemetry subjects this tenant owns: its app subject plus one
+    /// per container it ever launched.
+    pub fn subjects(&self) -> BTreeSet<String> {
+        let mut subjects: BTreeSet<String> =
+            self.containers.iter().map(|c| c.id().to_string()).collect();
+        subjects.insert(self.app.app.to_string());
+        subjects
+    }
+}
+
+impl Ecovisor {
+    /// Captures one tenant as a [`TenantSnapshot`] **without removing
+    /// it** — the migration flow commits the removal separately
+    /// ([`Self::remove_app`]) once the destination has accepted the
+    /// graft, so a failed transfer changes nothing on either side.
+    ///
+    /// Like [`Ecovisor::snapshot`], takes `&mut self` because exclusive
+    /// access *is* the settlement barrier; on a deployed instance go
+    /// through [`crate::shard::ShardedEcovisor::extract_app`].
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn extract_app(&mut self, app: AppId) -> Result<TenantSnapshot> {
+        let env_digest = self.env_fingerprint();
+        let tick = self.clock.tick_index();
+        let shard = self
+            .apps
+            .get_mut(&app)
+            .ok_or(EcovisorError::UnknownApp(app))?;
+        let s = lock::get_mut(shard);
+        let snap_app = AppSnapshot {
+            app,
+            name: s.name.clone(),
+            ves: s.ves.clone(),
+            notify: s.notify,
+            outbox: s.outbox,
+            pending_events: s.pending_events.clone(),
+            carbon_rate_limit: s.carbon_rate_limit,
+            carbon_budget: s.carbon_budget,
+            carbon_capped: s.carbon_capped.clone(),
+            budget_exhausted: s.budget_exhausted,
+        };
+        let containers: Vec<Container> = lock::get_mut(&mut self.cop)
+            .all_containers_of(app)
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut subjects: BTreeSet<String> =
+            containers.iter().map(|c| c.id().to_string()).collect();
+        subjects.insert(app.to_string());
+        let tsdb = lock::get_mut(&mut self.tsdb).extract_subjects(&subjects);
+        Ok(TenantSnapshot {
+            format: SNAPSHOT_FORMAT,
+            protocol_version: PROTOCOL_VERSION,
+            tick,
+            env_digest,
+            app: snap_app,
+            containers,
+            tsdb,
+        })
+    }
+
+    /// Grafts a tenant captured elsewhere into this ecovisor: inserts
+    /// its shard, adopts its containers (preserving ids, placement, and
+    /// caps), and merges its telemetry. All-or-nothing — every check
+    /// below runs before any state is touched, so a rejected graft
+    /// leaves this process exactly as it was.
+    ///
+    /// The tenant's id is preserved. A **fresh** id (not registered
+    /// here) is adopted and `next_app` advances past it; a **colliding**
+    /// id is refused — two live tenants must never share an id, and the
+    /// caller (the migration choreography) resolves ownership by
+    /// committing the removal on the source first when re-homing onto
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Format`] / [`SnapshotError::Protocol`] on
+    /// version mismatch, [`SnapshotError::Environment`] when the static
+    /// configuration differs, [`SnapshotError::Structure`] on an id
+    /// collision (app, container, or telemetry series), a tick
+    /// disagreement, an oversubscribed share, or an inconsistent
+    /// container set.
+    pub fn graft_app(&mut self, snap: &TenantSnapshot) -> std::result::Result<(), SnapshotError> {
+        if snap.format != SNAPSHOT_FORMAT {
+            return Err(SnapshotError::Format {
+                expected: SNAPSHOT_FORMAT,
+                got: snap.format,
+            });
+        }
+        if !SUPPORTED_VERSIONS.contains(&snap.protocol_version) {
+            return Err(SnapshotError::Protocol(snap.protocol_version));
+        }
+        if snap.env_digest != self.env_fingerprint() {
+            return Err(SnapshotError::Environment(
+                "tick interval, battery spec, cluster composition, or excess policy \
+                 differs from the extracting process"
+                    .into(),
+            ));
+        }
+        if snap.tick != self.clock.tick_index() {
+            return Err(SnapshotError::Structure(format!(
+                "tenant captured at tick {} but this process is at tick {} — \
+                 migrate at a shared settlement boundary",
+                snap.tick,
+                self.clock.tick_index()
+            )));
+        }
+        let id = snap.app.app;
+        if id.value() == 0 {
+            return Err(SnapshotError::Structure("app id 0 is reserved".into()));
+        }
+        if self.apps.contains_key(&id) {
+            return Err(SnapshotError::Structure(format!(
+                "app id {id} is already registered here"
+            )));
+        }
+        let solar_total: f64 = self
+            .apps
+            .values_mut()
+            .map(|a| lock::get_mut(a).ves.share().solar_fraction)
+            .sum::<f64>()
+            + snap.app.ves.share().solar_fraction;
+        if solar_total > 1.0 + 1e-9 {
+            return Err(SnapshotError::Structure(format!(
+                "solar fractions would sum to {solar_total:.3}"
+            )));
+        }
+        let battery_total: WattHours = self
+            .apps
+            .values_mut()
+            .map(|a| lock::get_mut(a).ves.share().battery_capacity)
+            .sum::<WattHours>()
+            + snap.app.ves.share().battery_capacity;
+        if battery_total > self.physical_battery.spec().capacity {
+            return Err(SnapshotError::Structure(format!(
+                "battery capacity shares would sum to {battery_total}"
+            )));
+        }
+        if let Some(c) = snap.containers.iter().find(|c| c.owner() != id) {
+            return Err(SnapshotError::Structure(format!(
+                "container {} belongs to app {}, not the migrating app {id}",
+                c.id(),
+                c.owner()
+            )));
+        }
+        let shipped: BTreeSet<_> = snap.containers.iter().map(|c| c.id()).collect();
+        for c in &snap.app.carbon_capped {
+            if !shipped.contains(c) {
+                return Err(SnapshotError::Structure(format!(
+                    "app {id} carbon-caps container {c}, which the snapshot does not carry"
+                )));
+            }
+        }
+        let subjects = snap.subjects();
+        if let Some(alien) = snap
+            .tsdb
+            .all_subjects()
+            .iter()
+            .find(|s| !subjects.contains(*s))
+        {
+            return Err(SnapshotError::Structure(format!(
+                "telemetry subject {alien} does not belong to the migrating tenant"
+            )));
+        }
+
+        // Adoption validates ids, placement, and capacity before
+        // inserting anything; run it first since it is the remaining
+        // fallible step (the telemetry merge cannot collide once the
+        // container ids and the app id are known fresh).
+        lock::get_mut(&mut self.cop)
+            .adopt_containers(&snap.containers)
+            .map_err(SnapshotError::Structure)?;
+        lock::get_mut(&mut self.tsdb)
+            .merge_from(snap.tsdb.clone())
+            .map_err(SnapshotError::Structure)?;
+        self.apps.insert(
+            id,
+            RwLock::new(AppState {
+                name: snap.app.name.clone(),
+                ves: snap.app.ves.clone(),
+                notify: snap.app.notify,
+                outbox: snap.app.outbox,
+                pending_events: snap.app.pending_events.clone(),
+                carbon_rate_limit: snap.app.carbon_rate_limit,
+                carbon_budget: snap.app.carbon_budget,
+                carbon_capped: snap.app.carbon_capped.clone(),
+                budget_exhausted: snap.app.budget_exhausted,
+            }),
+        );
+        self.next_app = self.next_app.max(id.value() + 1);
+        Ok(())
+    }
+
+    /// Evicts a tenant: removes its shard, its containers (releasing
+    /// their server reservations), and its telemetry series. This is the
+    /// migration **commit** on the source — run it only after the
+    /// destination has accepted the graft — and the federation
+    /// deployment step that sheds non-local tenants from a node built
+    /// from the full deployment spec.
+    ///
+    /// `next_app` is left alone, so the id is never reallocated to a
+    /// different tenant. Dispatch for the evicted app answers
+    /// [`ProtoError::UnknownApp`](crate::proto::ProtoError::UnknownApp)
+    /// from the next batch on; a still-subscribed connection simply
+    /// receives no further frames.
+    ///
+    /// # Errors
+    ///
+    /// [`EcovisorError::UnknownApp`] when not registered.
+    pub fn remove_app(&mut self, app: AppId) -> Result<()> {
+        if self.apps.remove(&app).is_none() {
+            return Err(EcovisorError::UnknownApp(app));
+        }
+        let removed = lock::get_mut(&mut self.cop).remove_app_containers(app);
+        let mut subjects: BTreeSet<String> = removed.iter().map(|c| c.id().to_string()).collect();
+        subjects.insert(app.to_string());
+        lock::get_mut(&mut self.tsdb).remove_subjects(&subjects);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EcovisorBuilder;
+    use crate::event::Notification;
+    use crate::proto::{EnergyRequest, RequestBatch};
+    use crate::share::EnergyShare;
+    use container_cop::ContainerSpec;
+
+    fn solar_share(fraction: f64) -> EnergyShare {
+        EnergyShare::grid_only().with_solar_fraction(fraction)
+    }
+
+    fn eco_with_two_tenants() -> (Ecovisor, AppId, AppId) {
+        let mut eco = EcovisorBuilder::new().build();
+        let a = eco
+            .register_app("alpha", solar_share(0.4))
+            .expect("valid share");
+        let b = eco
+            .register_app("beta", EnergyShare::grid_only())
+            .expect("valid share");
+        (eco, a, b)
+    }
+
+    fn settle(eco: &mut Ecovisor, ticks: u32) {
+        for _ in 0..ticks {
+            eco.begin_tick();
+            eco.settle_tick();
+            eco.advance_clock();
+        }
+    }
+
+    #[test]
+    fn extract_does_not_disturb_the_source() {
+        let (mut eco, a, _) = eco_with_two_tenants();
+        settle(&mut eco, 3);
+        let before = eco.snapshot();
+        let snap = eco.extract_app(a).expect("registered");
+        assert_eq!(snap.app.app, a);
+        assert_eq!(snap.tick, 3);
+        assert_eq!(before.digest(), eco.snapshot().digest());
+    }
+
+    #[test]
+    fn extract_graft_round_trip_preserves_tenant_state() {
+        let (mut eco, a, _b) = eco_with_two_tenants();
+        let c = {
+            let mut api = eco.scoped(a).expect("registered");
+            use crate::api::EcovisorApi;
+            let c = api.launch_container(ContainerSpec::quad_core()).unwrap();
+            api.set_container_demand(c, 1.0).unwrap();
+            c
+        };
+        settle(&mut eco, 4);
+        let snap = eco.extract_app(a).expect("registered");
+        let totals_before = eco.app_totals(a).expect("registered");
+
+        // A fresh process with the same static environment but only the
+        // *other* tenant registered (ids preserved by registering both
+        // and evicting).
+        let mut dest = EcovisorBuilder::new().build();
+        dest.register_app("alpha", solar_share(0.4)).unwrap();
+        dest.register_app("beta", EnergyShare::grid_only()).unwrap();
+        dest.remove_app(a).unwrap();
+        settle(&mut dest, 4);
+        dest.graft_app(&snap).expect("valid graft");
+
+        let totals_after = dest.app_totals(a).expect("grafted");
+        assert_eq!(totals_before, totals_after);
+        assert_eq!(dest.app_name(a).expect("grafted"), "alpha");
+        let cop = dest.cop();
+        assert_eq!(cop.container_ids_of(a), vec![c]);
+        drop(cop);
+        // Telemetry came along: the app has series history.
+        assert!(dest.tsdb().latest("app_power_w", &a.to_string()).is_some());
+    }
+
+    #[test]
+    fn graft_rejects_colliding_app_id() {
+        let (mut eco, a, _) = eco_with_two_tenants();
+        let snap = eco.extract_app(a).expect("registered");
+        let err = eco.graft_app(&snap).expect_err("id collides");
+        assert!(matches!(err, SnapshotError::Structure(_)));
+    }
+
+    #[test]
+    fn graft_rejects_tick_and_environment_mismatch() {
+        let (mut eco, a, _) = eco_with_two_tenants();
+        settle(&mut eco, 2);
+        let snap = eco.extract_app(a).expect("registered");
+        eco.remove_app(a).expect("registered");
+
+        // Wrong tick: the receiver has settled one more tick.
+        settle(&mut eco, 1);
+        assert!(matches!(
+            eco.graft_app(&snap),
+            Err(SnapshotError::Structure(_))
+        ));
+
+        // Wrong environment digest.
+        let mut bad = snap.clone();
+        bad.env_digest ^= 0x05EE_DBAD;
+        assert!(matches!(
+            eco.graft_app(&bad),
+            Err(SnapshotError::Environment(_))
+        ));
+
+        // Wrong format.
+        let mut bad = snap.clone();
+        bad.format += 1;
+        assert!(matches!(
+            eco.graft_app(&bad),
+            Err(SnapshotError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn graft_rejects_oversubscribed_solar() {
+        let (mut eco, a, _) = eco_with_two_tenants();
+        let snap = eco.extract_app(a).expect("registered");
+        let mut dest = EcovisorBuilder::new().build();
+        dest.register_app("hog", solar_share(0.8)).unwrap();
+        let err = dest.graft_app(&snap).expect_err("0.8 + 0.4 oversubscribes");
+        assert!(matches!(err, SnapshotError::Structure(_)));
+        // The failed graft left the destination untouched.
+        assert_eq!(dest.app_ids().len(), 1);
+    }
+
+    #[test]
+    fn pending_outbox_events_move_exactly_once() {
+        let (mut eco, a, _) = eco_with_two_tenants();
+        // Fire a notification on *any* solar swing so the outbox is
+        // guaranteed non-empty after a couple of settlements.
+        eco.set_notify_config(
+            a,
+            crate::event::NotifyConfig {
+                solar_change_fraction: 0.0,
+                solar_change_floor: Watts::new(0.0),
+                carbon_change_fraction: 0.0,
+            },
+        )
+        .unwrap();
+        settle(&mut eco, 2);
+        let snap = eco.extract_app(a).expect("registered");
+        let pending: Vec<Notification> = snap.app.pending_events.clone();
+        assert!(!pending.is_empty(), "expected undelivered events");
+
+        let mut dest = EcovisorBuilder::new().build();
+        dest.register_app("alpha", solar_share(0.4)).unwrap();
+        dest.register_app("beta", EnergyShare::grid_only()).unwrap();
+        dest.remove_app(a).unwrap();
+        settle(&mut dest, 2);
+        dest.graft_app(&snap).expect("valid graft");
+        // Source commits the migration: its copy of the events is gone.
+        eco.remove_app(a).expect("registered");
+        assert!(eco.drain_events(a).is_empty());
+        // Destination delivers them exactly once.
+        assert_eq!(dest.drain_events(a), pending);
+        assert!(dest.drain_events(a).is_empty());
+    }
+
+    #[test]
+    fn removed_app_answers_unknown_and_frees_shares() {
+        let (mut eco, a, b) = eco_with_two_tenants();
+        eco.remove_app(a).expect("registered");
+        let batch = RequestBatch::new(a, vec![EnergyRequest::GetSolarPower]);
+        assert!(eco.dispatch_batch(&batch).responses[0].is_err());
+        assert!(matches!(
+            eco.remove_app(a),
+            Err(EcovisorError::UnknownApp(_))
+        ));
+        // The freed solar share can be re-registered…
+        let c = eco
+            .register_app("gamma", solar_share(1.0))
+            .expect("share freed");
+        // …and ids never reuse the evicted tenant's.
+        assert_ne!(c, a);
+        assert!(c > b);
+    }
+}

@@ -97,6 +97,7 @@ pub mod dispatch;
 pub mod ecovisor;
 pub mod error;
 pub mod event;
+pub mod federation;
 mod lock;
 pub mod proto;
 pub mod replay;
@@ -115,6 +116,7 @@ pub use dispatch::{ProtocolTrace, TraceEntry};
 pub use ecovisor::{Ecovisor, ScopedApi, SystemFlows};
 pub use error::{EcovisorError, Result};
 pub use event::{EventFilter, Notification, NotifyConfig, OutboxPolicy};
+pub use federation::{FedAppView, TenantSnapshot};
 pub use proto::{
     ControlFrame, EnergyRequest, EnergyResponse, EventFrame, Frame, ProtoError, RequestBatch,
     ResponseBatch, PROTOCOL_V1, PROTOCOL_VERSION, SUPPORTED_VERSIONS,

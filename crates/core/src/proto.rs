@@ -73,6 +73,7 @@ use simkit::units::{CarbonIntensity, CarbonRate, Co2Grams, WattHours, Watts};
 
 use crate::error::EcovisorError;
 use crate::event::{EventFilter, Notification};
+use crate::federation::FedAppView;
 
 /// The original request/response-only protocol. Still served: a v1
 /// batch dispatches byte-identically to how the v1 dispatcher answered
@@ -288,6 +289,73 @@ pub enum EnergyRequest {
         /// This chunk's bytes (a slice of [`Snapshot::to_bytes`](crate::snapshot::Snapshot::to_bytes) output).
         data: Vec<u8>,
     },
+
+    // -- v2 federation surface (migration + cross-node settlement) ------
+    /// Requests one chunk of a single tenant's capture (v2 only,
+    /// credential-gated). `chunk: 0` runs
+    /// [`Ecovisor::extract_app`](crate::Ecovisor::extract_app) under the
+    /// settlement barrier — **without removing the tenant** — and caches
+    /// the encoding on the connection; every chunk is answered with
+    /// [`EnergyResponse::SnapshotChunk`]. The migration choreography is
+    /// `MigrateOut`* → `MigrateIn`* → [`EnergyRequest::MigrateCommit`]
+    /// (see `docs/FEDERATION.md`). In-process dispatch acknowledges it as
+    /// a no-op.
+    MigrateOut {
+        /// The tenant to capture.
+        app: AppId,
+        /// 0-based index of the chunk to fetch.
+        chunk: u32,
+    },
+    /// Delivers one chunk of a [`TenantSnapshot`](crate::TenantSnapshot)
+    /// to graft (v2 only, credential-gated). Chunks accumulate
+    /// per-connection, in order; the final chunk decodes the assembly
+    /// and grafts it under the settlement barrier — a rejected graft
+    /// (tampered bytes, environment mismatch, colliding id) leaves this
+    /// node untouched. In-process dispatch acknowledges it as a no-op.
+    MigrateIn {
+        /// 0-based index of this chunk.
+        index: u32,
+        /// Total number of chunks in the transfer.
+        total: u32,
+        /// This chunk's bytes (a slice of `TenantSnapshot::to_bytes` output).
+        data: Vec<u8>,
+    },
+    /// Commits a migration on the **source** node: evicts the tenant
+    /// (shard, containers, telemetry) under the settlement barrier (v2
+    /// only, credential-gated). Send only after the destination accepted
+    /// the final `MigrateIn` chunk. In-process dispatch acknowledges it
+    /// as a no-op.
+    MigrateCommit {
+        /// The tenant to evict.
+        app: AppId,
+    },
+    /// Federated tick, phase one: begins the tick and returns this
+    /// node's demand views ([`EnergyResponse::Demands`]); v2 only,
+    /// credential-gated, coordinator-driven. In-process dispatch
+    /// acknowledges it as a no-op.
+    FedCollect,
+    /// Federated tick, phase two: settles the globally merged view list
+    /// on this node's substrate replica and advances its clock (v2 only,
+    /// credential-gated). In-process dispatch acknowledges it as a
+    /// no-op.
+    FedSettle {
+        /// Every federated app's view, strictly ascending by app id.
+        views: Vec<FedAppView>,
+    },
+    /// Aligns this node's container-id cursor to the coordinator's
+    /// global cursor (v2 only, credential-gated): launches dispatched to
+    /// this node next will allocate ids starting at `next_container`.
+    /// Refused if the cursor would move backwards. In-process dispatch
+    /// acknowledges it as a no-op.
+    FedAlign {
+        /// The next container id this node should allocate.
+        next_container: u64,
+    },
+    /// Reads this node's container-id cursor ([`EnergyResponse::Count`]);
+    /// v2 only, credential-gated. The coordinator reads it back after
+    /// routing a launch-bearing batch, since failed launches consume no
+    /// ids. In-process dispatch acknowledges it as a no-op.
+    FedCursor,
 }
 
 impl EnergyRequest {
@@ -343,7 +411,14 @@ impl EnergyRequest {
         match self {
             EnergyRequest::SubscribeEvents { .. }
             | EnergyRequest::Snapshot { .. }
-            | EnergyRequest::Restore { .. } => PROTOCOL_VERSION,
+            | EnergyRequest::Restore { .. }
+            | EnergyRequest::MigrateOut { .. }
+            | EnergyRequest::MigrateIn { .. }
+            | EnergyRequest::MigrateCommit { .. }
+            | EnergyRequest::FedCollect
+            | EnergyRequest::FedSettle { .. }
+            | EnergyRequest::FedAlign { .. }
+            | EnergyRequest::FedCursor => PROTOCOL_VERSION,
             _ => PROTOCOL_V1,
         }
     }
@@ -353,7 +428,15 @@ impl EnergyRequest {
     pub fn is_admin(&self) -> bool {
         matches!(
             self,
-            EnergyRequest::Snapshot { .. } | EnergyRequest::Restore { .. }
+            EnergyRequest::Snapshot { .. }
+                | EnergyRequest::Restore { .. }
+                | EnergyRequest::MigrateOut { .. }
+                | EnergyRequest::MigrateIn { .. }
+                | EnergyRequest::MigrateCommit { .. }
+                | EnergyRequest::FedCollect
+                | EnergyRequest::FedSettle { .. }
+                | EnergyRequest::FedAlign { .. }
+                | EnergyRequest::FedCursor
         )
     }
 
@@ -448,6 +531,13 @@ impl EnergyRequest {
             SubscribeEvents { .. } => "subscribe_events",
             Snapshot { .. } => "snapshot",
             Restore { .. } => "restore",
+            MigrateOut { .. } => "migrate_out",
+            MigrateIn { .. } => "migrate_in",
+            MigrateCommit { .. } => "migrate_commit",
+            FedCollect => "fed_collect",
+            FedSettle { .. } => "fed_settle",
+            FedAlign { .. } => "fed_align",
+            FedCursor => "fed_cursor",
         }
     }
 }
@@ -503,6 +593,11 @@ pub enum EnergyResponse {
     },
     /// The request failed; the error is data.
     Err(ProtoError),
+    /// A node's demand views for a federated tick (the answer to
+    /// [`EnergyRequest::FedCollect`] on a credentialed v2 connection).
+    /// Appended after `Err` so existing variant tags — and therefore
+    /// recorded corpus artifacts — stay stable.
+    Demands(Vec<FedAppView>),
 }
 
 /// A protocol-level failure, serializable like everything else.
@@ -819,6 +914,8 @@ extractors! {
     app / expect_app => App(AppId),
     /// Extracts drained notifications.
     events / expect_events => Events(Vec<Notification>),
+    /// Extracts federated demand views.
+    demands / expect_demands => Demands(Vec<FedAppView>),
 }
 
 impl EnergyResponse {

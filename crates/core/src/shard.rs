@@ -153,6 +153,85 @@ impl ShardedEcovisor {
         })
     }
 
+    /// Phase one of a **federated** tick: samples the tick inputs and
+    /// captures the local tenants' demand views under the settlement
+    /// barrier (see [`Ecovisor::collect_demand`]).
+    ///
+    /// The coordinator contract: between this call and the matching
+    /// [`fed_settle`](Self::fed_settle) no dispatch may be allowed to
+    /// mutate tenant state — on a deployed node that means the
+    /// coordinator drives both phases back-to-back and tenants' writes
+    /// in between are their own lookout only if the operator breaks the
+    /// choreography. `docs/FEDERATION.md` spells this out.
+    pub fn fed_collect(&self) -> Vec<crate::federation::FedAppView> {
+        self.with(|eco| {
+            eco.begin_tick();
+            eco.collect_demand()
+        })
+    }
+
+    /// Phase two of a federated tick: settles the globally merged view
+    /// list, runs the broadcast hooks, and advances the clock — the
+    /// cross-node extension of [`tick`](Self::tick).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Ecovisor::settle_with_views`] rejects; on error the
+    /// hooks do not run and the clock does not advance, so a node that
+    /// received a malformed view list stays at the unsettled tick.
+    pub fn fed_settle(
+        &self,
+        views: &[crate::federation::FedAppView],
+    ) -> crate::error::Result<SystemFlows> {
+        self.with(|eco| {
+            let flows = eco.settle_with_views(views)?;
+            for hook in lock::lock(&self.hooks).iter() {
+                hook(eco);
+            }
+            eco.advance_clock();
+            Ok(flows)
+        })
+    }
+
+    /// Captures one tenant under the settlement barrier (see
+    /// [`Ecovisor::extract_app`]); the tenant keeps running here until
+    /// [`remove_app`](Self::remove_app) commits the migration.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::EcovisorError::UnknownApp`] when not registered.
+    pub fn extract_app(
+        &self,
+        app: AppId,
+    ) -> crate::error::Result<crate::federation::TenantSnapshot> {
+        self.with(|eco| eco.extract_app(app))
+    }
+
+    /// Grafts a migrated tenant under the settlement barrier (see
+    /// [`Ecovisor::graft_app`] for validation; on error nothing
+    /// changes).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Ecovisor::graft_app`] rejects.
+    pub fn graft_app(
+        &self,
+        snap: &crate::federation::TenantSnapshot,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.with(|eco| eco.graft_app(snap))
+    }
+
+    /// Evicts a tenant under the settlement barrier (see
+    /// [`Ecovisor::remove_app`]) — the migration commit on the source
+    /// node.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::EcovisorError::UnknownApp`] when not registered.
+    pub fn remove_app(&self, app: AppId) -> crate::error::Result<()> {
+        self.with(|eco| eco.remove_app(app))
+    }
+
     /// Captures a [`Snapshot`](crate::snapshot::Snapshot) under the
     /// settlement barrier: all dispatch quiesces, so the checkpoint can
     /// never observe a half-settled tick or a half-applied batch.

@@ -240,8 +240,10 @@ struct EnvFingerprint {
 }
 
 impl Ecovisor {
-    /// Digest of the static environment (see [`EnvFingerprint`]).
-    fn env_fingerprint(&self) -> u64 {
+    /// Digest of the static environment (see [`EnvFingerprint`]). Shared
+    /// with the per-tenant extraction/grafting path
+    /// ([`crate::federation`]), which validates the same fingerprint.
+    pub(crate) fn env_fingerprint(&self) -> u64 {
         let servers: Vec<ServerSpec> = lock::read(&self.cop)
             .servers()
             .iter()

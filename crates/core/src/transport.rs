@@ -1258,6 +1258,14 @@ struct AdminState {
     restore: Vec<u8>,
     /// Next expected restore chunk index.
     restore_next: u32,
+    /// Binary tenant capture cached by the last `MigrateOut{chunk: 0}`
+    /// on this connection (the tenant itself keeps running on this node
+    /// until `MigrateCommit`).
+    migrate_out: Option<Vec<u8>>,
+    /// Migrate-in chunks received so far.
+    migrate_in: Vec<u8>,
+    /// Next expected migrate-in chunk index.
+    migrate_in_next: u32,
 }
 
 /// Number of [`SNAPSHOT_CHUNK_LEN`] chunks covering `len` bytes (at
@@ -1281,7 +1289,9 @@ fn serve_admin(
 ) -> EnergyResponse {
     if !authed {
         return EnergyResponse::Err(ProtoError::Denied(
-            "snapshot/restore require a credential-authenticated connection".into(),
+            "the admin surface (snapshot/restore/migration/federation) requires \
+             a credential-authenticated connection"
+                .into(),
         ));
     }
     match req {
@@ -1346,6 +1356,104 @@ fn serve_admin(
                     "restore payload undecodable: {e}"
                 ))),
             }
+        }
+        EnergyRequest::MigrateOut { app, chunk } => {
+            if *chunk == 0 {
+                match ctx.shared.extract_app(*app) {
+                    Ok(snap) => admin.migrate_out = Some(snap.to_bytes()),
+                    Err(e) => {
+                        admin.migrate_out = None;
+                        return EnergyResponse::Err(ProtoError::Other(format!(
+                            "migrate-out rejected: {e}"
+                        )));
+                    }
+                }
+            }
+            let Some(bytes) = admin.migrate_out.as_deref() else {
+                return EnergyResponse::Err(ProtoError::Other(
+                    "no tenant capture cached on this connection: request chunk 0 first".into(),
+                ));
+            };
+            let total = chunk_count(bytes.len());
+            if *chunk >= total {
+                return EnergyResponse::Err(ProtoError::Other(format!(
+                    "migrate-out chunk {chunk} out of range ({total} chunks)"
+                )));
+            }
+            let start = *chunk as usize * SNAPSHOT_CHUNK_LEN;
+            let end = (start + SNAPSHOT_CHUNK_LEN).min(bytes.len());
+            EnergyResponse::SnapshotChunk {
+                index: *chunk,
+                total,
+                data: bytes[start..end].to_vec(),
+            }
+        }
+        EnergyRequest::MigrateIn { index, total, data } => {
+            if *index == 0 {
+                admin.migrate_in.clear();
+                admin.migrate_in_next = 0;
+            }
+            if *total == 0 || *index >= *total || *index != admin.migrate_in_next {
+                let expected = admin.migrate_in_next;
+                admin.migrate_in.clear();
+                admin.migrate_in_next = 0;
+                return EnergyResponse::Err(ProtoError::Other(format!(
+                    "migrate-in chunk {index}/{total} out of order (expected {expected})"
+                )));
+            }
+            if admin.migrate_in.len().saturating_add(data.len()) > MAX_RESTORE_LEN {
+                admin.migrate_in.clear();
+                admin.migrate_in_next = 0;
+                return EnergyResponse::Err(ProtoError::Other(
+                    "migrate-in payload exceeds the size ceiling".into(),
+                ));
+            }
+            admin.migrate_in.extend_from_slice(data);
+            admin.migrate_in_next += 1;
+            if admin.migrate_in_next < *total {
+                return EnergyResponse::Ok;
+            }
+            let assembled = std::mem::take(&mut admin.migrate_in);
+            admin.migrate_in_next = 0;
+            match crate::federation::TenantSnapshot::from_bytes(&assembled) {
+                Ok(snap) => match ctx.shared.graft_app(&snap) {
+                    Ok(()) => EnergyResponse::Ok,
+                    Err(e) => {
+                        EnergyResponse::Err(ProtoError::Other(format!("migrate-in rejected: {e}")))
+                    }
+                },
+                Err(e) => EnergyResponse::Err(ProtoError::Other(format!(
+                    "migrate-in payload undecodable: {e}"
+                ))),
+            }
+        }
+        EnergyRequest::MigrateCommit { app } => match ctx.shared.remove_app(*app) {
+            Ok(()) => EnergyResponse::Ok,
+            Err(e) => {
+                EnergyResponse::Err(ProtoError::Other(format!("migrate-commit rejected: {e}")))
+            }
+        },
+        EnergyRequest::FedCollect => EnergyResponse::Demands(ctx.shared.fed_collect()),
+        EnergyRequest::FedSettle { views } => match ctx.shared.fed_settle(views) {
+            Ok(_) => EnergyResponse::Ok,
+            Err(e) => EnergyResponse::Err(ProtoError::Other(format!("fed-settle rejected: {e}"))),
+        },
+        EnergyRequest::FedAlign { next_container } => {
+            let aligned = ctx
+                .shared
+                .with(|eco| crate::lock::get_mut(&mut eco.cop).align_container_id(*next_container));
+            match aligned {
+                Ok(()) => EnergyResponse::Ok,
+                Err(e) => {
+                    EnergyResponse::Err(ProtoError::Other(format!("fed-align rejected: {e}")))
+                }
+            }
+        }
+        EnergyRequest::FedCursor => {
+            let cursor = ctx
+                .shared
+                .read(|eco| crate::lock::read(&eco.cop).next_container_id());
+            EnergyResponse::Count(cursor as usize)
         }
         _ => EnergyResponse::Err(ProtoError::Other("not an admin request".into())),
     }
@@ -1935,6 +2043,193 @@ impl RemoteEcovisorClient {
             }
         }
         Ok(())
+    }
+
+    /// Downloads one tenant's capture over the admin migration surface
+    /// ([`EnergyRequest::MigrateOut`], chunked like
+    /// [`fetch_snapshot`](Self::fetch_snapshot)). The tenant **keeps
+    /// running on the server** — after grafting the capture onto the
+    /// destination ([`push_tenant`](Self::push_tenant)), commit the move
+    /// with [`commit_migration`](Self::commit_migration).
+    ///
+    /// # Errors
+    ///
+    /// On a v1 connection, a broken transport, a denied admin surface,
+    /// an unknown tenant, or an undecodable payload.
+    pub fn fetch_tenant(&mut self, app: AppId) -> io::Result<crate::federation::TenantSnapshot> {
+        let mut bytes = Vec::new();
+        let mut chunk = 0u32;
+        loop {
+            match self.admin_round_trip(EnergyRequest::MigrateOut { app, chunk })? {
+                EnergyResponse::SnapshotChunk { index, total, data } => {
+                    if index != chunk || total == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("migrate-out chunk {index}/{total}, expected {chunk}"),
+                        ));
+                    }
+                    bytes.extend_from_slice(&data);
+                    if index + 1 >= total {
+                        break;
+                    }
+                    chunk += 1;
+                }
+                EnergyResponse::Err(e) => {
+                    return Err(io::Error::new(
+                        admin_error_kind(&e),
+                        format!("server refused migrate-out: {e}"),
+                    ));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected migrate-out response: {other:?}"),
+                    ));
+                }
+            }
+        }
+        crate::federation::TenantSnapshot::from_bytes(&bytes).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("tenant capture undecodable: {e}"),
+            )
+        })
+    }
+
+    /// Grafts a tenant capture onto the server
+    /// ([`EnergyRequest::MigrateIn`], chunked). A rejection — tampered
+    /// bytes, environment mismatch, colliding id — leaves the server
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`push_restore`](Self::push_restore) can fail with,
+    /// plus the server-side validation failures of
+    /// [`Ecovisor::graft_app`](crate::Ecovisor::graft_app).
+    pub fn push_tenant(&mut self, snap: &crate::federation::TenantSnapshot) -> io::Result<()> {
+        let bytes = snap.to_bytes();
+        let total = chunk_count(bytes.len());
+        for (i, piece) in bytes.chunks(SNAPSHOT_CHUNK_LEN).enumerate() {
+            let index = u32::try_from(i).unwrap_or(u32::MAX);
+            let request = EnergyRequest::MigrateIn {
+                index,
+                total,
+                data: piece.to_vec(),
+            };
+            match self.admin_round_trip(request)? {
+                EnergyResponse::Ok => {}
+                EnergyResponse::Err(e) => {
+                    return Err(io::Error::new(
+                        admin_error_kind(&e),
+                        format!("server refused migrate-in: {e}"),
+                    ));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected migrate-in response: {other:?}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits a migration on the **source** server: evicts the tenant.
+    /// Send only after [`push_tenant`](Self::push_tenant) succeeded on
+    /// the destination.
+    ///
+    /// # Errors
+    ///
+    /// On a v1 connection, a broken transport, a denied admin surface,
+    /// or an unknown tenant.
+    pub fn commit_migration(&mut self, app: AppId) -> io::Result<()> {
+        self.admin_ack(EnergyRequest::MigrateCommit { app }, "migrate-commit")
+    }
+
+    /// Federated tick, phase one: begins the server's tick and returns
+    /// its local demand views (see `docs/FEDERATION.md` for the
+    /// coordinator choreography).
+    ///
+    /// # Errors
+    ///
+    /// On a v1 connection, a broken transport, or a denied admin
+    /// surface.
+    pub fn fed_collect(&mut self) -> io::Result<Vec<crate::federation::FedAppView>> {
+        match self.admin_round_trip(EnergyRequest::FedCollect)? {
+            EnergyResponse::Demands(views) => Ok(views),
+            EnergyResponse::Err(e) => Err(io::Error::new(
+                admin_error_kind(&e),
+                format!("server refused fed-collect: {e}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected fed-collect response: {other:?}"),
+            )),
+        }
+    }
+
+    /// Federated tick, phase two: settles the globally merged view list
+    /// on the server and advances its clock.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`fed_collect`](Self::fed_collect) can fail with, plus
+    /// the server-side validation failures of
+    /// [`Ecovisor::settle_with_views`](crate::Ecovisor::settle_with_views).
+    pub fn fed_settle(&mut self, views: &[crate::federation::FedAppView]) -> io::Result<()> {
+        self.admin_ack(
+            EnergyRequest::FedSettle {
+                views: views.to_vec(),
+            },
+            "fed-settle",
+        )
+    }
+
+    /// Aligns the server's container-id cursor to the coordinator's
+    /// global cursor (refused if it would move backwards).
+    ///
+    /// # Errors
+    ///
+    /// On a v1 connection, a broken transport, a denied admin surface,
+    /// or a backwards cursor.
+    pub fn fed_align(&mut self, next_container: u64) -> io::Result<()> {
+        self.admin_ack(EnergyRequest::FedAlign { next_container }, "fed-align")
+    }
+
+    /// Reads the server's container-id cursor.
+    ///
+    /// # Errors
+    ///
+    /// On a v1 connection, a broken transport, or a denied admin
+    /// surface.
+    pub fn fed_cursor(&mut self) -> io::Result<u64> {
+        match self.admin_round_trip(EnergyRequest::FedCursor)? {
+            EnergyResponse::Count(n) => Ok(n as u64),
+            EnergyResponse::Err(e) => Err(io::Error::new(
+                admin_error_kind(&e),
+                format!("server refused fed-cursor: {e}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected fed-cursor response: {other:?}"),
+            )),
+        }
+    }
+
+    /// Sends one ack-style admin request and maps its response to `()`.
+    fn admin_ack(&mut self, request: EnergyRequest, what: &str) -> io::Result<()> {
+        match self.admin_round_trip(request)? {
+            EnergyResponse::Ok => Ok(()),
+            EnergyResponse::Err(e) => Err(io::Error::new(
+                admin_error_kind(&e),
+                format!("server refused {what}: {e}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected {what} response: {other:?}"),
+            )),
+        }
     }
 
     /// Sends one admin request as its own batch and returns its response

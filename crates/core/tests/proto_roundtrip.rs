@@ -8,7 +8,10 @@ use ecovisor::proto::{
     EnergyRequest, EnergyResponse, EventFrame, ProtoError, RequestBatch, ResponseBatch,
     PROTOCOL_VERSION,
 };
-use ecovisor::{EventFilter, Notification, ProtocolTrace, TraceEntry};
+use ecovisor::{
+    EnergyShare, EventFilter, FedAppView, Notification, ProtocolTrace, TraceEntry,
+    VirtualEnergySystem,
+};
 use simkit::time::{SimDuration, SimTime};
 use simkit::units::{CarbonIntensity, CarbonRate, Co2Grams, WattHours, Watts};
 
@@ -102,6 +105,27 @@ fn all_requests() -> Vec<EnergyRequest> {
             total: 2,
             data: vec![0x13, 0x37, 0x00],
         },
+        EnergyRequest::MigrateOut {
+            app: AppId::new(4),
+            chunk: 1,
+        },
+        EnergyRequest::MigrateIn {
+            index: 0,
+            total: 3,
+            data: vec![0xFE, 0xED],
+        },
+        EnergyRequest::MigrateCommit { app: AppId::new(4) },
+        EnergyRequest::FedCollect,
+        EnergyRequest::FedSettle {
+            views: vec![FedAppView {
+                app: AppId::new(2),
+                ves: VirtualEnergySystem::new(EnergyShare::grid_only().with_solar_fraction(0.25)),
+                power: Watts::new(17.5),
+            }],
+        },
+        EnergyRequest::FedSettle { views: vec![] },
+        EnergyRequest::FedAlign { next_container: 42 },
+        EnergyRequest::FedCursor,
     ]
 }
 
@@ -168,6 +192,12 @@ fn all_responses() -> Vec<EnergyResponse> {
         }),
         EnergyResponse::Err(ProtoError::NotAQuery),
         EnergyResponse::Err(ProtoError::Other("share \"exceeded\"\n".into())),
+        EnergyResponse::Demands(vec![FedAppView {
+            app: AppId::new(1),
+            ves: VirtualEnergySystem::new(EnergyShare::grid_only()),
+            power: Watts::new(3.75),
+        }]),
+        EnergyResponse::Demands(vec![]),
     ]
 }
 
@@ -216,14 +246,21 @@ fn every_request_variant_round_trips() {
             | PollEvents
             | SubscribeEvents { .. }
             | Snapshot { .. }
-            | Restore { .. } => {}
+            | Restore { .. }
+            | MigrateOut { .. }
+            | MigrateIn { .. }
+            | MigrateCommit { .. }
+            | FedCollect
+            | FedSettle { .. }
+            | FedAlign { .. }
+            | FedCursor => {}
         }
         round_trip_request(r);
     }
     // Every variant name appears exactly once in the exemplar list
     // (modulo the deliberate Some/None doubles).
     let names: std::collections::BTreeSet<&str> = requests.iter().map(|r| r.name()).collect();
-    assert_eq!(names.len(), 38);
+    assert_eq!(names.len(), 45);
 }
 
 #[test]
@@ -248,7 +285,8 @@ fn every_response_variant_round_trips() {
             | App(_)
             | Events(_)
             | SnapshotChunk { .. }
-            | Err(_) => {}
+            | Err(_)
+            | Demands(_) => {}
         }
         round_trip_response(resp);
     }
@@ -298,8 +336,9 @@ fn protocol_traces_round_trip() {
             ],
         }],
     };
-    // 40 exemplar requests (38 variants + the two `None` doubles) + 1.
-    assert_eq!(trace.request_count(), 41);
+    // 48 exemplar requests (45 variants + the two `None` doubles + the
+    // empty `FedSettle` double) + 1.
+    assert_eq!(trace.request_count(), 49);
     assert_eq!(trace.event_count(), 2);
     let wire = serde::json::to_string(&trace);
     let back: ProtocolTrace = serde::json::from_str(&wire).expect("parse back");

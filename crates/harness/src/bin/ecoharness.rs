@@ -6,7 +6,7 @@
 //! ecoharness record [--out DIR] [--codec json|binary]
 //!                   [--checkpoint-every HOURS] [NAME ...]
 //! ecoharness record --from ARTIFACT@TICK [--out DIR] [--codec json|binary]
-//! ecoharness verify [--transport] PATH [PATH ...]
+//! ecoharness verify [--transport] [--federated] PATH [PATH ...]
 //! ecoharness bench [--iters N] [--json] PATH [PATH ...]
 //! ecoharness diff A B
 //! ```
@@ -19,7 +19,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use ecoharness::artifact::{artifacts_in_dir, codec_name, is_artifact_path};
-use ecoharness::{corpus, record_with_checkpoints, verify, verify_transport, ScenarioArtifact};
+use ecoharness::{
+    corpus, record_with_checkpoints, verify, verify_federated, verify_transport, ScenarioArtifact,
+};
 use ecovisor::{ShardedEcovisor, WireCodec};
 
 fn main() -> ExitCode {
@@ -60,7 +62,7 @@ USAGE:
     ecoharness record [--out DIR] [--codec json|binary]
                       [--checkpoint-every HOURS] [NAME ...]
     ecoharness record --from ARTIFACT@TICK [--out DIR] [--codec json|binary]
-    ecoharness verify [--transport] PATH [PATH ...]
+    ecoharness verify [--transport] [--federated] PATH [PATH ...]
     ecoharness fuzz [--seed S] [--count N] [--no-transport] [--out DIR]
     ecoharness fuzz --soak [--seed S] [--ticks N] [--tenants N]
     ecoharness fuzz --promote [--seed S] [--count N] [--top K] [--out DIR]
@@ -74,6 +76,13 @@ some scenarios in each codec (override with --codec).
 per-tenant TCP connections (one per app, subscribed to event push)
 against the evented server, in both codecs — the wire path must be
 bit-indistinguishable from in-process dispatch.
+`verify --federated` additionally replays each artifact split across
+two live ecovisor processes joined by the two-phase federated tick
+(collect demand → merge → settle), in both codecs — the federation
+must be bit-indistinguishable from the single process. Artifacts
+whose spec carries a migration plan live-migrate that tenant between
+the nodes mid-day; `--transport` runs the federated pass for such
+artifacts automatically.
 `--checkpoint-every HOURS` embeds a full state snapshot every HOURS
 simulated hours; `verify` restores each one and replays the rest of
 the day against it. `--from ARTIFACT@TICK` starts a *new* recording
@@ -231,13 +240,18 @@ fn cmd_record_resumed(
 
 /// `verify`: replay every artifact on both paths in both codecs; with
 /// `--transport`, additionally replay each one over live per-tenant
-/// TCP connections against the evented server.
+/// TCP connections against the evented server; with `--federated`,
+/// additionally replay each one split across a live two-node
+/// federation. `--transport` implies the federated pass for artifacts
+/// carrying a migration plan (the plan only executes federated).
 fn cmd_verify(args: Vec<String>) -> Result<ExitCode, String> {
     let mut transport = false;
+    let mut federated = false;
     let mut path_args: Vec<String> = Vec::new();
     for arg in args {
         match arg.as_str() {
             "--transport" => transport = true,
+            "--federated" => federated = true,
             _ => path_args.push(arg),
         }
     }
@@ -251,6 +265,11 @@ fn cmd_verify(args: Vec<String>) -> Result<ExitCode, String> {
             let wire =
                 verify_transport(&artifact).map_err(|e| format!("{}: {e}", path.display()))?;
             report.checks.extend(wire.checks);
+        }
+        if federated || (transport && artifact.spec.migration.is_some()) {
+            let fed =
+                verify_federated(&artifact).map_err(|e| format!("{}: {e}", path.display()))?;
+            report.checks.extend(fed.checks);
         }
         let status = if report.passed() { "PASS" } else { "FAIL" };
         println!(

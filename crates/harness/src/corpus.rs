@@ -1,4 +1,4 @@
-//! The builtin scenario corpus: ~seven diverse recorded days.
+//! The builtin scenario corpus: a dozen diverse recorded days.
 //!
 //! Each builtin is a deterministic [`ScenarioSpec`] chosen to exercise a
 //! distinct slice of the system — solar regimes (clear vs. overcast),
@@ -37,6 +37,7 @@ pub fn names() -> Vec<&'static str> {
         "thousand-tenants",
         "credential-churn",
         "restore-under-load",
+        "split-brain",
     ]
 }
 
@@ -66,6 +67,7 @@ pub fn default_seed(name: &str) -> Option<u64> {
         "thousand-tenants" => 0x5EED_0008,
         "credential-churn" => 0x5EED_0009,
         "restore-under-load" => 0x5EED_000A,
+        "split-brain" => 0x5EED_000B,
         _ => return None,
     })
 }
@@ -97,6 +99,7 @@ pub fn builtin_with_seed(name: &str, seed: u64) -> Option<ScenarioSpec> {
         "thousand-tenants" => thousand_tenants(seed),
         "credential-churn" => credential_churn(seed),
         "restore-under-load" => restore_under_load(seed),
+        "split-brain" => split_brain(seed),
         _ => return None,
     })
 }
@@ -128,6 +131,7 @@ fn base(name: &str, description: &str, seed: u64, ticks: u64) -> ScenarioSpec {
         tenants: Vec::new(),
         credentials: Vec::new(),
         restore: None,
+        migration: None,
     }
 }
 
@@ -789,6 +793,131 @@ fn restore_under_load(seed: u64) -> ScenarioSpec {
     spec.restore = Some(crate::spec::RestorePlan {
         tick: 12,
         tamper: true,
+    });
+    spec
+}
+
+/// The federation day: three credentialed tenants whose recorded day is
+/// replayed split across **two live ecovisor processes**, with the
+/// battery-cycling "wanderer" tenant live-migrated between them at tick
+/// 16 — mid-day, under live subscribed connections. Servers are
+/// generous (16 microservers for ≤7 containers) so capacity never binds
+/// on either partial replica, and the low notify thresholds put push
+/// frames on both sides of the move: the migration must not lose,
+/// duplicate, or reorder a single one.
+fn split_brain(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "split-brain",
+        "Federation day on volatile CAISO carbon: the battery-cycling wanderer tenant \
+         live-migrates between two ecovisor processes at tick 16, under live \
+         connections — the split day must stay bit-identical to one process",
+        seed,
+        32,
+    );
+    spec.servers = 16;
+    spec.carbon = CarbonSpec::Region {
+        region: RegionKind::California,
+        days: 1,
+        seed: sub_seed(seed, 0),
+    };
+    spec.solar = SolarSpec::Array(
+        SolarArrayBuilder::new(110.0)
+            .days(1)
+            .weather(Weather::Mixed)
+            .seed(sub_seed(seed, 1)),
+    );
+    let mut wanderer = TenantSpec::new(
+        "wanderer",
+        EnergyShare::grid_only()
+            .with_solar_fraction(0.5)
+            .with_battery(WattHours::new(10.0))
+            .with_initial_soc(0.5),
+        DriverSpec::Scripted {
+            containers: 2,
+            phases: vec![
+                ScriptPhase {
+                    ticks: 4,
+                    demand: 0.9,
+                    charge_watts: 0.0,
+                    max_discharge_watts: 12.0,
+                },
+                ScriptPhase {
+                    ticks: 4,
+                    demand: 0.3,
+                    charge_watts: 15.0,
+                    max_discharge_watts: 0.0,
+                },
+            ],
+            budget_grams: None,
+            budget_at_tick: 0,
+        },
+    );
+    // Low thresholds: the battery cycle plus mixed-weather solar keeps
+    // the wanderer's outbox busy right across the migration tick, so
+    // the capture carries pending sequencing state worth preserving.
+    wanderer.notify = Some(NotifyConfig {
+        solar_change_fraction: 0.08,
+        solar_change_floor: Watts::new(0.4),
+        carbon_change_fraction: 0.08,
+    });
+    spec.tenants = vec![
+        wanderer,
+        TenantSpec::new(
+            "anchor-web",
+            EnergyShare::grid_only().with_solar_fraction(0.4),
+            DriverSpec::Web {
+                service_rate: 40.0,
+                workload: WorkloadTraceBuilder::new(20.0, 100.0)
+                    .days(1)
+                    .seed(sub_seed(seed, 2)),
+                policy: WebPolicy::DynamicBudget {
+                    target_rate: CarbonRate::new(0.0008),
+                    slo_ms: 300.0,
+                },
+                slo_ms: 300.0,
+                min_workers: 1,
+                max_workers: 4,
+            },
+        ),
+        TenantSpec::new(
+            "anchor-batch",
+            EnergyShare::grid_only().with_solar_fraction(0.1),
+            DriverSpec::Batch {
+                job: JobSpec::Linear {
+                    total_core_hours: 50.0,
+                },
+                mode: BatchMode::SuspendResume {
+                    threshold: CarbonIntensity::new(220.0),
+                },
+                baseline_containers: 1,
+                container_cores: 4,
+                arrival_hours: 0.5,
+            },
+        ),
+    ];
+    // The transport cell exercises the spec's own credentials; the
+    // federated cell always gates its migration surface behind a
+    // synthetic registry, so both replays run authenticated.
+    spec.credentials = vec![
+        crate::spec::CredentialSpec {
+            tenant: "wanderer".into(),
+            token: "wanderer-token".into(),
+            rotation: None,
+        },
+        crate::spec::CredentialSpec {
+            tenant: "anchor-web".into(),
+            token: "anchor-web-token".into(),
+            rotation: None,
+        },
+        crate::spec::CredentialSpec {
+            tenant: "anchor-batch".into(),
+            token: "anchor-batch-token".into(),
+            rotation: None,
+        },
+    ];
+    spec.migration = Some(crate::spec::MigrationPlan {
+        tenant: "wanderer".into(),
+        tick: 16,
     });
     spec
 }

@@ -7,7 +7,8 @@
 //!   [`ScenarioSpec`]s from the whole spec space (tenant counts,
 //!   workload/policy mixes, carbon regions, solar regimes, battery
 //!   sizes, outbox caps, credential sets with mid-day rotations,
-//!   checkpoint cadences, restore plans) and drives each candidate
+//!   checkpoint cadences, restore plans, mid-day federated migration
+//!   plans) and drives each candidate
 //!   through the full record → verify matrix — both wire codecs × both
 //!   dispatch paths × every embedded checkpoint, and (unless disabled)
 //!   the live evented transport. A candidate that fails is handed to
@@ -51,10 +52,10 @@ use crate::error::HarnessError;
 use crate::record::record_with_checkpoints;
 use crate::scenario::build_ecovisor;
 use crate::spec::{
-    CarbonSpec, CredentialRotation, CredentialSpec, DriverSpec, JobSpec, RestorePlan, ScenarioSpec,
-    ScriptPhase, SolarSpec, TenantSpec, SPEC_FORMAT,
+    CarbonSpec, CredentialRotation, CredentialSpec, DriverSpec, JobSpec, MigrationPlan,
+    RestorePlan, ScenarioSpec, ScriptPhase, SolarSpec, TenantSpec, SPEC_FORMAT,
 };
-use crate::verify::{verify, verify_transport};
+use crate::verify::{verify, verify_federated, verify_transport};
 
 /// One fuzz candidate: a generated spec plus the checkpoint cadence its
 /// recording embeds (`None` = no checkpoints).
@@ -284,6 +285,22 @@ pub fn generate(seed: u64, index: u64) -> Candidate {
         _ => None,
     };
 
+    // A mid-day live migration: the candidate also replays split across
+    // two federated processes, moving this tenant between them at the
+    // drawn tick. The cluster is widened so capacity never binds — the
+    // recorded (single-process) day and the federated replay must make
+    // identical launch decisions, and shared-capacity contention is the
+    // one thing a partitioned cluster cannot reproduce.
+    let migration = (ticks > 2 && rng.chance(0.3)).then(|| MigrationPlan {
+        tenant: format!("t{}", rng.uniform_u64(0, tenant_count as u64)),
+        tick: rng.uniform_u64(1, ticks),
+    });
+    let servers = if migration.is_some() {
+        servers.max(64)
+    } else {
+        servers
+    };
+
     let spec = ScenarioSpec {
         format: SPEC_FORMAT,
         name: format!("fuzz-{seed:016x}-{index}"),
@@ -301,6 +318,7 @@ pub fn generate(seed: u64, index: u64) -> Candidate {
         tenants,
         credentials,
         restore,
+        migration,
     };
     Candidate {
         spec,
@@ -451,6 +469,12 @@ pub fn check(
         if let Some(c) = report.checks.iter().find(|c| !c.ok) {
             return Ok(Some(format!("{}: {}", c.label, c.detail)));
         }
+        if candidate.spec.migration.is_some() {
+            let report = verify_federated(&artifact)?;
+            if let Some(c) = report.checks.iter().find(|c| !c.ok) {
+                return Ok(Some(format!("{}: {}", c.label, c.detail)));
+            }
+        }
     }
     Ok(None)
 }
@@ -593,6 +617,9 @@ fn transformations(current: &Candidate) -> Vec<Candidate> {
     }
     if spec.restore.is_some() {
         push(&|c: &mut Candidate| c.spec.restore = None);
+    }
+    if spec.migration.is_some() {
+        push(&|c: &mut Candidate| c.spec.migration = None);
     }
     if current.checkpoint_every.is_some() {
         push(&|c: &mut Candidate| c.checkpoint_every = None);
@@ -822,6 +849,7 @@ fn soak_spec(seed: u64, ticks: u64, tenants: usize) -> ScenarioSpec {
             .collect(),
         credentials: Vec::new(),
         restore: None,
+        migration: None,
     }
 }
 
@@ -976,6 +1004,9 @@ fn promotion_score(candidate: &Candidate, artifact: &ScenarioArtifact) -> u64 {
         score += 16;
     }
     if spec.restore.is_some() {
+        score += 32;
+    }
+    if spec.migration.is_some() {
         score += 32;
     }
     score

@@ -10,7 +10,7 @@
 //! artifact **bit-identically** — on both the plain and sharded
 //! dispatch paths, through both wire codecs.
 //!
-//! The committed `corpus/` directory holds eleven recorded days
+//! The committed `corpus/` directory holds twelve recorded days
 //! ([`corpus`] has the catalogue); `ecoharness verify corpus/` is the
 //! standing regression net run by CI, and `cargo bench -p
 //! ecovisor-bench --bench corpus_replay` turns the same corpus into a
@@ -75,7 +75,7 @@ pub use fuzz::{
 pub use record::{record, record_resumed, record_with_checkpoints, resume, resumed_spec};
 pub use scenario::{build_drivers, build_ecovisor};
 pub use spec::{
-    CarbonSpec, CredentialRotation, CredentialSpec, DriverSpec, JobSpec, RestorePlan, ScenarioSpec,
-    ScriptPhase, SolarSpec, TenantSpec, SPEC_FORMAT,
+    CarbonSpec, CredentialRotation, CredentialSpec, DriverSpec, JobSpec, MigrationPlan,
+    RestorePlan, ScenarioSpec, ScriptPhase, SolarSpec, TenantSpec, SPEC_FORMAT,
 };
-pub use verify::{verify, verify_transport, Check, VerifyReport};
+pub use verify::{verify, verify_federated, verify_transport, Check, VerifyReport};

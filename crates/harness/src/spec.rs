@@ -75,6 +75,15 @@ pub struct ScenarioSpec {
     /// artifact to carry a checkpoint at exactly
     /// [`RestorePlan::tick`].
     pub restore: Option<RestorePlan>,
+    /// A mid-day live tenant migration exercised during **federated**
+    /// verification (`verify --federated`, or automatically under
+    /// `verify --transport` when present): the recorded day is replayed
+    /// split across two ecovisor processes joined by the two-phase
+    /// settlement barrier, and at [`MigrationPlan::tick`] the named
+    /// tenant moves between them over the v2 wire
+    /// (`MigrateOut` → `MigrateIn` → `MigrateCommit`). The rest of the
+    /// day must still replay bit-identically.
+    pub migration: Option<MigrationPlan>,
 }
 
 /// One tenant's wire credential (and optional mid-day rotation) for
@@ -99,6 +108,22 @@ pub struct CredentialRotation {
     pub tick: u64,
     /// The replacement token.
     pub token: String,
+}
+
+/// A mid-day live tenant migration between two federated ecovisor
+/// processes: at the start of tick `tick` the tenant is captured on its
+/// source node (which keeps serving it until the commit), grafted onto
+/// the peer node, and evicted from the source — all over credentialed
+/// admin connections, while the tenant's own connection re-homes to the
+/// destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// Which tenant moves (must match a [`TenantSpec::name`]).
+    pub tenant: String,
+    /// Tick (0-based) at whose start the migration happens; must lie
+    /// strictly inside `(0, ticks)` so state accumulates on both sides
+    /// of the move.
+    pub tick: u64,
 }
 
 /// A mid-day snapshot restore raced with active dispatch during
@@ -141,6 +166,9 @@ impl Serialize for ScenarioSpec {
         if let Some(restore) = &self.restore {
             entries.push(("restore".to_string(), restore.to_value()));
         }
+        if let Some(migration) = &self.migration {
+            entries.push(("migration".to_string(), migration.to_value()));
+        }
         serde::Value::Map(entries)
     }
 }
@@ -169,6 +197,10 @@ impl Deserialize for ScenarioSpec {
             },
             restore: match v.get("restore") {
                 Some(r) => Deserialize::from_value(r)?,
+                None => None,
+            },
+            migration: match v.get("migration") {
+                Some(m) => Deserialize::from_value(m)?,
                 None => None,
             },
         })
@@ -255,6 +287,20 @@ impl ScenarioSpec {
             // could never verify.
             if self.credentials.is_empty() {
                 return Err("a restore plan requires credentials".into());
+            }
+        }
+        if let Some(plan) = &self.migration {
+            if !self.tenants.iter().any(|t| t.name == plan.tenant) {
+                return Err(format!(
+                    "migration plan for unknown tenant {:?}",
+                    plan.tenant
+                ));
+            }
+            if plan.tick == 0 || plan.tick >= self.ticks {
+                return Err(format!(
+                    "migration plan tick {} outside (0, {})",
+                    plan.tick, self.ticks
+                ));
             }
         }
         Ok(())

@@ -25,8 +25,8 @@
 //! regression net the corpus exists to provide.
 
 use ecovisor::{
-    digest, CredentialRegistry, Ecovisor, EcovisorServer, EnergyClient, EventFilter, ProtocolTrace,
-    RemoteEcovisorClient, ShardedEcovisor, VesTotals, WireCodec,
+    digest, CredentialRegistry, Ecovisor, EcovisorServer, EnergyClient, EnergyRequest, EventFilter,
+    ProtocolTrace, RemoteEcovisorClient, ShardedEcovisor, VesTotals, WireCodec,
 };
 
 use crate::artifact::{codec_name, Checkpoint, ScenarioArtifact, ARTIFACT_FORMAT};
@@ -648,5 +648,286 @@ fn transport_cell(
 
     drop(clients);
     handle.shutdown();
+    Ok(())
+}
+
+/// Verifies an artifact over a **two-node federated deployment**: for
+/// each wire codec, two ecovisor replicas are built from the same spec,
+/// the tenants partitioned between them, both served on loopback ports,
+/// and the recorded day driven through per-tenant connections to each
+/// tenant's *owner* node while a coordinator loop runs the two-phase
+/// federated tick ([`fed_collect`](RemoteEcovisorClient::fed_collect) on
+/// both nodes → merge → [`fed_settle`](RemoteEcovisorClient::fed_settle)
+/// on both). Container-id cursors are kept aligned across nodes
+/// ([`fed_align`](RemoteEcovisorClient::fed_align)) so launch responses
+/// replay the recorded ids.
+///
+/// A spec carrying a [`MigrationPlan`](crate::spec::MigrationPlan) puts
+/// **every** tenant on node 0 (so placement replays the single-process
+/// recording exactly) and live-migrates the plan's tenant to the empty
+/// node 1 at the plan's tick —
+/// [`fetch_tenant`](RemoteEcovisorClient::fetch_tenant) →
+/// [`push_tenant`](RemoteEcovisorClient::push_tenant) →
+/// [`commit_migration`](RemoteEcovisorClient::commit_migration) — with
+/// the tenant's connection drained and re-homed across the move.
+/// Without a plan the tenants split parity-wise. Either way the final
+/// per-app totals, reassembled push frames, and digests must equal the
+/// recorded single-process expectations bit-for-bit.
+///
+/// # Errors
+///
+/// [`HarnessError`] only for *environmental* failures (the spec no
+/// longer builds, totals unreadable). Socket-level and determinism
+/// failures are reported as failed [`Check`]s.
+pub fn verify_federated(artifact: &ScenarioArtifact) -> Result<VerifyReport, HarnessError> {
+    let mut report = VerifyReport {
+        scenario: format!("{} (federated)", artifact.spec.name),
+        checks: Vec::new(),
+    };
+    if artifact.base.is_some() {
+        // A resumed artifact's trace starts mid-day from a checkpoint of
+        // the *single-process* run; there is no recorded federated warm
+        // state to restore two partial replicas from.
+        report.push(
+            "federated resumed-artifact",
+            false,
+            "resumed artifacts cannot be verified federated",
+        );
+        return Ok(report);
+    }
+    for codec in [WireCodec::Json, WireCodec::Binary] {
+        federated_cell(artifact, codec, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Replays the whole trace across a live two-node federation in one
+/// codec. Any socket failure fails the cell's `liveness` check; the
+/// outcome comparison is shared with the in-process matrix.
+fn federated_cell(
+    artifact: &ScenarioArtifact,
+    codec: WireCodec,
+    report: &mut VerifyReport,
+) -> Result<(), HarnessError> {
+    let cell = format!("federated[{}]", codec_name(codec));
+    let spec = &artifact.spec;
+
+    // Two full replicas of the same spec: identical substrate, identical
+    // app ids, identical container cursors. Remote apps settle through
+    // shadow views, so each node only *keeps* the tenants it owns.
+    let (mut eco0, ids) = build_ecovisor(spec)?;
+    let (mut eco1, _) = build_ecovisor(spec)?;
+
+    // Partition. With a migration plan node 0 owns everything — its
+    // placement replays the single-process recording exactly, and the
+    // mid-day graft lands on an empty node 1 (adoption always fits).
+    // Without a plan, tenants split parity-wise across the nodes.
+    let mut owner: std::collections::HashMap<ecovisor::AppId, usize> =
+        std::collections::HashMap::new();
+    for (i, &app) in ids.iter().enumerate() {
+        let node = if spec.migration.is_some() { 0 } else { i % 2 };
+        owner.insert(app, node);
+        let evicted = if node == 0 {
+            eco1.remove_app(app)
+        } else {
+            eco0.remove_app(app)
+        };
+        if let Err(e) = evicted {
+            report.push(format!("{cell} partition"), false, e.to_string());
+            return Ok(());
+        }
+    }
+    let name_to_app: std::collections::HashMap<&str, ecovisor::AppId> = spec
+        .tenants
+        .iter()
+        .zip(ids.iter())
+        .map(|(t, &a)| (t.name.as_str(), a))
+        .collect();
+
+    // The federation surface is credential-gated, so both nodes always
+    // run with a synthetic registry covering every tenant (the spec's
+    // own credential plans are transport-cell concerns).
+    let token_of: std::collections::HashMap<ecovisor::AppId, String> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, format!("fed-{i}")))
+        .collect();
+    let serve = |eco: Ecovisor| -> std::io::Result<_> {
+        // Port 0 as in `transport_cell`: parallel verifiers must never
+        // contend for a fixed port.
+        let mut server = EcovisorServer::bind("127.0.0.1:0", eco)?;
+        let mut registry = CredentialRegistry::new();
+        for (&app, token) in &token_of {
+            registry.insert(app, token.as_bytes());
+        }
+        server = server.with_credentials(registry);
+        let addr = server.local_addr()?;
+        Ok((server.spawn()?, addr))
+    };
+    let (h0, addr0) = match serve(eco0) {
+        Ok(pair) => pair,
+        Err(e) => {
+            report.push(format!("{cell} server"), false, e.to_string());
+            return Ok(());
+        }
+    };
+    let (h1, addr1) = match serve(eco1) {
+        Ok(pair) => pair,
+        Err(e) => {
+            report.push(format!("{cell} server"), false, e.to_string());
+            h0.shutdown();
+            return Ok(());
+        }
+    };
+    let addrs = [addr0, addr1];
+    let shared = [h0.ecovisor(), h1.ecovisor()];
+
+    let connect_subscribed =
+        |node: usize, app: ecovisor::AppId| -> std::io::Result<RemoteEcovisorClient> {
+            let mut c = RemoteEcovisorClient::connect_full(
+                addrs[node],
+                app,
+                vec![codec],
+                Some(token_of[&app].clone()),
+            )?;
+            c.subscribe_events(EventFilter::all())
+                .map_err(std::io::Error::other)?;
+            Ok(c)
+        };
+    // One coordinator (operator) connection per node, riding the first
+    // tenant's synthetic token; unsubscribed, so the federation
+    // choreography cannot perturb the recorded frame streams.
+    let setup = (|| -> std::io::Result<_> {
+        let ops = vec![
+            RemoteEcovisorClient::connect_full(
+                addrs[0],
+                ids[0],
+                vec![codec],
+                Some(token_of[&ids[0]].clone()),
+            )?,
+            RemoteEcovisorClient::connect_full(
+                addrs[1],
+                ids[0],
+                vec![codec],
+                Some(token_of[&ids[0]].clone()),
+            )?,
+        ];
+        let mut clients = Vec::with_capacity(ids.len());
+        let mut slot: std::collections::HashMap<ecovisor::AppId, usize> =
+            std::collections::HashMap::new();
+        for &app in &ids {
+            slot.insert(app, clients.len());
+            clients.push(connect_subscribed(owner[&app], app)?);
+        }
+        Ok((ops, clients, slot))
+    })();
+    let (mut ops, mut clients, slot) = match setup {
+        Ok(t) => t,
+        Err(e) => {
+            report.push(format!("{cell} connect"), false, e.to_string());
+            h0.shutdown();
+            h1.shutdown();
+            return Ok(());
+        }
+    };
+
+    // Frames banked off a connection retired by a migration re-home —
+    // merged with the live connections' streams at the end.
+    let mut retired_frames: Vec<ecovisor::EventFrame> = Vec::new();
+    let mut entries = artifact.trace.entries.iter().peekable();
+
+    let driven = (|| -> std::io::Result<()> {
+        // The highest container cursor any node has reached. Both nodes
+        // start equal (identical builds); a node is fast-forwarded to
+        // `global` before dispatching a launch so allocated ids replay
+        // the recording's single cursor.
+        let mut global = ops[0].fed_cursor()?;
+        for tick in 0..spec.ticks {
+            if let Some(plan) = spec.migration.as_ref().filter(|p| p.tick == tick) {
+                let app = name_to_app[plan.tenant.as_str()];
+                let (from, to) = (owner[&app], 1 - owner[&app]);
+                // Quiesce: read-drain every frame already pushed to the
+                // out-going connection and bank it before the move.
+                let idx = slot[&app];
+                clients[idx].poll_events().map_err(std::io::Error::other)?;
+                retired_frames.extend(clients[idx].take_event_frames());
+                let snap = ops[from].fetch_tenant(app)?;
+                ops[to].push_tenant(&snap)?;
+                ops[from].commit_migration(app)?;
+                owner.insert(app, to);
+                clients[idx] = connect_subscribed(to, app)?;
+                global = ops[0].fed_cursor()?.max(ops[1].fed_cursor()?);
+                report.push(format!("{cell} migration@{tick} applied"), true, "");
+            }
+            while entries.peek().is_some_and(|e| e.tick == tick) {
+                let entry = entries.next().expect("peeked");
+                let node = owner[&entry.batch.app];
+                let launches = entry
+                    .batch
+                    .requests
+                    .iter()
+                    .any(|r| matches!(r, EnergyRequest::LaunchContainer { .. }));
+                if launches && ops[node].fed_cursor()? < global {
+                    ops[node].fed_align(global)?;
+                }
+                let _ = clients[slot[&entry.batch.app]].transport(entry.batch.clone());
+                if launches {
+                    global = ops[node].fed_cursor()?;
+                }
+            }
+            // The two-phase federated tick: collect shadow views from
+            // both nodes, merge in app-id order, settle both against the
+            // same merged picture (each node advances its own clock).
+            let mut merged = ops[0].fed_collect()?;
+            merged.extend(ops[1].fed_collect()?);
+            merged.sort_by_key(|v| v.app);
+            ops[0].fed_settle(&merged)?;
+            ops[1].fed_settle(&merged)?;
+        }
+        // One final poll per connection: read-drains in-flight frames
+        // and proves every connection survived the whole day.
+        for client in &mut clients {
+            client.poll_events().map_err(std::io::Error::other)?;
+        }
+        Ok(())
+    })();
+    match driven {
+        Ok(()) => report.push(format!("{cell} liveness"), true, ""),
+        Err(e) => {
+            report.push(format!("{cell} liveness"), false, e.to_string());
+            drop(ops);
+            drop(clients);
+            h0.shutdown();
+            h1.shutdown();
+            return Ok(());
+        }
+    }
+    report.push(
+        format!("{cell} trace exhausted"),
+        entries.peek().is_none(),
+        "trace carries batches beyond the spec's tick horizon",
+    );
+
+    // Reassemble the global push order across both nodes' streams: only
+    // the owner broadcasts a tenant's frames, so (tick, app) recovers
+    // the recorded single-process sequence.
+    let mut frames: Vec<ecovisor::EventFrame> = clients
+        .iter_mut()
+        .flat_map(RemoteEcovisorClient::take_event_frames)
+        .collect();
+    frames.extend(retired_frames);
+    frames.sort_by_key(|f| (f.tick, f.app));
+
+    // Per-app totals come from each tenant's final owner node.
+    let totals: Vec<VesTotals> = ids
+        .iter()
+        .map(|&a| shared[owner[&a]].with(|eco| eco.app_totals(a)))
+        .collect::<Result<_, _>>()?;
+    check_outcome(artifact, &cell, 0, &frames, &totals, report);
+
+    drop(ops);
+    drop(clients);
+    h0.shutdown();
+    h1.shutdown();
     Ok(())
 }

@@ -205,6 +205,9 @@ fn every_builtin_records_and_verifies_when_shrunk() {
         if spec.restore.as_ref().is_some_and(|r| r.tick >= spec.ticks) {
             spec.restore = None;
         }
+        if spec.migration.as_ref().is_some_and(|m| m.tick >= spec.ticks) {
+            spec.migration = None;
+        }
         let artifact = record(&spec).unwrap_or_else(|e| panic!("record {name}: {e}"));
         let report = verify(&artifact).unwrap_or_else(|e| panic!("verify {name}: {e}"));
         assert!(report.passed(), "{name} failed: {:#?}", report.failures());

@@ -120,6 +120,48 @@ impl Tsdb {
     pub fn iter(&self) -> impl Iterator<Item = (&SeriesKey, &TimeSeries)> {
         self.series.iter()
     }
+
+    /// A copy of every series whose subject is in `subjects` (a migrating
+    /// tenant's app and container series, for example).
+    pub fn extract_subjects(&self, subjects: &std::collections::BTreeSet<String>) -> Tsdb {
+        Tsdb {
+            series: self
+                .series
+                .iter()
+                .filter(|(k, _)| subjects.contains(&k.subject))
+                .map(|(k, s)| (k.clone(), s.clone()))
+                .collect(),
+        }
+    }
+
+    /// Removes every series whose subject is in `subjects`.
+    pub fn remove_subjects(&mut self, subjects: &std::collections::BTreeSet<String>) {
+        self.series.retain(|k, _| !subjects.contains(&k.subject));
+    }
+
+    /// Subjects that have at least one series, in order.
+    pub fn all_subjects(&self) -> std::collections::BTreeSet<String> {
+        self.series.keys().map(|k| k.subject.clone()).collect()
+    }
+
+    /// Moves every series of `other` into this store.
+    ///
+    /// # Errors
+    ///
+    /// A `(metric, subject)` collision aborts the merge with a
+    /// description before anything is moved — callers separate subject
+    /// namespaces (per-app and per-container ids), so a collision means
+    /// the same entity exists on both sides.
+    pub fn merge_from(&mut self, other: Tsdb) -> Result<(), String> {
+        if let Some(k) = other.series.keys().find(|k| self.series.contains_key(*k)) {
+            return Err(format!(
+                "series ({}, {}) exists on both sides of the merge",
+                k.metric, k.subject
+            ));
+        }
+        self.series.extend(other.series);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

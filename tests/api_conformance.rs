@@ -255,7 +255,14 @@ fn via_facade(api: &mut ScopedApi<'_>, req: &EnergyRequest) -> EnergyResponse {
         EnergyRequest::PollEvents
         | EnergyRequest::SubscribeEvents { .. }
         | EnergyRequest::Snapshot { .. }
-        | EnergyRequest::Restore { .. } => {
+        | EnergyRequest::Restore { .. }
+        | EnergyRequest::MigrateOut { .. }
+        | EnergyRequest::MigrateIn { .. }
+        | EnergyRequest::MigrateCommit { .. }
+        | EnergyRequest::FedCollect
+        | EnergyRequest::FedSettle { .. }
+        | EnergyRequest::FedAlign { .. }
+        | EnergyRequest::FedCursor => {
             unreachable!("admin/event requests are not part of the façade conformance sequence")
         }
     }
