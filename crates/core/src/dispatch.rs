@@ -49,10 +49,31 @@ use simkit::units::{Co2Grams, WattHours};
 
 use crate::ecovisor::{AppState, Ecovisor};
 use crate::lock;
+use crate::obs::{CoreMetrics, Histogram};
 use crate::proto::{
     EnergyRequest, EnergyResponse, EventFrame, ProtoError, RequestBatch, ResponseBatch,
     PROTOCOL_VERSION, SUPPORTED_VERSIONS,
 };
+
+/// Acquires a guard, timing the wait into one of the sampled lock-wait
+/// histograms when this batch is an observability sample (`obs` is
+/// `Some` only on the 1-in-`DISPATCH_SAMPLE` slow path).
+#[inline]
+fn timed_lock<G>(
+    obs: Option<&CoreMetrics>,
+    hist: impl FnOnce(&CoreMetrics) -> &Histogram,
+    acquire: impl FnOnce() -> G,
+) -> G {
+    match obs {
+        Some(core) => {
+            let start = std::time::Instant::now();
+            let guard = acquire();
+            hist(core).record_duration(start.elapsed());
+            guard
+        }
+        None => acquire(),
+    }
+}
 
 /// One recorded dispatch, stamped with the tick it executed in.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -110,6 +131,46 @@ impl Ecovisor {
     /// for query-only batches, write otherwise), so batches from
     /// different applications dispatch in parallel.
     pub fn dispatch_batch(&self, batch: &RequestBatch) -> ResponseBatch {
+        // Observability rides the batch as a write-only side channel.
+        // Unsampled cost is a single thread-local tally (countdown +
+        // pending request count — no atomics); one batch in
+        // `DISPATCH_SAMPLE` per thread takes the full-timing path:
+        // flush the pending count, whole-batch latency, lock waits, and
+        // per-kind counts scaled back up by the sampling factor. With
+        // no hub attached — or the `obs` feature off — this folds to
+        // nothing.
+        let Some(core) = self.obs().map(|hub| &hub.core) else {
+            return self.dispatch_batch_inner(batch, None);
+        };
+        let Some(pending) = core.tally(batch.requests.len() as u64) else {
+            return self.dispatch_batch_inner(batch, None);
+        };
+        core.requests.add(pending);
+        let scale = crate::obs::DISPATCH_SAMPLE as u64;
+        core.batches.add(scale);
+        // Aggregate per-kind locally first: a batch usually repeats a
+        // few kinds, so this turns up to `len` striped-counter RMWs
+        // into one per distinct kind.
+        let mut kinds = [0u32; EnergyRequest::KIND_COUNT];
+        for req in &batch.requests {
+            kinds[req.kind_index()] += 1;
+        }
+        for (kind, &n) in kinds.iter().enumerate() {
+            if n > 0 {
+                core.by_kind[kind].add(u64::from(n) * scale);
+            }
+        }
+        let start = std::time::Instant::now();
+        let reply = self.dispatch_batch_inner(batch, Some(core));
+        core.batch_latency.record_duration(start.elapsed());
+        reply
+    }
+
+    fn dispatch_batch_inner(
+        &self,
+        batch: &RequestBatch,
+        obs: Option<&crate::obs::CoreMetrics>,
+    ) -> ResponseBatch {
         let responses = if !SUPPORTED_VERSIONS.contains(&batch.version) {
             self.record_trace(batch);
             vec![
@@ -135,12 +196,12 @@ impl Ecovisor {
                     // re-acquisition. COP/TSDB guards are only taken
                     // when some request actually reads them, so a
                     // pure-shard batch never delays container commands.
-                    let state = lock::read(shard);
+                    let state = timed_lock(obs, |c| &c.shard_lock_wait, || lock::read(shard));
                     let cop = batch
                         .requests
                         .iter()
                         .any(EnergyRequest::reads_containers)
-                        .then(|| lock::read(&self.cop));
+                        .then(|| timed_lock(obs, |c| &c.cop_lock_wait, || lock::read(&self.cop)));
                     let tsdb = batch
                         .requests
                         .iter()
@@ -163,7 +224,7 @@ impl Ecovisor {
                         .collect()
                 }
                 Some(shard) => {
-                    let mut state = lock::write(shard);
+                    let mut state = timed_lock(obs, |c| &c.shard_lock_wait, || lock::write(shard));
                     // A batch that mutates the container platform holds
                     // the COP write lock for its whole duration and
                     // records its trace entry under it: cross-app
@@ -174,7 +235,7 @@ impl Ecovisor {
                         .requests
                         .iter()
                         .any(EnergyRequest::mutates_containers)
-                        .then(|| lock::write(&self.cop));
+                        .then(|| timed_lock(obs, |c| &c.cop_lock_wait, || lock::write(&self.cop)));
                     self.record_trace(batch);
                     batch
                         .requests
@@ -379,7 +440,8 @@ impl Ecovisor {
             | FedCollect
             | FedSettle { .. }
             | FedAlign { .. }
-            | FedCursor => EnergyResponse::Ok,
+            | FedCursor
+            | Stats => EnergyResponse::Ok,
             SetCarbonBudget { budget } => {
                 state.carbon_budget = *budget;
                 // Clearing the budget or raising it above the carbon

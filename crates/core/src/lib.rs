@@ -99,6 +99,7 @@ pub mod error;
 pub mod event;
 pub mod federation;
 mod lock;
+pub mod obs;
 pub mod proto;
 pub mod replay;
 pub mod shard;
@@ -117,9 +118,10 @@ pub use ecovisor::{Ecovisor, ScopedApi, SystemFlows};
 pub use error::{EcovisorError, Result};
 pub use event::{EventFilter, Notification, NotifyConfig, OutboxPolicy};
 pub use federation::{FedAppView, TenantSnapshot};
+pub use obs::{MetricsSnapshot, ObsHub};
 pub use proto::{
     ControlFrame, EnergyRequest, EnergyResponse, EventFrame, Frame, ProtoError, RequestBatch,
-    ResponseBatch, PROTOCOL_V1, PROTOCOL_VERSION, SUPPORTED_VERSIONS,
+    ResponseBatch, StatsReport, PROTOCOL_V1, PROTOCOL_VERSION, SUPPORTED_VERSIONS,
 };
 pub use replay::{digest, ReplayReport};
 pub use shard::ShardedEcovisor;

@@ -67,6 +67,7 @@
 //! ```
 
 use container_cop::{AppId, ContainerId, ContainerSpec};
+use power_telemetry::ops::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 use simkit::time::{SimDuration, SimTime};
 use simkit::units::{CarbonIntensity, CarbonRate, Co2Grams, WattHours, Watts};
@@ -356,6 +357,16 @@ pub enum EnergyRequest {
     /// routing a launch-bearing batch, since failed launches consume no
     /// ids. In-process dispatch acknowledges it as a no-op.
     FedCursor,
+
+    // -- v2 observability surface ----------------------------------------
+    /// Reads the server's operational statistics: the
+    /// [`ServerStats`](crate::transport::ServerStats) gauges plus a full
+    /// dump of the observability registry ([`EnergyResponse::Stats`]
+    /// carrying a [`StatsReport`]); v2 only, credential-gated, answered
+    /// by the transport layer. In-process dispatch acknowledges it as a
+    /// no-op — in process you read the hub via
+    /// [`Ecovisor::obs_hub`](crate::Ecovisor::obs_hub).
+    Stats,
 }
 
 impl EnergyRequest {
@@ -418,7 +429,8 @@ impl EnergyRequest {
             | EnergyRequest::FedCollect
             | EnergyRequest::FedSettle { .. }
             | EnergyRequest::FedAlign { .. }
-            | EnergyRequest::FedCursor => PROTOCOL_VERSION,
+            | EnergyRequest::FedCursor
+            | EnergyRequest::Stats => PROTOCOL_VERSION,
             _ => PROTOCOL_V1,
         }
     }
@@ -437,6 +449,7 @@ impl EnergyRequest {
                 | EnergyRequest::FedSettle { .. }
                 | EnergyRequest::FedAlign { .. }
                 | EnergyRequest::FedCursor
+                | EnergyRequest::Stats
         )
     }
 
@@ -538,6 +551,121 @@ impl EnergyRequest {
             FedSettle { .. } => "fed_settle",
             FedAlign { .. } => "fed_align",
             FedCursor => "fed_cursor",
+            Stats => "stats",
+        }
+    }
+
+    /// Number of request kinds (one per enum variant); the length of
+    /// [`EnergyRequest::KIND_NAMES`] and the bound on
+    /// [`EnergyRequest::kind_index`].
+    pub const KIND_COUNT: usize = 46;
+
+    /// Every kind's [`name`](EnergyRequest::name), indexed by
+    /// [`kind_index`](EnergyRequest::kind_index). The observability layer
+    /// uses this to pre-register one `dispatch.requests.{kind}_total`
+    /// counter per kind.
+    pub const KIND_NAMES: [&'static str; EnergyRequest::KIND_COUNT] = [
+        "set_container_powercap",
+        "clear_container_powercap",
+        "set_battery_charge_rate",
+        "set_battery_max_discharge",
+        "get_solar_power",
+        "get_grid_power",
+        "get_grid_carbon",
+        "get_battery_discharge_rate",
+        "get_battery_charge_level",
+        "get_container_powercap",
+        "get_container_power",
+        "launch_container",
+        "stop_container",
+        "suspend_container",
+        "resume_container",
+        "set_container_demand",
+        "container_ids",
+        "running_containers",
+        "effective_cores",
+        "container_effective_cores",
+        "now",
+        "tick_interval",
+        "app_id",
+        "get_container_energy",
+        "get_container_carbon",
+        "get_app_power",
+        "get_app_energy",
+        "get_app_carbon",
+        "get_app_carbon_between",
+        "set_carbon_rate",
+        "carbon_rate_limit",
+        "set_carbon_budget",
+        "carbon_budget",
+        "remaining_carbon_budget",
+        "poll_events",
+        "subscribe_events",
+        "snapshot",
+        "restore",
+        "migrate_out",
+        "migrate_in",
+        "migrate_commit",
+        "fed_collect",
+        "fed_settle",
+        "fed_align",
+        "fed_cursor",
+        "stats",
+    ];
+
+    /// A dense index for this request's kind (declaration order, the
+    /// same order the binary codec tags variants in). Stable across a
+    /// process; indexes [`EnergyRequest::KIND_NAMES`] and the
+    /// observability layer's per-kind counters.
+    pub fn kind_index(&self) -> usize {
+        use EnergyRequest::*;
+        match self {
+            SetContainerPowercap { .. } => 0,
+            ClearContainerPowercap { .. } => 1,
+            SetBatteryChargeRate { .. } => 2,
+            SetBatteryMaxDischarge { .. } => 3,
+            GetSolarPower => 4,
+            GetGridPower => 5,
+            GetGridCarbon => 6,
+            GetBatteryDischargeRate => 7,
+            GetBatteryChargeLevel => 8,
+            GetContainerPowercap { .. } => 9,
+            GetContainerPower { .. } => 10,
+            LaunchContainer { .. } => 11,
+            StopContainer { .. } => 12,
+            SuspendContainer { .. } => 13,
+            ResumeContainer { .. } => 14,
+            SetContainerDemand { .. } => 15,
+            ListContainers => 16,
+            CountRunningContainers => 17,
+            GetEffectiveCores => 18,
+            GetContainerEffectiveCores { .. } => 19,
+            GetTime => 20,
+            GetTickInterval => 21,
+            GetAppId => 22,
+            GetContainerEnergy { .. } => 23,
+            GetContainerCarbon { .. } => 24,
+            GetAppPower => 25,
+            GetAppEnergy { .. } => 26,
+            GetAppCarbon => 27,
+            GetAppCarbonBetween { .. } => 28,
+            SetCarbonRate { .. } => 29,
+            GetCarbonRateLimit => 30,
+            SetCarbonBudget { .. } => 31,
+            GetCarbonBudget => 32,
+            GetRemainingCarbonBudget => 33,
+            PollEvents => 34,
+            SubscribeEvents { .. } => 35,
+            Snapshot { .. } => 36,
+            Restore { .. } => 37,
+            MigrateOut { .. } => 38,
+            MigrateIn { .. } => 39,
+            MigrateCommit { .. } => 40,
+            FedCollect => 41,
+            FedSettle { .. } => 42,
+            FedAlign { .. } => 43,
+            FedCursor => 44,
+            Stats => 45,
         }
     }
 }
@@ -598,6 +726,25 @@ pub enum EnergyResponse {
     /// Appended after `Err` so existing variant tags — and therefore
     /// recorded corpus artifacts — stay stable.
     Demands(Vec<FedAppView>),
+    /// The server's operational statistics (the answer to
+    /// [`EnergyRequest::Stats`] on a credentialed v2 connection).
+    /// Appended last so existing variant tags stay stable.
+    Stats(StatsReport),
+}
+
+/// The payload of [`EnergyResponse::Stats`]: the transport-level gauges
+/// every server tracks plus a full dump of the observability registry
+/// (empty when the server was built without a hub attached).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Connections currently in any serving phase.
+    pub active_connections: u64,
+    /// Frames queued or parked across every connection's outbox.
+    pub subscriber_backlog: u64,
+    /// Bytes held in per-connection receive buffers.
+    pub recv_buffer_bytes: u64,
+    /// Every registered metric, sorted by name.
+    pub metrics: MetricsSnapshot,
 }
 
 /// A protocol-level failure, serializable like everything else.
@@ -916,6 +1063,8 @@ extractors! {
     events / expect_events => Events(Vec<Notification>),
     /// Extracts federated demand views.
     demands / expect_demands => Demands(Vec<FedAppView>),
+    /// Extracts a server statistics report.
+    stats / expect_stats => Stats(StatsReport),
 }
 
 impl EnergyResponse {

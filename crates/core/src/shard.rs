@@ -142,15 +142,32 @@ impl ShardedEcovisor {
     /// hooks, `advance_clock` — under the settlement barrier, returning
     /// the settled system flows.
     pub fn tick(&self) -> SystemFlows {
-        self.with(|eco| {
-            eco.begin_tick();
-            let flows = eco.settle_tick();
-            for hook in lock::lock(&self.hooks).iter() {
-                hook(eco);
-            }
-            eco.advance_clock();
-            flows
-        })
+        // Two observability series bracket the barrier: how long the
+        // driver waited for dispatch to quiesce (`settle.barrier_wait_ns`)
+        // and how long settlement held everyone up (`settle.duration_ns`).
+        // Readings go only into the hub — never into settlement inputs.
+        let barrier_start = std::time::Instant::now();
+        let mut eco = lock::write(&self.inner);
+        let obs = eco.obs_hub();
+        if let Some(hub) = &obs {
+            hub.core
+                .barrier_wait
+                .record_duration(barrier_start.elapsed());
+        }
+        let settle_start = std::time::Instant::now();
+        eco.begin_tick();
+        let flows = eco.settle_tick();
+        for hook in lock::lock(&self.hooks).iter() {
+            hook(&eco);
+        }
+        eco.advance_clock();
+        if let Some(hub) = &obs {
+            hub.core
+                .settle_duration
+                .record_duration(settle_start.elapsed());
+            hub.core.tick.set(eco.tick_index() as i64);
+        }
+        flows
     }
 
     /// Phase one of a **federated** tick: samples the tick inputs and
@@ -164,10 +181,21 @@ impl ShardedEcovisor {
     /// in between are their own lookout only if the operator breaks the
     /// choreography. `docs/FEDERATION.md` spells this out.
     pub fn fed_collect(&self) -> Vec<crate::federation::FedAppView> {
-        self.with(|eco| {
-            eco.begin_tick();
-            eco.collect_demand()
-        })
+        let barrier_start = std::time::Instant::now();
+        let mut eco = lock::write(&self.inner);
+        let obs = eco.obs_hub();
+        if let Some(hub) = &obs {
+            hub.core
+                .barrier_wait
+                .record_duration(barrier_start.elapsed());
+        }
+        let start = std::time::Instant::now();
+        eco.begin_tick();
+        let views = eco.collect_demand();
+        if let Some(hub) = &obs {
+            hub.core.fed_collect.record_duration(start.elapsed());
+        }
+        views
     }
 
     /// Phase two of a federated tick: settles the globally merged view
@@ -183,14 +211,25 @@ impl ShardedEcovisor {
         &self,
         views: &[crate::federation::FedAppView],
     ) -> crate::error::Result<SystemFlows> {
-        self.with(|eco| {
-            let flows = eco.settle_with_views(views)?;
-            for hook in lock::lock(&self.hooks).iter() {
-                hook(eco);
-            }
-            eco.advance_clock();
-            Ok(flows)
-        })
+        let barrier_start = std::time::Instant::now();
+        let mut eco = lock::write(&self.inner);
+        let obs = eco.obs_hub();
+        if let Some(hub) = &obs {
+            hub.core
+                .barrier_wait
+                .record_duration(barrier_start.elapsed());
+        }
+        let start = std::time::Instant::now();
+        let flows = eco.settle_with_views(views)?;
+        for hook in lock::lock(&self.hooks).iter() {
+            hook(&eco);
+        }
+        eco.advance_clock();
+        if let Some(hub) = &obs {
+            hub.core.fed_settle.record_duration(start.elapsed());
+            hub.core.tick.set(eco.tick_index() as i64);
+        }
+        Ok(flows)
     }
 
     /// Captures one tenant under the settlement barrier (see

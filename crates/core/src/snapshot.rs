@@ -270,6 +270,7 @@ impl Ecovisor {
     /// the original keeps delivering them, and a process restored from
     /// the snapshot delivers the same events exactly once.
     pub fn snapshot(&mut self) -> Snapshot {
+        let obs_start = std::time::Instant::now();
         let env_digest = self.env_fingerprint();
         let cop = lock::get_mut(&mut self.cop).snapshot();
         let tsdb = lock::get_mut(&mut self.tsdb).clone();
@@ -289,7 +290,7 @@ impl Ecovisor {
                 budget_exhausted: s.budget_exhausted,
             });
         }
-        Snapshot {
+        let snap = Snapshot {
             format: SNAPSHOT_FORMAT,
             protocol_version: PROTOCOL_VERSION,
             tick: self.clock.tick_index(),
@@ -305,7 +306,13 @@ impl Ecovisor {
             tsdb,
             apps,
             next_app: self.next_app,
+        };
+        if let Some(hub) = self.obs() {
+            hub.core
+                .snapshot_capture
+                .record_duration(obs_start.elapsed());
         }
+        snap
     }
 
     /// Reinstates a snapshot into this ecovisor, replacing all dynamic
@@ -327,6 +334,7 @@ impl Ecovisor {
     /// snapshot is internally inconsistent (out-of-range ids,
     /// oversubscribed shares, clock/tick disagreement).
     pub fn apply_snapshot(&mut self, snap: &Snapshot) -> Result<(), SnapshotError> {
+        let obs_start = std::time::Instant::now();
         if snap.format != SNAPSHOT_FORMAT {
             return Err(SnapshotError::Format {
                 expected: SNAPSHOT_FORMAT,
@@ -432,6 +440,14 @@ impl Ecovisor {
             })
             .collect();
         self.next_app = snap.next_app;
+        // The hub survives a restore (it is runtime state, not snapshot
+        // state), so timings from before and after a restore land in the
+        // same series.
+        if let Some(hub) = self.obs() {
+            hub.core
+                .snapshot_restore
+                .record_duration(obs_start.elapsed());
+        }
         Ok(())
     }
 

@@ -457,6 +457,16 @@ struct ConnShared {
     /// finishes the flush when the peer drains. `None` on blocking
     /// connections, which retry on their own serving paths.
     notify: Option<WriteNotify>,
+    /// The server's observability hub, for outbound frame/byte counting
+    /// and coalesce-drop accounting (`None` when the server has none).
+    obs: Option<Arc<crate::obs::ObsHub>>,
+}
+
+impl ConnShared {
+    /// The transport-metrics handles, when a hub is attached.
+    fn metrics(&self) -> Option<&crate::obs::TransportMetrics> {
+        self.obs.as_deref().map(|hub| &hub.transport)
+    }
 }
 
 /// The reactor-facing side of a connection's write queue: marks the
@@ -620,7 +630,12 @@ impl ConnShared {
             tick: pending.parked_tick,
             events: std::mem::take(&mut pending.parked),
         };
-        pending.commit(&self.codec.encode(&Frame::Event(frame)))?;
+        let payload = self.codec.encode(&Frame::Event(frame));
+        pending.commit(&payload)?;
+        if let Some(m) = self.metrics() {
+            m.frames_out.inc();
+            m.bytes_out.add(payload.len() as u64 + 4);
+        }
         write_committed(&writer, pending)
     }
 
@@ -664,15 +679,29 @@ impl ConnShared {
             }
             if self.flush(&mut pending)? {
                 // Backlog clear: commit this frame to the wire order.
-                pending.commit(&self.codec.encode(&Frame::Event(frame)))?;
+                let payload = self.codec.encode(&Frame::Event(frame));
+                pending.commit(&payload)?;
+                if let Some(m) = self.metrics() {
+                    m.frames_out.inc();
+                    m.bytes_out.add(payload.len() as u64 + 4);
+                }
                 self.flush(&mut pending)?;
             } else {
                 // Socket still full: park the notifications under the
                 // app's outbox policy rather than queueing unbounded
                 // bytes — edges all survive, levels coalesce.
                 pending.parked_tick = frame.tick;
+                let offered = frame.events.len() + pending.parked.len();
                 for event in frame.events {
                     policy.push(&mut pending.parked, event);
+                }
+                // Whatever the outbox policy coalesced or evicted at
+                // the cap is a drop worth counting.
+                let dropped = offered.saturating_sub(pending.parked.len());
+                if dropped > 0 {
+                    if let Some(m) = self.metrics() {
+                        m.coalesce_drops.add(dropped as u64);
+                    }
                 }
             }
             Ok(())
@@ -716,6 +745,10 @@ fn write_conn(conn: &ConnShared, payload: &[u8]) -> io::Result<()> {
         ));
     }
     pending.commit(payload)?;
+    if let Some(m) = conn.metrics() {
+        m.frames_out.inc();
+        m.bytes_out.add(payload.len() as u64 + 4);
+    }
     conn.flush(&mut pending)?;
     conn.nudge_reactor(&pending);
     Ok(())
@@ -734,6 +767,18 @@ struct ServeCtx {
     /// hook. Entries deregister themselves when their serving thread
     /// exits (or when a push write fails).
     registry: Arc<Mutex<Vec<Arc<ConnShared>>>>,
+    /// The observability hub attached to the served ecovisor (`None`
+    /// only when the `obs` feature is off). The transport layer records
+    /// wall-clock series into it directly; the wire `Stats` request
+    /// dumps it.
+    obs: Option<Arc<crate::obs::ObsHub>>,
+    /// Connections currently in any serving phase (maintained by the
+    /// reactor; see [`ServerHandle::active_connections`]).
+    active: Arc<AtomicUsize>,
+    /// Summed receive-buffer capacity across live connections
+    /// (maintained by the reactor; see
+    /// [`ServerHandle::recv_buffer_bytes`]).
+    recv_bytes: Arc<AtomicUsize>,
 }
 
 /// Removes a connection from the push registry when its serving thread
@@ -831,7 +876,15 @@ impl EcovisorServer {
     /// # Errors
     ///
     /// Propagates the bind failure.
-    pub fn bind(addr: impl ToSocketAddrs, eco: Ecovisor) -> io::Result<Self> {
+    pub fn bind(addr: impl ToSocketAddrs, mut eco: Ecovisor) -> io::Result<Self> {
+        // A live server always carries an observability hub (unless the
+        // `obs` feature compiled the attach away): dispatch and
+        // settlement record into it, the transport counts frames into
+        // it, and the wire `Stats` request reads it back out.
+        if eco.obs_hub().is_none() {
+            eco.attach_obs(crate::obs::ObsHub::new());
+        }
+        let obs = eco.obs_hub();
         let shared = Arc::new(ShardedEcovisor::new(eco));
         let registry: Arc<Mutex<Vec<Arc<ConnShared>>>> = Arc::new(Mutex::new(Vec::new()));
         let hook_registry = Arc::clone(&registry);
@@ -843,6 +896,9 @@ impl EcovisorServer {
                 creds: Mutex::new(None),
                 read_timeout: None,
                 registry,
+                obs,
+                active: Arc::new(AtomicUsize::new(0)),
+                recv_bytes: Arc::new(AtomicUsize::new(0)),
             }),
             workers: 0,
         })
@@ -1225,6 +1281,7 @@ fn serve_v2(stream: &mut TcpStream, ctx: &ServeCtx, neg: &Negotiated) -> io::Res
         filter: Mutex::new(None),
         pending: Mutex::new(PendingWrites::default()),
         notify: None,
+        obs: ctx.obs.clone(),
     });
     crate::lock::lock(&ctx.registry).push(Arc::clone(&conn));
     let _deregister = Deregister {
@@ -1455,7 +1512,31 @@ fn serve_admin(
                 .read(|eco| crate::lock::read(&eco.cop).next_container_id());
             EnergyResponse::Count(cursor as usize)
         }
+        EnergyRequest::Stats => EnergyResponse::Stats(stats_report(ctx)),
         _ => EnergyResponse::Err(ProtoError::Other("not an admin request".into())),
+    }
+}
+
+/// Assembles the wire [`StatsReport`]: the [`ServerStats`] trio read
+/// from the serving context plus a full dump of the observability
+/// registry (empty when no hub is attached — the `obs` feature is off).
+fn stats_report(ctx: &ServeCtx) -> crate::proto::StatsReport {
+    let backlog: usize = crate::lock::lock(&ctx.registry)
+        .iter()
+        .map(|conn| {
+            let pending = crate::lock::lock(&conn.pending);
+            pending.queued_frames + pending.parked.len()
+        })
+        .sum();
+    crate::proto::StatsReport {
+        active_connections: ctx.active.load(Ordering::SeqCst) as u64,
+        subscriber_backlog: backlog as u64,
+        recv_buffer_bytes: ctx.recv_bytes.load(Ordering::SeqCst) as u64,
+        metrics: ctx
+            .obs
+            .as_ref()
+            .map(|hub| hub.snapshot())
+            .unwrap_or_default(),
     }
 }
 
@@ -1491,8 +1572,6 @@ pub struct ServerHandle {
     reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     queue: Arc<evented::JobQueue>,
-    active: Arc<AtomicUsize>,
-    recv_bytes: Arc<AtomicUsize>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -1514,12 +1593,19 @@ impl ServerHandle {
         Arc::clone(&self.ctx.shared)
     }
 
+    /// The server's observability hub ([`EcovisorServer::bind`] attaches
+    /// one when the ecovisor arrives without), for metric inspection; the
+    /// wire equivalent is the credential-gated `Stats` admin request.
+    pub fn obs_hub(&self) -> Option<Arc<crate::obs::ObsHub>> {
+        self.ctx.obs.clone()
+    }
+
     /// Number of connections currently registered with the reactor. A
     /// client that disconnects (cleanly, mid-frame, or by tripping the
     /// idle timeout) drops off this count as soon as the reactor reaps
     /// its registration.
     pub fn active_connections(&self) -> usize {
-        self.active.load(Ordering::SeqCst)
+        self.ctx.active.load(Ordering::SeqCst)
     }
 
     /// Backpressure diagnostic: committed-but-unwritten wire frames plus
@@ -1542,7 +1628,7 @@ impl ServerHandle {
     /// frames and trim back when drained). Returns to zero once every
     /// connection has been reaped — the [`ServerStats`] leak gate.
     pub fn recv_buffer_bytes(&self) -> usize {
-        self.recv_bytes.load(Ordering::SeqCst)
+        self.ctx.recv_bytes.load(Ordering::SeqCst)
     }
 
     /// One coherent-enough snapshot of the runtime's resource counters
@@ -2217,6 +2303,30 @@ impl RemoteEcovisorClient {
         }
     }
 
+    /// Fetches the server's observability report: serving-level gauges
+    /// plus a full dump of the attached metric registry (dispatch
+    /// latency histograms, reactor queue depths, settlement-barrier
+    /// timings — see `docs/OBSERVABILITY.md` for the catalogue).
+    ///
+    /// # Errors
+    ///
+    /// On a v1 connection, a broken transport, or a denied admin
+    /// surface (the `Stats` request is credential-gated like every
+    /// other admin request).
+    pub fn fetch_stats(&mut self) -> io::Result<crate::proto::StatsReport> {
+        match self.admin_round_trip(EnergyRequest::Stats)? {
+            EnergyResponse::Stats(report) => Ok(report),
+            EnergyResponse::Err(e) => Err(io::Error::new(
+                admin_error_kind(&e),
+                format!("server refused stats: {e}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected stats response: {other:?}"),
+            )),
+        }
+    }
+
     /// Sends one ack-style admin request and maps its response to `()`.
     fn admin_ack(&mut self, request: EnergyRequest, what: &str) -> io::Result<()> {
         match self.admin_round_trip(request)? {
@@ -2472,6 +2582,7 @@ mod tests {
             filter: Mutex::new(Some(EventFilter::all())),
             pending: Mutex::new(PendingWrites::default()),
             notify: None,
+            obs: None,
         });
         let policy = OutboxPolicy::with_cap(2);
         let level = |w: f64| Notification::SolarChange {

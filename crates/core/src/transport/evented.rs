@@ -58,6 +58,16 @@ use super::{
     ConnShared, HelloOutcome, Negotiated, PendingWrites, ServeCtx, Served, ServerHandle,
     WriteNotify, DRAIN_RETAIN_BYTES, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
+use crate::obs::{self, TransportMetrics};
+
+/// Structured-log target for everything the serving runtime emits.
+const LOG_TARGET: &str = "ecovisor::transport";
+
+/// The transport-metrics handles on a serving context, if a hub is
+/// attached.
+fn metrics(ctx: &ServeCtx) -> Option<&TransportMetrics> {
+    ctx.obs.as_deref().map(|hub| &hub.transport)
+}
 
 /// The listener's epoll token.
 const LISTENER: Token = Token(0);
@@ -239,16 +249,20 @@ struct QueueState {
 pub(super) struct JobQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
+    /// `transport.queue_depth` — connections awaiting a worker. `None`
+    /// when the server has no observability hub.
+    depth: Option<Arc<obs::Gauge>>,
 }
 
 impl JobQueue {
-    fn new() -> JobQueue {
+    fn new(depth: Option<Arc<obs::Gauge>>) -> JobQueue {
         JobQueue {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
                 stopped: false,
             }),
             ready: Condvar::new(),
+            depth,
         }
     }
 
@@ -259,6 +273,9 @@ impl JobQueue {
         }
         state.jobs.push_back(work);
         drop(state);
+        if let Some(depth) = &self.depth {
+            depth.add(1);
+        }
         self.ready.notify_one();
     }
 
@@ -272,6 +289,10 @@ impl JobQueue {
                 return None;
             }
             if let Some(work) = state.jobs.pop_front() {
+                drop(state);
+                if let Some(depth) = &self.depth {
+                    depth.sub(1);
+                }
                 return Some(work);
             }
             state = self
@@ -281,9 +302,14 @@ impl JobQueue {
         }
     }
 
-    /// Wakes every worker into its `None` exit.
+    /// Wakes every worker into its `None` exit. Jobs still queued are
+    /// abandoned, so the depth gauge is zeroed with them — the leak
+    /// gate expects every gauge back at zero after shutdown.
     pub(super) fn stop(&self) {
         crate::lock::lock(&self.state).stopped = true;
+        if let Some(depth) = &self.depth {
+            depth.set(0);
+        }
         self.ready.notify_all();
     }
 }
@@ -326,6 +352,11 @@ fn serve_inbox(work: &Arc<ConnWork>, ctx: &ServeCtx, queue: &JobQueue) {
             }
             return;
         };
+        let obs = metrics(ctx);
+        if let Some(m) = obs {
+            m.inbox_depth.sub(1);
+        }
+        let serve_start = Instant::now();
         let served = if work.neg.version >= PROTOCOL_VERSION {
             let mut admin = crate::lock::lock(&work.admin);
             process_v2_payload(ctx, &work.neg, &work.shared, &mut admin, &payload)
@@ -337,6 +368,9 @@ fn serve_inbox(work: &Arc<ConnWork>, ctx: &ServeCtx, queue: &JobQueue) {
             Served::Quiet => true,
             Served::Close => false,
         };
+        if let Some(m) = obs {
+            m.serve_latency.record_duration(serve_start.elapsed());
+        }
         if !healthy {
             kill_from_worker(work);
             work.scheduled.store(false, Ordering::SeqCst);
@@ -440,6 +474,9 @@ fn handle_frame(
                 return false;
             }
             crate::lock::lock(&work.inbox).push_back(payload);
+            if let Some(m) = metrics(ctx) {
+                m.inbox_depth.add(1);
+            }
             if !work.scheduled.swap(true, Ordering::SeqCst) {
                 queue.push(Arc::clone(work));
             }
@@ -474,6 +511,7 @@ fn begin_serving(
                     dirty: Arc::clone(dirty),
                     waker: waker.clone(),
                 }),
+                obs: ctx.obs.clone(),
             });
             // Only v2 connections join the push registry — v1 has no
             // push on its wire, exactly like the blocking server.
@@ -520,6 +558,9 @@ struct Reactor {
     /// driver-side counter tracks growth *and* the drain-time trim.
     recv_bytes: Arc<AtomicUsize>,
     stop: Arc<AtomicBool>,
+    /// Accept failures seen so far — the rate-limit state for the
+    /// accept-failure log line (the metric counts every occurrence).
+    accept_fails: u64,
 }
 
 impl Reactor {
@@ -593,11 +634,32 @@ impl Reactor {
                         },
                     );
                     self.active.fetch_add(1, Ordering::SeqCst);
+                    if let Some(m) = metrics(&self.ctx) {
+                        m.accepts.inc();
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => {
-                    eprintln!("ecovisor transport: accept failed: {e}");
+                    // A flapping listener (fd exhaustion under a
+                    // connection storm) used to spam stderr from here.
+                    // Every failure lands in the metric; the log line is
+                    // rate-limited to the first occurrence and every
+                    // 64th after that.
+                    self.accept_fails += 1;
+                    if let Some(m) = metrics(&self.ctx) {
+                        m.accept_failures.inc();
+                    }
+                    if self.accept_fails == 1 || self.accept_fails.is_multiple_of(64) {
+                        obs::warn(
+                            LOG_TARGET,
+                            "accept failed",
+                            &[
+                                ("error", e.to_string()),
+                                ("occurrences", self.accept_fails.to_string()),
+                            ],
+                        );
+                    }
                     // Level-triggered: the listener stays ready while the
                     // backlog holds connections we cannot accept (fd
                     // exhaustion), so without a pause this loop would
@@ -634,15 +696,28 @@ impl Reactor {
                 // client; either way the connection is done.
                 Ok(0) => {
                     if conn.rbuf.has_partial() {
-                        eprintln!("ecovisor transport: peer closed mid-frame");
+                        if let Some(m) = metrics(&ctx) {
+                            m.mid_frame_closes.inc();
+                        }
+                        obs::debug(
+                            LOG_TARGET,
+                            "peer closed mid-frame",
+                            &[("token", token.to_string())],
+                        );
                     }
                     return false;
                 }
-                Ok(_) => {
+                Ok(n) => {
                     conn.last_read = Instant::now();
+                    if let Some(m) = metrics(&ctx) {
+                        m.bytes_in.add(n as u64);
+                    }
                     loop {
                         match conn.rbuf.next_frame() {
                             Ok(Some(payload)) => {
+                                if let Some(m) = metrics(&ctx) {
+                                    m.frames_in.inc();
+                                }
                                 if !handle_frame(conn, token, &ctx, &queue, &dirty, &waker, payload)
                                 {
                                     return false;
@@ -650,7 +725,14 @@ impl Reactor {
                             }
                             Ok(None) => break,
                             Err(e) => {
-                                eprintln!("ecovisor transport: dropping connection: {e}");
+                                if let Some(m) = metrics(&ctx) {
+                                    m.conn_errors.inc();
+                                }
+                                obs::warn(
+                                    LOG_TARGET,
+                                    "dropping connection",
+                                    &[("token", token.to_string()), ("error", e.to_string())],
+                                );
                                 return false;
                             }
                         }
@@ -691,7 +773,14 @@ impl Reactor {
             .map(|(t, _)| *t)
             .collect();
         for token in expired {
-            eprintln!("ecovisor transport: connection idle past {idle:?}; disconnecting");
+            if let Some(m) = metrics(&self.ctx) {
+                m.idle_disconnects.inc();
+            }
+            obs::info(
+                LOG_TARGET,
+                "disconnecting idle connection",
+                &[("token", token.to_string()), ("idle", format!("{idle:?}"))],
+            );
             self.close_conn(token);
         }
     }
@@ -711,6 +800,18 @@ impl Reactor {
             work.closed.store(true, Ordering::SeqCst);
             crate::lock::lock(&self.ctx.registry).retain(|c| !Arc::ptr_eq(c, &work.shared));
             let _ = crate::lock::lock(&work.shared.writer).shutdown(std::net::Shutdown::Both);
+            // Frames still in the inbox will never be served; settle
+            // their gauge contribution so the depth returns to zero
+            // after churn (the leak-gate contract for every gauge).
+            let mut inbox = crate::lock::lock(&work.inbox);
+            let abandoned = inbox.len();
+            inbox.clear();
+            drop(inbox);
+            if abandoned > 0 {
+                if let Some(m) = metrics(&self.ctx) {
+                    m.inbox_depth.sub(abandoned as i64);
+                }
+            }
         }
         let _ = conn.stream.shutdown(std::net::Shutdown::Both);
     }
@@ -741,9 +842,11 @@ pub(super) fn spawn_evented(
     poll.register(&listener, LISTENER, Interest::READABLE)?;
     let waker = Waker::new(&poll, WAKER)?;
     let stop = Arc::new(AtomicBool::new(false));
-    let active = Arc::new(AtomicUsize::new(0));
-    let recv_bytes = Arc::new(AtomicUsize::new(0));
-    let queue = Arc::new(JobQueue::new());
+    let active = Arc::clone(&ctx.active);
+    let recv_bytes = Arc::clone(&ctx.recv_bytes);
+    let queue = Arc::new(JobQueue::new(
+        metrics(&ctx).map(|m| Arc::clone(&m.queue_depth)),
+    ));
     let dirty: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
 
     let worker_count = if workers == 0 {
@@ -774,9 +877,10 @@ pub(super) fn spawn_evented(
         waker: waker.clone(),
         conns: HashMap::new(),
         next_token: FIRST_CONN,
-        active: Arc::clone(&active),
-        recv_bytes: Arc::clone(&recv_bytes),
+        active,
+        recv_bytes,
         stop: Arc::clone(&stop),
+        accept_fails: 0,
     };
     let reactor_handle = std::thread::Builder::new()
         .name("ecovisor-reactor".into())
@@ -790,7 +894,5 @@ pub(super) fn spawn_evented(
         reactor: Some(reactor_handle),
         workers: worker_handles,
         queue,
-        active,
-        recv_bytes,
     })
 }

@@ -6,7 +6,7 @@
 use container_cop::{AppId, ContainerId, ContainerSpec};
 use ecovisor::proto::{
     EnergyRequest, EnergyResponse, EventFrame, ProtoError, RequestBatch, ResponseBatch,
-    PROTOCOL_VERSION,
+    StatsReport, PROTOCOL_VERSION,
 };
 use ecovisor::{
     EnergyShare, EventFilter, FedAppView, Notification, ProtocolTrace, TraceEntry,
@@ -126,6 +126,7 @@ fn all_requests() -> Vec<EnergyRequest> {
         EnergyRequest::FedSettle { views: vec![] },
         EnergyRequest::FedAlign { next_container: 42 },
         EnergyRequest::FedCursor,
+        EnergyRequest::Stats,
     ]
 }
 
@@ -198,6 +199,21 @@ fn all_responses() -> Vec<EnergyResponse> {
             power: Watts::new(3.75),
         }]),
         EnergyResponse::Demands(vec![]),
+        EnergyResponse::Stats(StatsReport::default()),
+        EnergyResponse::Stats(StatsReport {
+            active_connections: 3,
+            subscriber_backlog: 7,
+            recv_buffer_bytes: 4096,
+            metrics: {
+                let registry = ecovisor::obs::Registry::new();
+                registry.counter("dispatch.requests_total").add(11);
+                registry.gauge("transport.queue_depth").set(-2);
+                let hist = registry.histogram("dispatch.batch_latency_ns");
+                hist.record(900);
+                hist.record(1024);
+                registry.snapshot()
+            },
+        }),
     ]
 }
 
@@ -253,14 +269,15 @@ fn every_request_variant_round_trips() {
             | FedCollect
             | FedSettle { .. }
             | FedAlign { .. }
-            | FedCursor => {}
+            | FedCursor
+            | Stats => {}
         }
         round_trip_request(r);
     }
     // Every variant name appears exactly once in the exemplar list
     // (modulo the deliberate Some/None doubles).
     let names: std::collections::BTreeSet<&str> = requests.iter().map(|r| r.name()).collect();
-    assert_eq!(names.len(), 45);
+    assert_eq!(names.len(), 46);
 }
 
 #[test]
@@ -286,7 +303,8 @@ fn every_response_variant_round_trips() {
             | Events(_)
             | SnapshotChunk { .. }
             | Err(_)
-            | Demands(_) => {}
+            | Demands(_)
+            | Stats(_) => {}
         }
         round_trip_response(resp);
     }
@@ -336,9 +354,9 @@ fn protocol_traces_round_trip() {
             ],
         }],
     };
-    // 48 exemplar requests (45 variants + the two `None` doubles + the
+    // 49 exemplar requests (46 variants + the two `None` doubles + the
     // empty `FedSettle` double) + 1.
-    assert_eq!(trace.request_count(), 49);
+    assert_eq!(trace.request_count(), 50);
     assert_eq!(trace.event_count(), 2);
     let wire = serde::json::to_string(&trace);
     let back: ProtocolTrace = serde::json::from_str(&wire).expect("parse back");

@@ -1,12 +1,17 @@
 //! `ServerStats` lifecycle: the leak-gate counters start at zero, rise
 //! while connections are live, and return to zero once every client is
 //! gone — the invariant `ecoharness fuzz --soak` gates long runs on.
+//! The observability registry rides the same gate: its gauges
+//! (`transport.queue_depth`, `transport.inbox_depth`) must drain to
+//! zero with the rest, and its counters must be monotonic across
+//! connection churn — both checked here over the wire `Stats` surface.
 
 use std::time::{Duration, Instant};
 
+use ecovisor::obs::MetricValue;
 use ecovisor::{
-    EcovisorBuilder, EcovisorServer, EnergyClient, EnergyShare, EventFilter, RemoteEcovisorClient,
-    ServerHandle, WireCodec,
+    CredentialRegistry, EcovisorBuilder, EcovisorServer, EnergyClient, EnergyShare, EventFilter,
+    RemoteEcovisorClient, ServerHandle, WireCodec,
 };
 use simkit::units::Watts;
 
@@ -108,5 +113,139 @@ fn stats_return_to_baseline_under_auto_sized_pool() {
 
     drop(cli);
     assert_baseline(&handle, "after disconnect");
+    handle.shutdown();
+}
+
+/// Histogram lifecycle through the hub the server attaches at bind:
+/// empty snapshot → observations land in the right log2 buckets →
+/// count/sum/buckets only ever grow.
+#[test]
+fn histogram_buckets_fill_and_stay_monotonic() {
+    let hub = ecovisor::obs::ObsHub::new();
+    let hist = hub.registry().histogram("test.latency_ns");
+
+    let snap = hub.snapshot();
+    let empty = snap.histogram("test.latency_ns").expect("registered");
+    assert_eq!(empty.count, 0);
+    assert_eq!(empty.sum, 0);
+    assert!(empty.buckets.is_empty());
+    assert_eq!(empty.mean(), 0.0);
+
+    // Bucket i counts values in [2^i, 2^(i+1)); 0 lands in bucket 0.
+    hist.record(1);
+    hist.record(3);
+    hist.record(1024);
+    hist.record(1500);
+    let mid = hub.snapshot();
+    let snap = mid.histogram("test.latency_ns").expect("registered");
+    assert_eq!(snap.count, 4);
+    assert_eq!(snap.sum, 1 + 3 + 1024 + 1500);
+    assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (10, 2)]);
+
+    // More observations strictly extend the previous snapshot.
+    hist.record(1 << 40); // beyond the last bucket edge: clamps into the top bucket
+    let end = hub.snapshot();
+    let later = end.histogram("test.latency_ns").expect("registered");
+    assert_eq!(later.count, snap.count + 1);
+    assert!(later.sum >= snap.sum);
+    for (bucket, count) in &snap.buckets {
+        let now = later
+            .buckets
+            .iter()
+            .find(|(b, _)| b == bucket)
+            .map(|(_, c)| *c)
+            .unwrap_or(0);
+        assert!(now >= *count, "bucket {bucket} shrank: {count} -> {now}");
+    }
+}
+
+/// The wire `Stats` surface against a credentialed server: counters are
+/// monotonic across connection churn, gauges drain back to zero with
+/// the `ServerStats` leak gate, and the report carries the full
+/// catalogue (dispatch histograms, reactor depths, settlement timings).
+#[test]
+fn wire_stats_survive_connection_churn() {
+    let mut eco = EcovisorBuilder::new().build();
+    let app = eco
+        .register_app("tenant", EnergyShare::grid_only())
+        .expect("register");
+    let creds = CredentialRegistry::new().with(app, "stats-token");
+    let handle = EcovisorServer::bind("127.0.0.1:0", eco)
+        .expect("bind")
+        .with_credentials(creds)
+        .with_workers(2)
+        .spawn()
+        .expect("spawn");
+
+    let connect = || {
+        RemoteEcovisorClient::connect_with_credential(handle.addr(), app, "stats-token")
+            .expect("connect with token")
+    };
+
+    // Churn: several short-lived connections, each doing real traffic.
+    let mut frames_in_seen = Vec::new();
+    for _ in 0..3 {
+        let mut cli = connect();
+        assert_eq!(cli.get_grid_power(), Watts::ZERO);
+        assert_eq!(cli.get_solar_power(), Watts::ZERO);
+        let report = cli.fetch_stats().expect("stats over the wire");
+        // The catalogue is present end to end.
+        for name in [
+            "dispatch.requests_total",
+            "dispatch.batch_latency_ns",
+            "settle.barrier_wait_ns",
+            "transport.queue_depth",
+            "transport.inbox_depth",
+            "transport.frames_in_total",
+            "transport.serve_latency_ns",
+        ] {
+            assert!(
+                report.metrics.get(name).is_some(),
+                "wire report is missing {name}"
+            );
+        }
+        // Transport counters reflect this connection's own traffic.
+        let frames_in = report
+            .metrics
+            .counter("transport.frames_in_total")
+            .expect("frames_in is a counter");
+        assert!(frames_in > 0, "no frames counted");
+        frames_in_seen.push(frames_in);
+        assert!(
+            report
+                .metrics
+                .counter("transport.accepts_total")
+                .unwrap_or(0)
+                >= frames_in_seen.len() as u64,
+            "every churned connection was accepted"
+        );
+        // Serve latency observed at least the frames this client sent.
+        match report.metrics.get("transport.serve_latency_ns") {
+            Some(MetricValue::Histogram(h)) => assert!(h.count > 0, "no serves timed"),
+            other => panic!("serve_latency has wrong shape: {other:?}"),
+        }
+        drop(cli);
+        assert_baseline(&handle, "between churn rounds");
+    }
+    assert!(
+        frames_in_seen.windows(2).all(|w| w[0] < w[1]),
+        "frames_in must be strictly monotonic across churn: {frames_in_seen:?}"
+    );
+
+    // The obs gauges ride the same leak gate as ServerStats: all depth
+    // gauges back to zero once the last client is gone.
+    let hub = handle.obs_hub().expect("bind attaches a hub");
+    let quiesced = wait_until(Duration::from_secs(5), || {
+        let snap = hub.snapshot();
+        snap.gauge("transport.queue_depth") == Some(0)
+            && snap.gauge("transport.inbox_depth") == Some(0)
+    });
+    assert!(
+        quiesced,
+        "obs gauges did not drain: queue={:?} inbox={:?}",
+        hub.snapshot().gauge("transport.queue_depth"),
+        hub.snapshot().gauge("transport.inbox_depth")
+    );
+    assert_baseline(&handle, "after all churn");
     handle.shutdown();
 }

@@ -22,6 +22,7 @@ use ecoharness::artifact::{artifacts_in_dir, codec_name, is_artifact_path};
 use ecoharness::{
     corpus, record_with_checkpoints, verify, verify_federated, verify_transport, ScenarioArtifact,
 };
+use ecovisor::proto::StatsReport;
 use ecovisor::{ShardedEcovisor, WireCodec};
 
 fn main() -> ExitCode {
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest),
         "fuzz" => cmd_fuzz(rest),
         "bench" => cmd_bench(rest),
+        "stats" => cmd_stats(rest),
         "diff" => cmd_diff(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -67,6 +69,8 @@ USAGE:
     ecoharness fuzz --soak [--seed S] [--ticks N] [--tenants N]
     ecoharness fuzz --promote [--seed S] [--count N] [--top K] [--out DIR]
     ecoharness bench [--iters N] [--json] PATH [PATH ...]
+    ecoharness stats ADDR --app ID --token TOKEN [--codec json|binary]
+                     [--watch SECONDS] [--n COUNT]
     ecoharness diff A B
 
 Paths may be artifact files (*.scn.json / *.scn.bin) or directories.
@@ -98,7 +102,13 @@ under --out (default fuzz-failures/) as replayable .scn.json days.
 evented server with periodic connection churn and fails unless the
 server's counters return to the all-zero baseline afterwards.
 `fuzz --promote` re-records the campaign's most interesting surviving
-candidates into --out (default corpus/), best-scoring first.";
+candidates into --out (default corpus/), best-scoring first.
+`stats` connects to a live ecovisor server as the given (credentialed)
+app and fetches its observability report over the wire — serving-level
+gauges plus the full metric registry (see docs/OBSERVABILITY.md for
+the catalogue). With --watch it polls every SECONDS seconds (--n
+polls, default forever) and prints the delta since the previous poll
+next to each counter and histogram.";
 
 /// `list`: the builtin catalogue.
 fn cmd_list() -> Result<ExitCode, String> {
@@ -513,6 +523,107 @@ fn host_json() -> String {
         "{{\"nproc\": {nproc}, \"target\": \"{}\", \"criterion_smoke\": {smoke}}}",
         env!("ECOHARNESS_TARGET")
     )
+}
+
+/// `stats`: fetch (and optionally watch) a live server's observability
+/// report over the credential-gated v2 admin surface.
+fn cmd_stats(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut addr: Option<String> = None;
+    let mut app: Option<u64> = None;
+    let mut token: Option<String> = None;
+    let mut codec: Option<WireCodec> = None;
+    let mut watch_secs: Option<u64> = None;
+    let mut polls: Option<u64> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--app" => app = Some(parse_num(&value("--app")?, "--app")?),
+            "--token" => token = Some(value("--token")?),
+            "--codec" => codec = Some(parse_codec(&value("--codec")?)?),
+            "--watch" => watch_secs = Some(parse_num(&value("--watch")?, "--watch")?.max(1)),
+            "--n" => polls = Some(parse_num(&value("--n")?, "--n")?.max(1)),
+            other if addr.is_none() && !other.starts_with("--") => addr = Some(other.to_string()),
+            other => return Err(format!("unknown stats argument `{other}`")),
+        }
+    }
+    let addr = addr.ok_or("stats needs a server address (host:port)")?;
+    let app = app.ok_or("stats needs --app ID")?;
+    let app = ecovisor::AppId::new(u32::try_from(app).map_err(|_| "--app: id out of range")?);
+    let codecs = codec.map_or_else(ecovisor::WireCodec::preferred, |c| vec![c]);
+    let mut client = ecovisor::RemoteEcovisorClient::connect_full(&*addr, app, codecs, token)
+        .map_err(|e| format!("{addr}: {e}"))?;
+
+    let mut previous: Option<StatsReport> = None;
+    let mut remaining = match (watch_secs, polls) {
+        (None, _) => 1,
+        (Some(_), Some(n)) => n,
+        (Some(_), None) => u64::MAX,
+    };
+    while remaining > 0 {
+        remaining -= 1;
+        let report = client.fetch_stats().map_err(|e| format!("{addr}: {e}"))?;
+        print_stats(&report, previous.as_ref());
+        previous = Some(report);
+        if remaining > 0 {
+            std::thread::sleep(std::time::Duration::from_secs(
+                watch_secs.expect("watch mode"),
+            ));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders one stats report; with `previous`, counters and histograms
+/// additionally show the delta since the last poll.
+fn print_stats(report: &StatsReport, previous: Option<&StatsReport>) {
+    use ecovisor::obs::MetricValue;
+    println!(
+        "server: {} connection(s), backlog {}, recv buffers {} B",
+        report.active_connections, report.subscriber_backlog, report.recv_buffer_bytes
+    );
+    if report.metrics.metrics.is_empty() {
+        println!("  (no metric registry attached)");
+        return;
+    }
+    println!("{:40} {:>16} {:>12}", "metric", "value", "delta");
+    for entry in &report.metrics.metrics {
+        let prior = previous.and_then(|p| p.metrics.get(&entry.name));
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                let delta = match prior {
+                    Some(MetricValue::Counter(p)) => format!("+{}", v.saturating_sub(*p)),
+                    _ => String::new(),
+                };
+                println!("{:40} {v:>16} {delta:>12}", entry.name);
+            }
+            MetricValue::Gauge(v) => {
+                let delta = match prior {
+                    Some(MetricValue::Gauge(p)) => format!("{:+}", v - p),
+                    _ => String::new(),
+                };
+                println!("{:40} {v:>16} {delta:>12}", entry.name);
+            }
+            MetricValue::Histogram(h) => {
+                let delta = match prior {
+                    Some(MetricValue::Histogram(p)) => {
+                        format!("+{}", h.count.saturating_sub(p.count))
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "{:40} {:>16} {delta:>12}  (mean {:.0} ns)",
+                    entry.name,
+                    format!("n={}", h.count),
+                    h.mean()
+                );
+                // One sub-line per occupied log2 bucket: [2^i, 2^(i+1)).
+                for &(bucket, count) in &h.buckets {
+                    println!("{:40}   [2^{bucket:<2} ns ..) {count:>10}", "");
+                }
+            }
+        }
+    }
 }
 
 /// `diff`: structural comparison of two artifacts.

@@ -72,7 +72,9 @@ pub use fuzz::{
     generate, shrink, soak, Candidate, Fault, FuzzFailure, FuzzOptions, FuzzReport, PromoteOptions,
     ShrinkOutcome, SoakOptions, SoakReport,
 };
-pub use record::{record, record_resumed, record_with_checkpoints, resume, resumed_spec};
+pub use record::{
+    record, record_observed, record_resumed, record_with_checkpoints, resume, resumed_spec,
+};
 pub use scenario::{build_drivers, build_ecovisor};
 pub use spec::{
     CarbonSpec, CredentialRotation, CredentialSpec, DriverSpec, JobSpec, MigrationPlan,

@@ -56,12 +56,42 @@ pub fn record_with_checkpoints(
     spec: &ScenarioSpec,
     every: Option<u64>,
 ) -> Result<ScenarioArtifact, HarnessError> {
+    record_inner(spec, every, None)
+}
+
+/// [`record`] with a caller-supplied observability hub attached for the
+/// whole run — the instrumented twin of a plain recording.
+///
+/// The artifact must be **byte-identical** to [`record`]'s: metrics are
+/// write-only side channels and never reach trace bytes, totals, or
+/// digests (`tests/obs_determinism.rs` enforces this at max log
+/// verbosity). The hub is handed in rather than created here so the
+/// caller can read the populated registry after the run.
+///
+/// # Errors
+///
+/// Everything [`record`] can fail with.
+pub fn record_observed(
+    spec: &ScenarioSpec,
+    hub: std::sync::Arc<ecovisor::obs::ObsHub>,
+) -> Result<ScenarioArtifact, HarnessError> {
+    record_inner(spec, None, Some(hub))
+}
+
+fn record_inner(
+    spec: &ScenarioSpec,
+    every: Option<u64>,
+    hub: Option<std::sync::Arc<ecovisor::obs::ObsHub>>,
+) -> Result<ScenarioArtifact, HarnessError> {
     if every == Some(0) {
         return Err(HarnessError::Spec(
             "checkpoint interval must be at least one tick".into(),
         ));
     }
     let (mut eco, ids) = build_ecovisor(spec)?;
+    if let Some(hub) = hub {
+        eco.attach_obs(hub);
+    }
     let mut drivers = build_drivers(spec)?;
     eco.enable_protocol_trace();
 

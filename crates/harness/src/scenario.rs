@@ -76,6 +76,15 @@ pub fn build_ecovisor(spec: &ScenarioSpec) -> Result<(Ecovisor, Vec<AppId>), Har
     }
 
     let mut eco = builder.build();
+    // `ECOVISOR_OBS=1` attaches an observability hub to everything the
+    // harness builds — recorder, verifier, fuzz days — so the CI
+    // obs-smoke job replays the whole corpus with instrumentation live.
+    // Metrics are write-only side channels, so attaching one must not
+    // change a single artifact byte (`tests/obs_determinism.rs` holds
+    // that line).
+    if ecovisor::obs::env_enabled() {
+        eco.attach_obs(ecovisor::obs::ObsHub::new());
+    }
     let mut ids = Vec::with_capacity(spec.tenants.len());
     for tenant in &spec.tenants {
         let id = eco.register_app(&tenant.name, tenant.share)?;

@@ -205,7 +205,11 @@ fn every_builtin_records_and_verifies_when_shrunk() {
         if spec.restore.as_ref().is_some_and(|r| r.tick >= spec.ticks) {
             spec.restore = None;
         }
-        if spec.migration.as_ref().is_some_and(|m| m.tick >= spec.ticks) {
+        if spec
+            .migration
+            .as_ref()
+            .is_some_and(|m| m.tick >= spec.ticks)
+        {
             spec.migration = None;
         }
         let artifact = record(&spec).unwrap_or_else(|e| panic!("record {name}: {e}"));

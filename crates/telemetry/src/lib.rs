@@ -12,6 +12,10 @@
 //! * [`MeterSet`] — the per-tick sampling front-end: the ecovisor pushes
 //!   one sample per metric per subject per tick.
 //! * [`metrics`] — well-known metric names shared across crates.
+//! * [`ops`] — operational observability for the serving runtime
+//!   itself: sharded counters, gauges, log2-bucket latency histograms,
+//!   a name-addressed registry, and a structured leveled logging
+//!   facade (see `docs/OBSERVABILITY.md`).
 //! * [`csv`] — plain-text export used by the experiment harness.
 //!
 //! # Example
@@ -35,6 +39,7 @@
 pub mod csv;
 pub mod meter;
 pub mod metrics;
+pub mod ops;
 pub mod tsdb;
 
 pub use meter::MeterSet;

@@ -251,7 +251,8 @@ fn via_facade(api: &mut ScopedApi<'_>, req: &EnergyRequest) -> EnergyResponse {
         // it is a protocol-native addition, conformance-tested between
         // the in-process and remote *clients* in
         // crates/core/tests/protocol_v2.rs. Likewise the snapshot admin
-        // surface, covered in crates/core/tests/snapshot_restore.rs.
+        // surface (crates/core/tests/snapshot_restore.rs) and the
+        // observability stats export (crates/core/tests/server_stats.rs).
         EnergyRequest::PollEvents
         | EnergyRequest::SubscribeEvents { .. }
         | EnergyRequest::Snapshot { .. }
@@ -262,7 +263,8 @@ fn via_facade(api: &mut ScopedApi<'_>, req: &EnergyRequest) -> EnergyResponse {
         | EnergyRequest::FedCollect
         | EnergyRequest::FedSettle { .. }
         | EnergyRequest::FedAlign { .. }
-        | EnergyRequest::FedCursor => {
+        | EnergyRequest::FedCursor
+        | EnergyRequest::Stats => {
             unreachable!("admin/event requests are not part of the façade conformance sequence")
         }
     }
